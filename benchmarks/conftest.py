@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+prints the same rows/series the paper reports and asserts the
+qualitative *shape* (who wins, by roughly what factor, where crossovers
+fall).  Absolute numbers differ -- the substrate is a simulator, not the
+authors' 50-VM testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner
+
+
+@pytest.fixture(scope="session")
+def campaign_runner() -> CampaignRunner:
+    return CampaignRunner(seed=1)
+
+
+@pytest.fixture(scope="session")
+def portfolio_results(campaign_runner):
+    """The full 41-AS campaign (the paper's analyzed set), run once."""
+    return campaign_runner.run_portfolio()
+
+
+@pytest.fixture(scope="session")
+def esnet_campaign(portfolio_results):
+    return portfolio_results[46]
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure (visible with ``-s``)."""
+    print()
+    print(text)

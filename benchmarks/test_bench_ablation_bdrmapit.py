@@ -1,0 +1,54 @@
+"""Ablation -- bdrmapIT annotation accuracy vs. AReST coverage.
+
+The pipeline scopes detection to the AS of interest using interface
+ownership annotations.  Injecting bdrmapIT-style border misattributions
+shrinks (never grows) the in-AS view, quantifying how much AReST's
+recall depends on ownership accuracy.
+"""
+
+from repro.campaign import CampaignRunner
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+AS_ID = 28  # Bell Canada: strongly detected baseline
+
+
+def _detected(error_rate: float) -> tuple[int, int]:
+    runner = CampaignRunner(
+        seed=1,
+        bdrmap_error_rate=error_rate,
+        vps_per_as=3,
+        targets_per_as=18,
+    )
+    result = runner.run_as(AS_ID)
+    return (
+        len(result.analysis.sr_addresses),
+        result.analysis.total_distinct_segments(),
+    )
+
+
+def test_bench_ablation_bdrmapit(benchmark):
+    perfect = benchmark.pedantic(
+        lambda: _detected(0.0), rounds=1, iterations=1
+    )
+    mild = _detected(0.1)
+    severe = _detected(0.5)
+
+    emit(
+        format_table(
+            ["bdrmapIT error rate", "SR interfaces", "distinct segments"],
+            [
+                ("0.0 (perfect)", *perfect),
+                ("0.1", *mild),
+                ("0.5", *severe),
+            ],
+            title="Ablation -- ownership annotation errors (AS#28)",
+        )
+    )
+
+    # Shape: errors only remove hops from the AS view; coverage decays
+    # monotonically and the perfect annotator detects the most.
+    assert perfect[0] >= mild[0] >= severe[0]
+    assert perfect[1] >= severe[1]
+    assert perfect[0] > 0

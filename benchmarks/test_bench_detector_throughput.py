@@ -1,0 +1,44 @@
+"""Performance -- AReST post-processing throughput.
+
+"AReST is lightweight as it relies only on traceroute-like data" (Sec.
+9).  The paper post-processed 7.7M traceroutes; this benchmark measures
+the detector's single-core throughput on realistic traces so a reader
+can estimate wall-clock for campaigns of any size.
+"""
+
+from repro.core.detector import ArestDetector
+from repro.probing.tnt import TntProber
+
+from benchmarks.conftest import emit
+
+
+def _trace_corpus(portfolio_results, copies: int = 3):
+    traces = []
+    for result in portfolio_results.values():
+        traces.extend(result.dataset.traces)
+    return traces * copies
+
+
+def test_bench_detector_throughput(benchmark, portfolio_results):
+    corpus = _trace_corpus(portfolio_results)
+
+    detector = ArestDetector()
+
+    def detect_all() -> int:
+        segments = 0
+        for trace in corpus:
+            segments += len(detector.detect(trace, {}))
+        return segments
+
+    segments = benchmark(detect_all)
+    per_trace_us = benchmark.stats["mean"] / len(corpus) * 1e6
+    emit(
+        f"post-processed {len(corpus):,} traces -> {segments:,} segment "
+        f"occurrences; {per_trace_us:.1f} us/trace "
+        f"(~{1e6 / per_trace_us * 3600 / 1e6:.0f}M traces/hour/core)"
+    )
+
+    assert segments > 0
+    # "lightweight": the paper's 7.7M-trace campaign must post-process
+    # in minutes on one core, i.e. well under 1 ms per trace.
+    assert benchmark.stats["mean"] / len(corpus) < 1e-3

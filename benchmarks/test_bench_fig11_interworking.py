@@ -1,0 +1,64 @@
+"""Fig. 11 -- interworking mode proportions.
+
+The paper: ~90% of SR tunnels are full-SR; among the hybrid ones
+SR->LDP dominates at 95%, LDP->SR ~2%, LDP-SR-LDP ~2%, SR-LDP-SR ~1%.
+"""
+
+from collections import Counter
+
+from repro.core.interworking import InterworkingMode
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+_HYBRID = (
+    InterworkingMode.SR_TO_LDP,
+    InterworkingMode.LDP_TO_SR,
+    InterworkingMode.LDP_SR_LDP,
+    InterworkingMode.SR_LDP_SR,
+    InterworkingMode.OTHER,
+)
+
+
+def test_bench_fig11_interworking(benchmark, portfolio_results):
+    def aggregate() -> Counter:
+        totals: Counter = Counter()
+        for result in portfolio_results.values():
+            totals.update(result.analysis.interworking_modes)
+        return totals
+
+    totals = benchmark(aggregate)
+    sr_tunnels = sum(
+        c
+        for mode, c in totals.items()
+        if mode is not InterworkingMode.FULL_LDP
+    )
+    hybrid = sum(totals[m] for m in _HYBRID)
+    rows = [
+        (str(mode), totals[mode], f"{totals[mode] / hybrid:.1%}")
+        for mode in _HYBRID
+        if hybrid
+    ]
+    emit(
+        format_table(
+            ["Mode", "Tunnels", "Share of interworking"],
+            rows,
+            title="Fig. 11 -- interworking modes",
+        )
+    )
+    emit(
+        f"full-SR share of SR tunnels: "
+        f"{(sr_tunnels - hybrid) / sr_tunnels:.1%} (paper: 90%)"
+    )
+
+    # Shape: full-SR dominates; SR->LDP is by far the leading hybrid
+    # mode; every other mode is a small minority.
+    assert hybrid > 0
+    assert (sr_tunnels - hybrid) / sr_tunnels >= 0.7
+    assert totals[InterworkingMode.SR_TO_LDP] / hybrid >= 0.7
+    for mode in (
+        InterworkingMode.LDP_TO_SR,
+        InterworkingMode.LDP_SR_LDP,
+        InterworkingMode.SR_LDP_SR,
+    ):
+        assert totals[mode] / hybrid <= 0.2, mode

@@ -1,0 +1,56 @@
+"""Fig. 12 -- LDP vs. SR cloud sizes inside interworking tunnels.
+
+The paper: "LDP clouds tend to be smaller, whereas SR clouds are
+typically larger ... smaller LDP islands are being interconnected by
+larger Segment Routing clouds."
+"""
+
+import statistics
+
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig12_cloud_sizes(benchmark, portfolio_results):
+    def collect():
+        sr, ldp = [], []
+        for result in portfolio_results.values():
+            sr.extend(result.analysis.sr_cloud_sizes)
+            ldp.extend(result.analysis.ldp_cloud_sizes)
+        return sr, ldp
+
+    sr_sizes, ldp_sizes = benchmark(collect)
+    assert sr_sizes and ldp_sizes
+
+    def distribution(sizes):
+        counts = {}
+        for size in sizes:
+            counts[size] = counts.get(size, 0) + 1
+        total = len(sizes)
+        return {size: counts[size] / total for size in sorted(counts)}
+
+    sr_dist = distribution(sr_sizes)
+    ldp_dist = distribution(ldp_sizes)
+    all_sizes = sorted(set(sr_dist) | set(ldp_dist))
+    emit(
+        format_table(
+            ["Cloud size", "SR share", "LDP share"],
+            [
+                (
+                    size,
+                    f"{sr_dist.get(size, 0.0):.2f}",
+                    f"{ldp_dist.get(size, 0.0):.2f}",
+                )
+                for size in all_sizes
+            ],
+            title="Fig. 12 -- cloud size distributions",
+        )
+    )
+    sr_mean = statistics.mean(sr_sizes)
+    ldp_mean = statistics.mean(ldp_sizes)
+    emit(f"mean cloud size: SR={sr_mean:.2f}  LDP={ldp_mean:.2f}")
+
+    # Shape: SR clouds larger than LDP clouds, in mean and median.
+    assert sr_mean > ldp_mean
+    assert statistics.median(sr_sizes) >= statistics.median(ldp_sizes)

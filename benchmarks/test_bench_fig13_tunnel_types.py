@@ -1,0 +1,73 @@
+"""Fig. 13 -- tunnel-type distribution and explicit-tunnel path shares.
+
+The paper (Appendix C): explicit tunnels exceed the other categories
+overall, while stub ASes are almost entirely invisible/implicit --
+which is why AReST finds nothing there.
+"""
+
+from collections import Counter
+
+from repro.analysis.tunnel_stats import (
+    explicit_share_by_role,
+    tunnel_type_rows,
+)
+from repro.probing.tunnels import TunnelType
+from repro.topogen.as_types import AsRole
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig13_tunnel_types(benchmark, portfolio_results):
+    rows = benchmark(lambda: tunnel_type_rows(portfolio_results))
+
+    table = []
+    for row in rows:
+        if row.total() == 0:
+            continue
+        table.append(
+            (
+                f"AS#{row.as_id}",
+                str(row.role),
+                f"{row.share(TunnelType.EXPLICIT):.2f}",
+                f"{row.share(TunnelType.IMPLICIT):.2f}",
+                f"{row.share(TunnelType.OPAQUE):.2f}",
+                f"{row.share(TunnelType.INVISIBLE):.2f}",
+                f"{row.share_paths_with_explicit:.2f}",
+            )
+        )
+    emit(
+        format_table(
+            ["AS", "Role", "expl", "impl", "opaq", "invis", "paths-expl"],
+            table,
+            title="Fig. 13 -- tunnel types per AS",
+        )
+    )
+
+    totals: Counter = Counter()
+    for row in rows:
+        for tunnel_type, count in row.counts:
+            totals[tunnel_type] += count
+
+    # Shape 1: explicit tunnels dominate overall (paper: ~76%).
+    total_tunnels = sum(totals.values())
+    explicit_share = totals[TunnelType.EXPLICIT] / total_tunnels
+    emit(f"overall explicit share: {explicit_share:.1%} (paper: ~76%)")
+    assert explicit_share >= 0.5
+    assert totals[TunnelType.EXPLICIT] == max(totals.values())
+
+    # Shape 2: stubs show far fewer explicit tunnels than transits.
+    stub_share = explicit_share_by_role(rows, AsRole.STUB)
+    transit_share = explicit_share_by_role(rows, AsRole.TRANSIT)
+    emit(
+        f"explicit share: stubs={stub_share:.1%} "
+        f"transits={transit_share:.1%}"
+    )
+    assert transit_share > stub_share
+
+    # Shape 3: the no-explicit narrative ASes (#2, #3, #16, #44)
+    # show (almost) no explicit-tunnel paths.
+    by_id = {r.as_id: r for r in rows}
+    for as_id in (2, 3, 16, 44):
+        if as_id in by_id:
+            assert by_id[as_id].share_paths_with_explicit <= 0.25, as_id

@@ -1,0 +1,41 @@
+"""Fig. 16 -- MPLS label-range occurrences across ASes.
+
+The paper: observed 20-bit labels skew heavily toward low values (tens
+of thousands or less, very few above 100,000), which inherently boosts
+the chance a label lands inside a known SR range.
+"""
+
+from repro.analysis.labels import (
+    LABEL_BUCKETS,
+    label_bucket_rows,
+    low_label_share,
+    share_in_sr_ranges,
+)
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig16_label_ranges(benchmark, portfolio_results):
+    rows = benchmark(lambda: label_bucket_rows(portfolio_results))
+    bucket_names = [f"{lo // 1000}k-{hi // 1000}k" for lo, hi in LABEL_BUCKETS]
+    table = [
+        (f"AS#{r.as_id}", *(r.bucket_counts))
+        for r in rows
+        if r.total > 0
+    ]
+    emit(
+        format_table(
+            ["AS", *bucket_names],
+            table,
+            title="Fig. 16 -- label occurrences per range bucket",
+        )
+    )
+    low = low_label_share(rows, cutoff=100_000)
+    sr = share_in_sr_ranges(rows)
+    emit(f"labels below 100k: {low:.1%}; inside Table 1 SR ranges: {sr:.1%}")
+
+    # Shape: strong skew to the low label space; a large share sits in
+    # the vendor SR ranges.
+    assert low >= 0.5
+    assert sr > 0.2

@@ -1,0 +1,51 @@
+"""Fig. 7 -- MPLS stack-size evolution, Dec 2015 to Mar 2025.
+
+Regenerates the two panels (CAIDA Ark, RIPE Atlas): per-quarter shares
+of traces whose LSE stacks reach size >= 2.
+"""
+
+from repro.analysis.stack_archive import (
+    generate_archive,
+    series_ge_depth,
+)
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig7_stack_evolution(benchmark):
+    archive = benchmark.pedantic(
+        lambda: generate_archive(traces_per_sample=2_000, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    caida = dict(series_ge_depth(archive, "caida", 2))
+    atlas = dict(series_ge_depth(archive, "atlas", 2))
+    for date in sorted(caida):
+        year = int(date)
+        month = round((date - year) * 12) + 1
+        rows.append(
+            (
+                f"{year}-{month:02d}",
+                f"{caida[date]:.3f}",
+                f"{atlas.get(date, 0.0):.3f}",
+            )
+        )
+    emit(
+        format_table(
+            ["Sample", "CAIDA >=2", "Atlas >=2"],
+            rows[::4],  # one row per year for readability
+            title="Fig. 7 -- share of MPLS traces with stack size >= 2",
+        )
+    )
+
+    caida_series = series_ge_depth(archive, "caida", 2)
+    atlas_series = series_ge_depth(archive, "atlas", 2)
+    # Shape: both grow; 2025 end-points near 20% (CAIDA) and 10% (Atlas);
+    # CAIDA consistently above Atlas at the end of the window.
+    assert caida_series[-1][1] > caida_series[0][1]
+    assert atlas_series[-1][1] > atlas_series[0][1]
+    assert 0.15 <= caida_series[-1][1] <= 0.25
+    assert 0.05 <= atlas_series[-1][1] <= 0.15
+    assert caida_series[-1][1] > atlas_series[-1][1]

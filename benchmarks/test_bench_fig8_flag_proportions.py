@@ -1,0 +1,78 @@
+"""Fig. 8 -- proportion of SR segments per AReST detection flag, per AS.
+
+Regenerates the per-AS flag mix over the full 41-AS campaign and checks
+the paper's qualitative claims: LSO most frequent overall, CO the top
+strong flag, CVR/LSVR/LVR concentrated in fingerprint-rich ASes, and
+detections concentrated in Content/Transit/Tier-1 networks.
+"""
+
+from collections import Counter
+
+from repro.analysis.report import render_flag_proportions
+from repro.core.flags import Flag
+from repro.topogen.as_types import AsRole
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig8_flag_proportions(benchmark, portfolio_results):
+    def aggregate():
+        totals = Counter()
+        for result in portfolio_results.values():
+            totals.update(result.analysis.flag_counts())
+        return totals
+
+    totals = benchmark(aggregate)
+    emit(render_flag_proportions(portfolio_results))
+    emit(f"portfolio flag totals: "
+         + ", ".join(f"{f.name}={totals[f]}" for f in Flag))
+
+    # Shape 1: LSO is the most frequently observed flag, CO the top
+    # strong indicator (Sec. 6.2).
+    assert totals[Flag.LSO] >= totals[Flag.CVR]
+    assert totals[Flag.CO] > 0 and totals[Flag.CVR] > 0
+    assert totals[Flag.LVR] > 0
+
+    # Shape 2: detections live in Content/Transit/Tier-1, not stubs.
+    stub_detections = sum(
+        r.analysis.total_distinct_segments()
+        for r in portfolio_results.values()
+        if r.spec.role is AsRole.STUB
+        and r.analysis.has_sr_evidence(strong_only=True)
+    )
+    big_detections = sum(
+        r.analysis.total_distinct_segments()
+        for r in portfolio_results.values()
+        if r.spec.role is not AsRole.STUB
+    )
+    assert big_detections > stub_detections * 10
+
+    # Shape 3: the fingerprint-rich ASes (#31, #38, #40, #55) carry the
+    # bulk of the vendor-range flags (Sec. 6.2).
+    rich = {31, 38, 40, 55}
+    rich_range_flags = sum(
+        portfolio_results[i].analysis.flag_counts()[f]
+        for i in rich
+        for f in (Flag.CVR, Flag.LSVR, Flag.LVR)
+    )
+    assert rich_range_flags > 0
+    per_as_range_flags = {
+        as_id: sum(
+            r.analysis.flag_counts()[f]
+            for f in (Flag.CVR, Flag.LSVR, Flag.LVR)
+        )
+        for as_id, r in portfolio_results.items()
+    }
+    top_contributors = sorted(
+        per_as_range_flags, key=per_as_range_flags.get, reverse=True
+    )[:8]
+    assert rich & set(top_contributors)
+
+    # Shape 4: suffix-based matches are rare (paper: 0.01%).
+    suffix = sum(
+        r.analysis.suffix_matched_runs for r in portfolio_results.values()
+    )
+    runs = sum(
+        r.analysis.consecutive_runs for r in portfolio_results.values()
+    )
+    assert suffix / max(runs, 1) < 0.05

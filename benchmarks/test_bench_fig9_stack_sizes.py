@@ -1,0 +1,60 @@
+"""Fig. 9 -- LSE stack sizes: strong-SR contexts vs. MPLS/LSO contexts.
+
+The paper: stacks of size >= 2 appear roughly 20% more often in SR
+contexts, with ESnet/Execulink showing deep unshrinking stacks in both.
+"""
+
+from repro.analysis.stack_stats import (
+    aggregate_share_at_least,
+    stack_size_rows,
+)
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig9_stack_sizes(benchmark, portfolio_results):
+    rows = benchmark(lambda: stack_size_rows(portfolio_results))
+
+    table = []
+    for row in rows:
+        if row.total() == 0:
+            continue
+        table.append(
+            (
+                f"AS#{row.as_id}",
+                row.name,
+                row.context,
+                row.total(),
+                f"{row.share_at_least(2):.2f}",
+            )
+        )
+    emit(
+        format_table(
+            ["AS", "Name", "Context", "Hops", "share >= 2"],
+            table,
+            title="Fig. 9 -- stack-size distribution per context",
+        )
+    )
+
+    sr_share = aggregate_share_at_least(rows, "strong-sr", 2)
+    other_share = aggregate_share_at_least(rows, "mpls-lso", 2)
+    emit(
+        f"aggregate share of stacks >= 2: strong-SR={sr_share:.3f} "
+        f"vs MPLS/LSO={other_share:.3f}"
+    )
+
+    # Shape: "a notably higher tendency for stack sizes >= 2 in SR
+    # contexts, with such stacks appearing approximately 20% more
+    # frequently on average" (Sec. 6.2).
+    assert sr_share > other_share
+    assert sr_share / other_share >= 1.1
+    esnet = next(
+        r for r in rows if r.as_id == 46 and r.context == "strong-sr"
+    )
+    execulink = next(
+        r for r in rows if r.as_id == 52 and r.context == "strong-sr"
+    )
+    # the two unshrinking-stack ASes stand out (Sec. 6.2)
+    assert esnet.share_at_least(2) > sr_share
+    assert execulink.share_at_least(2) > sr_share

@@ -1,0 +1,63 @@
+"""Table 1 -- default vendor SRGB/SRLB label ranges.
+
+Regenerates the table from the vendor profiles and benchmarks the hot
+path built on it: label-to-range matching, which AReST performs for
+every labeled hop of the campaign.
+"""
+
+from repro.core.vendor_ranges import TABLE1_RANGES, label_in_vendor_range
+from repro.fingerprint.records import Fingerprint
+from repro.netsim.vendors import Vendor
+from repro.util.tables import format_table
+
+from benchmarks.conftest import emit
+
+#: Table 1 of the paper, verbatim, as (range string, usage) rows.
+_EXPECTED_ROWS = {
+    ("16,000-23,999", "Cisco default SRGB"),
+    ("15,000-15,999", "Cisco default SRLB"),
+    ("16,000-47,999", "Huawei default SRGB"),
+    ("48,000-63,999", "Huawei base SRLB"),
+    ("900,000-965,535", "Arista default SRGB"),
+    ("100,000-116,383", "Arista default SRLB"),
+}
+
+
+def _rows():
+    rows = []
+    for vendor, entries in TABLE1_RANGES.items():
+        for label_range, kind in entries:
+            rows.append(
+                (
+                    f"{label_range.low:,}-{label_range.high:,}",
+                    f"{vendor.value} default {kind.upper()}"
+                    if not (vendor is Vendor.HUAWEI and kind == "srlb")
+                    else f"{vendor.value} base {kind.upper()}",
+                )
+            )
+    return rows
+
+
+def test_bench_table1(benchmark):
+    rows = _rows()
+    emit(
+        format_table(
+            ["Label Range", "Usage"],
+            rows,
+            title="Table 1 -- vendor SR label ranges",
+        )
+    )
+    assert set(rows) == _EXPECTED_ROWS
+
+    # Hot path: range matching across the whole 20-bit label space.
+    cisco = Fingerprint.from_snmp(Vendor.CISCO)
+    labels = list(range(0, 2**20, 257))
+
+    def match_all() -> int:
+        return sum(
+            1 for label in labels if label_in_vendor_range(label, cisco)
+        )
+
+    hits = benchmark(match_all)
+    # exactly the SRGB+SRLB fraction of the sampled space
+    assert 0.005 < hits / len(labels) < 0.02

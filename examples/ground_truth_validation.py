@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Ground-truth validation on the ESnet-like AS (the paper's Table 3).
+
+Runs the full measurement campaign against AS#46 -- the survey-confirmed
+operator who manually reviewed every AReST inference -- and scores the
+detections against the simulator's ground truth, printing the Table 3
+rows (per-flag counts, TP/FP rates) and interface-level precision.
+
+Run:  python examples/ground_truth_validation.py
+"""
+
+from repro.analysis.report import render_validation
+from repro.analysis.validation import validate_against_truth
+from repro.campaign import CampaignRunner
+
+
+def main() -> None:
+    runner = CampaignRunner(seed=1)
+    print("running the AS#46 (ESnet) campaign ...")
+    result = runner.run_as(46)
+
+    analysis = result.analysis
+    print(
+        f"\n{analysis.traces_total} traces collected from "
+        f"{len(result.dataset.vantage_points())} vantage points; "
+        f"{analysis.traces_in_as} crossed the AS"
+    )
+    print(
+        f"explicit tunnel share: {analysis.explicit_tunnel_share():.0%} "
+        "(ESnet propagates TTLs and quotes LSEs everywhere)"
+    )
+
+    report = validate_against_truth(result)
+    print()
+    print(render_validation(report))
+    print(
+        f"\ninterface-level: precision={report.interface_precision:.3f} "
+        f"recall={report.interface_recall:.3f} "
+        f"(TP={report.interface_tp} FP={report.interface_fp} "
+        f"FN={report.interface_fn})"
+    )
+    print(
+        "\nAs in the paper: CO segments dominate (no ESnet box answers "
+        "fingerprinting, so CVR can never fire), and every flagged "
+        "segment is genuine SR-MPLS -- zero false positives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""SR policies and binding SIDs: mid-path stack growth (paper Sec. 6.2).
+
+The paper observes that "SR policies allow one hop on a path to
+dynamically replace certain SIDs with new, potentially deeper, stacks".
+This example builds a chain whose ingress steers every tunnel into an
+SR policy at a mid-path head-end, then shows:
+
+1. the traceroute view -- the binding SID rides to the head-end, where
+   the quoted stack suddenly changes;
+2. what AReST makes of it -- the BSID hop is LSO/LVR territory while
+   the surrounding node-SID runs stay CO, the exact mixed picture the
+   paper reports for Google and Amazon.
+
+Run:  python examples/sr_policy_splice.py
+"""
+
+from repro.core.detector import ArestDetector
+from repro.netsim.forwarding import ForwardingEngine
+from repro.netsim.igp import ShortestPaths
+from repro.netsim.ldp import LdpState
+from repro.netsim.sr import SegmentRoutingDomain
+from repro.netsim.topology import Network, RouterRole
+from repro.netsim.tunnels import TunnelController, TunnelPolicy
+from repro.netsim.vendors import Vendor
+from repro.probing.tnt import TntProber
+
+ASN = 65_001
+
+
+def build() -> tuple[Network, int, object, ForwardingEngine, TunnelController]:
+    net = Network()
+    vp = net.add_router("vp", asn=64_900, role=RouterRole.VANTAGE)
+    routers, prev = [], vp
+    for i in range(8):
+        router = net.add_router(f"r{i}", asn=ASN, vendor=Vendor.CISCO)
+        net.add_link(prev, router)
+        routers.append(router)
+        prev = router
+    prefix = net.announce_prefix(routers[-1], 24)
+    igp = ShortestPaths(net)
+    sr = SegmentRoutingDomain(net, asn=ASN, seed=1)
+    for router in routers:
+        sr.enroll(router)
+    controller = TunnelController(net, igp, LdpState(net, seed=1), {ASN: sr})
+    controller.set_policy(TunnelPolicy(asn=ASN, sr_policy_share=1.0))
+    engine = ForwardingEngine(net, igp, controller)
+    return net, vp.router_id, prefix.address_at(5), engine, controller
+
+
+def main() -> None:
+    net, vp, target, engine, controller = build()
+
+    program = controller.program_for(
+        net.routers_in_as(ASN)[0].router_id,
+        net.owner_of(target),
+    )
+    assert program is not None
+    print(
+        f"ingress program: labels={program.labels} "
+        "(node SID of the head-end + the policy's binding SID)\n"
+    )
+
+    trace = TntProber(engine, seed=1).trace(vp, target, vp_name="policy-vp")
+    print(trace)
+
+    registry = controller.policy_registry(ASN)
+    bsid = program.labels[1]
+    policy = next(
+        p
+        for rid in [r.router_id for r in net.routers_in_as(ASN)]
+        for p in registry.policies_at(rid)
+        if p.binding_sid == bsid
+    )
+    print(
+        f"\nat the head-end (router #{policy.head_end}) the BSID "
+        f"{policy.binding_sid} is popped and the policy's segment list "
+        f"{policy.segment_labels} is spliced in -- the stack changed "
+        "mid-path."
+    )
+
+    print("\nAReST's view of the same trace:")
+    for segment in ArestDetector().detect(trace, {}):
+        print(
+            f"  {segment.flag.name:<4} labels={segment.top_labels} "
+            f"depths={segment.stack_depths}"
+        )
+    print(
+        "\nThe node-SID stretches raise CO; the binding-SID hop raises a "
+        "stack flag at best -- the LSO-alongside-strong-evidence pattern "
+        "the paper reads as advanced SR (Sec. 6.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

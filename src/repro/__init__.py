@@ -1,0 +1,25 @@
+"""AReST -- Advanced Revelation of Segment Routing Tunnels.
+
+A full reproduction of "Autonomous Systems under AReST" (IMC 2025):
+the AReST SR-MPLS detection methodology (:mod:`repro.core`) together
+with every substrate the paper's measurement campaign relied on, built
+as a deterministic simulator -- MPLS/SR/LDP control and data planes
+(:mod:`repro.netsim`), TNT-style traceroute (:mod:`repro.probing`),
+router fingerprinting (:mod:`repro.fingerprint`), Internet topology
+generation (:mod:`repro.topogen`), campaign orchestration
+(:mod:`repro.campaign`) and the paper's analyses (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.campaign import CampaignRunner
+    from repro.topogen import default_portfolio
+
+    runner = CampaignRunner(portfolio=default_portfolio(), seed=1)
+    result = runner.run_as(46)         # ESnet-like ground-truth AS
+    print(result.analysis.flag_counts())
+"""
+
+from repro.core import ArestDetector, ArestPipeline, Flag
+from repro.version import __version__
+
+__all__ = ["ArestDetector", "ArestPipeline", "Flag", "__version__"]

@@ -1,0 +1,32 @@
+"""Paper analyses: one module per table/figure family.
+
+- :mod:`repro.analysis.survey` -- the operator survey (Table 2, Fig. 5).
+- :mod:`repro.analysis.stack_archive` -- longitudinal stack-size
+  evolution over CAIDA/RIPE-style archives (Fig. 7).
+- :mod:`repro.analysis.stack_stats` -- stack sizes in SR vs. classic
+  contexts (Fig. 9).
+- :mod:`repro.analysis.deployment` -- SR/MPLS/IP areas per AS (Fig. 10).
+- :mod:`repro.analysis.validation` -- ground-truth scoring (Table 3) and
+  the Sec. 6.2 headline detection metrics.
+- :mod:`repro.analysis.fingerprint_stats` -- fingerprint method shares
+  and vendor heatmap (Figs. 14, 15).
+- :mod:`repro.analysis.labels` -- label-space occupancy (Fig. 16).
+- :mod:`repro.analysis.vp_coverage` -- per-VP discovery CDF (Fig. 17).
+- :mod:`repro.analysis.tunnel_stats` -- tunnel-type mix (Fig. 13).
+"""
+
+from repro.analysis.survey import SurveyAnswers, generate_survey, summarize_survey
+from repro.analysis.validation import (
+    FlagValidation,
+    headline_detection,
+    validate_against_truth,
+)
+
+__all__ = [
+    "SurveyAnswers",
+    "generate_survey",
+    "summarize_survey",
+    "FlagValidation",
+    "headline_detection",
+    "validate_against_truth",
+]

@@ -1,0 +1,105 @@
+"""Fingerprinting statistics (Figs. 14 and 15, Appendix C).
+
+Fig. 14: among identified interfaces, the split between TTL-based and
+SNMPv3-based fingerprints (the paper: 88% TTL / 12% SNMPv3, with ~45%
+of all observed hops identified at all).
+
+Fig. 15: the per-AS vendor heatmap from SNMPv3 hits (Cisco most common,
+then Juniper, Huawei, some Nokia/Linux; Arista structurally absent).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.campaign.runner import AsCampaignResult
+from repro.fingerprint.records import FingerprintMethod
+from repro.netsim.vendors import Vendor
+
+
+@dataclass(frozen=True, slots=True)
+class FingerprintShareRow:
+    """One AS's Fig. 14 bar."""
+
+    as_id: int
+    name: str
+    total_interfaces: int
+    identified: int
+    via_ttl: int
+    via_snmp: int
+
+    @property
+    def identified_share(self) -> float:
+        """Identified interfaces over all observed ones."""
+        return self.identified / self.total_interfaces if self.total_interfaces else 0.0
+
+    @property
+    def ttl_share_of_identified(self) -> float:
+        """TTL-method share among identified interfaces."""
+        return self.via_ttl / self.identified if self.identified else 0.0
+
+
+def fingerprint_share_rows(
+    results: Mapping[int, AsCampaignResult]
+) -> list[FingerprintShareRow]:
+    """One Fig. 14 row per AS, ordered by id."""
+    rows = []
+    for as_id in sorted(results):
+        result = results[as_id]
+        counts = result.fingerprint_method_counts()
+        ttl = counts.get(FingerprintMethod.TTL, 0)
+        snmp = counts.get(FingerprintMethod.SNMP, 0)
+        rows.append(
+            FingerprintShareRow(
+                as_id=as_id,
+                name=result.spec.name,
+                total_interfaces=len(result.fingerprints),
+                identified=ttl + snmp,
+                via_ttl=ttl,
+                via_snmp=snmp,
+            )
+        )
+    return rows
+
+
+def overall_method_split(
+    rows: list[FingerprintShareRow],
+) -> tuple[float, float]:
+    """(ttl share, snmp share) among all identified interfaces."""
+    ttl = sum(r.via_ttl for r in rows)
+    snmp = sum(r.via_snmp for r in rows)
+    total = ttl + snmp
+    if total == 0:
+        return (0.0, 0.0)
+    return (ttl / total, snmp / total)
+
+
+def vendor_heatmap(
+    results: Mapping[int, AsCampaignResult]
+) -> dict[int, Counter]:
+    """Fig. 15: per-AS counter of SNMPv3-identified vendors."""
+    heatmap: dict[int, Counter] = {}
+    for as_id in sorted(results):
+        result = results[as_id]
+        counter: Counter = Counter()
+        for fp in result.fingerprints.values():
+            if fp.method is FingerprintMethod.SNMP:
+                assert fp.exact_vendor is not None
+                counter[fp.exact_vendor] += 1
+        heatmap[as_id] = counter
+    return heatmap
+
+
+def vendor_totals(heatmap: dict[int, Counter]) -> Counter:
+    """Vendor counts summed over every AS."""
+    totals: Counter = Counter()
+    for counter in heatmap.values():
+        totals.update(counter)
+    return totals
+
+
+def arista_absent(heatmap: dict[int, Counter]) -> bool:
+    """Appendix C: the SNMPv3 dataset cannot identify Arista devices."""
+    return all(Vendor.ARISTA not in c for c in heatmap.values())

@@ -1,0 +1,111 @@
+"""MPLS label-space occupancy (Fig. 16, Appendix C).
+
+Buckets every 20-bit label observed across the campaign and shows the
+skew toward low values: most labels sit in the tens of thousands or
+below, very few above 100,000.  Since the vendor SR blocks also live in
+the low label space, the skew inherently boosts the chance that an
+observed label falls inside a known SR range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.campaign.runner import AsCampaignResult
+from repro.core.vendor_ranges import known_sr_ranges
+
+#: Fig. 16's x-axis buckets (inclusive bounds)
+LABEL_BUCKETS: tuple[tuple[int, int], ...] = (
+    (0, 999),
+    (1_000, 9_999),
+    (10_000, 15_999),
+    (16_000, 23_999),  # the Cisco/Huawei SRGB region
+    (24_000, 47_999),
+    (48_000, 99_999),
+    (100_000, 299_999),
+    (300_000, 999_999),
+    (1_000_000, 2**20 - 1),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LabelBucketRow:
+    """One AS's Fig. 16 heatmap column."""
+
+    as_id: int
+    name: str
+    bucket_counts: tuple[int, ...]  # parallel to LABEL_BUCKETS
+
+    @property
+    def total(self) -> int:
+        """All label observations in this AS."""
+        return sum(self.bucket_counts)
+
+
+def bucket_of(label: int) -> int:
+    """Index of the bucket containing ``label``."""
+    for i, (low, high) in enumerate(LABEL_BUCKETS):
+        if low <= label <= high:
+            return i
+    raise ValueError(f"label out of 20-bit space: {label}")
+
+
+def observed_labels(result: AsCampaignResult) -> Iterable[int]:
+    """Every label value quoted in the AS's traces (with multiplicity)."""
+    for trace in result.dataset:
+        for hop in trace.hops:
+            if hop.lses and hop.truth_asn == result.spec.asn:
+                for lse in hop.lses:
+                    yield lse.label
+
+
+def label_bucket_rows(
+    results: Mapping[int, AsCampaignResult]
+) -> list[LabelBucketRow]:
+    """One Fig. 16 row per AS, ordered by id."""
+    rows = []
+    for as_id in sorted(results):
+        result = results[as_id]
+        counts = [0] * len(LABEL_BUCKETS)
+        for label in observed_labels(result):
+            counts[bucket_of(label)] += 1
+        rows.append(
+            LabelBucketRow(
+                as_id=as_id,
+                name=result.spec.name,
+                bucket_counts=tuple(counts),
+            )
+        )
+    return rows
+
+
+def low_label_share(rows: list[LabelBucketRow], cutoff: int = 100_000) -> float:
+    """Share of observed labels below ``cutoff`` (the Fig. 16 skew)."""
+    low = total = 0
+    for row in rows:
+        for (bucket_low, bucket_high), count in zip(
+            LABEL_BUCKETS, row.bucket_counts
+        ):
+            total += count
+            if bucket_high < cutoff:
+                low += count
+    return low / total if total else 0.0
+
+
+def share_in_sr_ranges(rows: list[LabelBucketRow]) -> float:
+    """Approximate share of observed labels inside Table 1 SR ranges,
+    using bucket resolution (buckets were chosen to align with the
+    Cisco/Huawei SRGB region)."""
+    ranges = known_sr_ranges()
+    hits = total = 0
+    for row in rows:
+        for (bucket_low, bucket_high), count in zip(
+            LABEL_BUCKETS, row.bucket_counts
+        ):
+            total += count
+            if any(
+                r.low <= bucket_low and bucket_high <= r.high for r in ranges
+            ):
+                hits += count
+    return hits / total if total else 0.0

@@ -1,0 +1,241 @@
+"""Full campaign report generation (markdown).
+
+Bundles every per-AS analysis into one self-describing document: the
+deliverable a measurement team would circulate after a campaign run,
+and the artifact ``arest report`` writes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from typing import Mapping
+
+from repro.analysis.deployment import deployment_rows
+from repro.analysis.fingerprint_stats import (
+    fingerprint_share_rows,
+    overall_method_split,
+    vendor_heatmap,
+    vendor_totals,
+)
+from repro.analysis.stack_stats import (
+    aggregate_share_at_least,
+    stack_size_rows,
+)
+from repro.analysis.tunnel_stats import tunnel_type_rows
+from repro.analysis.validation import (
+    headline_detection,
+    validate_against_truth,
+)
+from repro.campaign.runner import AsCampaignResult
+from repro.core.flags import Flag
+from repro.core.interworking import InterworkingMode
+from repro.probing.tunnels import TunnelType
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(
+    results: Mapping[int, AsCampaignResult],
+    title: str = "AReST campaign report",
+) -> str:
+    """One markdown document covering the whole campaign."""
+    if not results:
+        raise ValueError("no campaign results to report on")
+    sections = [f"# {title}", ""]
+    sections += _headline_section(results)
+    sections += _flags_section(results)
+    sections += _deployment_section(results)
+    sections += _interworking_section(results)
+    sections += _tunnels_section(results)
+    sections += _fingerprint_section(results)
+    sections += _validation_section(results)
+    return "\n".join(sections) + "\n"
+
+
+def _headline_section(results) -> list[str]:
+    headline = headline_detection(results)
+    traces = sum(r.analysis.traces_total for r in results.values())
+    addresses = sum(
+        len(r.dataset.distinct_addresses()) for r in results.values()
+    )
+    return [
+        "## Headline",
+        "",
+        f"- {len(results)} ASes analyzed, {traces:,} traces, "
+        f"{addresses:,} distinct addresses",
+        f"- SR-MPLS detected in {headline.confirmed_detected}/"
+        f"{headline.confirmed_total} confirmed ASes "
+        f"({headline.confirmed_rate:.0%})",
+        f"- evidence in {headline.unconfirmed_detected}/"
+        f"{headline.unconfirmed_total} unconfirmed ASes "
+        f"({headline.unconfirmed_rate:.0%}), "
+        f"{headline.unconfirmed_lso_dominated} of them LSO-dominated",
+        "",
+    ]
+
+
+def _flags_section(results) -> list[str]:
+    rows = []
+    for as_id in sorted(results):
+        result = results[as_id]
+        counts = result.analysis.flag_counts()
+        rows.append(
+            [
+                result.spec.label,
+                result.spec.name,
+                str(result.spec.confirmation),
+                *(counts[f] for f in Flag),
+            ]
+        )
+    return [
+        "## Detection flags per AS (Fig. 8)",
+        "",
+        _md_table(
+            ["AS", "Name", "Confirmed", *(f.name for f in Flag)], rows
+        ),
+        "",
+    ]
+
+
+def _deployment_section(results) -> list[str]:
+    rows = [
+        [
+            f"AS#{r.as_id}",
+            r.name,
+            f"{r.share_hitting_sr:.2f}",
+            f"{r.share_hitting_mpls:.2f}",
+            r.sr_interfaces,
+            r.mpls_interfaces,
+            r.ip_interfaces,
+        ]
+        for r in deployment_rows(results)
+    ]
+    return [
+        "## Deployment view (Fig. 10)",
+        "",
+        _md_table(
+            ["AS", "Name", "hit-SR", "hit-MPLS", "SR if.", "MPLS if.",
+             "IP if."],
+            rows,
+        ),
+        "",
+    ]
+
+
+def _interworking_section(results) -> list[str]:
+    modes: Counter = Counter()
+    sr_sizes: list[int] = []
+    ldp_sizes: list[int] = []
+    for result in results.values():
+        modes.update(result.analysis.interworking_modes)
+        sr_sizes.extend(result.analysis.sr_cloud_sizes)
+        ldp_sizes.extend(result.analysis.ldp_cloud_sizes)
+    hybrid = sum(
+        c
+        for m, c in modes.items()
+        if m not in (InterworkingMode.FULL_SR, InterworkingMode.FULL_LDP)
+    )
+    lines = [
+        "## Interworking (Figs. 11-12)",
+        "",
+        f"- full-SR tunnels: {modes[InterworkingMode.FULL_SR]}, "
+        f"hybrid: {hybrid}",
+    ]
+    if hybrid:
+        for mode in (
+            InterworkingMode.SR_TO_LDP,
+            InterworkingMode.LDP_TO_SR,
+            InterworkingMode.LDP_SR_LDP,
+            InterworkingMode.SR_LDP_SR,
+            InterworkingMode.OTHER,
+        ):
+            if modes[mode]:
+                lines.append(
+                    f"- {mode}: {modes[mode]} "
+                    f"({modes[mode] / hybrid:.0%} of hybrids)"
+                )
+    if sr_sizes and ldp_sizes:
+        lines.append(
+            f"- cloud sizes: SR mean {statistics.mean(sr_sizes):.2f}, "
+            f"LDP mean {statistics.mean(ldp_sizes):.2f}"
+        )
+    lines.append("")
+    return lines
+
+
+def _tunnels_section(results) -> list[str]:
+    totals: Counter = Counter()
+    for row in tunnel_type_rows(results):
+        for tunnel_type, count in row.counts:
+            totals[tunnel_type] += count
+    total = sum(totals.values()) or 1
+    stack_rows = stack_size_rows(results)
+    return [
+        "## Tunnel taxonomy (Fig. 13) and stack sizes (Fig. 9)",
+        "",
+        *(
+            f"- {t.value}: {totals[t]} ({totals[t] / total:.0%})"
+            for t in TunnelType
+            if totals[t]
+        ),
+        f"- stacks >= 2: {aggregate_share_at_least(stack_rows, 'strong-sr', 2):.0%}"
+        f" in strong-SR contexts vs "
+        f"{aggregate_share_at_least(stack_rows, 'mpls-lso', 2):.0%} in "
+        "MPLS/LSO contexts",
+        "",
+    ]
+
+
+def _fingerprint_section(results) -> list[str]:
+    rows = fingerprint_share_rows(results)
+    ttl_share, snmp_share = overall_method_split(rows)
+    totals = vendor_totals(vendor_heatmap(results))
+    vendor_bits = ", ".join(
+        f"{vendor.value}: {count}" for vendor, count in totals.most_common()
+    )
+    return [
+        "## Fingerprinting (Figs. 14-15)",
+        "",
+        f"- method split among identified interfaces: TTL {ttl_share:.0%}, "
+        f"SNMPv3 {snmp_share:.0%}",
+        f"- SNMPv3 vendor totals: {vendor_bits or 'none'}",
+        "",
+    ]
+
+
+def _validation_section(results) -> list[str]:
+    rows = []
+    for as_id in sorted(results):
+        report = validate_against_truth(results[as_id])
+        total = report.total_segments()
+        if total == 0:
+            continue
+        fps = sum(v.false_positives for v in report.per_flag.values())
+        rows.append(
+            [
+                f"AS#{as_id}",
+                total,
+                fps,
+                f"{report.interface_precision:.2f}",
+                f"{report.interface_recall:.2f}",
+            ]
+        )
+    return [
+        "## Ground-truth validation (Table 3 generalized)",
+        "",
+        _md_table(
+            ["AS", "Distinct segments", "Seg. FPs", "If. precision",
+             "If. recall"],
+            rows,
+        ),
+        "",
+    ]

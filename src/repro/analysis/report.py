@@ -1,0 +1,98 @@
+"""Plain-text report rendering for campaign results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.deployment import deployment_rows
+from repro.analysis.validation import ValidationReport
+from repro.campaign.runner import AsCampaignResult
+from repro.core.flags import Flag
+from repro.util.tables import format_table
+
+
+def render_flag_proportions(
+    results: Mapping[int, AsCampaignResult]
+) -> str:
+    """Fig. 8 as a table: per-AS flag shares."""
+    rows = []
+    for as_id in sorted(results):
+        result = results[as_id]
+        proportions = result.analysis.flag_proportions()
+        rows.append(
+            [
+                result.spec.label,
+                result.spec.name,
+                str(result.spec.confirmation),
+                *(f"{proportions.get(f, 0.0):.2f}" for f in Flag),
+            ]
+        )
+    return format_table(
+        ["AS", "Name", "Confirmed", *(f.name for f in Flag)],
+        rows,
+        title="Fig. 8 -- proportion of SR segments per AReST flag",
+    )
+
+
+def render_validation(report: ValidationReport) -> str:
+    """Table 3-style rendering for one AS."""
+    rows = []
+    total = report.total_segments()
+    for flag in Flag:
+        v = report.per_flag[flag]
+        share = v.distinct_segments / total if total else 0.0
+        rows.append(
+            [
+                flag.name,
+                v.distinct_segments,
+                f"{share:.1%}",
+                f"{v.tp_rate:.0%}" if v.distinct_segments else "-",
+                f"{v.fp_rate:.0%}" if v.distinct_segments else "-",
+            ]
+        )
+    return format_table(
+        ["Flag", "Raw", "%", "TP", "FP"],
+        rows,
+        title=(
+            f"Table 3 -- AReST validation on AS#{report.as_id} "
+            f"({total} distinct segments)"
+        ),
+    )
+
+
+def render_deployment(results: Mapping[int, AsCampaignResult]) -> str:
+    """Fig. 10 as a table."""
+    rows = []
+    for row in deployment_rows(results):
+        rows.append(
+            [
+                f"AS#{row.as_id}",
+                row.name,
+                row.traces_in_as,
+                f"{row.share_hitting_sr:.2f}",
+                f"{row.share_hitting_mpls:.2f}",
+                f"{row.share_hitting_ip:.2f}",
+                row.sr_interfaces,
+                row.mpls_interfaces,
+                row.ip_interfaces,
+            ]
+        )
+    return format_table(
+        [
+            "AS",
+            "Name",
+            "Traces",
+            "hit-SR",
+            "hit-MPLS",
+            "hit-IP",
+            "SR-ifaces",
+            "MPLS-ifaces",
+            "IP-ifaces",
+        ],
+        rows,
+        title="Fig. 10 -- SR / MPLS / IP areas per AS",
+    )

@@ -1,0 +1,150 @@
+"""Longitudinal MPLS stack-size evolution (Fig. 7).
+
+The paper samples CAIDA Ark and RIPE Atlas traceroute archives four
+times a year from December 2015 to March 2025 and tracks the share of
+traces whose deepest observed LSE stack exceeds given sizes: by 2025,
+stacks of size > 2 appear in roughly 20% of CAIDA traces and 10% of
+Atlas ones, up from a few percent in 2015.
+
+Those archives are not shippable; this module generates a synthetic
+archive whose per-sample histograms follow the same drift, then offers
+the aggregation the paper plots.  The generator is the *substitution*
+documented in DESIGN.md: the aggregation code is the deliverable, the
+archive is stand-in data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.util.determinism import DeterministicRng
+
+#: archive sources the paper samples
+SOURCES = ("caida", "atlas")
+
+#: months sampled each year (March, June, September, December)
+SAMPLE_MONTHS = (3, 6, 9, 12)
+
+FIRST_YEAR = 2015
+LAST_YEAR = 2025
+
+#: end-state share of traces with stack size >= 2, per source
+_TARGET_GE2 = {"caida": 0.20, "atlas": 0.10}
+#: starting share in 2015
+_START_GE2 = {"caida": 0.05, "atlas": 0.02}
+
+MAX_DEPTH = 6
+
+
+@dataclass(frozen=True, slots=True)
+class ArchiveSample:
+    """One (source, date) sample: a histogram of per-trace max stack
+    sizes (0 = the trace exposed no LSE at all)."""
+
+    source: str
+    year: int
+    month: int
+    depth_counts: tuple[int, ...]  # index = depth, 0..MAX_DEPTH
+
+    @property
+    def num_traces(self) -> int:
+        """Traces in this sample."""
+        return sum(self.depth_counts)
+
+    def share_with_depth_at_least(self, depth: int) -> float:
+        """Share of MPLS traces with stacks >= ``depth``."""
+        total = sum(self.depth_counts[1:])  # among traces showing MPLS
+        if total == 0:
+            return 0.0
+        return sum(self.depth_counts[depth:]) / total
+
+    @property
+    def date_key(self) -> float:
+        """Fractional-year key for chronological sorting."""
+        return self.year + (self.month - 1) / 12.0
+
+
+def _progress(year: int, month: int) -> float:
+    """0.0 at Dec 2015, 1.0 at Mar 2025, linear in between."""
+    start = FIRST_YEAR + 11 / 12
+    end = LAST_YEAR + 2 / 12
+    t = year + (month - 1) / 12.0
+    return min(1.0, max(0.0, (t - start) / (end - start)))
+
+
+def expected_ge2_share(source: str, year: int, month: int) -> float:
+    """The drift model: linear ramp from the 2015 to the 2025 share."""
+    if source not in _TARGET_GE2:
+        raise ValueError(f"unknown archive source: {source}")
+    p = _progress(year, month)
+    return _START_GE2[source] + p * (_TARGET_GE2[source] - _START_GE2[source])
+
+
+def generate_archive(
+    traces_per_sample: int = 2_000, seed: int = 0
+) -> list[ArchiveSample]:
+    """Generate every (source, quarter) sample of the study window."""
+    samples = []
+    for source in SOURCES:
+        for year in range(FIRST_YEAR, LAST_YEAR + 1):
+            for month in SAMPLE_MONTHS:
+                if year == FIRST_YEAR and month != 12:
+                    continue  # the window starts in December 2015
+                if year == LAST_YEAR and month > 3:
+                    continue  # ...and ends in March 2025
+                samples.append(
+                    _generate_sample(
+                        source, year, month, traces_per_sample, seed
+                    )
+                )
+    return samples
+
+
+def _generate_sample(
+    source: str, year: int, month: int, n: int, seed: int
+) -> ArchiveSample:
+    rng = DeterministicRng("archive", seed, source, year, month)
+    ge2 = expected_ge2_share(source, year, month)
+    #: share of traces showing any MPLS at all (roughly stable)
+    mpls_share = 0.45 if source == "caida" else 0.30
+    counts = [0] * (MAX_DEPTH + 1)
+    for _ in range(n):
+        if rng.random() >= mpls_share:
+            counts[0] += 1
+            continue
+        if rng.random() < ge2:
+            # geometric tail over depths >= 2
+            depth = 2
+            while depth < MAX_DEPTH and rng.random() < 0.35:
+                depth += 1
+            counts[depth] += 1
+        else:
+            counts[1] += 1
+    return ArchiveSample(
+        source=source, year=year, month=month, depth_counts=tuple(counts)
+    )
+
+
+def series_ge_depth(
+    samples: Sequence[ArchiveSample], source: str, depth: int
+) -> list[tuple[float, float]]:
+    """The Fig. 7 series: (date, share of MPLS traces with stacks >=
+    ``depth``) for one source, chronological."""
+    points = [
+        (s.date_key, s.share_with_depth_at_least(depth))
+        for s in samples
+        if s.source == source
+    ]
+    return sorted(points)
+
+
+def iter_sample_dates() -> Iterator[tuple[int, int]]:
+    """All (year, month) pairs of the study window."""
+    for year in range(FIRST_YEAR, LAST_YEAR + 1):
+        for month in SAMPLE_MONTHS:
+            if year == FIRST_YEAR and month != 12:
+                continue
+            if year == LAST_YEAR and month > 3:
+                continue
+            yield (year, month)

@@ -1,0 +1,80 @@
+"""LSE stack-size distributions (Fig. 9).
+
+Fig. 9a: stack sizes observed inside segments flagged by the strong
+flags (CVR, CO, LSVR, LVR).  Fig. 9b: stack sizes on traditional-MPLS
+hops and LSO-flagged hops.  The paper's finding: stacks of size >= 2
+appear roughly 20% more often in SR contexts, with ESnet and Execulink
+showing deep "unshrinking" stacks in both.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.campaign.runner import AsCampaignResult
+
+
+@dataclass(frozen=True, slots=True)
+class StackSizeRow:
+    """Per-AS stack-size distribution for one context."""
+
+    as_id: int
+    name: str
+    context: str  # "strong-sr" or "mpls-lso"
+    depth_counts: tuple[tuple[int, int], ...]  # (depth, count), ascending
+
+    def total(self) -> int:
+        """Hops counted in this context."""
+        return sum(c for _d, c in self.depth_counts)
+
+    def share_at_least(self, depth: int) -> float:
+        """Share of hops with stack depth >= ``depth``."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        deep = sum(c for d, c in self.depth_counts if d >= depth)
+        return deep / total
+
+
+def _row(
+    as_id: int, name: str, context: str, counter: Counter
+) -> StackSizeRow:
+    return StackSizeRow(
+        as_id=as_id,
+        name=name,
+        context=context,
+        depth_counts=tuple(sorted(counter.items())),
+    )
+
+
+def stack_size_rows(
+    results: Mapping[int, AsCampaignResult]
+) -> list[StackSizeRow]:
+    """Both Fig. 9 panels, ordered by AS id then context."""
+    rows = []
+    for as_id in sorted(results):
+        result = results[as_id]
+        analysis = result.analysis
+        rows.append(
+            _row(as_id, result.spec.name, "strong-sr", analysis.stack_depths_strong)
+        )
+        rows.append(
+            _row(as_id, result.spec.name, "mpls-lso", analysis.stack_depths_other)
+        )
+    return rows
+
+
+def aggregate_share_at_least(
+    rows: list[StackSizeRow], context: str, depth: int = 2
+) -> float:
+    """Portfolio-wide share of stacks with size >= ``depth`` in one
+    context (the Fig. 9 headline comparison)."""
+    total = deep = 0
+    for row in rows:
+        if row.context != context:
+            continue
+        total += row.total()
+        deep += sum(c for d, c in row.depth_counts if d >= depth)
+    return deep / total if total else 0.0

@@ -1,0 +1,204 @@
+"""The operator survey (Sec. 3, Table 2, Fig. 5).
+
+The paper surveyed operators via the IETF/RIPE/NANOG lists and received
+N = 46 responses.  The raw answers are not published, so this module
+generates a deterministic synthetic respondent population whose
+*marginals* match the reported results:
+
+- every respondent deploys SR-MPLS;
+- vendor shares follow Fig. 5a (Cisco and Juniper dominate, then Nokia,
+  Arista, Linux, Huawei, ...);
+- usage shares follow Fig. 5b (network resilience first, then MPLS
+  simplification, traditional services, traffic engineering, best
+  effort at ~40%, and a tail of "others");
+- 70% keep the vendor's default SRGB, 67% the default SRLB.
+
+Questions are multiple choice, so proportions do not sum to 1 (the
+figure's caption makes the same remark).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.util.determinism import unit_hash
+
+#: Table 2 verbatim: question -> answer options.
+SURVEY_QUESTIONS: Mapping[str, tuple[str, ...]] = {
+    "What vendor equipment do you use for SR-MPLS?": (
+        "Cisco",
+        "Juniper",
+        "Huawei",
+        "Nokia",
+        "Arista",
+        "MikroTik",
+        "Dell",
+        "FreeBSD",
+        "Linux",
+        "Alcatel",
+        "Brocade",
+    ),
+    "If your vendor provides a recommended SRGB, do you follow it?": (
+        "Yes",
+        "No",
+    ),
+    "If your vendor provides a recommended SRLB, do you follow it?": (
+        "Yes",
+        "No",
+    ),
+    "Why do you use SR-MPLS?": (
+        "Traffic Engineering",
+        "Carry Best Effort Traffic",
+        "Simplify MPLS Management",
+        "Network Resilience",
+        "Carry Traditional Services (e.g., VPNs)",
+        "Others",
+    ),
+}
+
+#: Fig. 5a marginals (share of the N respondents naming each vendor).
+VENDOR_SHARES: Mapping[str, float] = {
+    "Cisco": 0.24,
+    "Juniper": 0.22,
+    "Nokia": 0.13,
+    "Arista": 0.10,
+    "Linux": 0.08,
+    "Huawei": 0.07,
+    "MikroTik": 0.05,
+    "Alcatel": 0.03,
+    "Dell": 0.02,
+    "FreeBSD": 0.02,
+    "Brocade": 0.02,
+}
+
+#: Fig. 5b marginals.
+USAGE_SHARES: Mapping[str, float] = {
+    "Network Resilience": 0.60,
+    "Simplify MPLS Management": 0.55,
+    "Carry Traditional Services (e.g., VPNs)": 0.50,
+    "Traffic Engineering": 0.45,
+    "Carry Best Effort Traffic": 0.40,
+    "Others": 0.08,
+}
+
+#: Sec. 3: default-range retention.
+SRGB_DEFAULT_SHARE = 0.70
+SRLB_DEFAULT_SHARE = 0.67
+
+#: number of responses the paper received
+NUM_RESPONDENTS = 46
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyAnswers:
+    """One operator's response."""
+
+    respondent: int
+    vendors: frozenset[str]
+    usages: frozenset[str]
+    follows_srgb_default: bool
+    follows_srlb_default: bool
+
+
+@dataclass(slots=True)
+class SurveySummary:
+    """Aggregated proportions (the Fig. 5 bars)."""
+
+    num_respondents: int
+    vendor_shares: dict[str, float] = field(default_factory=dict)
+    usage_shares: dict[str, float] = field(default_factory=dict)
+    srgb_default_share: float = 0.0
+    srlb_default_share: float = 0.0
+
+    def vendors_ranked(self) -> list[tuple[str, float]]:
+        """Vendor shares, highest first (Fig. 5a order)."""
+        return sorted(
+            self.vendor_shares.items(), key=lambda kv: kv[1], reverse=True
+        )
+
+    def usages_ranked(self) -> list[tuple[str, float]]:
+        """Usage shares, highest first (Fig. 5b order)."""
+        return sorted(
+            self.usage_shares.items(), key=lambda kv: kv[1], reverse=True
+        )
+
+
+def _biased_draw(key: tuple, index: int, share: float, n: int) -> bool:
+    """Quota-style draw: respondent ``index`` answers yes when its
+    stratified position falls under the target share.  This pins the
+    aggregate to ``round(share * n)`` exactly while keeping per-item
+    assignments pseudo-random."""
+    quota = round(share * n)
+    rank = sorted(range(n), key=lambda i: unit_hash(*key, i)).index(index)
+    return rank < quota
+
+
+def _weighted_pick(shares: Mapping[str, float], key: tuple) -> str:
+    """Share-weighted deterministic pick (fallback so that every
+    respondent names at least one option, as in the real survey)."""
+    total = sum(shares.values())
+    draw = unit_hash(*key) * total
+    acc = 0.0
+    for option, share in shares.items():
+        acc += share
+        if draw < acc:
+            return option
+    return next(iter(shares))
+
+
+def generate_survey(
+    n: int = NUM_RESPONDENTS, seed: int = 0
+) -> list[SurveyAnswers]:
+    """Generate a deterministic respondent population matching Sec. 3."""
+    if n < 1:
+        raise ValueError("need at least one respondent")
+    answers = []
+    for i in range(n):
+        vendors = frozenset(
+            vendor
+            for vendor, share in VENDOR_SHARES.items()
+            if _biased_draw(("sv", seed, vendor), i, share, n)
+        ) or frozenset({_weighted_pick(VENDOR_SHARES, ("svf", seed, i))})
+        usages = frozenset(
+            usage
+            for usage, share in USAGE_SHARES.items()
+            if _biased_draw(("su", seed, usage), i, share, n)
+        ) or frozenset({_weighted_pick(USAGE_SHARES, ("suf", seed, i))})
+        answers.append(
+            SurveyAnswers(
+                respondent=i,
+                vendors=vendors,
+                usages=usages,
+                follows_srgb_default=_biased_draw(
+                    ("srgb", seed), i, SRGB_DEFAULT_SHARE, n
+                ),
+                follows_srlb_default=_biased_draw(
+                    ("srlb", seed), i, SRLB_DEFAULT_SHARE, n
+                ),
+            )
+        )
+    return answers
+
+
+def summarize_survey(answers: Sequence[SurveyAnswers]) -> SurveySummary:
+    """Aggregate responses into Fig. 5-style proportions."""
+    if not answers:
+        raise ValueError("empty survey")
+    n = len(answers)
+    vendor_counts: Counter = Counter()
+    usage_counts: Counter = Counter()
+    srgb = srlb = 0
+    for answer in answers:
+        vendor_counts.update(answer.vendors)
+        usage_counts.update(answer.usages)
+        srgb += answer.follows_srgb_default
+        srlb += answer.follows_srlb_default
+    return SurveySummary(
+        num_respondents=n,
+        vendor_shares={v: c / n for v, c in vendor_counts.items()},
+        usage_shares={u: c / n for u, c in usage_counts.items()},
+        srgb_default_share=srgb / n,
+        srlb_default_share=srlb / n,
+    )

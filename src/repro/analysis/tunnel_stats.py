@@ -1,0 +1,80 @@
+"""Tunnel-type distribution (Fig. 13, Appendix C).
+
+Fig. 13a: the explicit / implicit / opaque / invisible split per AS --
+explicit dominates overall, while stub ASes are almost entirely covered
+by invisible and implicit tunnels (which is why AReST detects nothing
+there).  Fig. 13b: the share of paths showing at least one explicit
+tunnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.campaign.runner import AsCampaignResult
+from repro.probing.tunnels import TunnelType
+from repro.topogen.as_types import AsRole
+
+
+@dataclass(frozen=True, slots=True)
+class TunnelTypeRow:
+    """One AS's Fig. 13 numbers."""
+
+    as_id: int
+    name: str
+    role: AsRole
+    counts: tuple[tuple[TunnelType, int], ...]
+    share_paths_with_explicit: float
+
+    def total(self) -> int:
+        """All tunnel observations in this AS."""
+        return sum(c for _t, c in self.counts)
+
+    def share(self, tunnel_type: TunnelType) -> float:
+        """Fraction of observations of one tunnel type."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        for t, c in self.counts:
+            if t is tunnel_type:
+                return c / total
+        return 0.0
+
+
+def tunnel_type_rows(
+    results: Mapping[int, AsCampaignResult]
+) -> list[TunnelTypeRow]:
+    """One Fig. 13 row per AS, ordered by id."""
+    rows = []
+    for as_id in sorted(results):
+        result = results[as_id]
+        analysis = result.analysis
+        n = analysis.traces_in_as or 1
+        rows.append(
+            TunnelTypeRow(
+                as_id=as_id,
+                name=result.spec.name,
+                role=result.spec.role,
+                counts=tuple(sorted(
+                    analysis.tunnel_types.items(), key=lambda kv: kv[0].value
+                )),
+                share_paths_with_explicit=analysis.traces_with_explicit / n,
+            )
+        )
+    return rows
+
+
+def explicit_share_by_role(
+    rows: list[TunnelTypeRow], role: AsRole
+) -> float:
+    """Aggregate explicit-tunnel share across one AS role."""
+    total = explicit = 0
+    for row in rows:
+        if row.role is not role:
+            continue
+        total += row.total()
+        explicit += sum(
+            c for t, c in row.counts if t is TunnelType.EXPLICIT
+        )
+    return explicit / total if total else 0.0

@@ -1,0 +1,176 @@
+"""Ground-truth validation (Table 3) and the Sec. 6.2 headline metrics.
+
+The simulator knows exactly which interfaces forwarded SR-labelled
+packets, playing the role of the ESnet operator who manually reviewed
+every AReST inference.  Scoring follows the paper's definitions: a true
+positive is a segment (or interface) flagged SR that is actually SR; a
+false positive is one that is only traditional MPLS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.campaign.runner import AsCampaignResult
+from repro.core.flags import Flag
+from repro.core.segments import DetectedSegment
+from repro.probing.records import Trace, truth_transport_is_sr
+
+#: backwards-friendly alias used throughout the validation code
+truth_hop_is_sr = truth_transport_is_sr
+
+
+def segment_truth(trace: Trace, segment: DetectedSegment) -> bool:
+    """A flagged segment is a true positive when every hop is SR."""
+    return all(truth_hop_is_sr(trace, i) for i in segment.hop_indices)
+
+
+@dataclass(slots=True)
+class FlagValidation:
+    """Table 3 row: per-flag distinct segment counts and TP/FP rates."""
+
+    flag: Flag
+    distinct_segments: int = 0
+    true_positives: int = 0
+    false_positives: int = 0
+
+    @property
+    def tp_rate(self) -> float:
+        """True positives over all validated segments."""
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def fp_rate(self) -> float:
+        """False positives over all validated segments."""
+        total = self.true_positives + self.false_positives
+        return self.false_positives / total if total else 0.0
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Full Table 3-style validation for one AS campaign."""
+
+    as_id: int
+    asn: int
+    per_flag: dict[Flag, FlagValidation] = field(default_factory=dict)
+    #: interface-level scoring
+    detected_sr_addresses: int = 0
+    interface_tp: int = 0
+    interface_fp: int = 0
+    interface_fn: int = 0
+
+    def total_segments(self) -> int:
+        """Distinct segments across all flags."""
+        return sum(v.distinct_segments for v in self.per_flag.values())
+
+    def flag_share(self, flag: Flag) -> float:
+        """One flag's share of the distinct segments."""
+        total = self.total_segments()
+        if total == 0:
+            return 0.0
+        return self.per_flag[flag].distinct_segments / total
+
+    @property
+    def interface_precision(self) -> float:
+        """TP / (TP + FP) over flagged interfaces."""
+        denom = self.interface_tp + self.interface_fp
+        return self.interface_tp / denom if denom else 1.0
+
+    @property
+    def interface_recall(self) -> float:
+        """TP / (TP + FN) over truly-SR interfaces."""
+        denom = self.interface_tp + self.interface_fn
+        return self.interface_tp / denom if denom else 1.0
+
+
+def validate_against_truth(result: AsCampaignResult) -> ValidationReport:
+    """Score one AS campaign's detections against simulator truth."""
+    report = ValidationReport(as_id=result.as_id, asn=result.spec.asn)
+    for flag in Flag:
+        report.per_flag[flag] = FlagValidation(flag=flag)
+    seen: set[tuple] = set()
+    for trace, segments in result.trace_segments:
+        for segment in segments:
+            key = segment.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            validation = report.per_flag[segment.flag]
+            validation.distinct_segments += 1
+            if segment_truth(trace, segment):
+                validation.true_positives += 1
+            else:
+                validation.false_positives += 1
+    detected = result.analysis.sr_addresses
+    truth_sr = result.truth.sr_addresses
+    report.detected_sr_addresses = len(detected)
+    report.interface_tp = len(detected & truth_sr)
+    report.interface_fp = len(detected - truth_sr)
+    report.interface_fn = len(truth_sr - detected)
+    return report
+
+
+@dataclass(slots=True)
+class HeadlineDetection:
+    """Sec. 6.2 headline: detection rates over the portfolio."""
+
+    confirmed_total: int = 0
+    confirmed_detected: int = 0
+    confirmed_detected_strong: int = 0
+    unconfirmed_total: int = 0
+    unconfirmed_detected: int = 0
+    unconfirmed_lso_dominated: int = 0
+
+    @property
+    def confirmed_rate(self) -> float:
+        """Detected share of the confirmed ASes (paper: 75%)."""
+        if self.confirmed_total == 0:
+            return 0.0
+        return self.confirmed_detected / self.confirmed_total
+
+    @property
+    def strong_share_of_detected(self) -> float:
+        """Detections led by CVR/CO (paper: 60%)."""
+        if self.confirmed_detected == 0:
+            return 0.0
+        return self.confirmed_detected_strong / self.confirmed_detected
+
+    @property
+    def unconfirmed_rate(self) -> float:
+        """Evidence share among unconfirmed ASes (paper: 94%)."""
+        if self.unconfirmed_total == 0:
+            return 0.0
+        return self.unconfirmed_detected / self.unconfirmed_total
+
+
+def headline_detection(
+    results: Mapping[int, AsCampaignResult] | Iterable[AsCampaignResult],
+) -> HeadlineDetection:
+    """Aggregate the Sec. 6.2 headline numbers over campaign results."""
+    if isinstance(results, Mapping):
+        results = results.values()
+    headline = HeadlineDetection()
+    for result in results:
+        analysis = result.analysis
+        detected = analysis.has_sr_evidence(strong_only=False)
+        counts = analysis.flag_counts()
+        lso = counts.get(Flag.LSO, 0)
+        total = analysis.total_distinct_segments()
+        if result.spec.confirmation.confirmed:
+            headline.confirmed_total += 1
+            if detected:
+                headline.confirmed_detected += 1
+                strong = sum(
+                    counts.get(f, 0) for f in (Flag.CVR, Flag.CO)
+                )
+                if total and strong / total >= 0.5:
+                    headline.confirmed_detected_strong += 1
+        else:
+            headline.unconfirmed_total += 1
+            if detected:
+                headline.unconfirmed_detected += 1
+                if total and lso / total >= 0.9:
+                    headline.unconfirmed_lso_dominated += 1
+    return headline

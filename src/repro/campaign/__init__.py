@@ -1,0 +1,23 @@
+"""Measurement campaign orchestration.
+
+- :mod:`repro.campaign.vantage_points` -- the 50-VP fleet of Table 4.
+- :mod:`repro.campaign.dataset` -- trace dataset container and JSONL
+  (de)serialization.
+- :mod:`repro.campaign.runner` -- per-AS campaign execution: topology
+  build, TNT probing from every VP, fingerprinting, AReST analysis and
+  ground-truth extraction.
+"""
+
+from repro.campaign.vantage_points import VantagePoint, default_vantage_points
+from repro.campaign.dataset import TraceDataset
+from repro.campaign.anonymize import PrefixPreservingAnonymizer
+from repro.campaign.runner import AsCampaignResult, CampaignRunner
+
+__all__ = [
+    "VantagePoint",
+    "default_vantage_points",
+    "TraceDataset",
+    "PrefixPreservingAnonymizer",
+    "AsCampaignResult",
+    "CampaignRunner",
+]

@@ -1,0 +1,98 @@
+"""Prefix-preserving dataset anonymization.
+
+The paper publishes its collected traces; responsible releases rewrite
+addresses so that real infrastructure is not exposed while topology
+analyses still work.  This module implements deterministic
+prefix-preserving anonymization (Crypto-PAn style, keyed): two
+addresses sharing an n-bit prefix before anonymization share exactly an
+n-bit prefix after it, so longest-prefix analyses, alias grouping and
+per-/24 aggregations survive the rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.dataset import TraceDataset
+from repro.netsim.addressing import IPv4Address
+from repro.probing.records import Trace, TraceHop
+from repro.util.determinism import int_hash
+
+
+class PrefixPreservingAnonymizer:
+    """Keyed, deterministic, prefix-preserving IPv4 anonymization.
+
+    For every bit position the flip decision depends only on the key and
+    the (already-anonymized-input) prefix above it, which yields the
+    prefix-preservation property; the same key always produces the same
+    mapping, so datasets anonymized separately remain joinable.
+    """
+
+    def __init__(self, key: str) -> None:
+        if not key:
+            raise ValueError("an anonymization key is required")
+        self._key = key
+        self._cache: dict[int, int] = {}
+
+    def anonymize_address(self, address: IPv4Address) -> IPv4Address:
+        """The anonymized counterpart of one address (cached)."""
+        value = address.value
+        cached = self._cache.get(value)
+        if cached is not None:
+            return IPv4Address(cached)
+        out = 0
+        for bit_index in range(32):
+            shift = 31 - bit_index
+            original_bit = (value >> shift) & 1
+            prefix = value >> (shift + 1)  # the bits above this one
+            flip = int_hash("ppa", self._key, bit_index, prefix) & 1
+            out = (out << 1) | (original_bit ^ flip)
+        self._cache[value] = out
+        return IPv4Address(out)
+
+    # -- dataset-level ------------------------------------------------------
+
+    def anonymize_hop(self, hop: TraceHop, strip_truth: bool = True) -> TraceHop:
+        """Rewrite one hop; ground-truth annotations are stripped by
+        default (they would deanonymize the release)."""
+        changes: dict = {}
+        if hop.address is not None:
+            changes["address"] = self.anonymize_address(hop.address)
+        if strip_truth:
+            changes.update(
+                truth_router_id=None,
+                truth_asn=None,
+                truth_planes=(),
+                truth_uniform=True,
+            )
+        return hop.with_annotation(**changes)
+
+    def anonymize_trace(self, trace: Trace, strip_truth: bool = True) -> Trace:
+        """A rewritten copy of one trace."""
+        from dataclasses import replace
+
+        return replace(
+            trace,
+            destination=self.anonymize_address(trace.destination),
+            hops=tuple(
+                self.anonymize_hop(h, strip_truth) for h in trace.hops
+            ),
+        )
+
+    def anonymize_dataset(
+        self, dataset: TraceDataset, strip_truth: bool = True
+    ) -> TraceDataset:
+        """A releasable copy of the dataset (the original is untouched)."""
+        return TraceDataset(
+            target_asn=dataset.target_asn,
+            traces=[
+                self.anonymize_trace(t, strip_truth) for t in dataset
+            ],
+            metadata={**dataset.metadata, "anonymized": "prefix-preserving"},
+        )
+
+
+def shared_prefix_length(a: IPv4Address, b: IPv4Address) -> int:
+    """Length of the common bit prefix of two addresses."""
+    diff = a.value ^ b.value
+    if diff == 0:
+        return 32
+    return 32 - diff.bit_length()

@@ -1,0 +1,170 @@
+"""Trace dataset container with JSONL (de)serialization.
+
+The paper publishes its collected traces; this container plays that
+role for the simulated campaign.  Serialization is line-oriented JSON
+(one trace per line) so datasets stream without loading whole files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.netsim.addressing import IPv4Address
+from repro.probing.records import QuotedLse, Trace, TraceHop
+
+
+@dataclass(slots=True)
+class TraceDataset:
+    """A batch of traces collected toward one AS of interest."""
+
+    target_asn: int
+    traces: list[Trace] = field(default_factory=list)
+    #: free-form campaign metadata (seed, VP list, dates, ...)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def add(self, trace: Trace) -> None:
+        """Append one trace."""
+        self.traces.append(trace)
+
+    def extend(self, traces: Iterable[Trace]) -> None:
+        """Append many traces."""
+        self.traces.extend(traces)
+
+    # -- aggregate views -----------------------------------------------------
+
+    def distinct_addresses(self) -> set[IPv4Address]:
+        """Every responding address across all traces."""
+        addresses: set[IPv4Address] = set()
+        for trace in self.traces:
+            addresses.update(trace.addresses())
+        return addresses
+
+    def traces_from_vp(self, vp: str) -> list[Trace]:
+        """The traces one vantage point collected."""
+        return [t for t in self.traces if t.vp == vp]
+
+    def vantage_points(self) -> list[str]:
+        """Sorted names of the contributing VPs."""
+        return sorted({t.vp for t in self.traces})
+
+    # -- serialization ----------------------------------------------------------
+
+    def dump_jsonl(self, path: str | Path) -> None:
+        """Write the dataset as line-oriented JSON."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            header = {
+                "kind": "header",
+                "target_asn": self.target_asn,
+                "metadata": self.metadata,
+            }
+            fh.write(json.dumps(header) + "\n")
+            for trace in self.traces:
+                fh.write(json.dumps(_trace_to_json(trace)) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "TraceDataset":
+        """Read a dataset previously written by :meth:`dump_jsonl`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+            if not header_line:
+                raise ValueError(f"empty dataset file: {path}")
+            header = json.loads(header_line)
+            if header.get("kind") != "header":
+                raise ValueError(f"missing dataset header in {path}")
+            dataset = cls(
+                target_asn=int(header["target_asn"]),
+                metadata=dict(header.get("metadata", {})),
+            )
+            for line in fh:
+                if line.strip():
+                    dataset.add(_trace_from_json(json.loads(line)))
+        return dataset
+
+
+def _hop_to_json(hop: TraceHop) -> dict:
+    record: dict = {"ttl": hop.probe_ttl}
+    if hop.address is not None:
+        record["addr"] = str(hop.address)
+    if hop.rtt_ms is not None:
+        record["rtt"] = hop.rtt_ms
+    if hop.reply_ip_ttl is not None:
+        record["rttl"] = hop.reply_ip_ttl
+    if hop.lses:
+        record["lses"] = [
+            [e.label, e.tc, int(e.bottom_of_stack), e.ttl] for e in hop.lses
+        ]
+    if hop.tnt_revealed:
+        record["tnt"] = True
+    if hop.destination_reply:
+        record["dst"] = True
+    if hop.truth_router_id is not None:
+        record["t_rid"] = hop.truth_router_id
+    if hop.truth_asn is not None:
+        record["t_asn"] = hop.truth_asn
+    if hop.truth_planes:
+        record["t_planes"] = list(hop.truth_planes)
+    if not hop.truth_uniform:
+        record["t_pipe"] = True
+    return record
+
+
+def _hop_from_json(record: dict) -> TraceHop:
+    lses = None
+    if "lses" in record:
+        lses = tuple(
+            QuotedLse(label=l, tc=tc, bottom_of_stack=bool(s), ttl=ttl)
+            for l, tc, s, ttl in record["lses"]
+        )
+    return TraceHop(
+        probe_ttl=record["ttl"],
+        address=(
+            IPv4Address.from_string(record["addr"])
+            if "addr" in record
+            else None
+        ),
+        rtt_ms=record.get("rtt"),
+        reply_ip_ttl=record.get("rttl"),
+        lses=lses,
+        tnt_revealed=record.get("tnt", False),
+        destination_reply=record.get("dst", False),
+        truth_router_id=record.get("t_rid"),
+        truth_asn=record.get("t_asn"),
+        truth_planes=tuple(record.get("t_planes", ())),
+        truth_uniform=not record.get("t_pipe", False),
+    )
+
+
+def _trace_to_json(trace: Trace) -> dict:
+    return {
+        "kind": "trace",
+        "vp": trace.vp,
+        "vp_rid": trace.vp_router_id,
+        "dst": str(trace.destination),
+        "flow": trace.flow_id,
+        "reached": trace.reached,
+        "hops": [_hop_to_json(h) for h in trace.hops],
+    }
+
+
+def _trace_from_json(record: dict) -> Trace:
+    if record.get("kind") != "trace":
+        raise ValueError(f"not a trace record: {record.get('kind')!r}")
+    return Trace(
+        vp=record["vp"],
+        vp_router_id=record["vp_rid"],
+        destination=IPv4Address.from_string(record["dst"]),
+        flow_id=record["flow"],
+        hops=tuple(_hop_from_json(h) for h in record["hops"]),
+        reached=record["reached"],
+    )

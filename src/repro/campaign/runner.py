@@ -1,0 +1,255 @@
+"""Campaign execution: from portfolio spec to analyzed dataset.
+
+For each AS of interest the runner mirrors the paper's Sec. 5 workflow:
+
+1. build the measurement internetwork for the AS (topogen);
+2. build the Anaximander target list;
+3. run TNT traceroutes from every selected vantage point (each VP
+   probes the same targets, shuffled per VP);
+4. fingerprint every responding interface (SNMPv3 first, TTL fallback);
+5. annotate ownership bdrmapIT-style and run the AReST pipeline;
+6. extract simulator ground truth for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.dataset import TraceDataset
+from repro.campaign.vantage_points import VantagePoint, default_vantage_points
+from repro.core.detector import ArestDetector
+from repro.core.pipeline import ArestPipeline, AsAnalysis
+from repro.core.segments import DetectedSegment
+from repro.fingerprint.combined import CombinedFingerprinter
+from repro.fingerprint.records import Fingerprint, FingerprintMethod
+from repro.fingerprint.snmp import SnmpOracle
+from repro.netsim.addressing import IPv4Address
+from repro.probing.records import Trace, truth_transport_is_sr
+from repro.probing.tnt import TntProber
+from repro.topogen.alias import AliasResolver, AliasSet
+from repro.topogen.anaximander import build_target_list
+from repro.topogen.bdrmapit import BdrmapIt
+from repro.topogen.internet import MeasurementNetwork, build_measurement_network
+from repro.topogen.portfolio import AsSpec, Portfolio, default_portfolio
+from repro.util.determinism import DeterministicRng
+
+
+@dataclass(slots=True)
+class GroundTruth:
+    """What the simulator knows and the paper's operators confirmed."""
+
+    deploys_sr: bool
+    #: interface addresses that actually forwarded SR-labelled packets
+    sr_addresses: set[IPv4Address] = field(default_factory=set)
+    #: interface addresses that forwarded MPLS (LDP) without SR top label
+    ldp_addresses: set[IPv4Address] = field(default_factory=set)
+
+
+@dataclass(slots=True)
+class AsCampaignResult:
+    """Everything the campaign produced for one AS."""
+
+    spec: AsSpec
+    dataset: TraceDataset
+    analysis: AsAnalysis
+    fingerprints: dict[IPv4Address, Fingerprint]
+    truth: GroundTruth
+    #: (trace, detected segments) pairs for validation
+    trace_segments: list[tuple[Trace, list[DetectedSegment]]] = field(
+        default_factory=list
+    )
+    #: MIDAR/APPLE-style alias sets over the observed addresses
+    alias_sets: list[AliasSet] = field(default_factory=list)
+
+    @property
+    def as_id(self) -> int:
+        """The Table 5 identifier of the probed AS."""
+        return self.spec.as_id
+
+    def router_count(self) -> int:
+        """Distinct routers behind the observed interfaces, per the
+        alias resolution (the paper reports both views: "103 distinct IP
+        interfaces" aggregates to fewer boxes)."""
+        return len(self.alias_sets)
+
+    def sr_router_count(self) -> int:
+        """Alias sets containing at least one SR-flagged interface."""
+        sr = self.analysis.sr_addresses
+        return sum(
+            1
+            for alias_set in self.alias_sets
+            if any(a in sr for a in alias_set.addresses)
+        )
+
+    def fingerprint_method_counts(self) -> dict[FingerprintMethod, int]:
+        """How many interfaces each fingerprint method resolved."""
+        counts: dict[FingerprintMethod, int] = {}
+        for fp in self.fingerprints.values():
+            counts[fp.method] = counts.get(fp.method, 0) + 1
+        return counts
+
+
+class CampaignRunner:
+    """Runs the measurement campaign over a portfolio."""
+
+    def __init__(
+        self,
+        portfolio: Portfolio | None = None,
+        vantage_points: tuple[VantagePoint, ...] | None = None,
+        seed: int = 0,
+        vps_per_as: int = 4,
+        targets_per_as: int = 36,
+        per_prefix: int = 3,
+        reveal_success_rate: float = 0.85,
+        snmp_coverage: float = 0.9,
+        bdrmap_error_rate: float = 0.0,
+        alias_success_rate: float = 0.9,
+        max_ttl: int = 40,
+    ) -> None:
+        if vps_per_as < 1:
+            raise ValueError("vps_per_as must be >= 1")
+        self.portfolio = portfolio or default_portfolio()
+        self.vantage_points = vantage_points or default_vantage_points()
+        self.seed = seed
+        self.vps_per_as = min(vps_per_as, len(self.vantage_points))
+        self.targets_per_as = targets_per_as
+        self.per_prefix = per_prefix
+        self.reveal_success_rate = reveal_success_rate
+        self.snmp_coverage = snmp_coverage
+        self.bdrmap_error_rate = bdrmap_error_rate
+        self.alias_success_rate = alias_success_rate
+        self.max_ttl = max_ttl
+        self._pipeline = ArestPipeline(ArestDetector())
+
+    # -- public API ----------------------------------------------------------------
+
+    def run_as(self, as_id: int) -> AsCampaignResult:
+        """Run the full campaign for one portfolio AS."""
+        spec = self.portfolio.spec(as_id)
+        vps = self._select_vps(as_id)
+        net = build_measurement_network(
+            spec, [vp.vp_id for vp in vps], seed=self.seed
+        )
+        dataset = self._probe(net, vps)
+        fingerprints = self._fingerprint(net, dataset)
+        bdrmap = BdrmapIt(
+            net.network, error_rate=self.bdrmap_error_rate, seed=self.seed
+        )
+        sink: list[tuple[Trace, list[DetectedSegment]]] = []
+        analysis = self._pipeline.analyze_as(
+            spec.asn,
+            dataset.traces,
+            fingerprints,
+            asn_of=bdrmap.asn_of_hop,
+            segment_sink=sink,
+        )
+        truth = self._ground_truth(spec, dataset)
+        resolver = AliasResolver(
+            net.network,
+            success_rate=self.alias_success_rate,
+            seed=self.seed,
+        )
+        alias_sets = resolver.resolve(dataset.distinct_addresses())
+        return AsCampaignResult(
+            spec=spec,
+            dataset=dataset,
+            analysis=analysis,
+            fingerprints=fingerprints,
+            truth=truth,
+            trace_segments=sink,
+            alias_sets=alias_sets,
+        )
+
+    def run_portfolio(
+        self,
+        as_ids: list[int] | None = None,
+        analyzed_only: bool = True,
+    ) -> dict[int, AsCampaignResult]:
+        """Run every requested AS (default: the 41 analyzed ones)."""
+        if as_ids is None:
+            specs = (
+                self.portfolio.analyzed()
+                if analyzed_only
+                else list(self.portfolio)
+            )
+            as_ids = [s.as_id for s in specs]
+        return {as_id: self.run_as(as_id) for as_id in as_ids}
+
+    # -- stages ----------------------------------------------------------------------
+
+    def _select_vps(self, as_id: int) -> list[VantagePoint]:
+        rng = DeterministicRng("vp-select", self.seed, as_id)
+        return rng.sample(list(self.vantage_points), self.vps_per_as)
+
+    def _probe(
+        self, net: MeasurementNetwork, vps: list[VantagePoint]
+    ) -> TraceDataset:
+        targets = build_target_list(
+            net,
+            per_prefix=self.per_prefix,
+            limit=self.targets_per_as,
+            seed=self.seed,
+        )
+        prober = TntProber(
+            net.engine,
+            max_ttl=self.max_ttl,
+            reveal_success_rate=self.reveal_success_rate,
+            seed=self.seed,
+        )
+        dataset = TraceDataset(
+            target_asn=net.target_asn,
+            metadata={
+                "as_id": str(net.spec.as_id),
+                "seed": str(self.seed),
+                "vps": ",".join(vp.vp_id for vp in vps),
+            },
+        )
+        for vp in vps:
+            vp_router = net.vantage_points[vp.vp_id]
+            # Each VP probes the same targets, shuffled per VP (Sec. 5).
+            rng = DeterministicRng("shuffle", self.seed, vp.vp_id)
+            shuffled = list(targets.addresses)
+            rng.shuffle(shuffled)
+            for destination in shuffled:
+                dataset.add(
+                    prober.trace(vp_router, destination, vp_name=vp.vp_id)
+                )
+        return dataset
+
+    def _fingerprint(
+        self, net: MeasurementNetwork, dataset: TraceDataset
+    ) -> dict[IPv4Address, Fingerprint]:
+        snmp = SnmpOracle(
+            net.network, coverage=self.snmp_coverage, seed=self.seed
+        )
+        combined = CombinedFingerprinter(net.engine, snmp)
+        fingerprints: dict[IPv4Address, Fingerprint] = {}
+        for trace in dataset:
+            for hop in trace.hops:
+                if hop.address is None:
+                    continue
+                existing = fingerprints.get(hop.address)
+                if existing is not None and existing.identified:
+                    continue
+                fingerprints[hop.address] = combined.fingerprint(
+                    hop.address, hop.reply_ip_ttl, trace.vp_router_id
+                )
+        return fingerprints
+
+    def _ground_truth(
+        self, spec: AsSpec, dataset: TraceDataset
+    ) -> GroundTruth:
+        truth = GroundTruth(deploys_sr=spec.scenario.deploys_sr)
+        for trace in dataset:
+            for i, hop in enumerate(trace.hops):
+                if (
+                    hop.address is None
+                    or hop.truth_asn != spec.asn
+                    or not hop.truth_planes
+                ):
+                    continue
+                if truth_transport_is_sr(trace, i):
+                    truth.sr_addresses.add(hop.address)
+                else:
+                    truth.ldp_addresses.add(hop.address)
+        return truth

@@ -1,0 +1,99 @@
+"""The vantage-point fleet (Table 4 of the paper).
+
+50 virtual machines across four cloud providers and 28 countries; every
+VP runs TNT and probes the same (shuffled) target lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class VantagePoint:
+    """One measurement VM."""
+
+    vp_id: str
+    provider: str
+    provider_asn: int
+    city: str
+    country: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.vp_id}({self.city}, {self.country})"
+
+
+_AWS = ("Amazon AWS", 64512)
+_DO = ("Digital Ocean", 14061)
+_GCP = ("Google Cloud", 16550)
+_VULTR = ("Vultr", 20473)
+
+# (provider, city, country) -- Table 4 verbatim.
+_TABLE4: tuple[tuple[tuple[str, int], str, str], ...] = (
+    (_AWS, "Tokyo", "Japan"),
+    (_AWS, "Seoul", "South Korea"),
+    (_AWS, "Singapore", "Singapore"),
+    (_AWS, "Sydney", "Australia"),
+    (_AWS, "Montreal", "Canada"),
+    (_AWS, "Oregon", "USA"),
+    (_AWS, "Dublin", "Ireland"),
+    (_AWS, "Virginia", "USA"),
+    (_AWS, "Mumbai", "India"),
+    (_AWS, "London", "UK"),
+    (_AWS, "Frankfurt", "Germany"),
+    (_AWS, "Paris", "France"),
+    (_AWS, "Stockholm", "Sweden"),
+    (_DO, "San Francisco", "USA"),
+    (_GCP, "Iowa", "USA"),
+    (_GCP, "Delhi", "India"),
+    (_GCP, "Tel Aviv", "Israel"),
+    (_GCP, "Melbourne", "Australia"),
+    (_GCP, "Johannesburg", "South Africa"),
+    (_GCP, "Sao Paulo", "Brazil"),
+    (_GCP, "Hamina", "Finland"),
+    (_GCP, "Salt Lake City", "USA"),
+    (_GCP, "Milan", "Italy"),
+    (_GCP, "Zurich", "Switzerland"),
+    (_GCP, "Turin", "Italy"),
+    (_GCP, "Berlin", "Germany"),
+    (_GCP, "Mons", "Belgium"),
+    (_GCP, "Warsaw", "Poland"),
+    (_GCP, "Doha", "Qatar"),
+    (_GCP, "Columbus", "USA"),
+    (_GCP, "Jakarta", "Indonesia"),
+    (_GCP, "Hong Kong", "China"),
+    (_GCP, "Taiwan", "China"),
+    (_GCP, "Santiago", "Chile"),
+    (_GCP, "Osaka", "Japan"),
+    (_VULTR, "Amsterdam", "Netherlands"),
+    (_VULTR, "Madrid", "Spain"),
+    (_VULTR, "Manchester", "United Kingdom"),
+    (_VULTR, "New York", "USA"),
+    (_VULTR, "Atlanta", "USA"),
+    (_VULTR, "Chicago", "USA"),
+    (_VULTR, "Dallas", "USA"),
+    (_VULTR, "Honolulu", "USA"),
+    (_VULTR, "Los Angeles", "USA"),
+    (_VULTR, "Miami", "USA"),
+    (_VULTR, "Seattle", "USA"),
+    (_VULTR, "Silicon Valley", "USA"),
+    (_VULTR, "Mexico City", "Mexico"),
+    (_VULTR, "Toronto", "Canada"),
+    (_VULTR, "Bangalore", "India"),
+)
+
+
+def default_vantage_points() -> tuple[VantagePoint, ...]:
+    """The 50-VM fleet of Table 4."""
+    vps = []
+    for i, ((provider, asn), city, country) in enumerate(_TABLE4, start=1):
+        vps.append(
+            VantagePoint(
+                vp_id=f"VM{i}",
+                provider=provider,
+                provider_asn=asn,
+                city=city,
+                country=country,
+            )
+        )
+    return tuple(vps)

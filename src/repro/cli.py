@@ -1,0 +1,320 @@
+"""Command-line interface for the AReST reproduction.
+
+Subcommands mirror the paper's workflow::
+
+    arest run-as 46                 # probe + analyze one portfolio AS
+    arest portfolio                 # the full 41-AS campaign summary
+    arest detect traces.jsonl       # offline AReST over a stored dataset
+    arest validate 46               # Table-3 style ground-truth scoring
+    arest survey                    # regenerate Fig. 5 / Table 2
+    arest portfolio-table           # print Table 5
+    arest testbed                   # Fig. 6's controlled scenarios
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import Sequence
+
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``arest`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="arest",
+        description=(
+            "AReST: Advanced Revelation of Segment Routing Tunnels "
+            "(IMC 2025 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"arest {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_as = sub.add_parser(
+        "run-as", help="run the campaign against one portfolio AS"
+    )
+    run_as.add_argument("as_id", type=int, help="Table 5 AS id (1-60)")
+    run_as.add_argument("--seed", type=int, default=1)
+    run_as.add_argument("--vps", type=int, default=4, dest="vps_per_as")
+    run_as.add_argument(
+        "--targets", type=int, default=36, dest="targets_per_as"
+    )
+    run_as.add_argument(
+        "--dump", metavar="FILE", help="write the trace dataset as JSONL"
+    )
+    run_as.add_argument(
+        "--anonymize",
+        metavar="KEY",
+        help=(
+            "prefix-preserving address anonymization (and ground-truth "
+            "stripping) applied to the dumped dataset"
+        ),
+    )
+
+    portfolio = sub.add_parser(
+        "portfolio", help="run the full 41-AS campaign"
+    )
+    portfolio.add_argument("--seed", type=int, default=1)
+    portfolio.add_argument("--vps", type=int, default=4, dest="vps_per_as")
+    portfolio.add_argument(
+        "--targets", type=int, default=36, dest="targets_per_as"
+    )
+
+    detect = sub.add_parser(
+        "detect", help="run AReST offline over a JSONL trace dataset"
+    )
+    detect.add_argument("dataset", help="path to a JSONL trace dataset")
+
+    validate = sub.add_parser(
+        "validate", help="ground-truth validation for one AS (Table 3)"
+    )
+    validate.add_argument("as_id", type=int)
+    validate.add_argument("--seed", type=int, default=1)
+
+    survey = sub.add_parser(
+        "survey", help="regenerate the operator survey (Fig. 5)"
+    )
+    survey.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="write a full markdown campaign report"
+    )
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--vps", type=int, default=4, dest="vps_per_as")
+    report.add_argument(
+        "--targets", type=int, default=36, dest="targets_per_as"
+    )
+    report.add_argument(
+        "-o", "--output", metavar="FILE", help="write to FILE (else stdout)"
+    )
+
+    sub.add_parser("portfolio-table", help="print Table 5")
+    sub.add_parser(
+        "testbed",
+        help="run the controlled validation environment (Fig. 6 in code)",
+    )
+    return parser
+
+
+def _cmd_run_as(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner
+    from repro.core.flags import Flag
+
+    runner = CampaignRunner(
+        seed=args.seed,
+        vps_per_as=args.vps_per_as,
+        targets_per_as=args.targets_per_as,
+    )
+    result = runner.run_as(args.as_id)
+    analysis = result.analysis
+    print(f"{result.spec}: {analysis.traces_total} traces, "
+          f"{analysis.traces_in_as} crossing the AS")
+    counts = analysis.flag_counts()
+    print(
+        "flags: "
+        + ", ".join(f"{f.name}={counts[f]}" for f in Flag if counts[f])
+        if any(counts.values())
+        else "flags: none (no SR-MPLS evidence)"
+    )
+    print(
+        f"areas: SR={len(analysis.sr_addresses)} "
+        f"MPLS={len(analysis.mpls_addresses)} "
+        f"IP={len(analysis.ip_addresses)} interfaces; "
+        f"explicit tunnels {analysis.explicit_tunnel_share():.0%}"
+    )
+    if args.dump:
+        dataset = result.dataset
+        if args.anonymize:
+            from repro.campaign import PrefixPreservingAnonymizer
+
+            dataset = PrefixPreservingAnonymizer(
+                args.anonymize
+            ).anonymize_dataset(dataset)
+        dataset.dump_jsonl(args.dump)
+        print(f"dataset written to {args.dump}")
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_flag_proportions
+    from repro.analysis.validation import headline_detection
+    from repro.campaign import CampaignRunner
+
+    runner = CampaignRunner(
+        seed=args.seed,
+        vps_per_as=args.vps_per_as,
+        targets_per_as=args.targets_per_as,
+    )
+    results = runner.run_portfolio()
+    print(render_flag_proportions(results))
+    headline = headline_detection(results)
+    print(
+        f"\nconfirmed ASes detected: {headline.confirmed_detected}/"
+        f"{headline.confirmed_total} ({headline.confirmed_rate:.0%}); "
+        f"unconfirmed with evidence: {headline.unconfirmed_detected}/"
+        f"{headline.unconfirmed_total} ({headline.unconfirmed_rate:.0%})"
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.campaign import TraceDataset
+    from repro.core.detector import ArestDetector
+
+    dataset = TraceDataset.load_jsonl(args.dataset)
+    detector = ArestDetector()
+    counts: Counter = Counter()
+    seen = set()
+    for trace in dataset:
+        for segment in detector.detect(trace, {}):
+            if segment.key() not in seen:
+                seen.add(segment.key())
+                counts[segment.flag] += 1
+    print(
+        f"{len(dataset)} traces toward AS{dataset.target_asn}, "
+        f"{len(seen)} distinct segments"
+    )
+    for flag, count in counts.most_common():
+        print(f"  {flag.name:<4} {count}")
+    if not counts:
+        print("  (no SR-MPLS evidence)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_validation
+    from repro.analysis.validation import validate_against_truth
+    from repro.campaign import CampaignRunner
+
+    result = CampaignRunner(seed=args.seed).run_as(args.as_id)
+    report = validate_against_truth(result)
+    print(render_validation(report))
+    print(
+        f"interface precision={report.interface_precision:.3f} "
+        f"recall={report.interface_recall:.3f}"
+    )
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.analysis.survey import generate_survey, summarize_survey
+    from repro.util.tables import format_table
+
+    summary = summarize_survey(generate_survey(seed=args.seed))
+    print(
+        format_table(
+            ["Vendor", "Share"],
+            [(v, f"{s:.2f}") for v, s in summary.vendors_ranked()],
+            title=f"Fig. 5a (N={summary.num_respondents})",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["Usage", "Share"],
+            [(u, f"{s:.2f}") for u, s in summary.usages_ranked()],
+            title="Fig. 5b",
+        )
+    )
+    print(
+        f"\nkeep default SRGB: {summary.srgb_default_share:.0%}; "
+        f"SRLB: {summary.srlb_default_share:.0%}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.markdown_report import render_markdown_report
+    from repro.campaign import CampaignRunner
+
+    runner = CampaignRunner(
+        seed=args.seed,
+        vps_per_as=args.vps_per_as,
+        targets_per_as=args.targets_per_as,
+    )
+    results = runner.run_portfolio()
+    text = render_markdown_report(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_portfolio_table(args: argparse.Namespace) -> int:
+    from repro.topogen.portfolio import default_portfolio
+    from repro.util.tables import format_table
+
+    rows = [
+        (
+            spec.label,
+            spec.asn,
+            spec.name,
+            str(spec.role),
+            f"{spec.traces_sent:,}",
+            f"{spec.ips_discovered:,}",
+            str(spec.confirmation),
+            "yes" if spec.analyzed else "no",
+        )
+        for spec in default_portfolio()
+    ]
+    print(
+        format_table(
+            ["AS", "ASN", "Name", "Type", "Traces", "IPs", "Confirmed",
+             "Analyzed"],
+            rows,
+            title="Table 5 -- targeted ASes",
+        )
+    )
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.testbed import run_all_scenarios
+
+    failures = 0
+    for outcome in run_all_scenarios():
+        verdict = "PASS" if outcome.as_expected else "FAIL"
+        failures += not outcome.as_expected
+        raised = ", ".join(f.name for f in outcome.flags_raised) or "none"
+        print(
+            f"{outcome.scenario.name:<5} expected="
+            f"{outcome.scenario.expected_flag.name:<5} raised={raised:<10} "
+            f"[{verdict}]"
+        )
+    if failures:
+        print(f"{failures} scenario(s) failed")
+        return 1
+    print("all five flags isolated")
+    return 0
+
+
+_COMMANDS = {
+    "run-as": _cmd_run_as,
+    "portfolio": _cmd_portfolio,
+    "detect": _cmd_detect,
+    "validate": _cmd_validate,
+    "survey": _cmd_survey,
+    "report": _cmd_report,
+    "portfolio-table": _cmd_portfolio_table,
+    "testbed": _cmd_testbed,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

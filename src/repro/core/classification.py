@@ -1,0 +1,63 @@
+"""Per-hop area classification: SR-MPLS / classic MPLS / plain IP.
+
+Implements the conservative rule of Sec. 7: only the strong flags (CVR,
+CO, LSVR, LVR) mark a hop as Segment Routing; everything else showing
+MPLS evidence (labels, TNT-revealed tunnel content, LSO-flagged stacks)
+counts as classic MPLS; the rest is IP.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.core.flags import Flag, STRONG_FLAGS
+from repro.core.segments import DetectedSegment
+from repro.probing.records import Trace
+
+
+class HopArea(enum.Enum):
+    """The three Sec. 7 areas a hop can belong to."""
+    SR = "sr-mpls"
+    MPLS = "mpls"
+    IP = "ip"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_hops(
+    trace: Trace,
+    segments: Iterable[DetectedSegment],
+    strong_only: bool = True,
+) -> list[HopArea]:
+    """Classify each hop of a trace into SR / MPLS / IP.
+
+    With ``strong_only`` (the paper's setting for Sec. 7), LSO segments
+    count as classic MPLS; pass False to credit LSO to SR instead (the
+    optimistic reading discussed in Sec. 6.3).
+
+    A hop that answered *without* LSEs but carries ``truth_planes`` is an
+    implicit-tunnel hop; real TNT flags these through its qTTL/u-turn
+    heuristics, which the simulation stands in for with the ground-truth
+    annotation (the heuristics are near-exact on implicit tunnels).
+    """
+    sr_flags = STRONG_FLAGS if strong_only else STRONG_FLAGS | {Flag.LSO}
+    areas = []
+    sr_indices: set[int] = set()
+    for segment in segments:
+        if segment.flag in sr_flags:
+            sr_indices.update(segment.hop_indices)
+    for i, hop in enumerate(trace.hops):
+        if i in sr_indices:
+            areas.append(HopArea.SR)
+        elif hop.has_lses or hop.tnt_revealed or hop.truth_planes:
+            areas.append(HopArea.MPLS)
+        else:
+            areas.append(HopArea.IP)
+    return areas
+
+
+def trace_hits_area(areas: Iterable[HopArea], area: HopArea) -> bool:
+    """Did the trace traverse at least one hop of the given area?"""
+    return any(a is area for a in areas)

@@ -1,0 +1,86 @@
+"""AReST detection flags (Sec. 4 of the paper).
+
+Each flag carries a *signal strength* in stars, reflecting its
+false-positive likelihood:
+
+======  =====================================  ========
+flag    trigger                                strength
+======  =====================================  ========
+CVR     consecutive identical labels, vendor      5
+        range confirmed by fingerprinting
+CO      consecutive identical labels only          4
+LSVR    stack depth >= 2, top label in the         4
+        fingerprinted vendor's SR range
+LVR     stack depth == 1, label in the             3
+        fingerprinted vendor's SR range
+LSO     stack depth >= 2 only                      1
+======  =====================================  ========
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class Flag(enum.Enum):
+    """The five AReST detection flags, strongest first."""
+
+    CVR = "Consecutive & Vendor Range"
+    CO = "Consecutive Only"
+    LSVR = "Label Stack & Vendor Range"
+    LVR = "Label & Vendor Range"
+    LSO = "Label Stack Only"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Signal strength in stars (Sec. 4).
+SIGNAL_STRENGTH: Mapping[Flag, int] = {
+    Flag.CVR: 5,
+    Flag.CO: 4,
+    Flag.LSVR: 4,
+    Flag.LVR: 3,
+    Flag.LSO: 1,
+}
+
+#: The flags the paper treats as reliable enough for the deployment
+#: characterization (Sec. 7: "Strong SR flags (CVR, Co, LSVR, LVR) are
+#: used to identify SR-MPLS areas"; LSO is excluded as too ambiguous).
+STRONG_FLAGS: frozenset[Flag] = frozenset(
+    {Flag.CVR, Flag.CO, Flag.LSVR, Flag.LVR}
+)
+
+#: Flags that require a quoted label *sequence* and therefore need an
+#: explicit tunnel; opaque tunnels can only raise the stack-based flags
+#: (Sec. 6.2 / Appendix C).
+SEQUENCE_FLAGS: frozenset[Flag] = frozenset({Flag.CVR, Flag.CO})
+
+#: Size of Cisco's dynamic label pool (Sec. 4.1's false-positive
+#: argument references ~1,032,575 allocatable labels).
+CISCO_DYNAMIC_POOL_SIZE = 1_032_575
+
+
+def cvr_false_positive_probability(
+    consecutive_hops: int, pool_size: int = CISCO_DYNAMIC_POOL_SIZE
+) -> float:
+    """Probability that ``consecutive_hops`` independent LSRs pick the
+    same label by chance: ``1 / pool_size**(k-1)`` (Sec. 4.1).
+
+    With classic MPLS each router draws its label independently from its
+    dynamic pool; observing the same value on k consecutive hops without
+    Segment Routing requires k-1 coincidences.
+    """
+    if consecutive_hops < 2:
+        raise ValueError("a sequence needs at least two hops")
+    if pool_size < 1:
+        raise ValueError("pool size must be positive")
+    return 1.0 / pool_size ** (consecutive_hops - 1)
+
+
+def strongest(flags: "set[Flag] | frozenset[Flag]") -> Flag | None:
+    """The highest-strength flag of a set, or None when empty."""
+    if not flags:
+        return None
+    return max(flags, key=lambda f: (SIGNAL_STRENGTH[f], f.name))

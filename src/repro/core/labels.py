@@ -1,0 +1,42 @@
+"""Label sequence matching for the consecutive flags (CVR / CO).
+
+With homogeneous SRGBs a node SID keeps the exact same 20-bit value
+across every hop of the segment.  With *heterogeneous* SRGBs each hop
+re-maps the SID into its downstream neighbour's block, so the value
+changes -- but since the SID index is preserved, the labels share their
+low-order part whenever the blocks are round-base aligned.  AReST
+approximates this with decimal-suffix matching (footnote 4 of the
+paper: "the flag is also triggered if two labels share a common suffix
+(e.g., 16,005 -> 13,005)").
+"""
+
+from __future__ import annotations
+
+#: how many trailing decimal digits must agree for a suffix match
+SUFFIX_DIGITS = 3
+
+
+def suffix_match(a: int, b: int, digits: int = SUFFIX_DIGITS) -> bool:
+    """True when two *different* labels share their last ``digits``
+    decimal digits (the differing-SRGB case)."""
+    if a == b:
+        return False
+    if digits <= 0:
+        raise ValueError("digits must be positive")
+    modulus = 10**digits
+    return a % modulus == b % modulus
+
+
+def sequence_match(a: int, b: int) -> bool:
+    """Do two top labels on consecutive hops continue one SR segment?
+
+    Either identical (same-SRGB deployments, the overwhelmingly common
+    case: the paper measured only 0.01% suffix-based matches) or
+    suffix-matched (heterogeneous SRGBs).
+    """
+    return a == b or suffix_match(a, b)
+
+
+def run_is_suffix_based(labels: tuple[int, ...]) -> bool:
+    """Did this (already matched) run rely on suffix matching at all?"""
+    return any(labels[i] != labels[i + 1] for i in range(len(labels) - 1))

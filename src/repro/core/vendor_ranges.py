@@ -1,0 +1,72 @@
+"""Table 1 as AReST consumes it.
+
+AReST's vendor-range flags (CVR, LSVR, LVR) need to answer: *given the
+fingerprint evidence for a hop, could this label be an SR label of that
+vendor?*  Two evidence grades exist (Sec. 5):
+
+- **exact vendor** (SNMPv3): match against that vendor's default SRGB
+  and SRLB from Table 1.  Vendors without published defaults (Juniper,
+  Nokia, ...) contribute no ranges -- AReST cannot range-match them.
+- **TTL class**: the only exploitable class is {Cisco, Huawei}
+  (signature <255, 255>); the usable range is the intersection of both
+  SRGBs, [16,000; 23,999].
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.fingerprint.records import Fingerprint, FingerprintMethod
+from repro.netsim.vendors import (
+    CISCO_HUAWEI_SRGB_INTERSECTION,
+    LabelRange,
+    Vendor,
+)
+
+#: Table 1 of the paper, keyed by vendor.  Each entry lists the (range,
+#: kind) pairs AReST may match against.
+TABLE1_RANGES: Mapping[Vendor, tuple[tuple[LabelRange, str], ...]] = {
+    Vendor.CISCO: (
+        (LabelRange(16_000, 23_999), "srgb"),
+        (LabelRange(15_000, 15_999), "srlb"),
+    ),
+    Vendor.HUAWEI: (
+        (LabelRange(16_000, 47_999), "srgb"),
+        (LabelRange(48_000, 63_999), "srlb"),
+    ),
+    Vendor.ARISTA: (
+        (LabelRange(900_000, 965_535), "srgb"),
+        (LabelRange(100_000, 116_383), "srlb"),
+    ),
+}
+
+#: The TTL fingerprint class AReST can act on, and its usable range.
+TTL_ACTIONABLE_CLASS: frozenset[Vendor] = frozenset(
+    {Vendor.CISCO, Vendor.HUAWEI}
+)
+
+
+def ranges_for_fingerprint(fp: Fingerprint) -> tuple[LabelRange, ...]:
+    """SR label ranges implied by a fingerprint (possibly empty)."""
+    if fp.method is FingerprintMethod.SNMP:
+        assert fp.exact_vendor is not None
+        entries = TABLE1_RANGES.get(fp.exact_vendor, ())
+        return tuple(r for r, _kind in entries)
+    if fp.method is FingerprintMethod.TTL:
+        if fp.vendor_class == TTL_ACTIONABLE_CLASS:
+            return (CISCO_HUAWEI_SRGB_INTERSECTION,)
+        return ()
+    return ()
+
+
+def label_in_vendor_range(label: int, fp: Fingerprint) -> bool:
+    """Does ``label`` fall inside any SR range the fingerprint allows?"""
+    return any(label in r for r in ranges_for_fingerprint(fp))
+
+
+def known_sr_ranges() -> tuple[LabelRange, ...]:
+    """Every Table 1 range, for label-space statistics (Fig. 16)."""
+    ranges: list[LabelRange] = []
+    for entries in TABLE1_RANGES.values():
+        ranges.extend(r for r, _kind in entries)
+    return tuple(ranges)

@@ -1,0 +1,28 @@
+"""Router vendor fingerprinting.
+
+Two techniques, mirroring Sec. 5 of the paper:
+
+- **TTL-based** (Vanaubel et al.): the pair of initial TTLs a router
+  uses for ICMP time-exceeded and echo-reply messages partitions boxes
+  into classes.  Cisco and Huawei share ``<255, 255>`` and cannot be
+  told apart, so range flags fall back to the intersection of both SRGBs.
+- **SNMPv3-based** (Albakour et al.): engine-ID discovery identifies the
+  exact vendor, but only for routers that answer SNMPv3 and vendors
+  present in the public dataset (Arista is not).
+
+When both speak, SNMPv3 takes precedence.
+"""
+
+from repro.fingerprint.records import Fingerprint, FingerprintMethod
+from repro.fingerprint.ttl import TtlFingerprinter, infer_initial_ttl
+from repro.fingerprint.snmp import SnmpOracle
+from repro.fingerprint.combined import CombinedFingerprinter
+
+__all__ = [
+    "Fingerprint",
+    "FingerprintMethod",
+    "TtlFingerprinter",
+    "infer_initial_ttl",
+    "SnmpOracle",
+    "CombinedFingerprinter",
+]

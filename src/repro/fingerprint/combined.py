@@ -1,0 +1,49 @@
+"""Combined fingerprinting with the paper's precedence rule.
+
+"In cases where both methods provide different results for the same hop,
+SNMPv3-based fingerprinting takes precedence." (Sec. 5)
+"""
+
+from __future__ import annotations
+
+from repro.netsim.addressing import IPv4Address
+from repro.netsim.forwarding import ForwardingEngine
+from repro.fingerprint.records import Fingerprint, FingerprintMethod
+from repro.fingerprint.snmp import SnmpOracle
+from repro.fingerprint.ttl import TtlFingerprinter
+
+
+class CombinedFingerprinter:
+    """SNMPv3 first, TTL signature as fallback; results are cached per
+    interface address (fingerprints are stable within a campaign)."""
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        snmp: SnmpOracle,
+    ) -> None:
+        self._snmp = snmp
+        self._ttl = TtlFingerprinter(engine)
+        self._cache: dict[IPv4Address, Fingerprint] = {}
+
+    def fingerprint(
+        self,
+        address: IPv4Address,
+        time_exceeded_ttl: int | None,
+        vp_router_id: int,
+    ) -> Fingerprint:
+        """Fingerprint one interface (SNMPv3 first, TTL fallback)."""
+        cached = self._cache.get(address)
+        if cached is not None and cached.method is not FingerprintMethod.NONE:
+            return cached
+        result = self._snmp.lookup(address)
+        if not result.identified:
+            result = self._ttl.fingerprint(
+                address, time_exceeded_ttl, vp_router_id
+            )
+        self._cache[address] = result
+        return result
+
+    def cache_size(self) -> int:
+        """Number of cached per-interface results."""
+        return len(self._cache)

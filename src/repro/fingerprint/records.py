@@ -1,0 +1,74 @@
+"""Fingerprint result records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netsim.vendors import Vendor
+
+
+class FingerprintMethod(enum.Enum):
+    """How a fingerprint was obtained."""
+    SNMP = "snmpv3"
+    TTL = "ttl"
+    NONE = "none"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Fingerprint:
+    """Outcome of fingerprinting one IP interface.
+
+    ``exact_vendor`` is set for SNMPv3 hits; TTL hits carry only the
+    ambiguity class (``vendor_class``).  An empty class means the
+    interface could not be fingerprinted at all.
+    """
+
+    method: FingerprintMethod
+    exact_vendor: Vendor | None
+    vendor_class: frozenset[Vendor]
+
+    def __post_init__(self) -> None:
+        if self.method is FingerprintMethod.SNMP and self.exact_vendor is None:
+            raise ValueError("SNMP fingerprints must carry an exact vendor")
+        if self.method is FingerprintMethod.NONE and (
+            self.exact_vendor is not None or self.vendor_class
+        ):
+            raise ValueError("empty fingerprints must carry no vendors")
+
+    @classmethod
+    def none(cls) -> "Fingerprint":
+        """The empty (no-information) fingerprint."""
+        return cls(
+            method=FingerprintMethod.NONE,
+            exact_vendor=None,
+            vendor_class=frozenset(),
+        )
+
+    @classmethod
+    def from_snmp(cls, vendor: Vendor) -> "Fingerprint":
+        """An exact-vendor SNMPv3 fingerprint."""
+        return cls(
+            method=FingerprintMethod.SNMP,
+            exact_vendor=vendor,
+            vendor_class=frozenset({vendor}),
+        )
+
+    @classmethod
+    def from_ttl(cls, vendor_class: frozenset[Vendor]) -> "Fingerprint":
+        """A TTL-signature class fingerprint."""
+        return cls(
+            method=FingerprintMethod.TTL,
+            exact_vendor=None,
+            vendor_class=vendor_class,
+        )
+
+    @property
+    def identified(self) -> bool:
+        """True when the fingerprint narrows the vendor at all."""
+        return self.method is not FingerprintMethod.NONE and bool(
+            self.vendor_class
+        )

@@ -1,0 +1,66 @@
+"""SNMPv3-based fingerprinting (Albakour et al. 2021).
+
+The real technique sends unauthenticated SNMPv3 requests; routers leak
+their engine ID, whose enterprise number reveals the exact vendor.  The
+paper consumed a pre-collected public dataset (September 2024 snapshot)
+rather than probing live.
+
+The simulator models that dataset as an oracle over the network: a
+router appears in the dataset when it is SNMP-responsive, its vendor is
+identifiable from engine IDs (Arista is not, Sec. 5), and a per-router
+coverage draw succeeds (dataset snapshots never see every box).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.addressing import IPv4Address
+from repro.netsim.topology import Network
+from repro.netsim.vendors import VENDOR_PROFILES
+from repro.fingerprint.records import Fingerprint
+from repro.util.determinism import unit_hash
+
+
+class SnmpOracle:
+    """A frozen SNMPv3 fingerprint dataset over a simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        coverage: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage must be within [0, 1]")
+        self._network = network
+        self._coverage = coverage
+        self._seed = seed
+
+    def lookup(self, address: IPv4Address) -> Fingerprint:
+        """Exact-vendor fingerprint for an interface, or none."""
+        owner = self._network.owner_of(address)
+        if owner is None:
+            return Fingerprint.none()
+        router = self._network.router(owner)
+        if not router.snmp_responsive:
+            return Fingerprint.none()
+        profile = VENDOR_PROFILES.get(router.vendor)
+        if profile is None or not profile.snmp_identifiable:
+            return Fingerprint.none()
+        if unit_hash(self._seed, "snmp", owner) >= self._coverage:
+            return Fingerprint.none()
+        return Fingerprint.from_snmp(router.vendor)
+
+    def dataset_size(self) -> int:
+        """Number of routers present in the frozen dataset."""
+        count = 0
+        for router in self._network.routers():
+            profile = VENDOR_PROFILES.get(router.vendor)
+            if (
+                router.snmp_responsive
+                and profile is not None
+                and profile.snmp_identifiable
+                and unit_hash(self._seed, "snmp", router.router_id)
+                < self._coverage
+            ):
+                count += 1
+        return count

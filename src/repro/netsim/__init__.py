@@ -1,0 +1,62 @@
+"""Network simulator substrate for the AReST reproduction.
+
+This package implements the forwarding and control planes the paper's
+measurement campaign exercised in the wild:
+
+- :mod:`repro.netsim.addressing` -- IPv4 arithmetic and prefix allocation.
+- :mod:`repro.netsim.vendors` -- hardware vendor profiles (Table 1 of the
+  paper: default SRGB/SRLB ranges, initial-TTL fingerprint signatures,
+  dynamic label pools).
+- :mod:`repro.netsim.mpls` -- label stack entries and stack operations
+  (RFC 3032).
+- :mod:`repro.netsim.topology` -- routers, interfaces, links, networks.
+- :mod:`repro.netsim.igp` -- link-state shortest-path routing (IS-IS/OSPF
+  stand-in) with deterministic ECMP tie-breaking.
+- :mod:`repro.netsim.ldp` -- per-FEC local label allocation (RFC 5036).
+- :mod:`repro.netsim.sr` -- SR-MPLS control plane: SRGB/SRLB, node,
+  adjacency and prefix SIDs (RFC 8660/8402).
+- :mod:`repro.netsim.policies` -- SR policies and binding SIDs (RFC 9256).
+- :mod:`repro.netsim.rsvp` -- RSVP-TE signaled LSPs (RFC 3209).
+- :mod:`repro.netsim.tunnels` -- ingress label programs (incl. the
+  RFC 8661 mapping-server interworking path and RFC 6790 entropy labels).
+- :mod:`repro.netsim.forwarding` -- the data plane: push/swap/pop, TTL
+  propagation, RFC 4950 ICMP quoting.
+- :mod:`repro.netsim.checks` -- configuration linting.
+"""
+
+from repro.netsim.addressing import IPv4Address, IPv4Prefix, PrefixAllocator
+from repro.netsim.forwarding import ForwardingEngine
+from repro.netsim.igp import ShortestPaths
+from repro.netsim.ldp import LdpState
+from repro.netsim.mpls import LabelStack, LabelStackEntry, ReservedLabel
+from repro.netsim.policies import SrPolicyRegistry
+from repro.netsim.rsvp import RsvpTeState
+from repro.netsim.sr import SegmentRoutingDomain
+from repro.netsim.topology import Link, Network, Router, RouterRole
+from repro.netsim.tunnels import TunnelController, TunnelPolicy
+from repro.netsim.vendors import LabelRange, Vendor, VendorProfile, VENDOR_PROFILES
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "PrefixAllocator",
+    "ForwardingEngine",
+    "ShortestPaths",
+    "LdpState",
+    "LabelStack",
+    "LabelStackEntry",
+    "ReservedLabel",
+    "SrPolicyRegistry",
+    "RsvpTeState",
+    "SegmentRoutingDomain",
+    "Link",
+    "Network",
+    "Router",
+    "RouterRole",
+    "TunnelController",
+    "TunnelPolicy",
+    "LabelRange",
+    "Vendor",
+    "VendorProfile",
+    "VENDOR_PROFILES",
+]

@@ -1,0 +1,107 @@
+"""Network configuration linting.
+
+Topology generation composes many hand-tuned pieces (deployment
+scenarios, control planes, tunnel policies); this linter catches the
+inconsistencies that would otherwise surface as baffling forwarding
+behaviour three layers up: SR flags without an SR domain, isolated
+routers, prefixes announced from unreachable PEs, disconnected graphs.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.netsim.topology import Network, RouterRole
+from repro.netsim.tunnels import TunnelController
+
+
+class NetworkConfigError(Exception):
+    """Raised by :func:`assert_valid` when the lint finds issues."""
+
+    def __init__(self, issues: list[str]) -> None:
+        super().__init__("; ".join(issues))
+        self.issues = issues
+
+
+def lint_network(
+    network: Network, controller: TunnelController | None = None
+) -> list[str]:
+    """Return every configuration issue found (empty = clean)."""
+    issues: list[str] = []
+    issues.extend(_lint_connectivity(network))
+    issues.extend(_lint_routers(network, controller))
+    issues.extend(_lint_prefixes(network))
+    return issues
+
+
+def assert_valid(
+    network: Network, controller: TunnelController | None = None
+) -> None:
+    """Raise :class:`NetworkConfigError` when the lint finds issues."""
+    issues = lint_network(network, controller)
+    if issues:
+        raise NetworkConfigError(issues)
+
+
+def _lint_connectivity(network: Network) -> list[str]:
+    issues = []
+    if network.num_routers == 0:
+        return ["network has no routers"]
+    graph = network.to_graph()
+    if network.num_routers > 1 and not nx.is_connected(graph):
+        components = nx.number_connected_components(graph)
+        issues.append(
+            f"network is disconnected ({components} components)"
+        )
+    for router in network.routers():
+        if not router.interfaces:
+            issues.append(f"router {router.name} has no links")
+    return issues
+
+
+def _lint_routers(
+    network: Network, controller: TunnelController | None
+) -> list[str]:
+    issues = []
+    for router in network.routers():
+        if router.role is RouterRole.VANTAGE and (
+            router.sr_enabled or router.ldp_enabled
+        ):
+            issues.append(
+                f"vantage point {router.name} must not run MPLS"
+            )
+        if not 0.0 <= router.icmp_response_rate <= 1.0:
+            issues.append(
+                f"router {router.name} has icmp_response_rate "
+                f"{router.icmp_response_rate} outside [0, 1]"
+            )
+        if controller is not None and router.sr_enabled:
+            domain = controller.sr_domain(router.asn)
+            if domain is None:
+                issues.append(
+                    f"router {router.name} is sr_enabled but AS"
+                    f"{router.asn} has no SR domain"
+                )
+            elif not domain.is_enrolled(router.router_id):
+                issues.append(
+                    f"router {router.name} is sr_enabled but not "
+                    f"enrolled in AS{router.asn}'s domain"
+                )
+    return issues
+
+
+def _lint_prefixes(network: Network) -> list[str]:
+    issues = []
+    seen: set[tuple[int, int]] = set()
+    for prefix, rid in network.announced_prefixes():
+        key = (prefix.network.value, prefix.length)
+        if key in seen:
+            issues.append(f"prefix {prefix} announced twice")
+        seen.add(key)
+        router = network.router(rid)
+        if not router.interfaces:
+            issues.append(
+                f"prefix {prefix} announced by isolated router "
+                f"{router.name}"
+            )
+    return issues

@@ -1,0 +1,162 @@
+"""Label Distribution Protocol (RFC 5036) control plane.
+
+LDP's defining property for AReST (Sec. 2.1 of the paper) is that label
+bindings are *local*: every LSR independently picks a label for each FEC
+out of its own dynamic pool, so the same 20-bit value (almost) never
+repeats on consecutive hops of a traceroute.  The simulator reproduces
+exactly that: per-router allocation cursors start at a router-specific
+pseudo-random offset inside the vendor's dynamic pool, giving realistic,
+uncorrelated label values.
+
+Penultimate-hop popping is modelled through the reserved implicit-null
+label: the egress of a FEC advertises label 3, instructing its upstream
+neighbour to pop instead of swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.netsim.addressing import IPv4Prefix
+from repro.netsim.mpls import ReservedLabel
+from repro.netsim.topology import Network
+from repro.netsim.vendors import Vendor, VENDOR_PROFILES, LabelRange
+
+_FALLBACK_POOL = LabelRange(16, 1_048_575)
+
+
+@dataclass(frozen=True, slots=True)
+class Fec:
+    """A Forwarding Equivalence Class: a destination prefix and its egress.
+
+    The egress router is the LSR where the LSP ends (the prefix
+    originator or the AS exit point); it advertises implicit-null so its
+    upstream neighbour pops (PHP).
+    """
+
+    prefix: IPv4Prefix
+    egress: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FEC({self.prefix} via #{self.egress})"
+
+
+def _pool_for(vendor: Vendor) -> LabelRange:
+    profile = VENDOR_PROFILES.get(vendor)
+    return profile.dynamic_pool if profile else _FALLBACK_POOL
+
+
+#: real allocators hand out labels sequentially from the pool base;
+#: uptime and churn spread routers over roughly this many values
+_ALLOCATION_SPREAD = 40_000
+
+
+def _start_offset(seed: int, router_id: int, pool: LabelRange) -> int:
+    """Deterministic pseudo-random allocation start within the pool.
+
+    Confined to the low end of the pool: real dynamic labels cluster
+    near the base (the Fig. 16 skew toward small 20-bit values).
+    """
+    digest = hashlib.sha256(
+        f"ldp:{seed}:{router_id}".encode("ascii")
+    ).digest()
+    spread = min(pool.size(), _ALLOCATION_SPREAD)
+    return int.from_bytes(digest[:8], "big") % spread
+
+
+class LdpState:
+    """Converged LDP label bindings for one network.
+
+    ``binding(router, fec)`` answers "which label did *router* advertise
+    for *fec*" -- exactly what an upstream neighbour uses as outgoing
+    label.  Bindings are created lazily on first use and are stable for
+    the lifetime of the object.
+    """
+
+    def __init__(self, network: Network, seed: int = 0) -> None:
+        self._network = network
+        self._seed = seed
+        self._fecs: dict[IPv4Prefix, Fec] = {}
+        self._bindings: dict[tuple[int, IPv4Prefix], int] = {}
+        self._cursors: dict[int, int] = {}
+        #: reverse map for the forwarding plane: (router, label) -> fec
+        self._label_to_fec: dict[tuple[int, int], Fec] = {}
+
+    # -- FEC management -----------------------------------------------------
+
+    def register_fec(self, prefix: IPv4Prefix, egress: int) -> Fec:
+        """Declare a FEC; idempotent for identical (prefix, egress)."""
+        existing = self._fecs.get(prefix)
+        if existing is not None:
+            if existing.egress != egress:
+                raise ValueError(
+                    f"FEC {prefix} already registered with egress "
+                    f"#{existing.egress}, not #{egress}"
+                )
+            return existing
+        fec = Fec(prefix=prefix, egress=egress)
+        self._fecs[prefix] = fec
+        return fec
+
+    def fec_for_prefix(self, prefix: IPv4Prefix) -> Fec | None:
+        """The FEC registered for a prefix, or None."""
+        return self._fecs.get(prefix)
+
+    def fecs(self) -> list[Fec]:
+        """Every registered FEC."""
+        return list(self._fecs.values())
+
+    # -- binding allocation --------------------------------------------------
+
+    def binding(self, router_id: int, fec: Fec) -> int:
+        """Label advertised by ``router_id`` for ``fec``.
+
+        The egress advertises :data:`ReservedLabel.IMPLICIT_NULL` for its
+        own FECs (PHP).  Non-LDP routers never advertise bindings; asking
+        for one is a caller bug.
+        """
+        router = self._network.router(router_id)
+        if not router.ldp_enabled:
+            raise ValueError(f"router {router.name} does not speak LDP")
+        if router_id == fec.egress:
+            return int(ReservedLabel.IMPLICIT_NULL)
+        key = (router_id, fec.prefix)
+        label = self._bindings.get(key)
+        if label is None:
+            label = self._allocate(router_id)
+            self._bindings[key] = label
+            self._label_to_fec[(router_id, label)] = fec
+        return label
+
+    def _allocate(self, router_id: int) -> int:
+        router = self._network.router(router_id)
+        pool = _pool_for(router.vendor)
+        cursor = self._cursors.get(router_id)
+        if cursor is None:
+            cursor = _start_offset(self._seed, router_id, pool)
+        # Linear scan from the cursor; collisions with already-assigned
+        # labels on this router are skipped (labels are per-router unique).
+        for _ in range(pool.size()):
+            label = pool.low + cursor
+            cursor = (cursor + 1) % pool.size()
+            if (router_id, label) not in self._label_to_fec:
+                self._cursors[router_id] = cursor
+                return label
+        raise MemoryError(  # pragma: no cover - pools are huge
+            f"label pool exhausted on router #{router_id}"
+        )
+
+    # -- forwarding-plane lookups --------------------------------------------
+
+    def fec_for_label(self, router_id: int, label: int) -> Fec | None:
+        """FEC that ``router_id`` bound ``label`` to, if any."""
+        return self._label_to_fec.get((router_id, label))
+
+    def advertised_labels(self, router_id: int) -> dict[int, Fec]:
+        """All (label -> fec) bindings advertised by one router."""
+        return {
+            label: fec
+            for (rid, label), fec in self._label_to_fec.items()
+            if rid == router_id
+        }

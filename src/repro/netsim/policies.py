@@ -1,0 +1,171 @@
+"""SR policies and binding SIDs (RFC 9256 / the paper's Sec. 6.2).
+
+An SR policy lives at a *head-end* router and is steered into through a
+**binding SID** (BSID): a local label that, when active at the head-end,
+is popped and replaced by the policy's full segment list -- "SR policies
+allow one hop on a path to dynamically replace certain SIDs with new,
+potentially deeper, stacks" (Sec. 6.2).
+
+For AReST this is the mechanism behind mid-path stack *growth*: a
+traceroute sees a shallow stack up to the head-end, then suddenly deep
+stacks whose labels match no vendor range (the BSID and policy segments
+come from local pools), raising LSO flags that are nonetheless genuine
+SR -- exactly what the ESnet operator confirmed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.netsim.sr import SegmentRoutingDomain, SrConfigError
+from repro.netsim.topology import Network
+from repro.netsim.vendors import LabelRange, VENDOR_PROFILES
+
+
+@dataclass(frozen=True, slots=True)
+class SrPolicy:
+    """One policy instance installed at a head-end router."""
+
+    head_end: int
+    binding_sid: int
+    #: segment labels pushed when the BSID is consumed, top first
+    segment_labels: tuple[int, ...]
+    #: control-plane source of each pushed label ("sr")
+    color: int = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of labels the policy splices in."""
+        return len(self.segment_labels)
+
+
+class SrPolicyRegistry:
+    """Allocates binding SIDs and resolves policies at head-ends."""
+
+    def __init__(
+        self,
+        network: Network,
+        domain: SegmentRoutingDomain,
+        seed: int = 0,
+    ) -> None:
+        self._network = network
+        self._domain = domain
+        self._seed = seed
+        self._policies: dict[tuple[int, int], SrPolicy] = {}
+        self._cursors: dict[int, int] = {}
+
+    def install(
+        self,
+        head_end: int,
+        via: int,
+        egress: int,
+        color: int = 0,
+    ) -> SrPolicy:
+        """Install (or return) a policy at ``head_end`` that steers
+        traffic to ``egress`` through ``via``.
+
+        The BSID is allocated from the head-end's local label space; the
+        segment list encodes [node(via); node(egress)] in the SRGBs the
+        respective processing routers will use.
+        """
+        if not self._domain.is_enrolled(head_end):
+            raise SrConfigError(
+                f"policy head-end #{head_end} is not SR-enrolled"
+            )
+        for target in (via, egress):
+            if self._domain.node_index(target) is None:
+                raise SrConfigError(
+                    f"policy target #{target} has no node SID"
+                )
+        existing = self._find(head_end, via, egress, color)
+        if existing is not None:
+            return existing
+        binding_sid = self._allocate_bsid(head_end)
+        segments = self._encode_segments(head_end, via, egress)
+        policy = SrPolicy(
+            head_end=head_end,
+            binding_sid=binding_sid,
+            segment_labels=segments,
+            color=color,
+        )
+        self._policies[(head_end, binding_sid)] = policy
+        return policy
+
+    def _find(
+        self, head_end: int, via: int, egress: int, color: int
+    ) -> SrPolicy | None:
+        segments = self._encode_segments(head_end, via, egress)
+        for (owner, _bsid), policy in self._policies.items():
+            if (
+                owner == head_end
+                and policy.segment_labels == segments
+                and policy.color == color
+            ):
+                return policy
+        return None
+
+    def _encode_segments(
+        self, head_end: int, via: int, egress: int
+    ) -> tuple[int, ...]:
+        via_index = self._domain.node_index(via)
+        egress_index = self._domain.node_index(egress)
+        assert via_index is not None and egress_index is not None
+        # the top label is examined by the head-end itself (it forwards
+        # right after the splice); the inner label by `via`
+        top = self._domain.label_on_wire(head_end, via_index)
+        inner = self._domain.label_on_wire(via, egress_index)
+        if via == egress:
+            return (top,)
+        return (top, inner)
+
+    def _allocate_bsid(self, head_end: int) -> int:
+        config = self._domain.config(head_end)
+        pool: LabelRange | None = config.srlb
+        if pool is None:
+            vendor = self._network.router(head_end).vendor
+            profile = VENDOR_PROFILES.get(vendor)
+            pool = (
+                profile.dynamic_pool
+                if profile
+                else LabelRange(24_000, 1_048_575)
+            )
+        base = (
+            int.from_bytes(
+                hashlib.sha256(
+                    f"bsid:{self._seed}:{head_end}".encode()
+                ).digest()[:4],
+                "big",
+            )
+            % max(1, pool.size() - 256)
+        )
+        cursor = self._cursors.get(head_end, 0)
+        for _ in range(256):
+            label = pool.low + (base + cursor) % pool.size()
+            cursor += 1
+            if (head_end, label) not in self._policies and not any(
+                p.binding_sid == label
+                for (owner, _), p in self._policies.items()
+                if owner == head_end
+            ):
+                self._cursors[head_end] = cursor
+                return label
+        raise SrConfigError(  # pragma: no cover - 256 tries suffice
+            f"BSID space exhausted at head-end #{head_end}"
+        )
+
+    # -- forwarding-plane lookup ------------------------------------------------
+
+    def policy_for(self, router_id: int, label: int) -> SrPolicy | None:
+        """The policy spliced in when ``label`` is active at ``router_id``."""
+        return self._policies.get((router_id, label))
+
+    def policies_at(self, router_id: int) -> list[SrPolicy]:
+        """Every policy installed at one head-end."""
+        return [
+            p for (owner, _), p in self._policies.items()
+            if owner == router_id
+        ]
+
+    def __len__(self) -> int:
+        return len(self._policies)

@@ -1,0 +1,163 @@
+"""RSVP-TE signaled label-switched paths (RFC 3209).
+
+The paper's footnote 2: "Labels might also be distributed with RSVP-TE
+for traffic engineering purposes."  Unlike LDP (labels follow the IGP)
+or SR (the source encodes the path in the stack), RSVP-TE *signals* an
+explicitly routed LSP hop by hop: every transit LSR reserves state and
+hands its upstream neighbour a label from its local pool.
+
+For AReST the observable signature is classic-MPLS-like -- one label
+per hop, all different -- but the *path* may deviate from the IGP
+shortest path, and no signaling artefact betrays SR.  RSVP-TE tunnels
+are therefore pure negatives for every AReST flag: the simulator uses
+them to stress the detector with traffic-engineered-but-not-SR paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.netsim.topology import Network
+from repro.netsim.vendors import LabelRange, VENDOR_PROFILES
+
+_FALLBACK_POOL = LabelRange(16, 1_048_575)
+
+
+@dataclass(frozen=True, slots=True)
+class RsvpLsp:
+    """One signaled LSP: an explicit route and per-hop labels.
+
+    ``labels[i]`` is the label *advertised by* ``path[i]`` -- the value
+    the packet carries on the wire while travelling toward ``path[i]``.
+    The head-end (``path[0]``) advertises no label; the tail end uses
+    implicit-null semantics (its predecessor pops, PHP).
+    """
+
+    lsp_id: int
+    path: tuple[int, ...]
+    labels: tuple[int | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("an LSP needs a head and a tail")
+        if len(self.labels) != len(self.path):
+            raise ValueError("one label slot per hop required")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError("explicit routes must be loop-free")
+
+    @property
+    def head(self) -> int:
+        """The LSP's head-end router."""
+        return self.path[0]
+
+    @property
+    def tail(self) -> int:
+        """The LSP's tail-end router."""
+        return self.path[-1]
+
+    def position_of(self, router_id: int) -> int | None:
+        """The router's index on the explicit route, or None."""
+        try:
+            return self.path.index(router_id)
+        except ValueError:
+            return None
+
+
+class RsvpTeState:
+    """Converged RSVP-TE state: signaled LSPs and per-router label maps."""
+
+    def __init__(self, network: Network, seed: int = 0) -> None:
+        self._network = network
+        self._seed = seed
+        self._lsps: list[RsvpLsp] = []
+        #: (router, in-label) -> (lsp, position of router on the path)
+        self._label_map: dict[tuple[int, int], tuple[RsvpLsp, int]] = {}
+        self._cursors: dict[int, int] = {}
+
+    def signal_lsp(self, path: list[int]) -> RsvpLsp:
+        """Signal an explicitly routed LSP along ``path``.
+
+        Every consecutive pair must share a link (the PATH message walks
+        real adjacencies); transit hops and the tail allocate labels, the
+        tail's slot stays None (PHP: the penultimate hop pops).
+        """
+        for a, b in zip(path, path[1:]):
+            if self._network.link_between(a, b) is None:
+                raise ValueError(
+                    f"explicit route hop #{a} -> #{b} is not a link"
+                )
+        labels: list[int | None] = [None]
+        for position, router_id in enumerate(path[1:-1], start=1):
+            labels.append(self._allocate(router_id))
+        labels.append(None)  # PHP at the tail
+        lsp = RsvpLsp(
+            lsp_id=len(self._lsps) + 1,
+            path=tuple(path),
+            labels=tuple(labels),
+        )
+        self._lsps.append(lsp)
+        for position, (router_id, label) in enumerate(
+            zip(lsp.path, lsp.labels)
+        ):
+            if label is not None:
+                self._label_map[(router_id, label)] = (lsp, position)
+        return lsp
+
+    def _allocate(self, router_id: int) -> int:
+        vendor = self._network.router(router_id).vendor
+        profile = VENDOR_PROFILES.get(vendor)
+        pool = profile.dynamic_pool if profile else _FALLBACK_POOL
+        spread = min(pool.size(), 40_000)
+        base = (
+            int.from_bytes(
+                hashlib.sha256(
+                    f"rsvp:{self._seed}:{router_id}".encode()
+                ).digest()[:6],
+                "big",
+            )
+            % spread
+        )
+        cursor = self._cursors.get(router_id, 0)
+        while True:
+            label = pool.low + (base + cursor) % pool.size()
+            cursor += 1
+            if (router_id, label) not in self._label_map:
+                self._cursors[router_id] = cursor
+                return label
+
+    # -- forwarding-plane lookups ------------------------------------------------
+
+    def lookup(self, router_id: int, label: int) -> tuple[RsvpLsp, int] | None:
+        """The LSP and path position bound to this (router, in-label)."""
+        return self._label_map.get((router_id, label))
+
+    def next_step(
+        self, router_id: int, label: int
+    ) -> tuple[int, int | None] | None:
+        """Forwarding decision for an RSVP label at ``router_id``.
+
+        Returns (next-hop router, outgoing label or None for a PHP pop),
+        or None when the label is unknown here.
+        """
+        entry = self.lookup(router_id, label)
+        if entry is None:
+            return None
+        lsp, position = entry
+        next_position = position + 1
+        next_hop = lsp.path[next_position]
+        return (next_hop, lsp.labels[next_position])
+
+    def head_label(self, lsp: RsvpLsp) -> int | None:
+        """The label the head-end pushes (None for a 2-hop PHP'd LSP)."""
+        return lsp.labels[1]
+
+    def lsps(self) -> list[RsvpLsp]:
+        """Every signaled LSP."""
+        return list(self._lsps)
+
+    def lsps_through(self, router_id: int) -> list[RsvpLsp]:
+        """LSPs whose explicit route visits one router."""
+        return [
+            lsp for lsp in self._lsps if lsp.position_of(router_id) is not None
+        ]

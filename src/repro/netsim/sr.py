@@ -1,0 +1,298 @@
+"""SR-MPLS control plane (RFC 8402 / RFC 8660).
+
+Models, per autonomous system, a converged Segment Routing domain:
+
+- every SR-enabled router carries an **SRGB** (Segment Routing Global
+  Block) -- by default the vendor's range from Table 1, optionally a
+  custom operator-chosen one (the paper's survey: ~70% keep the default);
+- **node SIDs** are indexes into the SRGB; the on-wire label between a
+  router and its next hop ``N`` is ``srgb_base(N) + index`` (Sec. 2.3 and
+  Fig. 4 of the paper), which is why identical labels persist across hops
+  when SRGBs are homogeneous -- the signal behind the CVR/CO flags;
+- **adjacency SIDs** are local labels allocated from the SRLB (Cisco,
+  Huawei, Arista) or the dynamic pool (Juniper);
+- a **mapping server** (RFC 8661) may advertise prefix-SID indexes on
+  behalf of LDP-only routers, enabling SR-to-LDP interworking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.netsim.topology import Network, Router
+from repro.netsim.vendors import LabelRange, Vendor, VENDOR_PROFILES
+
+_FALLBACK_SRGB = LabelRange(16_000, 23_999)
+_FALLBACK_SRLB = LabelRange(15_000, 15_999)
+
+
+class SrConfigError(Exception):
+    """Raised on inconsistent Segment Routing configuration."""
+
+
+def default_srgb(vendor: Vendor) -> LabelRange:
+    """The SRGB a router uses out of the box.
+
+    Vendors without a shipped default (Juniper, Nokia, ...) are modelled
+    as configured with the Cisco-compatible range, the common operator
+    practice in multi-vendor domains per RFC 8402's recommendation of a
+    consistent SRGB.
+    """
+    profile = VENDOR_PROFILES.get(vendor)
+    if profile is not None and profile.default_srgb is not None:
+        return profile.default_srgb
+    return _FALLBACK_SRGB
+
+
+def default_srlb(vendor: Vendor) -> LabelRange | None:
+    """The SRLB a router uses out of the box; ``None`` means adjacency
+    SIDs come from the dynamic pool (Juniper behaviour, Sec. 2.3)."""
+    profile = VENDOR_PROFILES.get(vendor)
+    if profile is None:
+        return _FALLBACK_SRLB
+    return profile.default_srlb
+
+
+@dataclass(slots=True)
+class SrNodeConfig:
+    """Per-router Segment Routing configuration."""
+
+    router_id: int
+    srgb: LabelRange
+    srlb: LabelRange | None
+    sid_index: int
+
+
+@dataclass(slots=True)
+class _AdjacencyAllocation:
+    cursor: int = 0
+    sids: dict[int, int] = field(default_factory=dict)  # neighbour -> label
+
+
+class SegmentRoutingDomain:
+    """One AS's converged SR-MPLS control plane.
+
+    The domain assigns node-SID indexes (unique per domain), resolves
+    label values per-next-hop SRGB, allocates adjacency SIDs, and hosts
+    the optional mapping server entries for LDP-only routers.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        asn: int,
+        seed: int = 0,
+        php: bool = True,
+        explicit_null: bool = False,
+    ) -> None:
+        self._network = network
+        self._asn = asn
+        self._seed = seed
+        #: penultimate-hop popping for node SIDs; False = UHP, the stack
+        #: stays intact until the segment endpoint (unshrinking stacks)
+        self.php = php
+        #: signal explicit-null instead of popping: the penultimate hop
+        #: swaps the node SID to label 0 so the endpoint still sees an
+        #: MPLS header (QoS marking survives); implies no PHP strip
+        self.explicit_null = explicit_null
+        self._configs: dict[int, SrNodeConfig] = {}
+        #: sid index -> router id (SR routers and mapping-server entries)
+        self._index_to_router: dict[int, int] = {}
+        self._mapping_server: dict[int, int] = {}  # router id -> index
+        self._adjacency: dict[int, _AdjacencyAllocation] = {}
+        self._next_index = 1
+
+    @property
+    def asn(self) -> int:
+        """The AS this domain serves."""
+        return self._asn
+
+    # -- enrolment ------------------------------------------------------------
+
+    def enroll(
+        self,
+        router: Router | int,
+        srgb: LabelRange | None = None,
+        srlb: LabelRange | None = None,
+        sid_index: int | None = None,
+    ) -> SrNodeConfig:
+        """Enable SR on a router, assigning its node-SID index.
+
+        Defaults follow the router's vendor profile.  Explicit ``srgb``
+        models the ~30% of operators who customize the range (Sec. 3).
+        """
+        rid = router.router_id if isinstance(router, Router) else router
+        box = self._network.router(rid)
+        if box.asn != self._asn:
+            raise SrConfigError(
+                f"router {box.name} is in AS{box.asn}, not AS{self._asn}"
+            )
+        if rid in self._configs:
+            raise SrConfigError(f"router {box.name} already SR-enrolled")
+        if sid_index is None:
+            sid_index = self._next_index
+        if sid_index in self._index_to_router:
+            raise SrConfigError(f"SID index {sid_index} already in use")
+        self._next_index = max(self._next_index, sid_index) + 1
+        config = SrNodeConfig(
+            router_id=rid,
+            srgb=srgb if srgb is not None else default_srgb(box.vendor),
+            srlb=srlb if srlb is not None else default_srlb(box.vendor),
+            sid_index=sid_index,
+        )
+        if config.sid_index >= config.srgb.size():
+            raise SrConfigError(
+                f"SID index {config.sid_index} outside SRGB {config.srgb}"
+            )
+        self._configs[rid] = config
+        self._index_to_router[sid_index] = rid
+        box.sr_enabled = True
+        return config
+
+    def add_mapping_server_entry(
+        self, router: Router | int, sid_index: int | None = None
+    ) -> int:
+        """Advertise a prefix-SID index on behalf of an LDP-only router.
+
+        This is the RFC 8661 Mapping Server: SR routers learn to reach
+        the (non-SR) router through a globally significant index, which
+        enables SR-over-the-first-part interworking tunnels (Sec. 7.2).
+        """
+        rid = router.router_id if isinstance(router, Router) else router
+        box = self._network.router(rid)
+        if rid in self._configs:
+            raise SrConfigError(
+                f"{box.name} is SR-enabled; mapping entries are for "
+                "LDP-only routers"
+            )
+        if rid in self._mapping_server:
+            return self._mapping_server[rid]
+        if sid_index is None:
+            sid_index = self._next_index
+        if sid_index in self._index_to_router:
+            raise SrConfigError(f"SID index {sid_index} already in use")
+        self._next_index = max(self._next_index, sid_index) + 1
+        self._mapping_server[rid] = sid_index
+        self._index_to_router[sid_index] = rid
+        return sid_index
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_enrolled(self, router_id: int) -> bool:
+        """True when the router carries SR configuration here."""
+        return router_id in self._configs
+
+    def config(self, router_id: int) -> SrNodeConfig:
+        """The router's SR configuration (raises if not enrolled)."""
+        try:
+            return self._configs[router_id]
+        except KeyError:
+            raise SrConfigError(f"router #{router_id} not SR-enrolled") from None
+
+    def enrolled_routers(self) -> list[int]:
+        """Router ids of every SR member, sorted."""
+        return sorted(self._configs)
+
+    def node_index(self, router_id: int) -> int | None:
+        """Node-SID index of a router (SR or mapping-server), or None."""
+        config = self._configs.get(router_id)
+        if config is not None:
+            return config.sid_index
+        return self._mapping_server.get(router_id)
+
+    def router_for_index(self, sid_index: int) -> int | None:
+        """The router a SID index belongs to, or None."""
+        return self._index_to_router.get(sid_index)
+
+    def has_mapping_entry(self, router_id: int) -> bool:
+        """True when the mapping server covers this router."""
+        return router_id in self._mapping_server
+
+    # -- label arithmetic -------------------------------------------------------
+
+    def label_on_wire(self, next_hop: int, sid_index: int) -> int:
+        """Label value carried toward ``next_hop`` for a node SID.
+
+        RFC 8660: the upstream router maps the SID index into the
+        *downstream* neighbour's SRGB (Fig. 4 of the paper).
+        """
+        config = self.config(next_hop)
+        label = config.srgb.low + sid_index
+        if label not in config.srgb:
+            raise SrConfigError(
+                f"index {sid_index} does not fit SRGB {config.srgb} "
+                f"of router #{next_hop}"
+            )
+        return label
+
+    def resolve_label(self, at_router: int, label: int) -> int | None:
+        """Which router does ``label`` steer toward, from the point of
+        view of ``at_router``?  Returns the target router id if the label
+        falls inside ``at_router``'s SRGB and maps to a known index."""
+        config = self._configs.get(at_router)
+        if config is None or label not in config.srgb:
+            return None
+        return self._index_to_router.get(label - config.srgb.low)
+
+    # -- adjacency SIDs ----------------------------------------------------------
+
+    def adjacency_sid(self, router_id: int, neighbor_id: int) -> int:
+        """Adjacency SID of ``router_id`` for its link to ``neighbor_id``.
+
+        Allocated lazily, one per IGP adjacency (Sec. 2.3), from the SRLB
+        when the vendor has one, otherwise from the dynamic pool at a
+        router-specific pseudo-random offset (Juniper behaviour).
+        """
+        config = self.config(router_id)
+        if neighbor_id not in self._network.neighbors(router_id):
+            raise SrConfigError(
+                f"#{router_id} has no adjacency to #{neighbor_id}"
+            )
+        allocation = self._adjacency.setdefault(router_id, _AdjacencyAllocation())
+        sid = allocation.sids.get(neighbor_id)
+        if sid is not None:
+            return sid
+        pool = config.srlb
+        if pool is None:
+            vendor = self._network.router(router_id).vendor
+            profile = VENDOR_PROFILES.get(vendor)
+            pool = profile.dynamic_pool if profile else LabelRange(24_000, 1_048_575)
+            base_offset = int.from_bytes(
+                hashlib.sha256(
+                    f"adj:{self._seed}:{router_id}".encode("ascii")
+                ).digest()[:8],
+                "big",
+            ) % max(1, pool.size() - 1024)
+        else:
+            base_offset = 0
+        sid = pool.low + base_offset + allocation.cursor
+        if sid not in pool:
+            raise SrConfigError(
+                f"SRLB {pool} exhausted on router #{router_id}"
+            )
+        allocation.cursor += 1
+        allocation.sids[neighbor_id] = sid
+        return sid
+
+    def adjacency_target(self, router_id: int, label: int) -> int | None:
+        """Neighbour reached by ``label`` if it is one of ``router_id``'s
+        adjacency SIDs, else None."""
+        allocation = self._adjacency.get(router_id)
+        if allocation is None:
+            return None
+        for neighbor, sid in allocation.sids.items():
+            if sid == label:
+                return neighbor
+        return None
+
+    # -- domain-wide facts ---------------------------------------------------------
+
+    def srgbs_homogeneous(self) -> bool:
+        """True when every enrolled router shares one SRGB (the RFC 8402
+        recommendation; heterogeneity forces per-hop label re-mapping and
+        is what AReST's suffix matching compensates for)."""
+        ranges = {
+            (c.srgb.low, c.srgb.high) for c in self._configs.values()
+        }
+        return len(ranges) <= 1

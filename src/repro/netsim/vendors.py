@@ -1,0 +1,200 @@
+"""Hardware vendor profiles.
+
+Encodes Table 1 of the paper (default Segment Routing Global/Local Blocks)
+together with the fingerprinting-relevant behaviour of each vendor:
+
+- the *initial TTL signature*, i.e. the pair of initial TTL values the
+  router operating system uses for ICMP ``time-exceeded`` and ICMP
+  ``echo-reply`` messages.  Vanaubel et al. showed this pair partitions
+  routers into classes; crucially, Cisco and Huawei share the signature
+  ``<255, 255>`` and therefore cannot be told apart by TTL fingerprinting
+  alone (Sec. 5 of the paper);
+- the *dynamic label pool*, from which LDP labels and (for Juniper)
+  adjacency SIDs are allocated;
+- whether the public SNMPv3 fingerprint dataset covers the vendor (Arista
+  is notably absent, Sec. 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+
+class Vendor(enum.Enum):
+    """Router hardware vendors observed in the paper's survey (Fig. 5a)."""
+
+    CISCO = "Cisco"
+    JUNIPER = "Juniper"
+    HUAWEI = "Huawei"
+    NOKIA = "Nokia"
+    ARISTA = "Arista"
+    MIKROTIK = "MikroTik"
+    LINUX = "Linux"
+    UNKNOWN = "Unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class LabelRange:
+    """A half-open-free inclusive MPLS label range ``[low, high]``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high < 2**20:
+            raise ValueError(f"invalid label range [{self.low}, {self.high}]")
+
+    def __contains__(self, label: int) -> bool:
+        return self.low <= label <= self.high
+
+    def size(self) -> int:
+        """Number of labels in the range."""
+        return self.high - self.low + 1
+
+    def overlaps(self, other: "LabelRange") -> bool:
+        """True when the ranges share any label."""
+        return self.low <= other.high and other.low <= self.high
+
+    def intersection(self, other: "LabelRange") -> "LabelRange | None":
+        """The overlapping sub-range, or None."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return LabelRange(low, high)
+
+    def __str__(self) -> str:
+        return f"[{self.low}; {self.high}]"
+
+
+@dataclass(frozen=True, slots=True)
+class TTLSignature:
+    """Initial TTL pair ``<time-exceeded, echo-reply>``."""
+
+    time_exceeded: int
+    echo_reply: int
+
+    def __post_init__(self) -> None:
+        for ttl in (self.time_exceeded, self.echo_reply):
+            if ttl not in (30, 32, 60, 64, 128, 255):
+                raise ValueError(f"implausible initial TTL: {ttl}")
+
+    def __str__(self) -> str:
+        return f"<{self.time_exceeded}, {self.echo_reply}>"
+
+
+@dataclass(frozen=True, slots=True)
+class VendorProfile:
+    """Everything the simulator and AReST need to know about a vendor."""
+
+    vendor: Vendor
+    #: Default SRGB, if the vendor ships one (Table 1).  ``None`` means the
+    #: operator must configure the range explicitly (e.g. Juniper requires
+    #: user-defined SRGBs on most platforms).
+    default_srgb: LabelRange | None
+    #: Default SRLB, if any.  Juniper allocates adjacency SIDs from the
+    #: dynamic label pool instead of a dedicated SRLB (Sec. 2.3).
+    default_srlb: LabelRange | None
+    #: Pool from which LDP labels (and Juniper adjacency SIDs) are drawn.
+    dynamic_pool: LabelRange
+    #: Initial-TTL fingerprint signature.
+    ttl_signature: TTLSignature
+    #: Whether the public SNMPv3 dataset can identify this vendor.
+    snmp_identifiable: bool
+
+
+#: Default vendor label ranges, verbatim from Table 1 of the paper, plus
+#: dynamic pools from vendor documentation (Cisco dynamic labels start at
+#: 24,000 and span roughly a million values; Juniper at 299,776; Huawei
+#: above its SRGB).
+VENDOR_PROFILES: Mapping[Vendor, VendorProfile] = {
+    Vendor.CISCO: VendorProfile(
+        vendor=Vendor.CISCO,
+        default_srgb=LabelRange(16_000, 23_999),
+        default_srlb=LabelRange(15_000, 15_999),
+        dynamic_pool=LabelRange(24_000, 1_048_575),
+        ttl_signature=TTLSignature(255, 255),
+        snmp_identifiable=True,
+    ),
+    Vendor.HUAWEI: VendorProfile(
+        vendor=Vendor.HUAWEI,
+        default_srgb=LabelRange(16_000, 47_999),
+        default_srlb=LabelRange(48_000, 63_999),
+        dynamic_pool=LabelRange(64_000, 1_048_575),
+        ttl_signature=TTLSignature(255, 255),
+        snmp_identifiable=True,
+    ),
+    Vendor.ARISTA: VendorProfile(
+        vendor=Vendor.ARISTA,
+        default_srgb=LabelRange(900_000, 965_535),
+        default_srlb=LabelRange(100_000, 116_383),
+        dynamic_pool=LabelRange(130_000, 899_999),
+        ttl_signature=TTLSignature(64, 64),
+        snmp_identifiable=False,  # absent from the SNMPv3 dataset (Sec. 5)
+    ),
+    Vendor.JUNIPER: VendorProfile(
+        vendor=Vendor.JUNIPER,
+        default_srgb=None,  # user-defined; no SRLB either (Sec. 2.3)
+        default_srlb=None,
+        dynamic_pool=LabelRange(299_776, 1_048_575),
+        ttl_signature=TTLSignature(255, 64),
+        snmp_identifiable=True,
+    ),
+    Vendor.NOKIA: VendorProfile(
+        vendor=Vendor.NOKIA,
+        default_srgb=None,  # SR-OS requires an explicit SRGB block
+        default_srlb=None,
+        dynamic_pool=LabelRange(524_288, 1_048_575),
+        ttl_signature=TTLSignature(64, 255),
+        snmp_identifiable=True,
+    ),
+    Vendor.MIKROTIK: VendorProfile(
+        vendor=Vendor.MIKROTIK,
+        default_srgb=None,
+        default_srlb=None,
+        dynamic_pool=LabelRange(16, 1_048_575),
+        ttl_signature=TTLSignature(64, 64),
+        snmp_identifiable=True,
+    ),
+    Vendor.LINUX: VendorProfile(
+        vendor=Vendor.LINUX,
+        default_srgb=None,
+        default_srlb=None,
+        dynamic_pool=LabelRange(16, 1_048_575),
+        ttl_signature=TTLSignature(64, 64),
+        snmp_identifiable=True,
+    ),
+}
+
+
+def profile(vendor: Vendor) -> VendorProfile:
+    """Look up the profile for ``vendor``.
+
+    Raises :class:`KeyError` for :attr:`Vendor.UNKNOWN`, which has no
+    profile by construction.
+    """
+    return VENDOR_PROFILES[vendor]
+
+
+def ttl_signature_class(signature: TTLSignature) -> frozenset[Vendor]:
+    """Vendors sharing an initial-TTL signature.
+
+    TTL fingerprinting can only narrow a router down to the *class* of
+    vendors sharing the signature.  The paper leans on the fact that
+    ``<255, 255>`` maps to {Cisco, Huawei}, whose SR ranges intersect in
+    ``[16,000; 23,999]``.
+    """
+    return frozenset(
+        v for v, p in VENDOR_PROFILES.items() if p.ttl_signature == signature
+    )
+
+
+#: The label range AReST may use when TTL fingerprinting yields the
+#: {Cisco, Huawei} class: the intersection of both vendors' default SRGBs
+#: (Sec. 5 of the paper).
+CISCO_HUAWEI_SRGB_INTERSECTION = LabelRange(16_000, 23_999)

@@ -1,0 +1,205 @@
+"""TNT: Trace the Naughty Tunnels (Vanaubel/Luttringer et al.).
+
+TNT extends Paris traceroute with (i) MPLS-aware annotation of the
+collected hops and (ii) active *revelation* of tunnels hidden from plain
+traceroute.  The real tool fires extra probes (DPR, BRPR, buddy bits);
+here revelation is modelled as a per-tunnel success draw against the
+simulator's ground truth, preserving TNT's observable contract: hidden
+hops, when revealed, surface **addresses only, never LSEs** (Sec. 2.2 of
+the paper -- "TNT is able to reveal the content of invisible tunnels but
+without the LSE").
+
+The prober also carries the per-hop ground-truth annotations
+(``truth_asn``, ``truth_planes``) from the forwarding engine onto the
+trace records, which the evaluation harness uses for scoring.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.forwarding import ForwardingEngine, TruthHop
+from repro.netsim.addressing import IPv4Address
+from repro.probing.records import Trace, TraceHop
+from repro.probing.traceroute import ParisTraceroute
+from repro.util.determinism import unit_hash
+
+
+class TntProber:
+    """Paris traceroute + tunnel revelation + ground-truth annotation."""
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        max_ttl: int = 40,
+        reveal_success_rate: float = 0.85,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= reveal_success_rate <= 1.0:
+            raise ValueError("reveal_success_rate must be within [0, 1]")
+        self._engine = engine
+        self._traceroute = ParisTraceroute(engine, max_ttl=max_ttl, seed=seed)
+        self._reveal_rate = reveal_success_rate
+        self._seed = seed
+
+    def trace(
+        self,
+        vp_router_id: int,
+        destination: IPv4Address,
+        vp_name: str = "",
+    ) -> Trace:
+        """Run one TNT traceroute: probe, annotate, reveal."""
+        trace = self._traceroute.trace(vp_router_id, destination, vp_name)
+        truth = self._engine.truth_walk(
+            vp_router_id, destination, trace.flow_id
+        )
+        trace = self._annotate_truth(trace, truth)
+        trace = self._reveal_hidden(trace, truth)
+        return trace
+
+    # -- annotation ------------------------------------------------------------
+
+    def _annotate_truth(self, trace: Trace, truth: list[TruthHop]) -> Trace:
+        by_router: dict[int, list[TruthHop]] = {}
+        for t in truth:
+            by_router.setdefault(t.router_id, []).append(t)
+        hops = []
+        for hop in trace.hops:
+            info = self._matching_truth(hop, by_router)
+            if info is None:
+                hops.append(hop)
+                continue
+            hops.append(
+                hop.with_annotation(
+                    truth_asn=info.asn,
+                    # A destination reply is not forwarding evidence: the
+                    # PE answers on the target's behalf, so the labels it
+                    # happened to carry for *other* packets do not apply.
+                    truth_planes=(
+                        () if hop.destination_reply else info.received_planes
+                    ),
+                    truth_uniform=info.uniform,
+                )
+            )
+        return trace.with_hops(tuple(hops))
+
+    @staticmethod
+    def _matching_truth(
+        hop: TraceHop, by_router: dict[int, list[TruthHop]]
+    ) -> TruthHop | None:
+        """The truth record for a hop's responding router.
+
+        TE waypoints and policy splices can revisit a router, giving it
+        several truth records; pick the visit whose received stack
+        matches what the hop actually quoted.
+        """
+        if hop.truth_router_id is None:
+            return None
+        candidates = by_router.get(hop.truth_router_id)
+        if not candidates:
+            return None
+        if hop.lses:
+            quoted = tuple(e.label for e in hop.lses)
+            for candidate in candidates:
+                if candidate.received_labels == quoted:
+                    return candidate
+        else:
+            for candidate in candidates:
+                if not candidate.received_labels:
+                    return candidate
+        return candidates[0]
+
+    # -- revelation -------------------------------------------------------------
+
+    def _reveal_hidden(self, trace: Trace, truth: list[TruthHop]) -> Trace:
+        """Insert hidden MPLS hops (addresses only) behind their ending hop.
+
+        A router is *hidden* when the truth walk shows it carried labels
+        but it never answered a probe (pipe-mode tunnels: the LSE-TTL of
+        255 shields it).  Each maximal hidden run is revealed atomically
+        with probability ``reveal_success_rate``, mirroring TNT's
+        trial-and-error revelation.
+        """
+        seen_routers = {
+            h.truth_router_id for h in trace.hops if h.truth_router_id is not None
+        }
+        runs = self._hidden_runs(truth, seen_routers)
+        if not runs:
+            return trace
+        network = self._engine.network
+        hops = list(trace.hops)
+        for run in reversed(runs):  # insert back-to-front to keep indices valid
+            key = tuple(t.router_id for t in run)
+            if (
+                unit_hash(self._seed, "reveal", trace.flow_id, key)
+                >= self._reveal_rate
+            ):
+                continue
+            anchor = self._anchor_index(hops, truth, run)
+            if anchor is None:
+                continue
+            revealed = []
+            prev_router = self._predecessor(truth, run[0].router_id)
+            for t in run:
+                router = network.router(t.router_id)
+                address = (
+                    router.interfaces.get(prev_router)
+                    if prev_router is not None
+                    else router.loopback
+                )
+                if address is None:
+                    address = router.loopback
+                revealed.append(
+                    TraceHop(
+                        probe_ttl=hops[anchor].probe_ttl,
+                        address=address,
+                        tnt_revealed=True,
+                        truth_router_id=t.router_id,
+                        truth_asn=t.asn,
+                        truth_planes=t.received_planes,
+                        truth_uniform=t.uniform,
+                    )
+                )
+                prev_router = t.router_id
+            hops[anchor:anchor] = revealed
+        return trace.with_hops(tuple(hops))
+
+    @staticmethod
+    def _hidden_runs(
+        truth: list[TruthHop], seen: set[int | None]
+    ) -> list[list[TruthHop]]:
+        runs: list[list[TruthHop]] = []
+        current: list[TruthHop] = []
+        for t in truth:
+            if t.received_labels and t.router_id not in seen:
+                current.append(t)
+            else:
+                if current:
+                    runs.append(current)
+                current = []
+        if current:
+            runs.append(current)
+        return runs
+
+    @staticmethod
+    def _anchor_index(
+        hops: list[TraceHop], truth: list[TruthHop], run: list[TruthHop]
+    ) -> int | None:
+        """Index in ``hops`` before which the revealed run is inserted:
+        the first observed hop at or after the run's end on the truth path."""
+        order = {t.router_id: i for i, t in enumerate(truth)}
+        run_end = order[run[-1].router_id]
+        best: tuple[int, int] | None = None
+        for i, hop in enumerate(hops):
+            rid = hop.truth_router_id
+            if rid is None or rid not in order:
+                continue
+            pos = order[rid]
+            if pos > run_end and (best is None or pos < best[0]):
+                best = (pos, i)
+        return best[1] if best else None
+
+    @staticmethod
+    def _predecessor(truth: list[TruthHop], router_id: int) -> int | None:
+        for i, t in enumerate(truth):
+            if t.router_id == router_id:
+                return truth[i - 1].router_id if i > 0 else None
+        return None

@@ -1,0 +1,112 @@
+"""Paris traceroute over the simulated data plane.
+
+Sends TTL-increasing UDP probes with a *constant flow identifier* so
+per-flow ECMP keeps the path stable (Augustin et al.), records the
+responding address, RTT, reply TTL and any RFC 4950-quoted label stack.
+
+RTTs are synthesized from hop counts with deterministic jitter -- enough
+for TNT-style heuristics (RTT jumps at tunnel entrances) to have
+something to look at without pretending to model queueing.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.addressing import IPv4Address
+from repro.netsim.forwarding import ForwardingEngine, ProbeReply, ReplyKind
+from repro.probing.records import QuotedLse, Trace, TraceHop
+from repro.util.determinism import unit_hash
+
+#: per-hop one-way latency used to synthesize RTTs, in milliseconds
+_HOP_LATENCY_MS = 0.42
+_MAX_CONSECUTIVE_STARS = 4
+
+
+def _quote(reply: ProbeReply) -> tuple[QuotedLse, ...] | None:
+    if reply.quoted_stack is None:
+        return None
+    return tuple(
+        QuotedLse(
+            label=e.label,
+            tc=e.tc,
+            bottom_of_stack=e.bottom_of_stack,
+            ttl=e.ttl,
+        )
+        for e in reply.quoted_stack
+    )
+
+
+class ParisTraceroute:
+    """A traceroute client bound to one forwarding engine."""
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        max_ttl: int = 40,
+        seed: int = 0,
+    ) -> None:
+        if max_ttl <= 0:
+            raise ValueError("max_ttl must be positive")
+        self._engine = engine
+        self._max_ttl = max_ttl
+        self._seed = seed
+
+    def trace(
+        self,
+        vp_router_id: int,
+        destination: IPv4Address,
+        vp_name: str = "",
+        flow_id: int | None = None,
+    ) -> Trace:
+        """Run one traceroute; the flow id defaults to a stable hash of
+        (vp, destination) as Paris traceroute derives it from the tuple."""
+        if flow_id is None:
+            flow_id = int(unit_hash("flow", vp_router_id, destination) * 2**16)
+        hops: list[TraceHop] = []
+        reached = False
+        stars = 0
+        for ttl in range(1, self._max_ttl + 1):
+            reply = self._engine.forward_probe(
+                vp_router_id, destination, ttl, flow_id
+            )
+            if reply is None:
+                hops.append(TraceHop(probe_ttl=ttl, address=None))
+                stars += 1
+                if stars >= _MAX_CONSECUTIVE_STARS:
+                    break
+                continue
+            stars = 0
+            is_destination = reply.kind is not ReplyKind.TIME_EXCEEDED
+            hops.append(
+                self._hop_from_reply(ttl, reply, flow_id, is_destination)
+            )
+            if is_destination:
+                reached = True
+                break
+        return Trace(
+            vp=vp_name or f"vp{vp_router_id}",
+            vp_router_id=vp_router_id,
+            destination=destination,
+            flow_id=flow_id,
+            hops=tuple(hops),
+            reached=reached,
+        )
+
+    def _hop_from_reply(
+        self,
+        ttl: int,
+        reply: ProbeReply,
+        flow_id: int,
+        is_destination: bool = False,
+    ) -> TraceHop:
+        round_trip_hops = ttl + reply.truth_forward_hops
+        jitter = unit_hash(self._seed, "rtt", flow_id, ttl) * 0.3
+        rtt = round_trip_hops * _HOP_LATENCY_MS + jitter
+        return TraceHop(
+            probe_ttl=ttl,
+            address=reply.source_ip,
+            rtt_ms=round(rtt, 3),
+            reply_ip_ttl=reply.reply_ip_ttl,
+            lses=_quote(reply),
+            destination_reply=is_destination,
+            truth_router_id=reply.truth_router_id,
+        )

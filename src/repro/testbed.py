@@ -1,0 +1,258 @@
+"""Controlled validation environment (the paper's Fig. 6 in code).
+
+The authors note that "code developed to test AReST on a controlled
+environment" accompanies the paper.  This module is that environment:
+five minimal, fully-inspectable network scenarios, one per detection
+flag, each engineered so that exactly its flag fires -- the executable
+version of Fig. 6's walkthrough.
+
+>>> from repro.testbed import run_all_scenarios
+>>> for outcome in run_all_scenarios():
+...     assert outcome.flags_raised == [outcome.scenario.expected_flag]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.detector import ArestDetector
+from repro.core.flags import Flag
+from repro.core.segments import DetectedSegment
+from repro.fingerprint.combined import CombinedFingerprinter
+from repro.fingerprint.records import Fingerprint
+from repro.fingerprint.snmp import SnmpOracle
+from repro.netsim.addressing import IPv4Address
+from repro.netsim.forwarding import ForwardingEngine
+from repro.netsim.igp import ShortestPaths
+from repro.netsim.ldp import LdpState
+from repro.netsim.sr import SegmentRoutingDomain
+from repro.netsim.topology import Network, Router, RouterRole
+from repro.netsim.tunnels import TunnelController, TunnelPolicy
+from repro.netsim.vendors import LabelRange, Vendor
+from repro.probing.records import Trace
+from repro.probing.tnt import TntProber
+
+ASN = 65_000
+
+
+@dataclass(slots=True)
+class ControlledScenario:
+    """One engineered network plus the flag it must raise."""
+
+    name: str
+    description: str
+    expected_flag: Flag
+    network: Network
+    engine: ForwardingEngine
+    vp: Router
+    target: IPv4Address
+    #: whether fingerprinting is available in this scenario
+    fingerprinted: bool
+
+
+@dataclass(slots=True)
+class ScenarioOutcome:
+    """What running one scenario produced."""
+
+    scenario: ControlledScenario
+    trace: Trace
+    segments: list[DetectedSegment] = field(default_factory=list)
+
+    @property
+    def flags_raised(self) -> list[Flag]:
+        """Flags detected in the scenario's trace, path order."""
+        return [s.flag for s in self.segments]
+
+    @property
+    def as_expected(self) -> bool:
+        """True when exactly the expected flag fired."""
+        return self.flags_raised == [self.scenario.expected_flag]
+
+
+def _chain(
+    n: int,
+    vendor: Vendor = Vendor.CISCO,
+    snmp: bool = False,
+    srgb: LabelRange | None = None,
+    srlb: LabelRange | None = None,
+    sr: bool = True,
+    policy: TunnelPolicy | None = None,
+    php: bool = True,
+):
+    """Shared scaffolding: VP -> n-router AS -> announced /24."""
+    net = Network()
+    vp = net.add_router("vp", asn=64_900, role=RouterRole.VANTAGE)
+    routers: list[Router] = []
+    prev: Router = vp
+    for i in range(n):
+        router = net.add_router(
+            f"p{i}", asn=ASN, vendor=vendor, snmp_responsive=snmp
+        )
+        net.add_link(prev, router)
+        routers.append(router)
+        prev = router
+    prefix = net.announce_prefix(routers[-1], 24)
+    igp = ShortestPaths(net)
+    ldp = LdpState(net, seed=6)
+    domains = {}
+    if sr:
+        domain = SegmentRoutingDomain(net, asn=ASN, seed=6, php=php)
+        for router in routers:
+            domain.enroll(router, srgb=srgb, srlb=srlb)
+        domains[ASN] = domain
+    else:
+        for router in routers:
+            router.ldp_enabled = True
+    controller = TunnelController(net, igp, ldp, domains)
+    controller.set_policy(policy or TunnelPolicy(asn=ASN))
+    engine = ForwardingEngine(net, igp, controller)
+    return net, vp, prefix.address_at(7), engine, routers
+
+
+def cvr_scenario() -> ControlledScenario:
+    """Fig. 6, green path: a persistent in-range label plus a Cisco
+    fingerprint on at least one hop."""
+    net, vp, target, engine, _ = _chain(5, snmp=True)
+    return ControlledScenario(
+        name="CVR",
+        description=(
+            "Cisco SR chain, default SRGB, SNMPv3 answers: the same "
+            "16,0xx label repeats and range-matches"
+        ),
+        expected_flag=Flag.CVR,
+        network=net,
+        engine=engine,
+        vp=vp,
+        target=target,
+        fingerprinted=True,
+    )
+
+
+def co_scenario() -> ControlledScenario:
+    """Fig. 6, gray path: a persistent label, nobody fingerprintable."""
+    net, vp, target, engine, routers = _chain(
+        5, srgb=LabelRange(17_000, 24_999)
+    )
+    for router in routers:
+        router.responds_to_ping = False  # no TTL fingerprint either
+    return ControlledScenario(
+        name="CO",
+        description=(
+            "SR chain on a custom SRGB with no fingerprint coverage: "
+            "the sequence alone carries the signal"
+        ),
+        expected_flag=Flag.CO,
+        network=net,
+        engine=engine,
+        vp=vp,
+        target=target,
+        fingerprinted=False,
+    )
+
+
+def lsvr_scenario() -> ControlledScenario:
+    """Fig. 6, purple path: a lone hop quoting a deep stack whose top
+    label falls in the fingerprinted vendor's range."""
+    # an operator-custom SRLB keeps the bottom label out of Table 1,
+    # reproducing Fig. 6's exact [20,000; 37,000]-style stack
+    net, vp, target, engine, _ = _chain(
+        3,
+        snmp=True,
+        srlb=LabelRange(37_000, 37_999),
+        policy=TunnelPolicy(
+            asn=ASN, service_sid_share=1.0, second_service_share=0.0
+        ),
+    )
+    return ControlledScenario(
+        name="LSVR",
+        description=(
+            "one transit LSR quoting [node SID; service SID]: depth 2 "
+            "with the top label inside Cisco's SRGB"
+        ),
+        expected_flag=Flag.LSVR,
+        network=net,
+        engine=engine,
+        vp=vp,
+        target=target,
+        fingerprinted=True,
+    )
+
+
+def lvr_scenario() -> ControlledScenario:
+    """Fig. 6, blue path: a lone in-range single-label hop."""
+    net, vp, target, engine, _ = _chain(3, snmp=True)
+    return ControlledScenario(
+        name="LVR",
+        description=(
+            "a single labeled hop (the rest PHP'd away) whose label "
+            "sits in Cisco's SRGB"
+        ),
+        expected_flag=Flag.LVR,
+        network=net,
+        engine=engine,
+        vp=vp,
+        target=target,
+        fingerprinted=True,
+    )
+
+
+def lso_scenario() -> ControlledScenario:
+    """Fig. 6, orange path: a lone deep stack, no vendor mapping."""
+    net, vp, target, engine, routers = _chain(
+        3,
+        srgb=LabelRange(400_000, 407_999),
+        policy=TunnelPolicy(
+            asn=ASN, service_sid_share=1.0, second_service_share=0.0
+        ),
+    )
+    for router in routers:
+        router.responds_to_ping = False
+    return ControlledScenario(
+        name="LSO",
+        description=(
+            "a depth-2 stack on a custom 400k SRGB with no fingerprint "
+            "coverage: only the stack itself signals"
+        ),
+        expected_flag=Flag.LSO,
+        network=net,
+        engine=engine,
+        vp=vp,
+        target=target,
+        fingerprinted=False,
+    )
+
+
+SCENARIO_BUILDERS: tuple[Callable[[], ControlledScenario], ...] = (
+    cvr_scenario,
+    co_scenario,
+    lsvr_scenario,
+    lvr_scenario,
+    lso_scenario,
+)
+
+
+def run_scenario(scenario: ControlledScenario) -> ScenarioOutcome:
+    """Probe the scenario, fingerprint, detect."""
+    prober = TntProber(scenario.engine, seed=6)
+    trace = prober.trace(
+        scenario.vp.router_id, scenario.target, vp_name=scenario.name
+    )
+    fingerprints: dict[IPv4Address, Fingerprint] = {}
+    if scenario.fingerprinted:
+        combined = CombinedFingerprinter(
+            scenario.engine,
+            SnmpOracle(scenario.network, coverage=1.0, seed=6),
+        )
+        for hop in trace.hops:
+            if hop.address is not None:
+                fingerprints[hop.address] = combined.fingerprint(
+                    hop.address, hop.reply_ip_ttl, scenario.vp.router_id
+                )
+    segments = ArestDetector().detect(trace, fingerprints)
+    return ScenarioOutcome(scenario=scenario, trace=trace, segments=segments)
+
+
+def run_all_scenarios() -> list[ScenarioOutcome]:
+    """Run the five controlled scenarios, Fig. 6 order."""
+    return [run_scenario(build()) for build in SCENARIO_BUILDERS]

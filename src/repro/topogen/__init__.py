@@ -1,0 +1,32 @@
+"""Internet topology generation for the measurement campaign.
+
+- :mod:`repro.topogen.as_types` -- AS roles and confirmation sources.
+- :mod:`repro.topogen.portfolio` -- the 60-AS portfolio of Table 5,
+  including per-AS deployment scenarios derived from the paper's
+  narrative (ESnet all-SR with no fingerprint coverage, Microsoft's
+  broad deployment, stub ASes hidden behind invisible tunnels, ...).
+- :mod:`repro.topogen.intra` -- intra-AS router-level topologies.
+- :mod:`repro.topogen.internet` -- per-target measurement networks
+  (VPs, transit path, target AS, customer cones).
+- :mod:`repro.topogen.deployment` -- applies a scenario: vendors,
+  SR/LDP enrolment, SRGBs, ttl-propagate / RFC 4950 knobs.
+- :mod:`repro.topogen.anaximander` -- target-list construction.
+- :mod:`repro.topogen.bdrmapit` -- router-to-AS ownership annotation.
+- :mod:`repro.topogen.alias` -- MIDAR/APPLE-style alias resolution.
+"""
+
+from repro.topogen.as_types import AsRole, Confirmation
+from repro.topogen.portfolio import AsSpec, Portfolio, default_portfolio
+from repro.topogen.deployment import DeploymentScenario
+from repro.topogen.internet import MeasurementNetwork, build_measurement_network
+
+__all__ = [
+    "AsRole",
+    "Confirmation",
+    "AsSpec",
+    "Portfolio",
+    "default_portfolio",
+    "DeploymentScenario",
+    "MeasurementNetwork",
+    "build_measurement_network",
+]

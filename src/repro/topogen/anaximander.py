@@ -1,0 +1,77 @@
+"""Anaximander-style target selection (Marechal et al., PAM 2022).
+
+The real Anaximander mines BGP RIBs for prefixes whose AS paths transit
+the AS of interest, prunes redundant targets, and schedules the
+remainder for efficient probing.  Over the simulated internetwork the
+same three stages apply:
+
+1. **collection** -- every prefix announced inside or behind the target
+   AS (the simulated equivalent of "expected to transit the AS");
+2. **pruning** -- cap the number of addresses drawn per /24 (probing
+   several hosts of one prefix rarely reveals new routers);
+3. **scheduling** -- interleave prefixes round-robin so consecutive
+   probes exercise different parts of the AS (Anaximander's probing-
+   reduction ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.addressing import IPv4Address, IPv4Prefix
+from repro.topogen.internet import MeasurementNetwork
+from repro.util.determinism import DeterministicRng
+
+
+@dataclass(frozen=True, slots=True)
+class TargetList:
+    """Scheduled probing targets for one AS of interest."""
+
+    asn: int
+    addresses: tuple[IPv4Address, ...]
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self):
+        return iter(self.addresses)
+
+
+def build_target_list(
+    net: MeasurementNetwork,
+    per_prefix: int = 3,
+    limit: int | None = None,
+    seed: int = 0,
+) -> TargetList:
+    """Produce the ordered target list for one measurement network."""
+    if per_prefix < 1:
+        raise ValueError("per_prefix must be >= 1")
+    rng = DeterministicRng("anaximander", seed, net.target_asn)
+    per_prefix_targets: list[list[IPv4Address]] = []
+    for prefix in net.target_prefixes:
+        per_prefix_targets.append(
+            _sample_prefix(rng, prefix, per_prefix)
+        )
+    scheduled = _round_robin(per_prefix_targets)
+    if limit is not None:
+        scheduled = scheduled[:limit]
+    return TargetList(asn=net.target_asn, addresses=tuple(scheduled))
+
+
+def _sample_prefix(
+    rng: DeterministicRng, prefix: IPv4Prefix, count: int
+) -> list[IPv4Address]:
+    size = prefix.num_addresses()
+    count = min(count, size)
+    offsets = rng.sample(range(size), count)
+    return [prefix.address_at(o) for o in sorted(offsets)]
+
+
+def _round_robin(groups: list[list[IPv4Address]]) -> list[IPv4Address]:
+    scheduled: list[IPv4Address] = []
+    depth = max((len(g) for g in groups), default=0)
+    for i in range(depth):
+        for group in groups:
+            if i < len(group):
+                scheduled.append(group[i])
+    return scheduled

@@ -1,0 +1,39 @@
+"""AS roles and SR-deployment confirmation sources (Table 5)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AsRole(enum.Enum):
+    """Position in the AS hierarchy (CAIDA AS-relationship derived)."""
+
+    STUB = "Stub"
+    CONTENT = "Content"
+    TRANSIT = "Transit"
+    TIER1 = "Tier-1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Confirmation(enum.Enum):
+    """Where the SR-MPLS deployment confirmation came from.
+
+    Matches Table 5's colour coding: red = Cisco private communication,
+    blue = the operator survey, green = both, black = no confirmation
+    (CAIDA-rank selection).
+    """
+
+    CISCO = "cisco"
+    SURVEY = "survey"
+    BOTH = "both"
+    NONE = "none"
+
+    @property
+    def confirmed(self) -> bool:
+        """True for Cisco-, survey- or doubly-confirmed ASes."""
+        return self is not Confirmation.NONE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

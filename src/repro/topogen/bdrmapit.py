@@ -1,0 +1,69 @@
+"""bdrmapIT-style router ownership annotation (Marder et al., IMC 2018).
+
+The real bdrmapIT infers which AS owns each observed interface from
+traceroute graphs, BGP origins, and alias sets.  Over the simulator the
+inference target is known exactly, so the annotator exposes a
+ground-truth mapping with a configurable, deterministic error rate that
+models bdrmapIT's residual misattributions at AS boundaries (inter-AS
+links are numbered out of one side's space, which is exactly where the
+real tool errs too).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.addressing import IPv4Address
+from repro.netsim.topology import Network
+from repro.probing.records import TraceHop
+from repro.util.determinism import unit_hash
+
+
+class BdrmapIt:
+    """Interface-to-AS annotation over one simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        error_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        self._network = network
+        self._error_rate = error_rate
+        self._seed = seed
+        self._cache: dict[IPv4Address, int | None] = {}
+
+    def asn_of_address(self, address: IPv4Address) -> int | None:
+        """The AS this interface is attributed to (possibly wrongly)."""
+        if address in self._cache:
+            return self._cache[address]
+        owner = self._network.owner_of(address)
+        asn: int | None
+        if owner is None:
+            asn = None
+        else:
+            asn = self._network.router(owner).asn
+            if (
+                self._error_rate > 0.0
+                and unit_hash(self._seed, "bdrmap-err", address.value)
+                < self._error_rate
+            ):
+                asn = self._neighbor_asn(owner, asn)
+        self._cache[address] = asn
+        return asn
+
+    def _neighbor_asn(self, router_id: int, own_asn: int) -> int:
+        """Misattribute to an adjacent AS, bdrmapIT's realistic failure
+        mode (falls back to the true AS when the router has no foreign
+        neighbour)."""
+        for neighbor in self._network.neighbors(router_id):
+            neighbor_asn = self._network.router(neighbor).asn
+            if neighbor_asn != own_asn:
+                return neighbor_asn
+        return own_asn
+
+    def asn_of_hop(self, hop: TraceHop) -> int | None:
+        """Adapter usable as the pipeline's ``asn_of`` callable."""
+        if hop.address is None:
+            return None
+        return self.asn_of_address(hop.address)

@@ -1,0 +1,304 @@
+"""Deployment scenarios: how an AS's control planes are instantiated.
+
+A :class:`DeploymentScenario` captures everything the topology builder
+needs to turn an abstract AS into configured routers: SR vs. LDP mix,
+traceroute visibility knobs, vendor mix, fingerprintability, and tunnel
+policies.  :func:`apply_scenario` realizes the scenario over the routers
+of one AS inside a :class:`~repro.netsim.topology.Network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.sr import SegmentRoutingDomain
+from repro.netsim.topology import Network, Router, RouterRole
+from repro.netsim.tunnels import TunnelPolicy
+from repro.netsim.vendors import LabelRange, Vendor
+from repro.util.determinism import unit_hash
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentScenario:
+    """Simulation parameters for one AS."""
+
+    #: ground truth: does this AS run SR-MPLS at all?
+    deploys_sr: bool
+    #: does the AS run MPLS at all (False = plain IP network)?
+    mpls: bool
+    #: fraction of MPLS routers that are SR-enabled (1.0 = full SR;
+    #: intermediate values create LDP islands and interworking tunnels)
+    sr_share: float
+    #: fraction of routers configured with ttl-propagate (visibility)
+    propagate_share: float
+    #: fraction of routers implementing RFC 4950 quoting
+    rfc4950_share: float
+    #: (vendor, weight) pairs for hardware assignment
+    vendor_weights: tuple[tuple[Vendor, float], ...]
+    #: fraction of routers answering SNMPv3 (exact fingerprints)
+    snmp_share: float
+    #: fraction of routers answering ping (TTL fingerprint's second half)
+    ping_share: float
+    #: probability an SR tunnel gets a TE waypoint stack
+    te_share: float
+    #: probability a tunnel carries service SIDs (deep stacks)
+    service_share: float
+    #: probability an SR tunnel is steered through an SR policy (binding
+    #: SID splice at a mid-path head-end, RFC 9256)
+    sr_policy_share: float = 0.0
+    #: probability a tunnel carries an RFC 6790 entropy-label pair
+    entropy_share: float = 0.0
+    #: probability a classic tunnel rides an RSVP-TE LSP instead of LDP
+    rsvp_te_share: float = 0.0
+    #: probability a router answers any given expiring probe (ICMP rate
+    #: limiting; 1.0 = always)
+    icmp_response_rate: float = 1.0
+    #: intra-AS topology generator: "ring" (flat meshed core) or "pop"
+    #: (two-tier PoP pairs)
+    topology_style: str = "ring"
+    #: topology sizing
+    n_core: int = 8
+    n_edge: int = 3
+    n_border: int = 2
+    n_customers: int = 2
+    #: operator-customized SRGB (None = vendor defaults; Sec. 3: ~30%)
+    custom_srgb: LabelRange | None = None
+    #: per-router SRGB bases differ (exercises AReST suffix matching)
+    heterogeneous_srgb: bool = False
+    #: ultimate-hop popping: node-SID labels survive to the segment
+    #: endpoint, producing unshrinking stacks (advanced SR, Sec. 6.2)
+    uhp: bool = False
+    #: signal explicit-null instead of PHP (label 0 at segment endpoints)
+    explicit_null: bool = False
+    #: the legacy LDP island sits at the *ingress* side (migration began
+    #: at the PEs): hybrid tunnels then run LDP first (LDP->SR mode)
+    ldp_at_ingress: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sr_share",
+            "propagate_share",
+            "rfc4950_share",
+            "snmp_share",
+            "ping_share",
+            "te_share",
+            "service_share",
+            "sr_policy_share",
+            "entropy_share",
+            "rsvp_te_share",
+            "icmp_response_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.deploys_sr and not self.mpls:
+            raise ValueError("SR-MPLS requires MPLS")
+        if not self.vendor_weights:
+            raise ValueError("vendor_weights must not be empty")
+        if self.topology_style not in ("ring", "pop"):
+            raise ValueError(
+                f"unknown topology style: {self.topology_style!r}"
+            )
+
+    @property
+    def total_routers(self) -> int:
+        """Core + edge + border router count."""
+        return self.n_core + self.n_edge + self.n_border
+
+
+@dataclass(slots=True)
+class AppliedDeployment:
+    """What :func:`apply_scenario` produced for one AS."""
+
+    asn: int
+    sr_domain: SegmentRoutingDomain | None
+    policy: TunnelPolicy
+    sr_routers: list[int] = field(default_factory=list)
+    ldp_only_routers: list[int] = field(default_factory=list)
+
+
+def pick_vendor(
+    weights: tuple[tuple[Vendor, float], ...], *key: object
+) -> Vendor:
+    """Deterministic weighted vendor draw."""
+    total = sum(w for _v, w in weights)
+    draw = unit_hash("vendor", *key) * total
+    acc = 0.0
+    for vendor, weight in weights:
+        acc += weight
+        if draw < acc:
+            return vendor
+    return weights[-1][0]
+
+
+def apply_scenario(
+    network: Network,
+    asn: int,
+    scenario: DeploymentScenario,
+    seed: int = 0,
+) -> AppliedDeployment:
+    """Configure every router of ``asn`` according to the scenario.
+
+    - assigns vendors and visibility flags;
+    - enables SR on ``sr_share`` of the MPLS routers (border routers are
+      biased toward SR so interworking tunnels start SR-side, matching
+      the paper's dominant SR->LDP mode);
+    - enrolls SR routers into a :class:`SegmentRoutingDomain` with the
+    scenario's SRGB policy;
+    - adds mapping-server entries for LDP-only routers so SR ingresses
+      can still tunnel across LDP islands (RFC 8661);
+    - returns the per-AS tunnel policy to register with the controller.
+    """
+    routers = [
+        r for r in network.routers_in_as(asn) if r.role is not RouterRole.VANTAGE
+    ]
+    if not routers:
+        raise ValueError(f"AS{asn} has no routers to configure")
+    applied = AppliedDeployment(
+        asn=asn,
+        sr_domain=None,
+        policy=TunnelPolicy(
+            asn=asn,
+            te_waypoint_share=scenario.te_share,
+            service_sid_share=scenario.service_share,
+            sr_policy_share=scenario.sr_policy_share,
+            entropy_share=scenario.entropy_share,
+            rsvp_te_share=scenario.rsvp_te_share,
+            seed=seed,
+        ),
+    )
+    for router in routers:
+        router.vendor = pick_vendor(
+            scenario.vendor_weights, seed, asn, router.router_id
+        )
+        router.ttl_propagate = (
+            unit_hash("prop", seed, asn, router.router_id)
+            < scenario.propagate_share
+        )
+        # RFC 4950 support is an OS capability: within one AS the fleet
+        # runs the same image, so quoting is uniform per AS -- the share
+        # is the probability the whole AS quotes (mixed tunnel types per
+        # AS then come from per-ingress ttl-propagate settings).
+        router.rfc4950 = (
+            unit_hash("4950", seed, asn) < scenario.rfc4950_share
+        )
+        router.snmp_responsive = (
+            unit_hash("snmp", seed, asn, router.router_id)
+            < scenario.snmp_share
+        )
+        router.responds_to_ping = (
+            unit_hash("ping", seed, asn, router.router_id)
+            < scenario.ping_share
+        )
+        router.icmp_response_rate = scenario.icmp_response_rate
+    if not scenario.mpls:
+        return applied
+
+    sr_routers = _select_sr_routers(network, routers, scenario, seed)
+    domain: SegmentRoutingDomain | None = None
+    if sr_routers:
+        domain = SegmentRoutingDomain(
+            network,
+            asn=asn,
+            seed=seed,
+            php=not scenario.uhp,
+            explicit_null=scenario.explicit_null,
+        )
+        for router in sr_routers:
+            srgb = _srgb_for(router, scenario, seed)
+            domain.enroll(router, srgb=srgb)
+            applied.sr_routers.append(router.router_id)
+    sr_ids = {r.router_id for r in sr_routers}
+    ldp_only = {r.router_id for r in routers} - sr_ids
+    for router in routers:
+        if router.router_id in sr_ids:
+            # Only SR routers *bordering* the LDP island speak both
+            # protocols: they are the RFC 8661 stitching points.  Other
+            # SR routers drop LDP entirely (the simplification operators
+            # cite as a main SR motivation, Sec. 3).
+            if any(
+                n in ldp_only
+                for n in network.neighbors(router.router_id)
+            ):
+                router.ldp_enabled = True
+        else:
+            router.ldp_enabled = True
+            applied.ldp_only_routers.append(router.router_id)
+            if domain is not None:
+                domain.add_mapping_server_entry(router)
+    applied.sr_domain = domain
+    return applied
+
+
+def _select_sr_routers(
+    network: Network,
+    routers: list[Router],
+    scenario: DeploymentScenario,
+    seed: int,
+) -> list[Router]:
+    """SR-enable all routers except one *connected* LDP island.
+
+    Incremental SR migrations leave contiguous legacy regions behind,
+    not scattered boxes.  The island grows by BFS from a PE on the
+    egress side, so hybrid tunnels overwhelmingly run SR first and LDP
+    last (the paper's dominant SR->LDP mode); borders stay SR-side so
+    tunnels enter through the SR cloud.
+    """
+    if not scenario.deploys_sr or scenario.sr_share == 0.0:
+        return []
+    if scenario.sr_share >= 1.0:
+        return list(routers)
+    island_size = max(1, round(len(routers) * (1.0 - scenario.sr_share)))
+    in_as = {r.router_id for r in routers}
+    seed_role = (
+        RouterRole.BORDER if scenario.ldp_at_ingress else RouterRole.EDGE
+    )
+    skip_role = (
+        RouterRole.EDGE if scenario.ldp_at_ingress else RouterRole.BORDER
+    )
+    seeds = sorted(
+        (r for r in routers if r.role is seed_role),
+        key=lambda r: unit_hash("island-seed", seed, r.router_id),
+    ) or sorted(
+        routers, key=lambda r: unit_hash("island-seed", seed, r.router_id)
+    )
+    island: set[int] = set()
+    queue = [seeds[0].router_id]
+    while queue and len(island) < island_size:
+        rid = queue.pop(0)
+        if rid in island:
+            continue
+        if network.router(rid).role is skip_role:
+            continue  # keep the far side of the AS in the SR cloud
+        island.add(rid)
+        for neighbor in network.neighbors(rid):
+            if neighbor in in_as and neighbor not in island:
+                queue.append(neighbor)
+    return [r for r in routers if r.router_id not in island]
+
+
+#: the domain-wide SRGB used when the operator aligns ranges across a
+#: multi-vendor network (RFC 8402 recommendation; Cisco-compatible)
+_ALIGNED_SRGB = LabelRange(16_000, 23_999)
+
+
+def _srgb_for(
+    router: Router, scenario: DeploymentScenario, seed: int
+) -> LabelRange | None:
+    """The SRGB one router enrolls with.
+
+    Real domains keep one consistent SRGB across all routers -- vendor
+    defaults differ (Arista starts at 900,000!), so operators align on a
+    common block for interoperability (Sec. 3: the main reason 30%
+    customize).  The rare misaligned case is the ``heterogeneous_srgb``
+    scenario, which produces AReST's suffix-based matches.
+    """
+    if scenario.heterogeneous_srgb:
+        # Per-router bases differing by whole thousands: labels change
+        # hop by hop but keep their decimal suffix (footnote 4).
+        step = int(unit_hash("hetero", seed, router.router_id) * 8)
+        base = 13_000 + step * 1_000
+        return LabelRange(base, base + 7_999)
+    if scenario.custom_srgb is not None:
+        return scenario.custom_srgb
+    return _ALIGNED_SRGB

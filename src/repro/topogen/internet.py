@@ -1,0 +1,156 @@
+"""Per-target measurement networks.
+
+For every AS of interest the campaign builds one internetwork:
+
+- the **target AS** itself, instantiated from its deployment scenario;
+- a handful of **customer stub ASes** behind its PE/border routers,
+  announcing prefixes that pull *transit* traffic across the AS (that is
+  how the paper's targets light up ASBR-to-ASBR tunnels);
+- two plain-IP **upstream transit ASes** carrying probes from the VPs to
+  the target's borders, via distinct entry points for path diversity;
+- one **vantage-point router per VP**, each in its own AS.
+
+Everything is deterministic given (spec, vp names, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.addressing import IPv4Prefix
+from repro.netsim.checks import assert_valid
+from repro.netsim.forwarding import ForwardingEngine
+from repro.netsim.igp import ShortestPaths
+from repro.netsim.ldp import LdpState
+from repro.netsim.topology import Network, Router, RouterRole
+from repro.netsim.tunnels import TunnelController
+from repro.topogen.deployment import AppliedDeployment, apply_scenario
+from repro.topogen.intra import (
+    IntraAsTopology,
+    build_intra_as,
+    build_pop_intra_as,
+)
+from repro.topogen.portfolio import AsSpec
+from repro.util.determinism import DeterministicRng
+
+_TRANSIT_ASN_BASE = 64_600
+_CUSTOMER_ASN_BASE = 64_700
+_VP_ASN_BASE = 64_800
+
+
+@dataclass(slots=True)
+class MeasurementNetwork:
+    """One ready-to-probe internetwork around a target AS."""
+
+    spec: AsSpec
+    network: Network
+    igp: ShortestPaths
+    ldp: LdpState
+    controller: TunnelController
+    engine: ForwardingEngine
+    deployment: AppliedDeployment
+    target: IntraAsTopology
+    #: vantage-point name -> router id
+    vantage_points: dict[str, int] = field(default_factory=dict)
+    #: all probeable destination prefixes (PE-announced + customers)
+    target_prefixes: list[IPv4Prefix] = field(default_factory=list)
+
+    @property
+    def target_asn(self) -> int:
+        """The probed AS's autonomous system number."""
+        return self.spec.asn
+
+
+def build_measurement_network(
+    spec: AsSpec,
+    vp_names: list[str],
+    seed: int = 0,
+) -> MeasurementNetwork:
+    """Build the full measurement internetwork for one portfolio AS."""
+    if not vp_names:
+        raise ValueError("at least one vantage point is required")
+    rng = DeterministicRng("internet", seed, spec.as_id)
+    network = Network()
+    scenario = spec.scenario
+
+    builder = (
+        build_pop_intra_as
+        if scenario.topology_style == "pop"
+        else build_intra_as
+    )
+    target = builder(
+        network,
+        spec.asn,
+        n_core=scenario.n_core,
+        n_edge=scenario.n_edge,
+        n_border=scenario.n_border,
+        seed=seed,
+        name_prefix=f"as{spec.asn}",
+    )
+    prefixes = list(target.prefixes)
+
+    # Customer cones: single-router stubs behind PEs/borders whose
+    # prefixes make probes *transit* the target AS.
+    attach_pool = target.edges + target.borders
+    for i in range(scenario.n_customers):
+        customer = network.add_router(
+            f"cust{i}-of-{spec.asn}",
+            _CUSTOMER_ASN_BASE + i,
+            role=RouterRole.EDGE,
+        )
+        network.add_link(customer, rng.choice(attach_pool), cost=10)
+        prefixes.append(network.announce_prefix(customer, 24))
+
+    # Upstream transit: two plain-IP chains from the VP side into
+    # distinct target borders.
+    transits: list[list[Router]] = []
+    borders = target.borders or target.core
+    n_transits = min(3, max(2, len(borders)))
+    for t in range(n_transits):
+        chain = []
+        for i in range(3):
+            chain.append(
+                network.add_router(
+                    f"tr{t}-r{i}",
+                    _TRANSIT_ASN_BASE + t,
+                    role=RouterRole.CORE,
+                )
+            )
+            if i:
+                network.add_link(chain[i - 1], chain[i], cost=10)
+        entry = borders[t % len(borders)]
+        network.add_link(chain[-1], entry, cost=10)
+        transits.append(chain)
+
+    vantage_points: dict[str, int] = {}
+    for i, name in enumerate(vp_names):
+        vp = network.add_router(
+            f"vp-{name}", _VP_ASN_BASE + i, role=RouterRole.VANTAGE
+        )
+        network.add_link(vp, transits[i % len(transits)][0], cost=10)
+        vantage_points[name] = vp.router_id
+
+    igp = ShortestPaths(network)
+    ldp = LdpState(network, seed=seed)
+    deployment = apply_scenario(network, spec.asn, scenario, seed=seed)
+    domains = (
+        {spec.asn: deployment.sr_domain}
+        if deployment.sr_domain is not None
+        else {}
+    )
+    controller = TunnelController(network, igp, ldp, domains)
+    controller.set_policy(deployment.policy)
+    engine = ForwardingEngine(network, igp, controller)
+    assert_valid(network, controller)
+    return MeasurementNetwork(
+        spec=spec,
+        network=network,
+        igp=igp,
+        ldp=ldp,
+        controller=controller,
+        engine=engine,
+        deployment=deployment,
+        target=target,
+        vantage_points=vantage_points,
+        target_prefixes=prefixes,
+    )

@@ -1,0 +1,193 @@
+"""Intra-AS router-level topology generation.
+
+Generates the classic ISP shape: a meshed core of P routers, PE (edge)
+routers hanging off the core and announcing customer prefixes, and ASBRs
+(border routers) peering with the outside.  Randomness is deterministic
+per (seed, asn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.addressing import IPv4Prefix
+from repro.netsim.topology import Network, Router, RouterRole
+from repro.util.determinism import DeterministicRng
+
+
+@dataclass(slots=True)
+class IntraAsTopology:
+    """Handles to the routers created for one AS."""
+
+    asn: int
+    core: list[Router] = field(default_factory=list)
+    edges: list[Router] = field(default_factory=list)
+    borders: list[Router] = field(default_factory=list)
+    #: target prefixes announced by the PE routers
+    prefixes: list[IPv4Prefix] = field(default_factory=list)
+
+    def all_routers(self) -> list[Router]:
+        """Every router of this AS, cores first."""
+        return [*self.core, *self.edges, *self.borders]
+
+
+def build_intra_as(
+    network: Network,
+    asn: int,
+    n_core: int,
+    n_edge: int,
+    n_border: int,
+    seed: int = 0,
+    name_prefix: str = "",
+    announce: bool = True,
+) -> IntraAsTopology:
+    """Create one AS's routers and internal links.
+
+    The core is a ring plus random chords (2-connected for n >= 3, so
+    ECMP and TE waypoints have real path diversity); each border router
+    attaches to two distinct core routers, each PE to one or two.
+    """
+    if n_core < 1:
+        raise ValueError("an AS needs at least one core router")
+    rng = DeterministicRng("intra", seed, asn)
+    prefix = name_prefix or f"as{asn}"
+    topo = IntraAsTopology(asn=asn)
+
+    for i in range(n_core):
+        topo.core.append(
+            network.add_router(f"{prefix}-p{i}", asn, role=RouterRole.CORE)
+        )
+    # Ring + chords.
+    if n_core > 1:
+        for i in range(n_core):
+            a, b = topo.core[i], topo.core[(i + 1) % n_core]
+            if network.link_between(a.router_id, b.router_id) is None:
+                network.add_link(a, b, cost=10)
+        for i in range(n_core):
+            if n_core > 5 and rng.random() < 0.2:
+                j = (i + 2 + rng.randrange(max(1, n_core - 3))) % n_core
+                a, b = topo.core[i], topo.core[j]
+                if (
+                    a.router_id != b.router_id
+                    and network.link_between(a.router_id, b.router_id) is None
+                ):
+                    network.add_link(a, b, cost=10 + rng.randrange(3) * 5)
+
+    # Borders cluster near ring position 0 and PEs near the opposite
+    # side, so LSPs cross several core hops -- real ISP cores give
+    # traceroute label runs of 3+ hops, which is what the consecutive
+    # flags feed on.
+    near = topo.core[: max(1, n_core // 3)]
+    far = topo.core[n_core // 2 :] or topo.core
+    for i in range(n_border):
+        border = network.add_router(
+            f"{prefix}-br{i}", asn, role=RouterRole.BORDER
+        )
+        topo.borders.append(border)
+        for attach in _pick_attachments(rng, near, 2):
+            network.add_link(border, attach, cost=10)
+
+    for i in range(n_edge):
+        edge = network.add_router(f"{prefix}-pe{i}", asn, role=RouterRole.EDGE)
+        topo.edges.append(edge)
+        count = 1 if len(far) == 1 or rng.random() < 0.5 else 2
+        for attach in _pick_attachments(rng, far, count):
+            network.add_link(edge, attach, cost=10)
+        if announce:
+            topo.prefixes.append(network.announce_prefix(edge, 24))
+
+    return topo
+
+
+def _pick_attachments(
+    rng: DeterministicRng, core: list[Router], count: int
+) -> list[Router]:
+    count = min(count, len(core))
+    return rng.sample(core, count)
+
+
+def build_pop_intra_as(
+    network: Network,
+    asn: int,
+    n_core: int,
+    n_edge: int,
+    n_border: int,
+    seed: int = 0,
+    name_prefix: str = "",
+    announce: bool = True,
+    cores_per_pop: int = 2,
+) -> IntraAsTopology:
+    """Two-tier PoP-based ISP topology.
+
+    Cores are grouped into points of presence (redundant pairs linked
+    internally); PoPs form a ring with occasional express links.  Border
+    routers home onto the first PoP, PEs onto the far PoPs -- the same
+    border/edge separation as the flat generator, with the redundancy
+    structure real ISP backbones exhibit.
+    """
+    if n_core < 1:
+        raise ValueError("an AS needs at least one core router")
+    cores_per_pop = max(1, cores_per_pop)
+    rng = DeterministicRng("pop-intra", seed, asn)
+    prefix = name_prefix or f"as{asn}"
+    topo = IntraAsTopology(asn=asn)
+
+    n_pops = max(1, (n_core + cores_per_pop - 1) // cores_per_pop)
+    pops: list[list[Router]] = []
+    created = 0
+    for p in range(n_pops):
+        pop: list[Router] = []
+        for c in range(cores_per_pop):
+            if created >= n_core:
+                break
+            router = network.add_router(
+                f"{prefix}-pop{p}-p{c}", asn, role=RouterRole.CORE
+            )
+            topo.core.append(router)
+            pop.append(router)
+            created += 1
+        # intra-PoP redundancy pair(s)
+        for a, b in zip(pop, pop[1:]):
+            network.add_link(a, b, cost=5)
+        pops.append(pop)
+
+    # inter-PoP ring (one link per adjacent PoP pair, varied endpoints)
+    if len(pops) > 1:
+        for p in range(len(pops)):
+            a = rng.choice(pops[p])
+            b = rng.choice(pops[(p + 1) % len(pops)])
+            if network.link_between(a.router_id, b.router_id) is None:
+                network.add_link(a, b, cost=10)
+        # express links across the ring
+        for p in range(len(pops)):
+            if len(pops) > 3 and rng.random() < 0.3:
+                q = (p + 2) % len(pops)
+                a, b = rng.choice(pops[p]), rng.choice(pops[q])
+                if (
+                    a.router_id != b.router_id
+                    and network.link_between(a.router_id, b.router_id)
+                    is None
+                ):
+                    network.add_link(a, b, cost=15)
+
+    near = pops[0]
+    far = pops[len(pops) // 2 :]
+    far_cores = [r for pop in far for r in pop] or topo.core
+    for i in range(n_border):
+        border = network.add_router(
+            f"{prefix}-br{i}", asn, role=RouterRole.BORDER
+        )
+        topo.borders.append(border)
+        for attach in _pick_attachments(rng, near, min(2, len(near))):
+            network.add_link(border, attach, cost=10)
+
+    for i in range(n_edge):
+        edge = network.add_router(f"{prefix}-pe{i}", asn, role=RouterRole.EDGE)
+        topo.edges.append(edge)
+        count = 1 if len(far_cores) == 1 or rng.random() < 0.5 else 2
+        for attach in _pick_attachments(rng, far_cores, count):
+            network.add_link(edge, attach, cost=10)
+        if announce:
+            topo.prefixes.append(network.announce_prefix(edge, 24))
+
+    return topo

@@ -1,0 +1,393 @@
+"""The measurement portfolio: Table 5 of the paper, plus per-AS
+simulation scenarios derived from the paper's narrative.
+
+The table is transcribed verbatim (AS ids, ASNs, names, roles, traces
+sent, IPv4 addresses discovered, confirmation sources).  The paper's
+counts hold: 25 Cisco-confirmed, 10 survey-confirmed, 25 unconfirmed;
+19 ASes excluded for discovering fewer than 100 addresses, leaving 41
+analyzed ASes.
+
+Each AS also carries a :class:`~repro.topogen.deployment.DeploymentScenario`
+describing how the simulator instantiates it.  Scenario knobs follow the
+paper's per-AS observations where stated (ESnet runs SR everywhere but
+answers no fingerprinting probe; Iliad Italy / NTT Docomo / Rakuten show
+no explicit tunnels; Midco-Net shows 5%; KDDI / Telecom Italia /
+Hurricane Electric / Orange have rich fingerprint coverage; Proximus is
+pure LSO; ...), and role-based defaults elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.topogen.as_types import AsRole, Confirmation
+from repro.topogen.deployment import DeploymentScenario
+from repro.netsim.vendors import LabelRange, Vendor
+from repro.util.determinism import unit_hash
+
+#: paper threshold: ASes with fewer discovered addresses are excluded
+MIN_DISCOVERED_IPS = 100
+
+
+@dataclass(frozen=True, slots=True)
+class AsSpec:
+    """One Table 5 row plus its simulation scenario."""
+
+    as_id: int
+    asn: int
+    name: str
+    role: AsRole
+    traces_sent: int
+    ips_discovered: int
+    confirmation: Confirmation
+    scenario: DeploymentScenario
+
+    @property
+    def analyzed(self) -> bool:
+        """Included in the paper's 41-AS analysis (>= 100 addresses)."""
+        return self.ips_discovered >= MIN_DISCOVERED_IPS
+
+    @property
+    def label(self) -> str:
+        """The paper's ``AS#ID`` identifier string."""
+        return f"AS#{self.as_id}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AS#{self.as_id} ({self.name}, AS{self.asn})"
+
+
+# (id, asn, name, role, traces, ips, confirmation) -- Table 5 verbatim.
+_C, _S, _N = Confirmation.CISCO, Confirmation.SURVEY, Confirmation.NONE
+_TABLE5: tuple[tuple[int, int, str, AsRole, int, int, Confirmation], ...] = (
+    (1, 46467, "Dish Network", AsRole.STUB, 2, 1, _C),
+    (2, 29447, "Iliad Italy", AsRole.STUB, 5_888, 166, _C),
+    (3, 9605, "NTT Docomo", AsRole.STUB, 10_034, 245, _C),
+    (4, 63802, "Flets", AsRole.STUB, 512, 4, _C),
+    (5, 2506, "NTT West", AsRole.STUB, 837, 18, _C),
+    (6, 654, "OVH", AsRole.STUB, 0, 0, _N),
+    (7, 5432, "Proximus", AsRole.STUB, 15_392, 677, _N),
+    (8, 400843, "Audacy", AsRole.STUB, 1, 0, _N),
+    (9, 400322, "NGtTel", AsRole.STUB, 15, 0, _N),
+    (10, 399827, "2pifi", AsRole.STUB, 12, 4, _N),
+    (11, 398872, "Big WiFi", AsRole.STUB, 6, 2, _N),
+    (12, 8835, "Binkbroadband", AsRole.STUB, 0, 0, _S),
+    (13, 45102, "Alibaba", AsRole.CONTENT, 14_520, 1_813, _C),
+    (14, 15169, "Google", AsRole.CONTENT, 35_262, 19_427, _C),
+    (15, 8075, "Microsoft", AsRole.CONTENT, 256_419, 6_365, _C),
+    (16, 138384, "Rakuten", AsRole.CONTENT, 1_659, 154, _C),
+    (17, 17676, "Softbank", AsRole.CONTENT, 147_605, 21_873, _C),
+    (18, 30149, "Goldman Sachs", AsRole.CONTENT, 19, 10, _N),
+    (19, 16509, "Amazon", AsRole.CONTENT, 635_599, 25_520, _N),
+    (20, 14061, "Digital Ocean", AsRole.CONTENT, 11_743, 3_579, _N),
+    (21, 5667, "Meta", AsRole.CONTENT, 0, 0, _N),
+    (22, 43515, "YouTube", AsRole.CONTENT, 120, 65, _N),
+    (23, 138699, "Tiktok", AsRole.CONTENT, 14, 28, _N),
+    (24, 32787, "Akamai", AsRole.CONTENT, 4_274, 6_988, _N),
+    (25, 13335, "Cloudflare", AsRole.CONTENT, 10_494, 32_735, _N),
+    (26, 12322, "Free", AsRole.TRANSIT, 42_964, 2_024, _C),
+    (27, 5410, "Bouygues", AsRole.TRANSIT, 27_771, 1_048, _C),
+    (28, 577, "Bell Canada", AsRole.TRANSIT, 29_832, 3_748, _C),
+    (29, 23764, "China Telecom", AsRole.TRANSIT, 11_115, 3_374, _C),
+    (30, 8220, "Colt", AsRole.TRANSIT, 243_811, 7_282, _C),
+    (31, 2516, "KDDI", AsRole.TRANSIT, 89_365, 12_994, _C),
+    (32, 38631, "Line", AsRole.TRANSIT, 423, 12, _C),
+    (33, 64049, "Reliance Jio", AsRole.TRANSIT, 7_014, 2_905, _C),
+    (34, 132203, "Tencent", AsRole.TRANSIT, 7_943, 2_922, _C),
+    (35, 7018, "AT&T", AsRole.TRANSIT, 649_359, 44_929, _N),
+    (36, 3257, "GTT Comm.", AsRole.TRANSIT, 489_738, 234_639, _C),
+    (37, 6453, "Tata Comm.", AsRole.TRANSIT, 275_874, 92_854, _N),
+    (38, 6762, "Telecom Italia", AsRole.TRANSIT, 290_678, 32_313, _N),
+    (39, 7473, "Singtel", AsRole.TRANSIT, 9_549, 5_206, _N),
+    (40, 6939, "Hurricane El.", AsRole.TRANSIT, 652_399, 192_324, _N),
+    (41, 9002, "RETN", AsRole.TRANSIT, 526_697, 27_270, _N),
+    (42, 2828, "Verizon", AsRole.TRANSIT, 26_030, 570, _N),
+    (43, 7922, "Comcast", AsRole.TRANSIT, 272_360, 40_382, _N),
+    (44, 11232, "Midco-Net", AsRole.TRANSIT, 3_153, 1_071, _S),
+    (45, 13855, "CFU-NET", AsRole.TRANSIT, 143, 72, _S),
+    (46, 293, "ESnet", AsRole.TRANSIT, 277_155, 307, _S),
+    (47, 31034, "Aruba", AsRole.TRANSIT, 1_186, 346, _S),
+    (48, 31631, "Elevate", AsRole.TRANSIT, 73, 64, _S),
+    (49, 32440, "Loni", AsRole.TRANSIT, 401, 70, _S),
+    (50, 33362, "Wiktel", AsRole.TRANSIT, 117, 39, _S),
+    (51, 44092, "Halservice", AsRole.TRANSIT, 140, 86, _S),
+    (52, 7794, "Execulink", AsRole.TRANSIT, 599, 141, _S),
+    (53, 3320, "Deutsche Telekom", AsRole.TIER1, 370_152, 65_995, _C),
+    (54, 2914, "NTT Comm.", AsRole.TIER1, 504_001, 209_589, _C),
+    (55, 5511, "Orange", AsRole.TIER1, 51_979, 21_376, _C),
+    (56, 4637, "Telstra", AsRole.TIER1, 62_075, 18_010, _C),
+    (57, 1273, "Vodafone", AsRole.TIER1, 24_308, 8_248, _C),
+    (58, 1299, "Arelion", AsRole.TIER1, 615_851, 339_007, _N),
+    (59, 174, "Cogent", AsRole.TIER1, 539_127, 217_700, _N),
+    (60, 3356, "Level3", AsRole.TIER1, 468_812, 174_373, _N),
+)
+
+#: vendor mixes by flavour; weights need not sum to 1
+_MIX_CISCO_HEAVY = ((Vendor.CISCO, 0.6), (Vendor.JUNIPER, 0.25), (Vendor.HUAWEI, 0.15))
+_MIX_JUNIPER_HEAVY = ((Vendor.JUNIPER, 0.55), (Vendor.CISCO, 0.3), (Vendor.NOKIA, 0.15))
+_MIX_MIXED = (
+    (Vendor.CISCO, 0.4),
+    (Vendor.JUNIPER, 0.28),
+    (Vendor.NOKIA, 0.14),
+    (Vendor.HUAWEI, 0.1),
+    (Vendor.ARISTA, 0.05),
+    (Vendor.LINUX, 0.03),
+)
+
+
+def _size_tier(ips_discovered: int) -> tuple[int, int, int, int]:
+    """(n_core, n_edge, n_border, n_customers) scaled from Table 5."""
+    if ips_discovered < MIN_DISCOVERED_IPS:
+        return (3, 1, 1, 1)
+    if ips_discovered < 1_000:
+        return (6, 3, 2, 2)
+    if ips_discovered < 10_000:
+        return (10, 4, 3, 3)
+    if ips_discovered < 100_000:
+        return (14, 5, 4, 4)
+    return (18, 6, 5, 5)
+
+
+def _base_scenario(
+    as_id: int,
+    role: AsRole,
+    confirmation: Confirmation,
+    ips_discovered: int,
+) -> DeploymentScenario:
+    """Role/confirmation defaults, before narrative overrides."""
+    n_core, n_edge, n_border, n_customers = _size_tier(ips_discovered)
+    confirmed = confirmation.confirmed
+    if confirmed:
+        # Confirmed deployments: good visibility; a majority migrated
+        # fully, the rest still run a legacy LDP island (Sec. 7.2: 90%
+        # of SR tunnels are full-SR).
+        full_sr = unit_hash("full-sr", as_id) < 0.55
+        scenario = DeploymentScenario(
+            deploys_sr=True,
+            mpls=True,
+            sr_share=1.0 if full_sr else 0.9,
+            propagate_share=0.85,
+            rfc4950_share=1.0,
+            vendor_weights=_MIX_CISCO_HEAVY,
+            snmp_share=0.12,
+            ping_share=0.7,
+            te_share=0.1,
+            service_share=0.45,
+            n_core=n_core,
+            n_edge=n_edge,
+            n_border=n_border,
+            n_customers=n_customers,
+        )
+    elif role is AsRole.STUB:
+        # Stubs: little MPLS, and what exists hides (26% explicit).
+        scenario = DeploymentScenario(
+            deploys_sr=False,
+            mpls=unit_hash("stub-mpls", as_id) < 0.6,
+            sr_share=0.0,
+            propagate_share=0.25,
+            rfc4950_share=0.4,
+            vendor_weights=_MIX_JUNIPER_HEAVY,
+            snmp_share=0.05,
+            ping_share=0.5,
+            icmp_response_rate=0.9,
+            te_share=0.0,
+            service_share=0.3,
+            n_core=n_core,
+            n_edge=n_edge,
+            n_border=n_border,
+            n_customers=n_customers,
+        )
+    else:
+        # Unconfirmed Content/Transit/Tier-1: MPLS everywhere; a third
+        # run undisclosed SR (the paper found evidence in 94%, mostly
+        # LSO-dominated), the rest are LDP with service stacks.
+        hidden_sr = unit_hash("hidden-sr", as_id) < 0.35
+        scenario = DeploymentScenario(
+            deploys_sr=hidden_sr,
+            mpls=True,
+            sr_share=0.8 if hidden_sr else 0.0,
+            propagate_share=0.7,
+            rfc4950_share=1.0 if hidden_sr else 0.96,
+            vendor_weights=_MIX_MIXED,
+            snmp_share=0.1,
+            ping_share=0.6,
+            te_share=0.05,
+            service_share=0.14,
+            entropy_share=0.1,
+            rsvp_te_share=0.15,
+            n_core=n_core,
+            n_edge=n_edge,
+            n_border=n_border,
+            n_customers=n_customers,
+        )
+    # ~30% of SR operators customize the SRGB (survey, Sec. 3).
+    if scenario.deploys_sr and unit_hash("custom-srgb", as_id) < 0.3:
+        base = 400_000 + (as_id % 7) * 10_000
+        scenario = replace(
+            scenario, custom_srgb=LabelRange(base, base + 7_999)
+        )
+    return scenario
+
+
+#: Narrative overrides keyed by AS id (see module docstring).
+def _overrides(as_id: int, scenario: DeploymentScenario) -> DeploymentScenario:
+    if as_id == 46:  # ESnet: SR everywhere, zero fingerprint coverage,
+        # heavy service-SID usage (unshrinking stacks, Sec. 6.2), and the
+        # paper's ground-truth validation target.
+        return replace(
+            scenario,
+            deploys_sr=True,
+            sr_share=1.0,
+            propagate_share=1.0,
+            rfc4950_share=1.0,
+            snmp_share=0.0,
+            ping_share=0.0,
+            service_share=1.0,
+            te_share=0.15,
+            sr_policy_share=0.25,
+            custom_srgb=None,
+            uhp=True,
+        )
+    if as_id == 15:  # Microsoft: the largest SR footprint observed.
+        return replace(
+            scenario, sr_share=1.0, propagate_share=0.95, rfc4950_share=0.95
+        )
+    if as_id in (2, 3, 16):  # no explicit tunnels at all (Sec. 6.2):
+        # tunnels neither propagate the TTL nor quote LSEs -> invisible
+        return replace(scenario, propagate_share=0.0, rfc4950_share=0.05)
+    if as_id == 44:  # Midco-Net: explicit tunnels in ~5% of paths
+        return replace(
+            scenario, propagate_share=0.05, rfc4950_share=0.1
+        )
+    if as_id in (31, 38, 40, 55):  # fingerprint-rich ASes (Sec. 6.2)
+        return replace(
+            scenario,
+            snmp_share=0.5,
+            ping_share=0.95,
+            deploys_sr=True,
+            sr_share=max(scenario.sr_share, 0.88),
+        )
+    if as_id in (24, 37, 43):  # Akamai / Tata / Comcast: service-heavy
+        # networks whose tunnels betray deep stacks at the ending hop
+        return replace(scenario, service_share=0.5)
+    if as_id == 7:  # Proximus: 100% LSO, pure classic MPLS + stacks
+        return replace(
+            scenario,
+            deploys_sr=False,
+            mpls=True,
+            sr_share=0.0,
+            propagate_share=0.8,
+            rfc4950_share=0.9,
+            service_share=0.8,
+        )
+    if as_id == 52:  # Execulink: unshrinking stacks regardless of context
+        return replace(
+            scenario, deploys_sr=True, sr_share=0.8, service_share=1.0,
+            uhp=True, propagate_share=0.95, rfc4950_share=1.0,
+        )
+    if as_id in (13, 27, 28):  # significant CO detections (Sec. 6.2)
+        return replace(
+            scenario, sr_share=1.0, propagate_share=0.9, snmp_share=0.0,
+            ping_share=0.3,
+        )
+    if as_id in (19, 58):  # Amazon / Arelion: strong undisclosed SR
+        return replace(
+            scenario,
+            deploys_sr=True,
+            sr_share=0.9,
+            propagate_share=0.85,
+            rfc4950_share=1.0,
+            service_share=0.3,
+            sr_policy_share=0.15,
+        )
+    if as_id in (36, 59):  # migrations that started PE-side: the legacy
+        # LDP region still fronts the ingress (LDP->SR interworking)
+        return replace(
+            scenario,
+            deploys_sr=True,
+            sr_share=0.75,
+            rfc4950_share=1.0,
+            ldp_at_ingress=True,
+        )
+    if as_id == 14:  # Google: LSO alongside strong indicators (Sec. 6.3);
+        # part of the LSO evidence comes from SR-policy binding SIDs
+        # surfacing mid-path (RFC 9256 splices)
+        return replace(
+            scenario, sr_share=0.9, service_share=0.4,
+            propagate_share=0.85, sr_policy_share=0.2,
+        )
+    if as_id == 26:  # Free: one AS exercising heterogeneous SRGBs, the
+        # source of the paper's rare (0.01%) suffix-based matches.
+        return replace(scenario, heterogeneous_srgb=True)
+    if as_id in (29, 34):  # confirmed but mostly hidden deployments
+        return replace(
+            scenario, propagate_share=0.05, rfc4950_share=0.1
+        )
+    if as_id == 20:  # Digital Ocean: classic MPLS whose fleet does not
+        # implement RFC 4950 -- every tunnel is *implicit*, nothing ever
+        # quotes an LSE, and AReST correctly finds no SR evidence
+        return replace(
+            scenario, deploys_sr=False, sr_share=0.0,
+            propagate_share=0.9, rfc4950_share=0.0, service_share=0.0,
+        )
+    return scenario
+
+
+class Portfolio:
+    """The full 60-AS measurement portfolio."""
+
+    def __init__(self, specs: tuple[AsSpec, ...]) -> None:
+        self._specs = specs
+        self._by_id = {s.as_id: s for s in specs}
+        if len(self._by_id) != len(specs):
+            raise ValueError("duplicate AS ids in portfolio")
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def spec(self, as_id: int) -> AsSpec:
+        """Look up one AS by its Table 5 id."""
+        try:
+            return self._by_id[as_id]
+        except KeyError:
+            raise KeyError(f"no AS#{as_id} in portfolio") from None
+
+    def analyzed(self) -> list[AsSpec]:
+        """The 41 ASes above the 100-address threshold."""
+        return [s for s in self._specs if s.analyzed]
+
+    def excluded(self) -> list[AsSpec]:
+        """The 19 ASes below the threshold."""
+        return [s for s in self._specs if not s.analyzed]
+
+    def confirmed(self) -> list[AsSpec]:
+        """ASes with Cisco or survey confirmation."""
+        return [s for s in self._specs if s.confirmation.confirmed]
+
+    def by_role(self, role: AsRole) -> list[AsSpec]:
+        """ASes of one hierarchy role."""
+        return [s for s in self._specs if s.role is role]
+
+
+def default_portfolio() -> Portfolio:
+    """Build the Table 5 portfolio with narrative-derived scenarios."""
+    specs = []
+    for as_id, asn, name, role, traces, ips, confirmation in _TABLE5:
+        scenario = _overrides(
+            as_id, _base_scenario(as_id, role, confirmation, ips)
+        )
+        specs.append(
+            AsSpec(
+                as_id=as_id,
+                asn=asn,
+                name=name,
+                role=role,
+                traces_sent=traces,
+                ips_discovered=ips,
+                confirmation=confirmation,
+                scenario=scenario,
+            )
+        )
+    return Portfolio(tuple(specs))

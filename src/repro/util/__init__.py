@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic randomness and text-table rendering."""
+
+from repro.util.determinism import DeterministicRng, int_hash, unit_hash
+from repro.util.tables import format_table
+
+__all__ = ["DeterministicRng", "int_hash", "unit_hash", "format_table"]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark and report output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 3 decimals; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        """Render one cell."""
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        """Render one aligned row."""
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)

@@ -1,0 +1,60 @@
+"""Tests for the Fig. 10 deployment aggregation."""
+
+import pytest
+
+from repro.analysis.deployment import (
+    deployment_rows,
+    share_of_ases_with_low_sr_interfaces,
+)
+
+
+class TestDeploymentRows:
+    def test_rows_ordered_by_as_id(self, small_portfolio_results):
+        rows = deployment_rows(small_portfolio_results)
+        assert [r.as_id for r in rows] == sorted(
+            small_portfolio_results
+        )
+
+    def test_shares_within_unit_interval(self, small_portfolio_results):
+        for row in deployment_rows(small_portfolio_results):
+            for share in (
+                row.share_hitting_sr,
+                row.share_hitting_mpls,
+                row.share_hitting_ip,
+            ):
+                assert 0.0 <= share <= 1.0
+
+    def test_esnet_majority_sr_traces(self, small_portfolio_results):
+        # Sec. 7.1: ESnet among the ASes where > 50% of traces hit SR.
+        row = next(
+            r
+            for r in deployment_rows(small_portfolio_results)
+            if r.as_id == 46
+        )
+        assert row.share_hitting_sr > 0.5
+
+    def test_proximus_no_sr(self, small_portfolio_results):
+        row = next(
+            r
+            for r in deployment_rows(small_portfolio_results)
+            if r.as_id == 7
+        )
+        assert row.share_hitting_sr == 0.0
+        assert row.sr_interfaces == 0
+        assert row.share_hitting_mpls > 0.0
+
+    def test_interface_counts_consistent(self, small_portfolio_results):
+        for as_id, result in small_portfolio_results.items():
+            row = next(
+                r
+                for r in deployment_rows(small_portfolio_results)
+                if r.as_id == as_id
+            )
+            assert row.sr_interfaces == len(result.analysis.sr_addresses)
+            assert row.total_interfaces > 0
+
+    def test_low_sr_share_metric(self, small_portfolio_results):
+        rows = deployment_rows(small_portfolio_results)
+        share = share_of_ases_with_low_sr_interfaces(rows, threshold=1.0)
+        assert share == 1.0  # everything is <= 100%
+        assert share_of_ases_with_low_sr_interfaces([], 0.1) == 0.0

@@ -1,0 +1,58 @@
+"""Tests for fingerprint-method and vendor-heatmap stats (Figs. 14/15)."""
+
+from repro.analysis.fingerprint_stats import (
+    arista_absent,
+    fingerprint_share_rows,
+    overall_method_split,
+    vendor_heatmap,
+    vendor_totals,
+)
+from repro.netsim.vendors import Vendor
+
+
+class TestFingerprintShares:
+    def test_rows_cover_every_as(self, small_portfolio_results):
+        rows = fingerprint_share_rows(small_portfolio_results)
+        assert {r.as_id for r in rows} == set(small_portfolio_results)
+
+    def test_identified_never_exceeds_total(self, small_portfolio_results):
+        for row in fingerprint_share_rows(small_portfolio_results):
+            assert row.identified <= row.total_interfaces
+            assert row.via_ttl + row.via_snmp == row.identified
+
+    def test_ttl_dominates_overall(self, small_portfolio_results):
+        # Fig. 14: most identifications come from TTL signatures.
+        rows = fingerprint_share_rows(small_portfolio_results)
+        ttl_share, snmp_share = overall_method_split(rows)
+        assert ttl_share > snmp_share
+
+    def test_split_sums_to_one(self, small_portfolio_results):
+        rows = fingerprint_share_rows(small_portfolio_results)
+        ttl_share, snmp_share = overall_method_split(rows)
+        assert abs(ttl_share + snmp_share - 1.0) < 1e-9
+
+    def test_empty_rows(self):
+        assert overall_method_split([]) == (0.0, 0.0)
+
+
+class TestVendorHeatmap:
+    def test_arista_structurally_absent(self, small_portfolio_results):
+        heatmap = vendor_heatmap(small_portfolio_results)
+        assert arista_absent(heatmap)
+
+    def test_kddi_has_snmp_vendors(self, small_portfolio_results):
+        # AS#31's scenario sets high SNMP coverage.
+        heatmap = vendor_heatmap(small_portfolio_results)
+        assert sum(heatmap[31].values()) > 0
+
+    def test_totals_aggregate(self, small_portfolio_results):
+        heatmap = vendor_heatmap(small_portfolio_results)
+        totals = vendor_totals(heatmap)
+        assert sum(totals.values()) == sum(
+            sum(c.values()) for c in heatmap.values()
+        )
+
+    def test_only_identifiable_vendors_present(self, small_portfolio_results):
+        totals = vendor_totals(vendor_heatmap(small_portfolio_results))
+        assert Vendor.ARISTA not in totals
+        assert Vendor.UNKNOWN not in totals

@@ -1,0 +1,55 @@
+"""Tests for label-space statistics (Fig. 16)."""
+
+import pytest
+
+from repro.analysis.labels import (
+    LABEL_BUCKETS,
+    bucket_of,
+    label_bucket_rows,
+    low_label_share,
+    share_in_sr_ranges,
+)
+
+
+class TestBuckets:
+    def test_buckets_partition_label_space(self):
+        previous_high = -1
+        for low, high in LABEL_BUCKETS:
+            assert low == previous_high + 1
+            previous_high = high
+        assert previous_high == 2**20 - 1
+
+    def test_bucket_of(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(16_500) == 3  # the Cisco/Huawei SRGB bucket
+        assert bucket_of(2**20 - 1) == len(LABEL_BUCKETS) - 1
+
+    def test_bucket_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            bucket_of(2**20)
+
+
+class TestRows:
+    def test_rows_built(self, small_portfolio_results):
+        rows = label_bucket_rows(small_portfolio_results)
+        assert {r.as_id for r in rows} == set(small_portfolio_results)
+
+    def test_labels_skew_low(self, small_portfolio_results):
+        # Fig. 16: "most MPLS 20-bit labels encountered were relatively
+        # small numbers ... very few instances above 100,000".
+        rows = label_bucket_rows(small_portfolio_results)
+        assert low_label_share(rows, cutoff=100_000) > 0.5
+
+    def test_sr_range_share_positive(self, small_portfolio_results):
+        rows = label_bucket_rows(small_portfolio_results)
+        assert share_in_sr_ranges(rows) > 0.0
+
+    def test_esnet_labels_in_srgb_bucket(self, small_portfolio_results):
+        rows = label_bucket_rows(small_portfolio_results)
+        esnet = next(r for r in rows if r.as_id == 46)
+        assert esnet.total > 0
+        assert esnet.bucket_counts[3] > 0  # 16,000-23,999
+
+    def test_empty_rows(self):
+        assert low_label_share([]) == 0.0
+        assert share_in_sr_ranges([]) == 0.0

@@ -1,0 +1,58 @@
+"""Tests for the markdown campaign report."""
+
+import pytest
+
+from repro.analysis.markdown_report import render_markdown_report
+
+
+class TestMarkdownReport:
+    def test_all_sections_present(self, small_portfolio_results):
+        text = render_markdown_report(small_portfolio_results)
+        for heading in (
+            "# AReST campaign report",
+            "## Headline",
+            "## Detection flags per AS",
+            "## Deployment view",
+            "## Interworking",
+            "## Tunnel taxonomy",
+            "## Fingerprinting",
+            "## Ground-truth validation",
+        ):
+            assert heading in text
+
+    def test_tables_are_markdown(self, small_portfolio_results):
+        text = render_markdown_report(small_portfolio_results)
+        assert "|---|" in text
+        assert "| AS#46 | ESnet |" in text
+
+    def test_headline_counts(self, small_portfolio_results):
+        text = render_markdown_report(small_portfolio_results)
+        assert f"{len(small_portfolio_results)} ASes analyzed" in text
+
+    def test_custom_title(self, small_portfolio_results):
+        text = render_markdown_report(
+            small_portfolio_results, title="Custom"
+        )
+        assert text.startswith("# Custom")
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_report({})
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "report.md"
+        assert main(
+            [
+                "report",
+                "--targets",
+                "6",
+                "--vps",
+                "2",
+                "-o",
+                str(out_file),
+            ]
+        ) == 0
+        assert "written to" in capsys.readouterr().out
+        assert out_file.read_text().startswith("# AReST campaign report")

@@ -1,0 +1,47 @@
+"""Tests for plain-text report rendering."""
+
+from repro.analysis.report import (
+    render_deployment,
+    render_flag_proportions,
+    render_validation,
+)
+from repro.analysis.validation import validate_against_truth
+from repro.util.tables import format_table
+
+import pytest
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["a", "long-header"],
+            [[1, 2.5], ["xx", "y"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        assert "2.500" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestRenderers:
+    def test_flag_proportions_table(self, small_portfolio_results):
+        text = render_flag_proportions(small_portfolio_results)
+        assert "CVR" in text and "LSO" in text
+        assert "AS#46" in text and "ESnet" in text
+
+    def test_validation_table(self, esnet_result):
+        report = validate_against_truth(esnet_result)
+        text = render_validation(report)
+        assert "Table 3" in text
+        assert "CO" in text
+        assert "0%" in text  # zero FP rate somewhere
+
+    def test_deployment_table(self, small_portfolio_results):
+        text = render_deployment(small_portfolio_results)
+        assert "hit-SR" in text
+        assert "Microsoft" in text

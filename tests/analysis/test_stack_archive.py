@@ -1,0 +1,100 @@
+"""Tests for the Fig. 7 longitudinal stack-size archive."""
+
+import pytest
+
+from repro.analysis.stack_archive import (
+    ArchiveSample,
+    SOURCES,
+    expected_ge2_share,
+    generate_archive,
+    iter_sample_dates,
+    series_ge_depth,
+)
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return generate_archive(traces_per_sample=1_500, seed=2)
+
+
+class TestDriftModel:
+    def test_caida_endpoints(self):
+        assert expected_ge2_share("caida", 2015, 12) == pytest.approx(0.05)
+        assert expected_ge2_share("caida", 2025, 3) == pytest.approx(0.20)
+
+    def test_atlas_endpoints(self):
+        assert expected_ge2_share("atlas", 2015, 12) == pytest.approx(0.02)
+        assert expected_ge2_share("atlas", 2025, 3) == pytest.approx(0.10)
+
+    def test_monotone_growth(self):
+        values = [
+            expected_ge2_share("caida", y, m) for y, m in iter_sample_dates()
+        ]
+        assert values == sorted(values)
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError):
+            expected_ge2_share("ripe-ris", 2020, 3)
+
+
+class TestGeneratedArchive:
+    def test_window(self, archive):
+        dates = {(s.year, s.month) for s in archive}
+        assert (2015, 12) in dates
+        assert (2025, 3) in dates
+        assert (2015, 3) not in dates
+        assert (2025, 6) not in dates
+
+    def test_both_sources(self, archive):
+        assert {s.source for s in archive} == set(SOURCES)
+
+    def test_sample_sizes(self, archive):
+        assert all(s.num_traces == 1_500 for s in archive)
+
+    def test_caida_final_share_near_20pc(self, archive):
+        series = series_ge_depth(archive, "caida", 2)
+        assert series[-1][1] == pytest.approx(0.20, abs=0.05)
+
+    def test_atlas_final_share_near_10pc(self, archive):
+        series = series_ge_depth(archive, "atlas", 2)
+        assert series[-1][1] == pytest.approx(0.10, abs=0.05)
+
+    def test_growth_direction(self, archive):
+        for source in SOURCES:
+            series = series_ge_depth(archive, source, 2)
+            assert series[-1][1] > series[0][1]
+
+    def test_caida_above_atlas_at_the_end(self, archive):
+        caida = series_ge_depth(archive, "caida", 2)[-1][1]
+        atlas = series_ge_depth(archive, "atlas", 2)[-1][1]
+        assert caida > atlas
+
+    def test_deeper_stacks_rarer(self, archive):
+        sample = archive[-1]
+        assert sample.share_with_depth_at_least(
+            3
+        ) < sample.share_with_depth_at_least(2)
+
+    def test_series_chronological(self, archive):
+        series = series_ge_depth(archive, "caida", 2)
+        dates = [d for d, _v in series]
+        assert dates == sorted(dates)
+
+    def test_deterministic(self):
+        a = generate_archive(traces_per_sample=100, seed=5)
+        b = generate_archive(traces_per_sample=100, seed=5)
+        assert a == b
+
+
+class TestSampleMath:
+    def test_share_with_empty_mpls(self):
+        sample = ArchiveSample(
+            source="caida", year=2020, month=3, depth_counts=(10, 0, 0)
+        )
+        assert sample.share_with_depth_at_least(2) == 0.0
+
+    def test_share_computation(self):
+        sample = ArchiveSample(
+            source="caida", year=2020, month=3, depth_counts=(5, 6, 3, 1)
+        )
+        assert sample.share_with_depth_at_least(2) == pytest.approx(0.4)

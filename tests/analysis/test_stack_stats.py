@@ -1,0 +1,71 @@
+"""Unit tests for stack-size statistics (Fig. 9 aggregations)."""
+
+from collections import Counter
+
+from repro.analysis.stack_stats import (
+    StackSizeRow,
+    aggregate_share_at_least,
+    stack_size_rows,
+)
+
+
+def row(as_id, context, counts):
+    return StackSizeRow(
+        as_id=as_id,
+        name=f"AS{as_id}",
+        context=context,
+        depth_counts=tuple(sorted(counts.items())),
+    )
+
+
+class TestStackSizeRow:
+    def test_total(self):
+        r = row(1, "strong-sr", {1: 10, 2: 5, 3: 5})
+        assert r.total() == 20
+
+    def test_share_at_least(self):
+        r = row(1, "strong-sr", {1: 10, 2: 5, 3: 5})
+        assert r.share_at_least(2) == 0.5
+        assert r.share_at_least(3) == 0.25
+        assert r.share_at_least(1) == 1.0
+
+    def test_empty_row(self):
+        r = row(1, "strong-sr", {})
+        assert r.total() == 0
+        assert r.share_at_least(2) == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_weighted_by_counts(self):
+        rows = [
+            row(1, "strong-sr", {1: 90, 2: 10}),
+            row(2, "strong-sr", {2: 100}),
+        ]
+        # 110 deep of 200 total
+        assert aggregate_share_at_least(rows, "strong-sr", 2) == 0.55
+
+    def test_context_filter(self):
+        rows = [
+            row(1, "strong-sr", {2: 10}),
+            row(1, "mpls-lso", {1: 10}),
+        ]
+        assert aggregate_share_at_least(rows, "strong-sr", 2) == 1.0
+        assert aggregate_share_at_least(rows, "mpls-lso", 2) == 0.0
+
+    def test_empty(self):
+        assert aggregate_share_at_least([], "strong-sr", 2) == 0.0
+
+
+class TestFromCampaign:
+    def test_rows_paired_per_as(self, small_portfolio_results):
+        rows = stack_size_rows(small_portfolio_results)
+        assert len(rows) == 2 * len(small_portfolio_results)
+        contexts = Counter(r.context for r in rows)
+        assert contexts["strong-sr"] == contexts["mpls-lso"]
+
+    def test_esnet_strong_context_deep(self, small_portfolio_results):
+        rows = stack_size_rows(small_portfolio_results)
+        esnet = next(
+            r for r in rows if r.as_id == 46 and r.context == "strong-sr"
+        )
+        assert esnet.share_at_least(2) > 0.3  # service SIDs everywhere

@@ -1,0 +1,108 @@
+"""Tests for the operator-survey generator (Table 2 / Fig. 5)."""
+
+import pytest
+
+from repro.analysis.survey import (
+    NUM_RESPONDENTS,
+    SRGB_DEFAULT_SHARE,
+    SRLB_DEFAULT_SHARE,
+    SURVEY_QUESTIONS,
+    USAGE_SHARES,
+    VENDOR_SHARES,
+    generate_survey,
+    summarize_survey,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return summarize_survey(generate_survey())
+
+
+class TestQuestions:
+    def test_table2_questions_present(self):
+        assert len(SURVEY_QUESTIONS) == 4
+        vendors = SURVEY_QUESTIONS[
+            "What vendor equipment do you use for SR-MPLS?"
+        ]
+        assert "Cisco" in vendors and "Brocade" in vendors
+        assert len(vendors) == 11
+
+    def test_usage_options(self):
+        usages = SURVEY_QUESTIONS["Why do you use SR-MPLS?"]
+        assert "Traffic Engineering" in usages
+        assert "Network Resilience" in usages
+
+
+class TestGeneration:
+    def test_default_population_size(self):
+        assert len(generate_survey()) == NUM_RESPONDENTS == 46
+
+    def test_every_respondent_deploys_something(self):
+        for answer in generate_survey():
+            assert answer.vendors
+            assert answer.usages
+
+    def test_deterministic(self):
+        assert generate_survey(seed=5) == generate_survey(seed=5)
+
+    def test_seed_sensitivity(self):
+        assert generate_survey(seed=5) != generate_survey(seed=6)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            generate_survey(n=0)
+
+
+class TestFig5Marginals:
+    def test_srgb_default_share(self, summary):
+        assert summary.srgb_default_share == pytest.approx(
+            SRGB_DEFAULT_SHARE, abs=0.02
+        )
+
+    def test_srlb_default_share(self, summary):
+        assert summary.srlb_default_share == pytest.approx(
+            SRLB_DEFAULT_SHARE, abs=0.02
+        )
+
+    def test_cisco_juniper_dominate(self, summary):
+        ranked = [v for v, _s in summary.vendors_ranked()]
+        assert set(ranked[:2]) == {"Cisco", "Juniper"}
+
+    def test_huawei_trails_nokia(self, summary):
+        # Fig. 5a ordering: ... Nokia, Arista, Linux, and Huawei
+        assert (
+            summary.vendor_shares["Huawei"]
+            <= summary.vendor_shares["Nokia"]
+        )
+
+    def test_usage_ordering(self, summary):
+        shares = summary.usage_shares
+        assert shares["Network Resilience"] >= shares["Simplify MPLS Management"]
+        assert (
+            shares["Simplify MPLS Management"]
+            >= shares["Traffic Engineering"]
+        )
+        # "around 40% ... also use SR-MPLS to transport best-effort traffic"
+        assert shares["Carry Best Effort Traffic"] == pytest.approx(
+            0.40, abs=0.08
+        )
+
+    def test_others_is_marginal(self, summary):
+        assert summary.usage_shares["Others"] <= 0.2
+
+    def test_shares_do_not_sum_to_one(self, summary):
+        # multiple choice questions (figure caption)
+        assert sum(summary.usage_shares.values()) > 1.0
+
+
+class TestTargetsConsistency:
+    def test_vendor_targets_cover_all_options(self):
+        options = SURVEY_QUESTIONS[
+            "What vendor equipment do you use for SR-MPLS?"
+        ]
+        assert set(VENDOR_SHARES) == set(options)
+
+    def test_usage_targets_cover_all_options(self):
+        options = SURVEY_QUESTIONS["Why do you use SR-MPLS?"]
+        assert set(USAGE_SHARES) == set(options)

@@ -1,0 +1,45 @@
+"""Tests for tunnel-type statistics (Fig. 13)."""
+
+from repro.analysis.tunnel_stats import (
+    explicit_share_by_role,
+    tunnel_type_rows,
+)
+from repro.probing.tunnels import TunnelType
+from repro.topogen.as_types import AsRole
+
+
+class TestTunnelTypeRows:
+    def test_rows_cover_every_as(self, small_portfolio_results):
+        rows = tunnel_type_rows(small_portfolio_results)
+        assert {r.as_id for r in rows} == set(small_portfolio_results)
+
+    def test_shares_sum_to_one(self, small_portfolio_results):
+        for row in tunnel_type_rows(small_portfolio_results):
+            if row.total() == 0:
+                continue
+            total_share = sum(
+                row.share(t) for t in TunnelType
+            )
+            assert abs(total_share - 1.0) < 1e-9
+
+    def test_esnet_all_explicit(self, small_portfolio_results):
+        row = next(
+            r
+            for r in tunnel_type_rows(small_portfolio_results)
+            if r.as_id == 46
+        )
+        assert row.share(TunnelType.EXPLICIT) == 1.0
+        assert row.share_paths_with_explicit >= 0.85
+
+    def test_transit_explicit_share_positive(self, small_portfolio_results):
+        rows = tunnel_type_rows(small_portfolio_results)
+        assert explicit_share_by_role(rows, AsRole.TRANSIT) > 0.0
+
+    def test_unknown_role_share_zero(self, small_portfolio_results):
+        rows = [
+            r
+            for r in tunnel_type_rows(small_portfolio_results)
+            if r.role is AsRole.STUB
+        ]
+        # Proximus (stub) has tunnels but only a partial explicit share
+        assert rows

@@ -1,0 +1,102 @@
+"""Tests for ground-truth validation and headline metrics."""
+
+import pytest
+
+from repro.analysis.validation import (
+    headline_detection,
+    segment_truth,
+    validate_against_truth,
+)
+from repro.core.flags import Flag
+from repro.core.segments import DetectedSegment
+from repro.netsim.addressing import IPv4Address
+
+from tests.conftest import make_hop, make_trace
+
+
+def co_segment(indices, addresses, labels):
+    return DetectedSegment(
+        flag=Flag.CO,
+        hop_indices=tuple(indices),
+        addresses=tuple(IPv4Address.from_string(a) for a in addresses),
+        top_labels=tuple(labels),
+        stack_depths=tuple([1] * len(indices)),
+    )
+
+
+class TestSegmentTruth:
+    def test_all_sr_is_tp(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_005,), truth_planes=("sr",)),
+                make_hop(2, "10.0.0.2", labels=(16_005,), truth_planes=("sr",)),
+            ]
+        )
+        segment = co_segment([0, 1], ["10.0.0.1", "10.0.0.2"], [16_005] * 2)
+        assert segment_truth(trace, segment)
+
+    def test_mixed_is_fp(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_005,), truth_planes=("sr",)),
+                make_hop(2, "10.0.0.2", labels=(16_005,), truth_planes=("ldp",)),
+            ]
+        )
+        segment = co_segment([0, 1], ["10.0.0.1", "10.0.0.2"], [16_005] * 2)
+        assert not segment_truth(trace, segment)
+
+
+class TestEsnetValidation:
+    """Table 3: perfect precision on the ground-truth AS."""
+
+    def test_zero_false_positives(self, esnet_result):
+        report = validate_against_truth(esnet_result)
+        for flag, validation in report.per_flag.items():
+            assert validation.false_positives == 0, flag
+
+    def test_co_share_dominates(self, esnet_result):
+        report = validate_against_truth(esnet_result)
+        assert report.flag_share(Flag.CO) >= 0.8
+
+    def test_interface_precision_perfect(self, esnet_result):
+        report = validate_against_truth(esnet_result)
+        assert report.interface_precision == 1.0
+        assert report.interface_fp == 0
+
+    def test_tp_rates(self, esnet_result):
+        report = validate_against_truth(esnet_result)
+        co = report.per_flag[Flag.CO]
+        assert co.distinct_segments > 0
+        assert co.tp_rate == 1.0
+
+    def test_counts_are_distinct_segments(self, esnet_result):
+        report = validate_against_truth(esnet_result)
+        assert report.total_segments() == (
+            esnet_result.analysis.total_distinct_segments()
+        )
+
+
+class TestHeadline:
+    def test_portfolio_slice(self, small_portfolio_results):
+        headline = headline_detection(small_portfolio_results)
+        confirmed = [
+            r
+            for r in small_portfolio_results.values()
+            if r.spec.confirmation.confirmed
+        ]
+        assert headline.confirmed_total == len(confirmed)
+        assert 0.0 <= headline.confirmed_rate <= 1.0
+        assert headline.unconfirmed_total == len(
+            small_portfolio_results
+        ) - len(confirmed)
+
+    def test_accepts_iterables(self, small_portfolio_results):
+        a = headline_detection(small_portfolio_results)
+        b = headline_detection(list(small_portfolio_results.values()))
+        assert a.confirmed_detected == b.confirmed_detected
+
+    def test_empty(self):
+        headline = headline_detection({})
+        assert headline.confirmed_rate == 0.0
+        assert headline.unconfirmed_rate == 0.0
+        assert headline.strong_share_of_detected == 0.0

@@ -1,0 +1,57 @@
+"""Tests for the Fig. 17 VP discovery curve."""
+
+import pytest
+
+from repro.analysis.vp_coverage import (
+    discovery_skew,
+    normalized_curve,
+    vp_discovery_curve,
+)
+
+
+class TestDiscoveryCurve:
+    def test_cumulative_monotone(self, esnet_result):
+        curve = vp_discovery_curve(esnet_result.dataset)
+        totals = [p.cumulative_addresses for p in curve]
+        assert totals == sorted(totals)
+
+    def test_covers_all_vps(self, esnet_result):
+        curve = vp_discovery_curve(esnet_result.dataset)
+        assert [p.vp for p in curve] == (
+            esnet_result.dataset.vantage_points()
+        )
+
+    def test_final_total_matches_distinct_addresses(self, esnet_result):
+        curve = vp_discovery_curve(esnet_result.dataset)
+        assert curve[-1].cumulative_addresses == len(
+            esnet_result.dataset.distinct_addresses()
+        )
+
+    def test_new_addresses_sum(self, esnet_result):
+        curve = vp_discovery_curve(esnet_result.dataset)
+        assert sum(p.new_addresses for p in curve) == (
+            curve[-1].cumulative_addresses
+        )
+
+    def test_custom_order(self, esnet_result):
+        vps = esnet_result.dataset.vantage_points()
+        curve = vp_discovery_curve(esnet_result.dataset, list(reversed(vps)))
+        assert [p.vp for p in curve] == list(reversed(vps))
+
+    def test_normalized_ends_at_one(self, esnet_result):
+        curve = vp_discovery_curve(esnet_result.dataset)
+        normalized = normalized_curve(curve)
+        assert normalized[-1] == pytest.approx(1.0)
+
+    def test_every_vp_contributes(self, esnet_result):
+        # "the discovery was reasonably well spread out"
+        curve = vp_discovery_curve(esnet_result.dataset)
+        assert all(p.new_addresses > 0 for p in curve)
+
+    def test_skew_not_total(self, esnet_result):
+        curve = vp_discovery_curve(esnet_result.dataset)
+        assert discovery_skew(curve) < 1.0
+
+    def test_empty(self):
+        assert normalized_curve([]) == []
+        assert discovery_skew([]) == 0.0

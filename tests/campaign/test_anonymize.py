@@ -1,0 +1,133 @@
+"""Tests for prefix-preserving dataset anonymization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.anonymize import (
+    PrefixPreservingAnonymizer,
+    shared_prefix_length,
+)
+from repro.netsim.addressing import IPv4Address
+
+from tests.conftest import make_hop, make_trace
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+
+
+class TestAddressAnonymization:
+    def test_deterministic(self):
+        a = PrefixPreservingAnonymizer("k")
+        b = PrefixPreservingAnonymizer("k")
+        addr = IPv4Address.from_string("10.1.2.3")
+        assert a.anonymize_address(addr) == b.anonymize_address(addr)
+
+    def test_key_sensitivity(self):
+        addr = IPv4Address.from_string("10.1.2.3")
+        assert PrefixPreservingAnonymizer("k1").anonymize_address(
+            addr
+        ) != PrefixPreservingAnonymizer("k2").anonymize_address(addr)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer("")
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses, addresses)
+    def test_prefix_preservation(self, a, b):
+        anonymizer = PrefixPreservingAnonymizer("prop-key")
+        before = shared_prefix_length(a, b)
+        after = shared_prefix_length(
+            anonymizer.anonymize_address(a),
+            anonymizer.anonymize_address(b),
+        )
+        assert after == before
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses, addresses)
+    def test_injective(self, a, b):
+        anonymizer = PrefixPreservingAnonymizer("inj-key")
+        if a != b:
+            assert anonymizer.anonymize_address(
+                a
+            ) != anonymizer.anonymize_address(b)
+
+    def test_actually_changes_addresses(self):
+        anonymizer = PrefixPreservingAnonymizer("change")
+        sample = [
+            IPv4Address.from_string(f"10.0.{i}.1") for i in range(16)
+        ]
+        changed = sum(
+            1 for a in sample if anonymizer.anonymize_address(a) != a
+        )
+        assert changed >= 14  # all but freak coincidences
+
+
+class TestDatasetAnonymization:
+    def _dataset(self):
+        from repro.campaign.dataset import TraceDataset
+
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", truth_planes=("sr",)),
+                make_hop(2, None),
+                make_hop(3, "10.0.0.3", labels=(16_005,)),
+            ]
+        )
+        return TraceDataset(target_asn=293, traces=[trace])
+
+    def test_truth_stripped_by_default(self):
+        dataset = self._dataset()
+        released = PrefixPreservingAnonymizer("rel").anonymize_dataset(
+            dataset
+        )
+        for trace in released:
+            for hop in trace.hops:
+                assert hop.truth_planes == ()
+                assert hop.truth_asn is None
+                assert hop.truth_router_id is None
+
+    def test_labels_and_structure_survive(self):
+        dataset = self._dataset()
+        released = PrefixPreservingAnonymizer("rel").anonymize_dataset(
+            dataset
+        )
+        original = dataset.traces[0]
+        anonymized = released.traces[0]
+        assert len(anonymized) == len(original)
+        assert anonymized.hops[1].address is None  # stars stay stars
+        assert anonymized.hops[2].lses == original.hops[2].lses
+
+    def test_original_untouched(self):
+        dataset = self._dataset()
+        PrefixPreservingAnonymizer("rel").anonymize_dataset(dataset)
+        assert dataset.traces[0].hops[0].truth_planes == ("sr",)
+
+    def test_metadata_marked(self):
+        released = PrefixPreservingAnonymizer("rel").anonymize_dataset(
+            self._dataset()
+        )
+        assert released.metadata["anonymized"] == "prefix-preserving"
+
+    def test_detection_survives_anonymization(self, esnet_result):
+        """AReST's verdict must be identical on the released dataset:
+        everything it uses is either preserved (labels, stars, order) or
+        bijectively renamed (addresses)."""
+        from repro.core.detector import ArestDetector
+        from repro.core.flags import Flag
+
+        released = PrefixPreservingAnonymizer("pub").anonymize_dataset(
+            esnet_result.dataset
+        )
+        detector = ArestDetector()
+        def count(dataset):
+            from collections import Counter
+
+            seen, counts = set(), Counter()
+            for trace in dataset:
+                for segment in detector.detect(trace, {}):
+                    if segment.key() not in seen:
+                        seen.add(segment.key())
+                        counts[segment.flag] += 1
+            return counts
+
+        assert count(released) == count(esnet_result.dataset)

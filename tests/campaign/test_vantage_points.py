@@ -1,0 +1,44 @@
+"""Tests for the Table 4 vantage-point fleet."""
+
+from collections import Counter
+
+from repro.campaign.vantage_points import default_vantage_points
+
+
+class TestTable4Fidelity:
+    def test_fifty_vms(self):
+        assert len(default_vantage_points()) == 50
+
+    def test_provider_counts(self):
+        # Appendix A: AWS 13, Digital Ocean 1, Google Cloud 21, Vultr 15.
+        counts = Counter(vp.provider for vp in default_vantage_points())
+        assert counts["Amazon AWS"] == 13
+        assert counts["Digital Ocean"] == 1
+        assert counts["Google Cloud"] == 21
+        assert counts["Vultr"] == 15
+
+    def test_provider_asns(self):
+        by_provider = {}
+        for vp in default_vantage_points():
+            by_provider.setdefault(vp.provider, set()).add(vp.provider_asn)
+        assert by_provider["Amazon AWS"] == {64512}
+        assert by_provider["Digital Ocean"] == {14061}
+        assert by_provider["Google Cloud"] == {16550}
+        assert by_provider["Vultr"] == {20473}
+
+    def test_country_spread(self):
+        countries = {vp.country for vp in default_vantage_points()}
+        assert len(countries) >= 25  # "spread over 28 countries"
+
+    def test_ids_unique_and_sequential(self):
+        vps = default_vantage_points()
+        assert [vp.vp_id for vp in vps] == [
+            f"VM{i}" for i in range(1, 51)
+        ]
+
+    def test_known_rows(self):
+        vps = {vp.vp_id: vp for vp in default_vantage_points()}
+        assert vps["VM1"].city == "Tokyo"
+        assert vps["VM14"].provider == "Digital Ocean"
+        assert vps["VM27"].city == "Mons"  # the authors' Belgian VP
+        assert vps["VM50"].city == "Bangalore"

@@ -1,0 +1,72 @@
+"""Tests for SR / MPLS / IP hop classification."""
+
+from repro.core.classification import HopArea, classify_hops, trace_hits_area
+from repro.core.detector import ArestDetector
+from repro.core.flags import Flag
+from repro.core.segments import DetectedSegment
+from repro.netsim.addressing import IPv4Address
+
+from tests.conftest import make_hop, make_trace
+
+
+def lso_segment(index: int, address: str) -> DetectedSegment:
+    return DetectedSegment(
+        flag=Flag.LSO,
+        hop_indices=(index,),
+        addresses=(IPv4Address.from_string(address),),
+        top_labels=(600_000,),
+        stack_depths=(2,),
+    )
+
+
+class TestClassifyHops:
+    def test_strong_segments_mark_sr(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(17_005,)),
+                make_hop(2, "10.0.0.2", labels=(17_005,)),
+                make_hop(3, "10.0.0.3"),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        areas = classify_hops(trace, segments)
+        assert areas == [HopArea.SR, HopArea.SR, HopArea.IP]
+
+    def test_lso_counts_as_mpls_when_strong_only(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(600_000, 700_000))]
+        )
+        segments = [lso_segment(0, "10.0.0.1")]
+        assert classify_hops(trace, segments)[0] is HopArea.MPLS
+        assert classify_hops(trace, segments, strong_only=False)[0] is (
+            HopArea.SR
+        )
+
+    def test_unflagged_labeled_hop_is_mpls(self):
+        trace = make_trace([make_hop(1, "10.0.0.1", labels=(999_000,))])
+        assert classify_hops(trace, [])[0] is HopArea.MPLS
+
+    def test_revealed_hop_is_mpls(self):
+        trace = make_trace([make_hop(1, "10.0.0.1", tnt_revealed=True)])
+        assert classify_hops(trace, [])[0] is HopArea.MPLS
+
+    def test_implicit_hop_is_mpls(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", truth_planes=("ldp",))]
+        )
+        assert classify_hops(trace, [])[0] is HopArea.MPLS
+
+    def test_plain_hop_is_ip(self):
+        trace = make_trace([make_hop(1, "10.0.0.1")])
+        assert classify_hops(trace, [])[0] is HopArea.IP
+
+    def test_star_hop_is_ip(self):
+        trace = make_trace([make_hop(1, None)])
+        assert classify_hops(trace, [])[0] is HopArea.IP
+
+
+class TestTraceHits:
+    def test_hits(self):
+        areas = [HopArea.IP, HopArea.MPLS, HopArea.IP]
+        assert trace_hits_area(areas, HopArea.MPLS)
+        assert not trace_hits_area(areas, HopArea.SR)

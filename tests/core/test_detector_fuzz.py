@@ -1,0 +1,43 @@
+"""Fuzz: the detector must accept arbitrary quoted stacks gracefully."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import ArestDetector, effective_labels
+from repro.core.flags import SEQUENCE_FLAGS
+
+from tests.conftest import make_hop, make_trace
+
+arbitrary_stack = st.lists(
+    st.integers(min_value=0, max_value=2**20 - 1), max_size=6
+)
+hop_specs = st.lists(
+    st.tuples(st.booleans(), arbitrary_stack), max_size=12
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(hop_specs)
+def test_detector_never_crashes_and_stays_well_formed(specs):
+    hops = []
+    for i, (responds, labels) in enumerate(specs):
+        hops.append(
+            make_hop(
+                i + 1,
+                f"10.0.{i}.1" if responds else None,
+                labels=tuple(labels) if responds else (),
+            )
+        )
+    trace = make_trace(hops)
+    segments = ArestDetector().detect(trace, {})
+    covered: set[int] = set()
+    for segment in segments:
+        for index in segment.hop_indices:
+            assert index not in covered
+            covered.add(index)
+            hop = trace.hops[index]
+            assert hop.address is not None
+            assert effective_labels(hop)  # flagged hops carry signal
+        if segment.flag in SEQUENCE_FLAGS:
+            assert segment.length >= 2
+        # flagged labels are never reserved values
+        assert all(label >= 16 for label in segment.top_labels)

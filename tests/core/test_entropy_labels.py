@@ -1,0 +1,139 @@
+"""Tests for RFC 6790 entropy-label handling in detection."""
+
+from repro.core.detector import ArestDetector, effective_labels
+from repro.core.flags import Flag
+from repro.netsim.mpls import ReservedLabel
+from repro.netsim.tunnels import TunnelPolicy
+from repro.probing.tnt import TntProber
+
+from tests.conftest import TARGET_ASN, ChainNetwork, make_hop, make_trace
+
+ELI = int(ReservedLabel.ENTROPY_LABEL_INDICATOR)
+
+
+class TestEffectiveLabels:
+    def test_plain_stack_unchanged(self):
+        hop = make_hop(1, "10.0.0.1", labels=(16_005, 992_000))
+        assert effective_labels(hop) == (16_005, 992_000)
+
+    def test_entropy_pair_stripped(self):
+        hop = make_hop(1, "10.0.0.1", labels=(16_005, ELI, 900_001))
+        assert effective_labels(hop) == (16_005,)
+
+    def test_bare_entropy_tail_empty(self):
+        hop = make_hop(1, "10.0.0.1", labels=(ELI, 900_001))
+        assert effective_labels(hop) == ()
+
+    def test_multiple_pairs(self):
+        hop = make_hop(
+            1, "10.0.0.1", labels=(16_005, ELI, 900_001, 15_100)
+        )
+        assert effective_labels(hop) == (16_005, 15_100)
+
+    def test_unlabeled_hop(self):
+        assert effective_labels(make_hop(1, "10.0.0.1")) == ()
+
+    def test_trailing_eli_without_value(self):
+        hop = make_hop(1, "10.0.0.1", labels=(16_005, ELI))
+        assert effective_labels(hop) == (16_005,)
+
+
+class TestEntropyAwareDetection:
+    def test_bare_entropy_tail_not_lso(self):
+        """[ELI, EL] is depth 2 on the wire but carries no SR signal --
+        flagging it would be a false positive by construction."""
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(ELI, 900_001))]
+        )
+        assert ArestDetector().detect(trace, {}) == []
+
+    def test_transport_plus_entropy_is_not_lso(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(777_000, ELI, 900_001))]
+        )
+        # effective depth 1, label outside vendor ranges: silent
+        assert ArestDetector().detect(trace, {}) == []
+
+    def test_run_survives_entropy_noise(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(17_005, ELI, 900_001)),
+                make_hop(2, "10.0.0.2", labels=(17_005, ELI, 900_002)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        assert [s.flag for s in segments] == [Flag.CO]
+        assert segments[0].stack_depths == (1, 1)  # effective depths
+
+    def test_end_to_end_entropy_tunnel(self):
+        chain = ChainNetwork(
+            length=6,
+            policy=TunnelPolicy(asn=TARGET_ASN, entropy_share=1.0),
+        )
+        trace = TntProber(chain.engine, seed=1).trace(
+            chain.vp.router_id, chain.target
+        )
+        segments = ArestDetector().detect(trace, {})
+        # one CO run over the transport label; the [ELI, EL] tail and
+        # the pairs inside the run never produce extra flags
+        assert [s.flag for s in segments] == [Flag.CO]
+        # the wire stacks really were deep (the confounder existed)
+        assert any(h.stack_depth >= 3 for h in trace.labeled_hops())
+
+
+class TestEntropyForwarding:
+    def test_delivery_with_entropy_pairs(self):
+        chain = ChainNetwork(
+            length=6,
+            policy=TunnelPolicy(asn=TARGET_ASN, entropy_share=1.0),
+        )
+        from repro.netsim.forwarding import ReplyKind
+
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 64
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_truth_planes_mark_entropy(self):
+        chain = ChainNetwork(
+            length=6,
+            policy=TunnelPolicy(asn=TARGET_ASN, entropy_share=1.0),
+        )
+        truth = chain.engine.truth_walk(chain.vp.router_id, chain.target)
+        labeled = [t for t in truth if t.received_labels]
+        assert any("entropy" in t.received_planes for t in labeled)
+
+
+class TestReservedLabelHandling:
+    def test_explicit_null_tops_never_form_runs(self):
+        """UHP with explicit-null: every hop quotes label 0 on top.
+        Consecutive zeros must not masquerade as a CO run."""
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(0, 16_005)),
+                make_hop(2, "10.0.0.2", labels=(0, 16_005)),
+                make_hop(3, "10.0.0.3", labels=(0, 16_005)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        # the *inner* 16,005 labels still sequence correctly
+        assert [s.flag for s in segments] == [Flag.CO]
+        assert segments[0].top_labels == (16_005, 16_005, 16_005)
+        assert segments[0].stack_depths == (1, 1, 1)
+
+    def test_bare_explicit_null_is_silent(self):
+        trace = make_trace([make_hop(1, "10.0.0.1", labels=(0,))])
+        assert ArestDetector().detect(trace, {}) == []
+
+    def test_router_alert_stripped(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(1, 700_001, 700_002))]
+        )
+        segments = ArestDetector().detect(trace, {})
+        assert [s.flag for s in segments] == [Flag.LSO]
+        assert segments[0].stack_depths == (2,)
+
+    def test_effective_labels_strip_reserved(self):
+        hop = make_hop(1, "10.0.0.1", labels=(0, 14, 16_005))
+        assert effective_labels(hop) == (16_005,)

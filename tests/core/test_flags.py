@@ -1,0 +1,71 @@
+"""Tests for flag definitions and the CVR false-positive model."""
+
+import pytest
+
+from repro.core.flags import (
+    CISCO_DYNAMIC_POOL_SIZE,
+    Flag,
+    SEQUENCE_FLAGS,
+    SIGNAL_STRENGTH,
+    STRONG_FLAGS,
+    cvr_false_positive_probability,
+    strongest,
+)
+
+
+class TestSignalStrengths:
+    def test_paper_star_ratings(self):
+        assert SIGNAL_STRENGTH[Flag.CVR] == 5
+        assert SIGNAL_STRENGTH[Flag.CO] == 4
+        assert SIGNAL_STRENGTH[Flag.LSVR] == 4
+        assert SIGNAL_STRENGTH[Flag.LVR] == 3
+        assert SIGNAL_STRENGTH[Flag.LSO] == 1
+
+    def test_strong_flags_exclude_lso(self):
+        assert Flag.LSO not in STRONG_FLAGS
+        assert STRONG_FLAGS == {Flag.CVR, Flag.CO, Flag.LSVR, Flag.LVR}
+
+    def test_sequence_flags(self):
+        assert SEQUENCE_FLAGS == {Flag.CVR, Flag.CO}
+
+    def test_every_flag_rated(self):
+        assert set(SIGNAL_STRENGTH) == set(Flag)
+
+
+class TestCvrFalsePositiveModel:
+    def test_two_hops(self):
+        # Sec. 4.1: two Cisco routers -> ~1e-6
+        p = cvr_false_positive_probability(2)
+        assert p == pytest.approx(1 / CISCO_DYNAMIC_POOL_SIZE)
+        assert p < 1e-5
+
+    def test_probability_decays_with_length(self):
+        probabilities = [
+            cvr_false_positive_probability(k) for k in range(2, 6)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_exact_formula(self):
+        assert cvr_false_positive_probability(3, pool_size=10) == 1 / 100
+        assert cvr_false_positive_probability(4, pool_size=10) == 1 / 1000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cvr_false_positive_probability(1)
+        with pytest.raises(ValueError):
+            cvr_false_positive_probability(2, pool_size=0)
+
+
+class TestStrongest:
+    def test_picks_highest(self):
+        assert strongest({Flag.CO, Flag.LSO}) is Flag.CO
+        assert strongest({Flag.CVR, Flag.CO, Flag.LVR}) is Flag.CVR
+
+    def test_empty(self):
+        assert strongest(set()) is None
+
+    def test_tie_broken_deterministically(self):
+        # CO and LSVR both carry 4 stars; the answer must be stable.
+        assert strongest({Flag.CO, Flag.LSVR}) is strongest(
+            {Flag.LSVR, Flag.CO}
+        )

@@ -1,0 +1,165 @@
+"""Tests for interworking decomposition, modes, and area refinement."""
+
+from repro.core.classification import HopArea
+from repro.core.detector import ArestDetector
+from repro.core.flags import Flag
+from repro.core.interworking import (
+    InterworkingMode,
+    analyze_tunnel_composition,
+    interworking_summary,
+    refine_areas_for_interworking,
+)
+from repro.core.segments import DetectedSegment
+from repro.netsim.addressing import IPv4Address
+
+from tests.conftest import make_hop, make_trace
+
+SR = HopArea.SR
+M = HopArea.MPLS
+IP = HopArea.IP
+
+
+class TestComposition:
+    def test_full_sr(self):
+        tunnels = analyze_tunnel_composition([IP, SR, SR, IP])
+        assert [t.mode for t in tunnels] == [InterworkingMode.FULL_SR]
+        assert not tunnels[0].is_interworking
+
+    def test_full_ldp(self):
+        tunnels = analyze_tunnel_composition([M, M])
+        assert [t.mode for t in tunnels] == [InterworkingMode.FULL_LDP]
+
+    def test_sr_to_ldp(self):
+        tunnels = analyze_tunnel_composition([SR, SR, M, M])
+        assert tunnels[0].mode is InterworkingMode.SR_TO_LDP
+        assert tunnels[0].is_interworking
+        assert tunnels[0].sr_cloud_sizes() == [2]
+        assert tunnels[0].ldp_cloud_sizes() == [2]
+
+    def test_ldp_to_sr(self):
+        tunnels = analyze_tunnel_composition([M, SR, SR])
+        assert tunnels[0].mode is InterworkingMode.LDP_TO_SR
+
+    def test_chains(self):
+        assert analyze_tunnel_composition([M, SR, M])[0].mode is (
+            InterworkingMode.LDP_SR_LDP
+        )
+        assert analyze_tunnel_composition([SR, M, SR])[0].mode is (
+            InterworkingMode.SR_LDP_SR
+        )
+
+    def test_longer_alternations_are_other(self):
+        tunnels = analyze_tunnel_composition([SR, M, SR, M])
+        assert tunnels[0].mode is InterworkingMode.OTHER
+
+    def test_ip_delimits_tunnels(self):
+        tunnels = analyze_tunnel_composition([SR, IP, M])
+        assert [t.mode for t in tunnels] == [
+            InterworkingMode.FULL_SR,
+            InterworkingMode.FULL_LDP,
+        ]
+
+    def test_empty(self):
+        assert analyze_tunnel_composition([]) == []
+        assert analyze_tunnel_composition([IP, IP]) == []
+
+    def test_summary(self):
+        tunnels = analyze_tunnel_composition([SR, IP, SR, M, IP, M])
+        summary = interworking_summary(tunnels)
+        assert summary[InterworkingMode.FULL_SR] == 1
+        assert summary[InterworkingMode.SR_TO_LDP] == 1
+        assert summary[InterworkingMode.FULL_LDP] == 1
+
+
+class TestRefinement:
+    def _trace_and_segments(self):
+        """CO run (hops 0-1), unflagged labeled gap hop (2, same label),
+        CO run continues (3-4)... plus a genuine LDP tail (5)."""
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_007,)),
+                make_hop(2, "10.0.0.2", labels=(16_007,)),
+                make_hop(3, "10.0.0.3"),  # implicit gap (no quote)
+                make_hop(4, "10.0.0.4", labels=(16_007,)),
+                make_hop(5, "10.0.0.5", labels=(16_007,)),
+                make_hop(6, "10.0.0.6", labels=(771_234,)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        return trace, segments
+
+    def test_same_label_adoption_and_sandwich(self):
+        trace, segments = self._trace_and_segments()
+        areas = [SR, SR, M, SR, SR, M]
+        refined = refine_areas_for_interworking(trace, segments, areas)
+        # the implicit gap hop joins the run...
+        assert refined[2] is SR
+        # ...but the different-label tail stays LDP
+        assert refined[5] is M
+
+    def test_lso_upgraded_with_strong_evidence(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_007,)),
+                make_hop(2, "10.0.0.2", labels=(16_007,)),
+                make_hop(3, "10.0.0.3", labels=(880_001, 880_002)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        assert {s.flag for s in segments} == {Flag.CO, Flag.LSO}
+        areas = [SR, SR, M]
+        refined = refine_areas_for_interworking(trace, segments, areas)
+        assert refined[2] is SR
+
+    def test_lso_not_upgraded_alone(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(880_001, 880_002))]
+        )
+        segments = ArestDetector().detect(trace, {})
+        refined = refine_areas_for_interworking(trace, segments, [M])
+        assert refined[0] is M
+
+    def test_te_head_adopted_via_inner_label(self):
+        # head hop carries [waypoint; adj; egress]; the following run's
+        # label equals the head's inner bottom label
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_002, 15_001, 16_008)),
+                make_hop(2, "10.0.0.2", labels=(16_008,)),
+                make_hop(3, "10.0.0.3", labels=(16_008,)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        areas = [M, SR, SR]
+        refined = refine_areas_for_interworking(trace, segments, areas)
+        assert refined[0] is SR
+
+    def test_service_tail_adopted_via_neighbor_inner(self):
+        # run quotes [transport, service]; after PHP the tail quotes the
+        # service label alone -- its value appeared as the inner label.
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_007, 15_201)),
+                make_hop(2, "10.0.0.2", labels=(16_007, 15_201)),
+                make_hop(3, "10.0.0.3", labels=(15_201,)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        areas = [SR, SR, M]
+        refined = refine_areas_for_interworking(trace, segments, areas)
+        assert refined[2] is SR
+
+    def test_genuine_ldp_island_survives(self):
+        # two-hop LDP island with unrelated labels after an SR run
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_007,)),
+                make_hop(2, "10.0.0.2", labels=(16_007,)),
+                make_hop(3, "10.0.0.3", labels=(771_234,)),
+                make_hop(4, "10.0.0.4", labels=(662_111,)),
+            ]
+        )
+        segments = ArestDetector().detect(trace, {})
+        areas = [SR, SR, M, M]
+        refined = refine_areas_for_interworking(trace, segments, areas)
+        assert refined[2] is M and refined[3] is M

@@ -1,0 +1,107 @@
+"""Property-based tests for interworking decomposition and refinement."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classification import HopArea
+from repro.core.detector import ArestDetector
+from repro.core.interworking import (
+    InterworkingMode,
+    analyze_tunnel_composition,
+    refine_areas_for_interworking,
+)
+
+from tests.conftest import make_hop, make_trace
+
+areas = st.lists(
+    st.sampled_from([HopArea.SR, HopArea.MPLS, HopArea.IP]),
+    max_size=16,
+)
+
+
+@given(areas)
+def test_composition_partitions_non_ip_hops(sequence):
+    """Every non-IP hop lands in exactly one tunnel, order preserved."""
+    tunnels = analyze_tunnel_composition(sequence)
+    covered = [
+        i for t in tunnels for c in t.clouds for i in c.hop_indices
+    ]
+    expected = [
+        i for i, a in enumerate(sequence) if a is not HopArea.IP
+    ]
+    assert covered == expected
+
+
+@given(areas)
+def test_clouds_are_homogeneous_and_alternating(sequence):
+    for tunnel in analyze_tunnel_composition(sequence):
+        for cloud in tunnel.clouds:
+            kinds = {sequence[i] for i in cloud.hop_indices}
+            assert len(kinds) == 1
+        planes = [c.plane for c in tunnel.clouds]
+        assert all(a is not b for a, b in zip(planes, planes[1:]))
+
+
+@given(areas)
+def test_mode_matches_cloud_sequence(sequence):
+    for tunnel in analyze_tunnel_composition(sequence):
+        planes = tuple(c.plane for c in tunnel.clouds)
+        if planes == (HopArea.SR,):
+            assert tunnel.mode is InterworkingMode.FULL_SR
+        elif planes == (HopArea.MPLS,):
+            assert tunnel.mode is InterworkingMode.FULL_LDP
+        elif len(planes) > 3:
+            assert tunnel.mode is InterworkingMode.OTHER
+
+
+label_pools = st.sampled_from([16_005, 16_007, 771_001, 662_002])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(label_pools, st.booleans()),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_refinement_never_downgrades_sr(hop_specs):
+    """Refinement may only promote MPLS hops to SR, never the reverse,
+    and never touches IP hops."""
+    hops = [
+        make_hop(i + 1, f"10.0.0.{i + 1}", labels=(label,) if labeled else ())
+        for i, (label, labeled) in enumerate(hop_specs)
+    ]
+    trace = make_trace(hops)
+    segments = ArestDetector().detect(trace, {})
+    from repro.core.classification import classify_hops
+
+    before = classify_hops(trace, segments)
+    after = refine_areas_for_interworking(trace, segments, before)
+    for b, a in zip(before, after):
+        if b is HopArea.SR:
+            assert a is HopArea.SR
+        if b is HopArea.IP:
+            assert a is HopArea.IP
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(label_pools, st.booleans()),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_refinement_idempotent(hop_specs):
+    hops = [
+        make_hop(i + 1, f"10.0.0.{i + 1}", labels=(label,) if labeled else ())
+        for i, (label, labeled) in enumerate(hop_specs)
+    ]
+    trace = make_trace(hops)
+    segments = ArestDetector().detect(trace, {})
+    from repro.core.classification import classify_hops
+
+    areas = classify_hops(trace, segments)
+    once = refine_areas_for_interworking(trace, segments, areas)
+    twice = refine_areas_for_interworking(trace, segments, once)
+    assert once == twice

@@ -1,0 +1,65 @@
+"""Tests for label sequence / suffix matching (footnote 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.labels import run_is_suffix_based, sequence_match, suffix_match
+
+labels = st.integers(min_value=0, max_value=2**20 - 1)
+
+
+class TestSuffixMatch:
+    def test_paper_example(self):
+        # footnote 4: 16,005 -> 13,005
+        assert suffix_match(16_005, 13_005)
+
+    def test_identical_labels_are_not_suffix_matches(self):
+        assert not suffix_match(16_005, 16_005)
+
+    def test_different_suffixes(self):
+        assert not suffix_match(16_005, 16_006)
+        assert not suffix_match(16_005, 13_006)
+
+    def test_short_labels(self):
+        # 5 vs 1005: both end in "005"
+        assert suffix_match(5, 1_005)
+
+    def test_digits_parameter(self):
+        assert suffix_match(16_005, 13_005, digits=3)
+        assert not suffix_match(16_105, 13_005, digits=3)
+        with pytest.raises(ValueError):
+            suffix_match(1, 2, digits=0)
+
+    @given(labels, labels)
+    def test_symmetry(self, a, b):
+        assert suffix_match(a, b) == suffix_match(b, a)
+
+
+class TestSequenceMatch:
+    def test_identical(self):
+        assert sequence_match(16_005, 16_005)
+
+    def test_suffix(self):
+        assert sequence_match(16_005, 13_005)
+
+    def test_mismatch(self):
+        assert not sequence_match(16_005, 17_006)
+
+    @given(labels)
+    def test_reflexive(self, a):
+        assert sequence_match(a, a)
+
+    @given(labels, labels)
+    def test_symmetric(self, a, b):
+        assert sequence_match(a, b) == sequence_match(b, a)
+
+
+class TestRunSuffixBased:
+    def test_pure_run(self):
+        assert not run_is_suffix_based((16_005, 16_005, 16_005))
+
+    def test_mixed_run(self):
+        assert run_is_suffix_based((16_005, 13_005, 13_005))
+
+    def test_single_label(self):
+        assert not run_is_suffix_based((16_005,))

@@ -1,0 +1,79 @@
+"""Tests for the DetectedSegment record invariants."""
+
+import pytest
+
+from repro.core.flags import Flag
+from repro.core.segments import DetectedSegment
+from repro.netsim.addressing import IPv4Address
+
+
+def seg(flag, indices, labels=None, depths=None):
+    n = len(indices)
+    return DetectedSegment(
+        flag=flag,
+        hop_indices=tuple(indices),
+        addresses=tuple(
+            IPv4Address.from_string(f"10.0.0.{i + 1}") for i in range(n)
+        ),
+        top_labels=tuple(labels or [16_005] * n),
+        stack_depths=tuple(depths or [1] * n),
+    )
+
+
+class TestInvariants:
+    def test_consecutive_flags_need_two_hops(self):
+        with pytest.raises(ValueError):
+            seg(Flag.CVR, [3])
+        with pytest.raises(ValueError):
+            seg(Flag.CO, [3])
+        assert seg(Flag.CO, [3, 4]).length == 2
+
+    def test_stack_flags_are_single_hop(self):
+        for flag in (Flag.LSVR, Flag.LVR, Flag.LSO):
+            assert seg(flag, [2]).length == 1
+            with pytest.raises(ValueError):
+                seg(flag, [2, 3])
+
+    def test_contiguity_enforced(self):
+        with pytest.raises(ValueError):
+            seg(Flag.CO, [1, 3])
+
+    def test_parallel_tuple_lengths(self):
+        with pytest.raises(ValueError):
+            DetectedSegment(
+                flag=Flag.CO,
+                hop_indices=(1, 2),
+                addresses=(IPv4Address.from_string("10.0.0.1"),),
+                top_labels=(16_005, 16_005),
+                stack_depths=(1, 1),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DetectedSegment(
+                flag=Flag.LSO,
+                hop_indices=(),
+                addresses=(),
+                top_labels=(),
+                stack_depths=(),
+            )
+
+
+class TestProperties:
+    def test_signal_strength(self):
+        assert seg(Flag.CVR, [1, 2]).signal_strength == 5
+        assert seg(Flag.LSO, [1]).signal_strength == 1
+
+    def test_max_stack_depth(self):
+        s = seg(Flag.CO, [1, 2], depths=[2, 3])
+        assert s.max_stack_depth == 3
+
+    def test_key_ignores_position(self):
+        a = seg(Flag.CO, [1, 2])
+        b = seg(Flag.CO, [5, 6])
+        assert a.key() == b.key()  # same addresses + labels + flag
+
+    def test_key_distinguishes_flags(self):
+        a = seg(Flag.LSO, [1])
+        b = seg(Flag.LVR, [1])
+        assert a.key() != b.key()

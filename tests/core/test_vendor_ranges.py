@@ -1,0 +1,80 @@
+"""Tests for Table 1 range matching under both fingerprint grades."""
+
+from repro.core.vendor_ranges import (
+    TABLE1_RANGES,
+    TTL_ACTIONABLE_CLASS,
+    known_sr_ranges,
+    label_in_vendor_range,
+    ranges_for_fingerprint,
+)
+from repro.fingerprint.records import Fingerprint
+from repro.netsim.vendors import Vendor
+
+
+class TestSnmpGrade:
+    def test_cisco_ranges(self):
+        fp = Fingerprint.from_snmp(Vendor.CISCO)
+        ranges = ranges_for_fingerprint(fp)
+        bounds = {(r.low, r.high) for r in ranges}
+        assert (16_000, 23_999) in bounds  # SRGB
+        assert (15_000, 15_999) in bounds  # SRLB
+
+    def test_arista_ranges(self):
+        fp = Fingerprint.from_snmp(Vendor.ARISTA)
+        ranges = ranges_for_fingerprint(fp)
+        assert any(r.low == 900_000 for r in ranges)
+        assert any(r.low == 100_000 for r in ranges)
+
+    def test_juniper_contributes_nothing(self):
+        # Table 1 publishes no Juniper defaults: AReST cannot range-match.
+        fp = Fingerprint.from_snmp(Vendor.JUNIPER)
+        assert ranges_for_fingerprint(fp) == ()
+
+    def test_label_matching(self):
+        cisco = Fingerprint.from_snmp(Vendor.CISCO)
+        assert label_in_vendor_range(16_005, cisco)
+        assert label_in_vendor_range(15_500, cisco)  # SRLB
+        assert not label_in_vendor_range(50_000, cisco)
+
+    def test_huawei_wider_srgb(self):
+        huawei = Fingerprint.from_snmp(Vendor.HUAWEI)
+        assert label_in_vendor_range(40_000, huawei)
+        cisco = Fingerprint.from_snmp(Vendor.CISCO)
+        assert not label_in_vendor_range(40_000, cisco)
+
+
+class TestTtlGrade:
+    def test_cisco_huawei_class_uses_intersection(self):
+        fp = Fingerprint.from_ttl(TTL_ACTIONABLE_CLASS)
+        ranges = ranges_for_fingerprint(fp)
+        assert len(ranges) == 1
+        assert (ranges[0].low, ranges[0].high) == (16_000, 23_999)
+
+    def test_other_classes_not_actionable(self):
+        fp = Fingerprint.from_ttl(frozenset({Vendor.JUNIPER}))
+        assert ranges_for_fingerprint(fp) == ()
+        fp = Fingerprint.from_ttl(
+            frozenset({Vendor.ARISTA, Vendor.LINUX, Vendor.MIKROTIK})
+        )
+        assert ranges_for_fingerprint(fp) == ()
+
+    def test_intersection_excludes_huawei_only_labels(self):
+        fp = Fingerprint.from_ttl(TTL_ACTIONABLE_CLASS)
+        assert label_in_vendor_range(20_000, fp)
+        assert not label_in_vendor_range(30_000, fp)  # Huawei-only SRGB
+
+
+class TestNoFingerprint:
+    def test_no_ranges(self):
+        assert ranges_for_fingerprint(Fingerprint.none()) == ()
+        assert not label_in_vendor_range(16_005, Fingerprint.none())
+
+
+class TestKnownRanges:
+    def test_covers_all_table1_entries(self):
+        expected = sum(len(entries) for entries in TABLE1_RANGES.values())
+        assert len(known_sr_ranges()) == expected
+
+    def test_all_valid(self):
+        for r in known_sr_ranges():
+            assert 0 <= r.low <= r.high < 2**20

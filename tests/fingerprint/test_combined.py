@@ -1,0 +1,88 @@
+"""Tests for combined fingerprinting and its precedence rule."""
+
+import pytest
+
+from repro.fingerprint.combined import CombinedFingerprinter
+from repro.fingerprint.records import Fingerprint, FingerprintMethod
+from repro.fingerprint.snmp import SnmpOracle
+from repro.netsim.vendors import Vendor
+
+from tests.conftest import ChainNetwork
+
+
+def first_reply(chain: ChainNetwork):
+    reply = chain.engine.forward_probe(chain.vp.router_id, chain.target, 1)
+    assert reply is not None
+    return reply
+
+
+class TestPrecedence:
+    def test_snmp_takes_precedence(self):
+        chain = ChainNetwork(vendor=Vendor.HUAWEI)
+        for r in chain.routers:
+            r.snmp_responsive = True
+        combined = CombinedFingerprinter(
+            chain.engine, SnmpOracle(chain.network, coverage=1.0)
+        )
+        reply = first_reply(chain)
+        fp = combined.fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        # TTL would only say {Cisco, Huawei}; SNMP pins Huawei exactly.
+        assert fp.method is FingerprintMethod.SNMP
+        assert fp.exact_vendor is Vendor.HUAWEI
+
+    def test_ttl_fallback(self):
+        chain = ChainNetwork(vendor=Vendor.CISCO)
+        combined = CombinedFingerprinter(
+            chain.engine, SnmpOracle(chain.network, coverage=1.0)
+        )
+        reply = first_reply(chain)
+        fp = combined.fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        assert fp.method is FingerprintMethod.TTL
+        assert fp.vendor_class == frozenset({Vendor.CISCO, Vendor.HUAWEI})
+
+    def test_cache(self):
+        chain = ChainNetwork()
+        combined = CombinedFingerprinter(
+            chain.engine, SnmpOracle(chain.network, coverage=1.0)
+        )
+        reply = first_reply(chain)
+        combined.fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        assert combined.cache_size() == 1
+        combined.fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        assert combined.cache_size() == 1
+
+
+class TestFingerprintRecord:
+    def test_none_constructor(self):
+        fp = Fingerprint.none()
+        assert not fp.identified
+        assert fp.method is FingerprintMethod.NONE
+
+    def test_snmp_requires_vendor(self):
+        with pytest.raises(ValueError):
+            Fingerprint(
+                method=FingerprintMethod.SNMP,
+                exact_vendor=None,
+                vendor_class=frozenset(),
+            )
+
+    def test_none_must_be_empty(self):
+        with pytest.raises(ValueError):
+            Fingerprint(
+                method=FingerprintMethod.NONE,
+                exact_vendor=Vendor.CISCO,
+                vendor_class=frozenset({Vendor.CISCO}),
+            )
+
+    def test_from_ttl(self):
+        fp = Fingerprint.from_ttl(frozenset({Vendor.CISCO, Vendor.HUAWEI}))
+        assert fp.identified
+        assert fp.exact_vendor is None

@@ -1,0 +1,67 @@
+"""Tests for the SNMPv3 fingerprint oracle."""
+
+from repro.fingerprint.records import FingerprintMethod
+from repro.fingerprint.snmp import SnmpOracle
+from repro.netsim.vendors import Vendor
+
+from tests.conftest import ChainNetwork
+
+
+def interface_of(chain: ChainNetwork, index: int):
+    return chain.routers[index].interfaces[
+        chain.routers[index - 1].router_id if index else chain.vp.router_id
+    ]
+
+
+class TestSnmpOracle:
+    def test_exact_vendor_hit(self):
+        chain = ChainNetwork(vendor=Vendor.JUNIPER)
+        for r in chain.routers:
+            r.snmp_responsive = True
+        oracle = SnmpOracle(chain.network, coverage=1.0)
+        fp = oracle.lookup(interface_of(chain, 1))
+        assert fp.method is FingerprintMethod.SNMP
+        assert fp.exact_vendor is Vendor.JUNIPER
+
+    def test_unresponsive_router_misses(self):
+        chain = ChainNetwork()
+        oracle = SnmpOracle(chain.network, coverage=1.0)
+        assert not oracle.lookup(interface_of(chain, 1)).identified
+
+    def test_arista_structurally_absent(self):
+        # Sec. 5: the public dataset has no Arista fingerprints.
+        chain = ChainNetwork(vendor=Vendor.ARISTA)
+        for r in chain.routers:
+            r.snmp_responsive = True
+        oracle = SnmpOracle(chain.network, coverage=1.0)
+        assert not oracle.lookup(interface_of(chain, 1)).identified
+
+    def test_zero_coverage(self):
+        chain = ChainNetwork()
+        for r in chain.routers:
+            r.snmp_responsive = True
+        oracle = SnmpOracle(chain.network, coverage=0.0)
+        assert not oracle.lookup(interface_of(chain, 1)).identified
+        assert oracle.dataset_size() == 0
+
+    def test_dataset_size_counts_responsive(self):
+        chain = ChainNetwork()
+        for r in chain.routers:
+            r.snmp_responsive = True
+        oracle = SnmpOracle(chain.network, coverage=1.0)
+        assert oracle.dataset_size() == len(chain.routers)
+
+    def test_unknown_address(self):
+        chain = ChainNetwork()
+        from repro.netsim.addressing import IPv4Address
+
+        oracle = SnmpOracle(chain.network, coverage=1.0)
+        fp = oracle.lookup(IPv4Address.from_string("203.0.113.77"))
+        assert not fp.identified
+
+    def test_invalid_coverage(self):
+        import pytest
+
+        chain = ChainNetwork()
+        with pytest.raises(ValueError):
+            SnmpOracle(chain.network, coverage=2.0)

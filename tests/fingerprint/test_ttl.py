@@ -1,0 +1,79 @@
+"""Tests for TTL-based fingerprinting."""
+
+import pytest
+
+from repro.fingerprint.records import FingerprintMethod
+from repro.fingerprint.ttl import TtlFingerprinter, infer_initial_ttl
+from repro.netsim.vendors import Vendor
+
+from tests.conftest import ChainNetwork
+
+
+class TestInferInitialTtl:
+    @pytest.mark.parametrize(
+        "observed,expected",
+        [(1, 32), (32, 32), (33, 64), (64, 64), (65, 128), (128, 128),
+         (129, 255), (254, 255), (255, 255)],
+    )
+    def test_rounding(self, observed, expected):
+        assert infer_initial_ttl(observed) == expected
+
+    def test_implausible(self):
+        assert infer_initial_ttl(0) is None
+        assert infer_initial_ttl(256) is None
+        assert infer_initial_ttl(-3) is None
+
+
+class TestTtlFingerprinter:
+    def _first_hop(self, chain: ChainNetwork):
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 1
+        )
+        assert reply is not None
+        return reply
+
+    def test_cisco_yields_cisco_huawei_class(self):
+        chain = ChainNetwork(vendor=Vendor.CISCO)
+        reply = self._first_hop(chain)
+        fp = TtlFingerprinter(chain.engine).fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        assert fp.method is FingerprintMethod.TTL
+        assert fp.vendor_class == frozenset({Vendor.CISCO, Vendor.HUAWEI})
+
+    def test_juniper_distinct_class(self):
+        chain = ChainNetwork(vendor=Vendor.JUNIPER)
+        reply = self._first_hop(chain)
+        fp = TtlFingerprinter(chain.engine).fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        assert fp.identified
+        assert Vendor.CISCO not in fp.vendor_class
+
+    def test_needs_time_exceeded_half(self):
+        chain = ChainNetwork()
+        reply = self._first_hop(chain)
+        fp = TtlFingerprinter(chain.engine).fingerprint(
+            reply.source_ip, None, chain.vp.router_id
+        )
+        assert not fp.identified
+
+    def test_needs_echo_half(self):
+        chain = ChainNetwork()
+        chain.routers[0].responds_to_ping = False
+        reply = self._first_hop(chain)
+        fp = TtlFingerprinter(chain.engine).fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        assert not fp.identified
+
+    def test_unknown_vendor_not_identified(self):
+        chain = ChainNetwork(vendor=Vendor.UNKNOWN)
+        reply = self._first_hop(chain)
+        fp = TtlFingerprinter(chain.engine).fingerprint(
+            reply.source_ip, reply.reply_ip_ttl, chain.vp.router_id
+        )
+        # UNKNOWN replies with the generic 64/64 signature, which maps to
+        # the {Arista, MikroTik, Linux}-style class -- still a class hit,
+        # but never a Cisco/Huawei one.
+        assert Vendor.CISCO not in fp.vendor_class

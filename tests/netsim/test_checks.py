@@ -1,0 +1,66 @@
+"""Tests for the network configuration linter."""
+
+import pytest
+
+from repro.netsim.checks import NetworkConfigError, assert_valid, lint_network
+from repro.netsim.topology import Network, RouterRole
+
+from tests.conftest import ChainNetwork
+
+
+class TestLint:
+    def test_clean_chain(self, sr_chain):
+        assert lint_network(sr_chain.network, sr_chain.controller) == []
+        assert_valid(sr_chain.network, sr_chain.controller)
+
+    def test_empty_network(self):
+        assert lint_network(Network()) == ["network has no routers"]
+
+    def test_isolated_router(self):
+        net = Network()
+        net.add_router("lonely", asn=1)
+        net.add_router("also", asn=1)
+        issues = lint_network(net)
+        assert any("no links" in i for i in issues)
+        assert any("disconnected" in i for i in issues)
+
+    def test_sr_flag_without_domain(self, ldp_chain):
+        ldp_chain.routers[1].sr_enabled = True
+        issues = lint_network(ldp_chain.network, ldp_chain.controller)
+        assert any("no SR domain" in i for i in issues)
+
+    def test_unenrolled_sr_router(self, sr_chain):
+        extra = sr_chain.network.add_router(
+            "extra", asn=sr_chain.routers[0].asn, sr_enabled=True
+        )
+        sr_chain.network.add_link(extra, sr_chain.routers[0])
+        issues = lint_network(sr_chain.network, sr_chain.controller)
+        assert any("not enrolled" in i for i in issues)
+
+    def test_mpls_vantage_point(self, sr_chain):
+        sr_chain.vp.ldp_enabled = True
+        issues = lint_network(sr_chain.network, sr_chain.controller)
+        assert any("must not run MPLS" in i for i in issues)
+
+    def test_bad_icmp_rate(self, sr_chain):
+        sr_chain.routers[0].icmp_response_rate = 1.5
+        issues = lint_network(sr_chain.network, sr_chain.controller)
+        assert any("icmp_response_rate" in i for i in issues)
+
+    def test_assert_valid_raises(self):
+        net = Network()
+        with pytest.raises(NetworkConfigError) as exc:
+            assert_valid(net)
+        assert exc.value.issues
+
+    def test_portfolio_networks_all_clean(self):
+        """Every generated measurement network passes the lint (it runs
+        inside build_measurement_network, so construction is the test)."""
+        from repro.topogen.internet import build_measurement_network
+        from repro.topogen.portfolio import default_portfolio
+
+        portfolio = default_portfolio()
+        for as_id in (7, 15, 26, 36, 46, 59):
+            build_measurement_network(
+                portfolio.spec(as_id), ["VM1"], seed=2
+            )

@@ -1,0 +1,445 @@
+"""Tests for the forwarding engine: TTL semantics, tunnel visibility,
+interworking, service SIDs, PHP/UHP, ECMP determinism."""
+
+import pytest
+
+from repro.netsim.forwarding import ReplyKind
+from repro.netsim.igp import ShortestPaths
+from repro.netsim.ldp import LdpState
+from repro.netsim.sr import SegmentRoutingDomain
+from repro.netsim.topology import Network, RouterRole
+from repro.netsim.tunnels import TunnelController, TunnelPolicy
+from repro.netsim.vendors import Vendor
+
+from tests.conftest import TARGET_ASN, ChainNetwork
+
+
+def collect_hops(chain: ChainNetwork, max_ttl: int = 20):
+    """(ttl, reply) pairs until the destination answers."""
+    hops = []
+    for ttl in range(1, max_ttl + 1):
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, ttl
+        )
+        hops.append((ttl, reply))
+        if reply is not None and reply.kind is not ReplyKind.TIME_EXCEEDED:
+            break
+    return hops
+
+
+class TestExplicitSrTunnel:
+    def test_every_hop_answers(self, sr_chain):
+        hops = collect_hops(sr_chain)
+        # 5 routers + destination = 6 replies, no gaps
+        assert len(hops) == 6
+        assert all(reply is not None for _ttl, reply in hops)
+
+    def test_interior_hops_quote_the_same_label(self, sr_chain):
+        hops = collect_hops(sr_chain)
+        quoted = [
+            r.quoted_stack
+            for _t, r in hops
+            if r is not None and r.quoted_stack
+        ]
+        assert len(quoted) == 3  # r1, r2, r3 (r0 pushes, r4 after PHP)
+        labels = {stack[0].label for stack in quoted}
+        assert len(labels) == 1  # persistent SR label
+        label = labels.pop()
+        assert 16_000 <= label <= 23_999  # Cisco SRGB
+
+    def test_destination_reply_kind(self, sr_chain):
+        hops = collect_hops(sr_chain)
+        last = hops[-1][1]
+        assert last is not None
+        assert last.kind is ReplyKind.DEST_UNREACHABLE
+        assert last.source_ip == sr_chain.target
+
+    def test_quoted_lse_ttl_is_one(self, sr_chain):
+        # Uniform model: the stack arrives with TTL 1 at the expiring hop.
+        hops = collect_hops(sr_chain)
+        for _t, reply in hops:
+            if reply is not None and reply.quoted_stack:
+                assert reply.quoted_stack[0].ttl == 1
+
+
+class TestExplicitLdpTunnel:
+    def test_labels_change_hop_by_hop(self, ldp_chain):
+        hops = collect_hops(ldp_chain)
+        labels = [
+            r.quoted_stack[0].label
+            for _t, r in hops
+            if r is not None and r.quoted_stack
+        ]
+        assert len(labels) == 3
+        assert len(set(labels)) == 3  # local significance
+
+
+class TestPipeModeTunnels:
+    def test_opaque_single_quoted_hop(self):
+        chain = ChainNetwork(propagate=False, rfc4950=True)
+        hops = collect_hops(chain)
+        quoted = [
+            (t, r) for t, r in hops if r is not None and r.quoted_stack
+        ]
+        assert len(quoted) == 1
+        _t, reply = quoted[0]
+        # The quoted LSE-TTL betrays the hidden length (255 - k).
+        assert reply.quoted_stack[0].ttl >= 250
+
+    def test_opaque_hidden_length_inference(self):
+        chain = ChainNetwork(length=6, propagate=False, rfc4950=True)
+        hops = collect_hops(chain)
+        quoted = [
+            r for _t, r in hops if r is not None and r.quoted_stack
+        ]
+        assert len(quoted) == 1
+        hidden = 255 - quoted[0].quoted_stack[0].ttl
+        # chain of 6: push at r0 (TTL 255), decrements at r1..r3; the
+        # quoting EH (r4, PHP) quotes the stack as received: 252
+        assert hidden == 3
+
+    def test_invisible_tunnel_shows_nothing(self):
+        chain = ChainNetwork(propagate=False, rfc4950=False)
+        hops = collect_hops(chain)
+        assert all(
+            r is None or not r.quoted_stack for _t, r in hops
+        )
+        # The tunnel collapses: far fewer visible hops than routers.
+        answered = [r for _t, r in hops if r is not None]
+        assert len(answered) < 6
+
+    def test_implicit_tunnel_hops_visible_without_quotes(self):
+        chain = ChainNetwork(propagate=True, rfc4950=False)
+        hops = collect_hops(chain)
+        assert len(hops) == 6
+        assert all(
+            r is not None and not r.quoted_stack for _t, r in hops
+        )
+
+
+class TestTtlAccounting:
+    def test_hop_positions_consecutive_in_uniform_mode(self, sr_chain):
+        hops = collect_hops(sr_chain)
+        responders = [r.truth_router_id for _t, r in hops if r is not None]
+        expected = [r.router_id for r in sr_chain.routers]
+        assert responders[:-1] == expected
+
+    def test_zero_ttl_rejected(self, sr_chain):
+        with pytest.raises(ValueError):
+            sr_chain.engine.forward_probe(sr_chain.vp.router_id, sr_chain.target, 0)
+
+    def test_unroutable_destination_dropped(self, sr_chain):
+        from repro.netsim.addressing import IPv4Address
+
+        reply = sr_chain.engine.forward_probe(
+            sr_chain.vp.router_id,
+            IPv4Address.from_string("203.0.113.99"),
+            5,
+        )
+        assert reply is None
+
+
+class TestSilentRouters:
+    def test_icmp_silent_router_is_a_star(self, sr_chain):
+        sr_chain.routers[2].icmp_silent = True
+        hops = collect_hops(sr_chain)
+        silent = [
+            r for _t, r in hops
+            if r is not None
+            and r.truth_router_id == sr_chain.routers[2].router_id
+            and r.kind is ReplyKind.TIME_EXCEEDED
+        ]
+        assert silent == []
+        assert hops[2][1] is None  # ttl 3 gets no answer
+
+
+class TestServiceSids:
+    def _chain(self, php=True):
+        return ChainNetwork(
+            php=php,
+            policy=TunnelPolicy(
+                asn=TARGET_ASN, service_sid_share=1.0, second_service_share=0.0
+            ),
+        )
+
+    def test_php_tail_quotes_service_label_only(self):
+        chain = self._chain(php=True)
+        hops = collect_hops(chain)
+        quoted = [
+            r.quoted_stack for _t, r in hops
+            if r is not None and r.quoted_stack
+        ]
+        # interior hops carry [transport, service]; the egress, after
+        # PHP stripped the transport, quotes the lone service label
+        assert all(len(q) == 2 for q in quoted[:-1])
+        assert len(quoted[-1]) == 1
+        assert chain.controller.services.is_service_label(
+            chain.egress.router_id, quoted[-1][0].label
+        )
+
+    def test_uhp_keeps_unshrinking_stack(self):
+        chain = self._chain(php=False)
+        hops = collect_hops(chain)
+        quoted = [
+            r.quoted_stack for _t, r in hops
+            if r is not None and r.quoted_stack
+        ]
+        # UHP: the stack never shrinks before the segment endpoint
+        assert all(len(q) == 2 for q in quoted)
+
+    def test_delivery_still_works(self):
+        for php in (True, False):
+            chain = self._chain(php=php)
+            hops = collect_hops(chain)
+            assert hops[-1][1].kind is ReplyKind.DEST_UNREACHABLE
+
+
+class TestInterworking:
+    def _hybrid(self, ldp_head: bool):
+        """VP -> b0 -> c1 -> c2 -> c3 -> pe, half SR / half LDP."""
+        net = Network()
+        vp = net.add_router("vp", 64_900, role=RouterRole.VANTAGE)
+        names = ["b0", "c1", "c2", "c3", "pe"]
+        routers = []
+        prev = vp
+        for name in names:
+            r = net.add_router(name, TARGET_ASN, vendor=Vendor.CISCO)
+            net.add_link(prev, r)
+            routers.append(r)
+            prev = r
+        prefix = net.announce_prefix(routers[-1], 24)
+        igp = ShortestPaths(net)
+        ldp = LdpState(net, seed=2)
+        domain = SegmentRoutingDomain(net, asn=TARGET_ASN, seed=2)
+        if ldp_head:
+            sr_side, ldp_side = routers[2:], routers[:3]  # c2 is border
+        else:
+            sr_side, ldp_side = routers[:3], routers[2:]
+        for r in sr_side:
+            domain.enroll(r)
+        for r in ldp_side:
+            r.ldp_enabled = True
+        for r in routers:
+            if r not in sr_side:
+                domain.add_mapping_server_entry(r)
+        controller = TunnelController(net, igp, ldp, {TARGET_ASN: domain})
+        controller.set_policy(TunnelPolicy(asn=TARGET_ASN))
+        from repro.netsim.forwarding import ForwardingEngine
+
+        engine = ForwardingEngine(net, igp, controller)
+        return net, vp, prefix.address_at(9), engine, routers
+
+    def test_sr_to_ldp_stitching(self):
+        net, vp, target, engine, routers = self._hybrid(ldp_head=False)
+        truth = engine.truth_walk(vp.router_id, target)
+        planes = [
+            t.received_planes[0] for t in truth if t.received_planes
+        ]
+        assert "sr" in planes and "ldp" in planes
+        # SR first, LDP afterwards: no 'sr' after the first 'ldp'
+        first_ldp = planes.index("ldp")
+        assert all(p == "ldp" for p in planes[first_ldp:])
+
+    def test_ldp_to_sr_stitching(self):
+        net, vp, target, engine, routers = self._hybrid(ldp_head=True)
+        truth = engine.truth_walk(vp.router_id, target)
+        planes = [
+            t.received_planes[0] for t in truth if t.received_planes
+        ]
+        assert "ldp" in planes and "sr" in planes
+        first_sr = planes.index("sr")
+        assert all(p == "sr" for p in planes[first_sr:])
+
+    def test_delivery_across_both_directions(self):
+        for head in (True, False):
+            net, vp, target, engine, routers = self._hybrid(ldp_head=head)
+            reply = engine.forward_probe(vp.router_id, target, 30)
+            assert reply is not None
+            assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+
+class TestEcmp:
+    def _diamond(self):
+        net = Network()
+        vp = net.add_router("vp", 64_900, role=RouterRole.VANTAGE)
+        a = net.add_router("a", TARGET_ASN)
+        top = net.add_router("top", TARGET_ASN)
+        bottom = net.add_router("bottom", TARGET_ASN)
+        z = net.add_router("z", TARGET_ASN)
+        net.add_link(vp, a)
+        net.add_link(a, top)
+        net.add_link(a, bottom)
+        net.add_link(top, z)
+        net.add_link(bottom, z)
+        prefix = net.announce_prefix(z, 24)
+        igp = ShortestPaths(net)
+        controller = TunnelController(net, igp, LdpState(net), {})
+        from repro.netsim.forwarding import ForwardingEngine
+
+        return (
+            ForwardingEngine(net, igp, controller),
+            vp,
+            prefix.address_at(1),
+            top,
+            bottom,
+        )
+
+    def test_same_flow_same_path(self):
+        engine, vp, target, top, bottom = self._diamond()
+        first = engine.forward_probe(vp.router_id, target, 2, flow_id=9)
+        second = engine.forward_probe(vp.router_id, target, 2, flow_id=9)
+        assert first.truth_router_id == second.truth_router_id
+
+    def test_flows_spread_over_ecmp(self):
+        engine, vp, target, top, bottom = self._diamond()
+        responders = {
+            engine.forward_probe(vp.router_id, target, 2, flow_id=f).truth_router_id
+            for f in range(32)
+        }
+        assert responders == {top.router_id, bottom.router_id}
+
+
+class TestPing:
+    def test_echo_reply(self, sr_chain):
+        interface = sr_chain.routers[1].interfaces[
+            sr_chain.routers[0].router_id
+        ]
+        reply = sr_chain.engine.ping(sr_chain.vp.router_id, interface)
+        assert reply is not None
+        assert reply.kind is ReplyKind.ECHO_REPLY
+        assert reply.source_ip == interface
+
+    def test_ping_unresponsive_router(self, sr_chain):
+        sr_chain.routers[1].responds_to_ping = False
+        interface = sr_chain.routers[1].interfaces[
+            sr_chain.routers[0].router_id
+        ]
+        assert sr_chain.engine.ping(sr_chain.vp.router_id, interface) is None
+
+    def test_ping_unknown_address(self, sr_chain):
+        from repro.netsim.addressing import IPv4Address
+
+        assert (
+            sr_chain.engine.ping(
+                sr_chain.vp.router_id,
+                IPv4Address.from_string("203.0.113.80"),
+            )
+            is None
+        )
+
+
+class TestReplyTtls:
+    def test_cisco_time_exceeded_initial_255(self, sr_chain):
+        hops = collect_hops(sr_chain)
+        first = hops[0][1]
+        assert first is not None
+        # responder is 1 hop from the VP: 255 - 1
+        assert first.reply_ip_ttl == 254
+
+    def test_reply_ttl_decreases_with_distance(self, sr_chain):
+        hops = collect_hops(sr_chain)
+        ttls = [
+            r.reply_ip_ttl
+            for _t, r in hops
+            if r is not None and r.kind is ReplyKind.TIME_EXCEEDED
+        ]
+        assert ttls == sorted(ttls, reverse=True)
+
+
+class TestTruthWalk:
+    def test_truth_covers_full_path(self, sr_chain):
+        truth = sr_chain.engine.truth_walk(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        ids = [t.router_id for t in truth]
+        assert ids == [r.router_id for r in sr_chain.routers]
+
+    def test_push_flag_set_at_ingress(self, sr_chain):
+        truth = sr_chain.engine.truth_walk(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        assert truth[0].pushed
+        assert not any(t.pushed for t in truth[1:])
+
+    def test_received_labels_recorded(self, sr_chain):
+        truth = sr_chain.engine.truth_walk(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        assert truth[0].received_labels == ()
+        for t in truth[1:-1]:
+            assert t.received_labels
+            assert t.received_planes[0] == "sr"
+
+
+class TestIcmpRateLimiting:
+    def test_policed_flow_shows_stars(self, sr_chain):
+        sr_chain.routers[2].icmp_response_rate = 0.0
+        from repro.probing.traceroute import ParisTraceroute
+
+        trace = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        starred = [h for h in trace.hops if h.address is None]
+        assert len(starred) == 1
+        assert trace.reached  # later hops still answer
+
+    def test_policing_is_per_flow_deterministic(self, sr_chain):
+        sr_chain.routers[2].icmp_response_rate = 0.5
+        replies = set()
+        for flow in range(20):
+            reply = sr_chain.engine.forward_probe(
+                sr_chain.vp.router_id, sr_chain.target, 3, flow_id=flow
+            )
+            replies.add(reply is not None)
+            again = sr_chain.engine.forward_probe(
+                sr_chain.vp.router_id, sr_chain.target, 3, flow_id=flow
+            )
+            assert (reply is None) == (again is None)  # stable per flow
+        assert replies == {True, False}  # ...but varied across flows
+
+    def test_full_rate_never_drops(self, sr_chain):
+        for flow in range(10):
+            assert (
+                sr_chain.engine.forward_probe(
+                    sr_chain.vp.router_id, sr_chain.target, 3, flow_id=flow
+                )
+                is not None
+            )
+
+
+class TestExplicitNull:
+    def _chain(self):
+        chain = ChainNetwork(length=5)
+        chain.sr_domain.explicit_null = True
+        return chain
+
+    def test_endpoint_quotes_label_zero(self):
+        chain = self._chain()
+        from repro.probing.traceroute import ParisTraceroute
+
+        trace = ParisTraceroute(chain.engine).trace(
+            chain.vp.router_id, chain.target
+        )
+        egress_hop = trace.hops[-2]
+        assert egress_hop.lses is not None
+        assert egress_hop.lses[0].label == 0
+
+    def test_delivery(self):
+        chain = self._chain()
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 64
+        )
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_detector_ignores_the_null_hop(self):
+        chain = self._chain()
+        from repro.core.detector import ArestDetector
+        from repro.core.flags import Flag
+        from repro.probing.tnt import TntProber
+
+        trace = TntProber(chain.engine, seed=2).trace(
+            chain.vp.router_id, chain.target
+        )
+        segments = ArestDetector().detect(trace, {})
+        assert [s.flag for s in segments] == [Flag.CO]
+        assert 0 not in segments[0].top_labels

@@ -1,0 +1,94 @@
+"""Edge-case forwarding tests: interface targets, self-probes, tiny
+TTLs, and boundary conditions the campaign occasionally produces."""
+
+import pytest
+
+from repro.netsim.forwarding import ReplyKind
+from repro.probing.traceroute import ParisTraceroute
+
+from tests.conftest import ChainNetwork
+
+
+class TestInterfaceTargets:
+    """Real campaigns trace *router interface* addresses, not only
+    destination prefixes; the engine must deliver to them."""
+
+    def test_traceroute_to_interface_address(self, sr_chain):
+        target = sr_chain.routers[3].interfaces[
+            sr_chain.routers[2].router_id
+        ]
+        trace = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, target
+        )
+        assert trace.reached
+        assert trace.hops[-1].address == target
+
+    def test_tunnel_still_used_toward_interface(self, sr_chain):
+        target = sr_chain.routers[3].interfaces[
+            sr_chain.routers[2].router_id
+        ]
+        trace = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, target
+        )
+        assert trace.labeled_hops()  # the SR tunnel covered part of it
+
+    def test_traceroute_to_loopback(self, sr_chain):
+        target = sr_chain.routers[2].loopback
+        trace = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, target
+        )
+        assert trace.reached
+        assert trace.hops[-1].address == target
+
+
+class TestDegenerateProbes:
+    def test_probe_to_own_loopback(self, sr_chain):
+        reply = sr_chain.engine.forward_probe(
+            sr_chain.vp.router_id, sr_chain.vp.loopback, 5
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_ttl_one_expires_at_first_router(self, sr_chain):
+        reply = sr_chain.engine.forward_probe(
+            sr_chain.vp.router_id, sr_chain.target, 1
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.TIME_EXCEEDED
+        assert reply.truth_router_id == sr_chain.routers[0].router_id
+
+    def test_huge_ttl_delivers(self, sr_chain):
+        reply = sr_chain.engine.forward_probe(
+            sr_chain.vp.router_id, sr_chain.target, 255
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_first_and_last_prefix_addresses(self, sr_chain):
+        for offset in (0, sr_chain.prefix.num_addresses() - 1):
+            reply = sr_chain.engine.forward_probe(
+                sr_chain.vp.router_id,
+                sr_chain.prefix.address_at(offset),
+                64,
+            )
+            assert reply is not None
+            assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+
+class TestShortestChains:
+    @pytest.mark.parametrize("length", [1, 2])
+    def test_tiny_ases_deliver(self, length):
+        chain = ChainNetwork(length=length)
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 64
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_one_router_as_has_no_tunnel(self):
+        chain = ChainNetwork(length=1)
+        trace = ParisTraceroute(chain.engine).trace(
+            chain.vp.router_id, chain.target
+        )
+        assert trace.reached
+        assert not trace.labeled_hops()

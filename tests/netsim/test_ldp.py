@@ -1,0 +1,131 @@
+"""Tests for the LDP control plane: local bindings, PHP, pools."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.addressing import IPv4Prefix
+from repro.netsim.ldp import Fec, LdpState
+from repro.netsim.mpls import ReservedLabel
+from repro.netsim.topology import Network
+from repro.netsim.vendors import VENDOR_PROFILES, Vendor
+
+
+def build(n: int = 4, vendor: Vendor = Vendor.CISCO):
+    net = Network()
+    routers = []
+    for i in range(n):
+        r = net.add_router(f"r{i}", asn=1, vendor=vendor, ldp_enabled=True)
+        routers.append(r)
+    ldp = LdpState(net, seed=7)
+    prefix = IPv4Prefix.from_string("203.0.113.0/24")
+    fec = ldp.register_fec(prefix, routers[-1].router_id)
+    return net, routers, ldp, fec
+
+
+class TestFecs:
+    def test_register_idempotent(self):
+        net, routers, ldp, fec = build()
+        again = ldp.register_fec(fec.prefix, fec.egress)
+        assert again is fec
+
+    def test_conflicting_egress_rejected(self):
+        net, routers, ldp, fec = build()
+        with pytest.raises(ValueError):
+            ldp.register_fec(fec.prefix, routers[0].router_id)
+
+    def test_fec_lookup(self):
+        net, routers, ldp, fec = build()
+        assert ldp.fec_for_prefix(fec.prefix) is fec
+        assert (
+            ldp.fec_for_prefix(IPv4Prefix.from_string("198.51.100.0/24"))
+            is None
+        )
+
+
+class TestBindings:
+    def test_egress_advertises_implicit_null(self):
+        net, routers, ldp, fec = build()
+        assert ldp.binding(routers[-1].router_id, fec) == int(
+            ReservedLabel.IMPLICIT_NULL
+        )
+
+    def test_bindings_are_stable(self):
+        net, routers, ldp, fec = build()
+        r = routers[0].router_id
+        assert ldp.binding(r, fec) == ldp.binding(r, fec)
+
+    def test_bindings_differ_across_routers(self):
+        # The heart of classic MPLS (Sec. 2.1): labels have *local*
+        # significance; two routers (almost) never pick the same label.
+        net, routers, ldp, fec = build(n=6)
+        labels = {
+            ldp.binding(r.router_id, fec)
+            for r in routers[:-1]
+        }
+        assert len(labels) == 5
+
+    def test_labels_drawn_from_vendor_pool(self):
+        for vendor in (Vendor.CISCO, Vendor.JUNIPER, Vendor.HUAWEI):
+            net, routers, ldp, fec = build(vendor=vendor)
+            label = ldp.binding(routers[0].router_id, fec)
+            assert label in VENDOR_PROFILES[vendor].dynamic_pool
+
+    def test_non_ldp_router_rejected(self):
+        net, routers, ldp, fec = build()
+        routers[1].ldp_enabled = False
+        with pytest.raises(ValueError):
+            ldp.binding(routers[1].router_id, fec)
+
+    def test_reverse_lookup(self):
+        net, routers, ldp, fec = build()
+        r = routers[0].router_id
+        label = ldp.binding(r, fec)
+        assert ldp.fec_for_label(r, label) is fec
+        assert ldp.fec_for_label(r, label + 1) is None
+
+    def test_per_router_labels_unique_across_fecs(self):
+        net, routers, ldp, _fec = build()
+        r = routers[0].router_id
+        prefixes = [
+            IPv4Prefix.from_string(f"198.51.{i}.0/24") for i in range(30)
+        ]
+        labels = set()
+        for prefix in prefixes:
+            fec = ldp.register_fec(prefix, routers[-1].router_id)
+            labels.add(ldp.binding(r, fec))
+        assert len(labels) == len(prefixes)
+
+    def test_advertised_labels_view(self):
+        net, routers, ldp, fec = build()
+        r = routers[0].router_id
+        label = ldp.binding(r, fec)
+        assert ldp.advertised_labels(r) == {label: fec}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    n_fecs=st.integers(min_value=1, max_value=40),
+)
+def test_binding_uniqueness_property(seed, n_fecs):
+    """Property: a router's labels are unique per FEC and in-pool."""
+    net = Network()
+    a = net.add_router("a", asn=1, vendor=Vendor.CISCO, ldp_enabled=True)
+    egress = net.add_router(
+        "e", asn=1, vendor=Vendor.CISCO, ldp_enabled=True
+    )
+    ldp = LdpState(net, seed=seed)
+    pool = VENDOR_PROFILES[Vendor.CISCO].dynamic_pool
+    labels = set()
+    for i in range(n_fecs):
+        prefix = IPv4Prefix.from_string(f"10.{i}.0.0/24")
+        fec = ldp.register_fec(prefix, egress.router_id)
+        label = ldp.binding(a.router_id, fec)
+        assert label in pool
+        labels.add(label)
+    assert len(labels) == n_fecs
+
+
+def test_fec_str():
+    fec = Fec(prefix=IPv4Prefix.from_string("10.0.0.0/24"), egress=3)
+    assert "10.0.0.0/24" in str(fec)

@@ -1,0 +1,178 @@
+"""Tests for SR policies and binding-SID splicing (RFC 9256)."""
+
+import pytest
+
+from repro.netsim.forwarding import ReplyKind
+from repro.netsim.policies import SrPolicyRegistry
+from repro.netsim.sr import SrConfigError
+from repro.netsim.tunnels import TunnelPolicy
+from repro.netsim.vendors import VENDOR_PROFILES, Vendor
+
+from tests.conftest import TARGET_ASN, ChainNetwork
+
+
+def policy_chain(length: int = 7, **kwargs) -> ChainNetwork:
+    return ChainNetwork(
+        length=length,
+        policy=TunnelPolicy(asn=TARGET_ASN, sr_policy_share=1.0),
+        **kwargs,
+    )
+
+
+class TestRegistry:
+    def _registry(self, chain: ChainNetwork) -> SrPolicyRegistry:
+        return SrPolicyRegistry(chain.network, chain.sr_domain, seed=1)
+
+    def test_install_allocates_bsid_from_srlb(self, sr_chain):
+        registry = self._registry(sr_chain)
+        head = sr_chain.routers[2].router_id
+        policy = registry.install(
+            head, sr_chain.routers[3].router_id, sr_chain.egress.router_id
+        )
+        assert policy.binding_sid in VENDOR_PROFILES[
+            Vendor.CISCO
+        ].default_srlb
+        assert policy.depth == 2
+
+    def test_install_idempotent(self, sr_chain):
+        registry = self._registry(sr_chain)
+        head = sr_chain.routers[2].router_id
+        args = (
+            head,
+            sr_chain.routers[3].router_id,
+            sr_chain.egress.router_id,
+        )
+        assert registry.install(*args) == registry.install(*args)
+        assert len(registry) == 1
+
+    def test_distinct_policies_distinct_bsids(self, sr_chain):
+        registry = self._registry(sr_chain)
+        head = sr_chain.routers[2].router_id
+        a = registry.install(
+            head, sr_chain.routers[3].router_id, sr_chain.egress.router_id
+        )
+        b = registry.install(
+            head, sr_chain.routers[1].router_id, sr_chain.egress.router_id
+        )
+        assert a.binding_sid != b.binding_sid
+        assert len(registry) == 2
+
+    def test_via_equal_egress_single_segment(self, sr_chain):
+        registry = self._registry(sr_chain)
+        head = sr_chain.routers[2].router_id
+        policy = registry.install(
+            head, sr_chain.egress.router_id, sr_chain.egress.router_id
+        )
+        assert policy.depth == 1
+
+    def test_unenrolled_head_end_rejected(self):
+        chain = ChainNetwork(sr=False, ldp=True)
+        from repro.netsim.sr import SegmentRoutingDomain
+
+        domain = SegmentRoutingDomain(chain.network, asn=TARGET_ASN)
+        registry = SrPolicyRegistry(chain.network, domain)
+        with pytest.raises(SrConfigError):
+            registry.install(
+                chain.routers[2].router_id,
+                chain.routers[3].router_id,
+                chain.egress.router_id,
+            )
+
+    def test_policy_for_lookup(self, sr_chain):
+        registry = self._registry(sr_chain)
+        head = sr_chain.routers[2].router_id
+        policy = registry.install(
+            head, sr_chain.routers[3].router_id, sr_chain.egress.router_id
+        )
+        assert registry.policy_for(head, policy.binding_sid) is policy
+        assert registry.policy_for(head, policy.binding_sid + 1) is None
+        assert (
+            registry.policy_for(
+                sr_chain.routers[0].router_id, policy.binding_sid
+            )
+            is None
+        )
+
+    def test_policies_at(self, sr_chain):
+        registry = self._registry(sr_chain)
+        head = sr_chain.routers[2].router_id
+        registry.install(
+            head, sr_chain.routers[3].router_id, sr_chain.egress.router_id
+        )
+        assert len(registry.policies_at(head)) == 1
+        assert registry.policies_at(sr_chain.egress.router_id) == []
+
+
+class TestSplicedForwarding:
+    def test_delivery_through_policy(self):
+        chain = policy_chain()
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 64
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_bsid_visible_then_spliced(self):
+        chain = policy_chain()
+        program = chain.controller.program_for(
+            chain.routers[0].router_id, chain.egress.router_id
+        )
+        assert program is not None
+        assert program.depth == 2  # [node(head-end), BSID]
+        bsid = program.labels[1]
+        # collect quoted stacks along the path
+        stacks = []
+        for ttl in range(1, 40):
+            reply = chain.engine.forward_probe(
+                chain.vp.router_id, chain.target, ttl
+            )
+            if reply is None:
+                continue
+            if reply.quoted_stack:
+                stacks.append(tuple(e.label for e in reply.quoted_stack))
+            if reply.kind is not ReplyKind.TIME_EXCEEDED:
+                break
+        # the BSID rides to the head-end...
+        assert any(bsid in stack for stack in stacks)
+        # ...and never appears after the splice replaced it
+        last_with_bsid = max(
+            i for i, stack in enumerate(stacks) if bsid in stack
+        )
+        assert all(
+            bsid not in stack for stack in stacks[last_with_bsid + 1 :]
+        )
+
+    def test_spliced_labels_are_sr_truth(self):
+        chain = policy_chain()
+        truth = chain.engine.truth_walk(chain.vp.router_id, chain.target)
+        for hop in truth:
+            for plane in hop.received_planes:
+                assert plane in ("sr", "service")
+
+    def test_splice_grows_stack_mid_path(self):
+        chain = policy_chain()
+        truth = chain.engine.truth_walk(chain.vp.router_id, chain.target)
+        depths = [len(t.received_labels) for t in truth if t.received_labels]
+        # depth 2 ([node, BSID]) -> after the splice the policy list can
+        # keep depth >= 1; the *labels* changed even where depth shrank
+        assert max(depths) >= 2
+
+    def test_policy_share_zero_means_plain(self):
+        chain = ChainNetwork(
+            length=7,
+            policy=TunnelPolicy(asn=TARGET_ASN, sr_policy_share=0.0),
+        )
+        program = chain.controller.program_for(
+            chain.routers[0].router_id, chain.egress.router_id
+        )
+        assert program is not None
+        assert program.depth == 1  # no BSID
+
+    def test_short_chain_falls_back(self):
+        # no interior router can host a policy on a 2-chain
+        chain = policy_chain(length=2)
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 64
+        )
+        assert reply is not None
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE

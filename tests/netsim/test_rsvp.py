@@ -1,0 +1,121 @@
+"""Tests for RSVP-TE signaled LSPs."""
+
+import pytest
+
+from repro.netsim.rsvp import RsvpLsp, RsvpTeState
+from repro.netsim.tunnels import TunnelPolicy
+from repro.netsim.vendors import VENDOR_PROFILES, Vendor
+from repro.probing.tnt import TntProber
+
+from tests.conftest import TARGET_ASN, ChainNetwork
+
+
+def rsvp_chain(**kwargs) -> ChainNetwork:
+    return ChainNetwork(
+        sr=False,
+        ldp=True,
+        policy=TunnelPolicy(asn=TARGET_ASN, rsvp_te_share=1.0),
+        **kwargs,
+    )
+
+
+class TestSignaling:
+    def test_lsp_shape(self, ldp_chain):
+        rsvp = RsvpTeState(ldp_chain.network, seed=1)
+        path = [r.router_id for r in ldp_chain.routers]
+        lsp = rsvp.signal_lsp(path)
+        assert lsp.head == path[0]
+        assert lsp.tail == path[-1]
+        assert lsp.labels[0] is None  # head pushes, never advertises
+        assert lsp.labels[-1] is None  # PHP at the tail
+        assert all(l is not None for l in lsp.labels[1:-1])
+
+    def test_labels_from_vendor_pool(self, ldp_chain):
+        rsvp = RsvpTeState(ldp_chain.network, seed=1)
+        path = [r.router_id for r in ldp_chain.routers]
+        lsp = rsvp.signal_lsp(path)
+        pool = VENDOR_PROFILES[Vendor.CISCO].dynamic_pool
+        assert all(l in pool for l in lsp.labels[1:-1])
+
+    def test_non_adjacent_route_rejected(self, ldp_chain):
+        rsvp = RsvpTeState(ldp_chain.network)
+        ids = [r.router_id for r in ldp_chain.routers]
+        with pytest.raises(ValueError):
+            rsvp.signal_lsp([ids[0], ids[2]])
+
+    def test_loopy_route_rejected(self):
+        with pytest.raises(ValueError):
+            RsvpLsp(lsp_id=1, path=(1, 2, 1), labels=(None, 5, None))
+
+    def test_next_step_walks_the_route(self, ldp_chain):
+        rsvp = RsvpTeState(ldp_chain.network, seed=1)
+        path = [r.router_id for r in ldp_chain.routers]
+        lsp = rsvp.signal_lsp(path)
+        # at the first transit hop, the step leads to the second with
+        # the second's label; at the penultimate, it pops (None)
+        step = rsvp.next_step(path[1], lsp.labels[1])
+        assert step == (path[2], lsp.labels[2])
+        step = rsvp.next_step(path[-2], lsp.labels[-2])
+        assert step == (path[-1], None)
+
+    def test_unknown_label(self, ldp_chain):
+        rsvp = RsvpTeState(ldp_chain.network)
+        assert rsvp.lookup(0, 12_345) is None
+        assert rsvp.next_step(0, 12_345) is None
+
+    def test_lsps_through(self, ldp_chain):
+        rsvp = RsvpTeState(ldp_chain.network, seed=1)
+        path = [r.router_id for r in ldp_chain.routers]
+        lsp = rsvp.signal_lsp(path)
+        assert rsvp.lsps_through(path[2]) == [lsp]
+        assert rsvp.lsps_through(99) == []
+
+
+class TestRsvpForwarding:
+    def test_per_hop_labels_differ(self):
+        chain = rsvp_chain()
+        trace = TntProber(chain.engine, seed=1).trace(
+            chain.vp.router_id, chain.target
+        )
+        labels = [h.top_label for h in trace.labeled_hops()]
+        assert len(labels) >= 3
+        assert len(set(labels)) == len(labels)  # local significance
+
+    def test_truth_planes_are_rsvp(self):
+        chain = rsvp_chain()
+        trace = TntProber(chain.engine, seed=1).trace(
+            chain.vp.router_id, chain.target
+        )
+        for hop in trace.labeled_hops():
+            assert hop.truth_planes[0] == "rsvp"
+
+    def test_delivery(self):
+        chain = rsvp_chain()
+        from repro.netsim.forwarding import ReplyKind
+
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, 64
+        )
+        assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+    def test_never_flagged_as_sr(self):
+        """RSVP-TE tunnels are pure negatives for every AReST flag: one
+        distinct label per hop, no stacks, no vendor SR ranges."""
+        from repro.core.detector import ArestDetector
+
+        chain = rsvp_chain()
+        trace = TntProber(chain.engine, seed=1).trace(
+            chain.vp.router_id, chain.target
+        )
+        assert ArestDetector().detect(trace, {}) == []
+
+    def test_truth_transport_not_sr(self):
+        from repro.probing.records import truth_transport_is_sr
+
+        chain = rsvp_chain()
+        trace = TntProber(chain.engine, seed=1).trace(
+            chain.vp.router_id, chain.target
+        )
+        for i, hop in enumerate(trace.hops):
+            if hop.truth_planes:
+                assert not truth_transport_is_sr(trace, i)

@@ -1,0 +1,220 @@
+"""Tests for the SR-MPLS control plane: SIDs, SRGBs, label arithmetic."""
+
+import pytest
+
+from repro.netsim.sr import (
+    SegmentRoutingDomain,
+    SrConfigError,
+    default_srgb,
+    default_srlb,
+)
+from repro.netsim.topology import Network
+from repro.netsim.vendors import LabelRange, VENDOR_PROFILES, Vendor
+
+
+def build(n: int = 4, vendor: Vendor = Vendor.CISCO, **domain_kwargs):
+    net = Network()
+    routers = [
+        net.add_router(f"r{i}", asn=1, vendor=vendor) for i in range(n)
+    ]
+    for a, b in zip(routers, routers[1:]):
+        net.add_link(a, b)
+    domain = SegmentRoutingDomain(net, asn=1, seed=3, **domain_kwargs)
+    return net, routers, domain
+
+
+class TestEnrolment:
+    def test_enroll_assigns_unique_indexes(self):
+        net, routers, domain = build()
+        configs = [domain.enroll(r) for r in routers]
+        indexes = [c.sid_index for c in configs]
+        assert len(set(indexes)) == len(routers)
+
+    def test_enroll_marks_router(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        assert routers[0].sr_enabled
+        assert domain.is_enrolled(routers[0].router_id)
+
+    def test_double_enroll_rejected(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        with pytest.raises(SrConfigError):
+            domain.enroll(routers[0])
+
+    def test_wrong_as_rejected(self):
+        net, routers, domain = build()
+        alien = net.add_router("alien", asn=2)
+        with pytest.raises(SrConfigError):
+            domain.enroll(alien)
+
+    def test_explicit_index(self):
+        net, routers, domain = build()
+        config = domain.enroll(routers[0], sid_index=104)
+        assert config.sid_index == 104
+        assert domain.router_for_index(104) == routers[0].router_id
+
+    def test_duplicate_index_rejected(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0], sid_index=7)
+        with pytest.raises(SrConfigError):
+            domain.enroll(routers[1], sid_index=7)
+
+    def test_default_srgb_from_vendor(self):
+        net, routers, domain = build(vendor=Vendor.CISCO)
+        config = domain.enroll(routers[0])
+        assert config.srgb == VENDOR_PROFILES[Vendor.CISCO].default_srgb
+
+    def test_custom_srgb(self):
+        net, routers, domain = build()
+        custom = LabelRange(400_000, 407_999)
+        config = domain.enroll(routers[0], srgb=custom)
+        assert config.srgb == custom
+
+    def test_index_outside_srgb_rejected(self):
+        net, routers, domain = build()
+        tiny = LabelRange(16_000, 16_003)
+        with pytest.raises(SrConfigError):
+            domain.enroll(routers[0], srgb=tiny, sid_index=10)
+
+
+class TestLabelArithmetic:
+    def test_label_on_wire_uses_downstream_srgb(self):
+        # Fig. 4 of the paper: the label is srgb_base(next hop) + index.
+        net, routers, domain = build()
+        domain.enroll(routers[0], srgb=LabelRange(16_000, 23_999), sid_index=5)
+        domain.enroll(routers[1], srgb=LabelRange(13_000, 20_999), sid_index=7)
+        assert domain.label_on_wire(routers[0].router_id, 7) == 16_007
+        assert domain.label_on_wire(routers[1].router_id, 7) == 13_007
+
+    def test_homogeneous_srgb_keeps_label(self):
+        net, routers, domain = build()
+        for r in routers:
+            domain.enroll(r)
+        index = domain.node_index(routers[-1].router_id)
+        labels = {
+            domain.label_on_wire(r.router_id, index) for r in routers
+        }
+        assert len(labels) == 1  # the CVR/CO signal
+
+    def test_resolve_label(self):
+        net, routers, domain = build()
+        for r in routers:
+            domain.enroll(r)
+        target = routers[2].router_id
+        index = domain.node_index(target)
+        label = domain.label_on_wire(routers[0].router_id, index)
+        assert domain.resolve_label(routers[0].router_id, label) == target
+
+    def test_resolve_label_outside_srgb(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        assert domain.resolve_label(routers[0].router_id, 500_000) is None
+
+    def test_resolve_on_unenrolled_router(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        assert domain.resolve_label(routers[1].router_id, 16_001) is None
+
+    def test_srgbs_homogeneous_flag(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        domain.enroll(routers[1])
+        assert domain.srgbs_homogeneous()
+        domain.enroll(routers[2], srgb=LabelRange(13_000, 20_999))
+        assert not domain.srgbs_homogeneous()
+
+
+class TestAdjacencySids:
+    def test_one_sid_per_adjacency(self):
+        net, routers, domain = build()
+        domain.enroll(routers[1])
+        sid_a = domain.adjacency_sid(
+            routers[1].router_id, routers[0].router_id
+        )
+        sid_b = domain.adjacency_sid(
+            routers[1].router_id, routers[2].router_id
+        )
+        assert sid_a != sid_b
+
+    def test_sid_stable(self):
+        net, routers, domain = build()
+        domain.enroll(routers[1])
+        first = domain.adjacency_sid(routers[1].router_id, routers[0].router_id)
+        again = domain.adjacency_sid(routers[1].router_id, routers[0].router_id)
+        assert first == again
+
+    def test_cisco_sids_from_srlb(self):
+        net, routers, domain = build(vendor=Vendor.CISCO)
+        domain.enroll(routers[1])
+        sid = domain.adjacency_sid(routers[1].router_id, routers[0].router_id)
+        assert sid in VENDOR_PROFILES[Vendor.CISCO].default_srlb
+
+    def test_juniper_sids_from_dynamic_pool(self):
+        # Sec. 2.3: Juniper has no SRLB; adjacency SIDs come from the
+        # dynamic label pool.
+        net, routers, domain = build(vendor=Vendor.JUNIPER)
+        domain.enroll(routers[1])
+        sid = domain.adjacency_sid(routers[1].router_id, routers[0].router_id)
+        assert sid in VENDOR_PROFILES[Vendor.JUNIPER].dynamic_pool
+
+    def test_adjacency_target_reverse_lookup(self):
+        net, routers, domain = build()
+        domain.enroll(routers[1])
+        sid = domain.adjacency_sid(routers[1].router_id, routers[2].router_id)
+        assert (
+            domain.adjacency_target(routers[1].router_id, sid)
+            == routers[2].router_id
+        )
+        assert domain.adjacency_target(routers[1].router_id, sid + 1) is None
+
+    def test_no_adjacency_rejected(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        with pytest.raises(SrConfigError):
+            domain.adjacency_sid(routers[0].router_id, routers[3].router_id)
+
+
+class TestMappingServer:
+    def test_entry_for_ldp_router(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        index = domain.add_mapping_server_entry(routers[3])
+        assert domain.node_index(routers[3].router_id) == index
+        assert domain.has_mapping_entry(routers[3].router_id)
+        assert not domain.is_enrolled(routers[3].router_id)
+
+    def test_entry_idempotent(self):
+        net, routers, domain = build()
+        first = domain.add_mapping_server_entry(routers[3])
+        again = domain.add_mapping_server_entry(routers[3])
+        assert first == again
+
+    def test_entry_for_sr_router_rejected(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        with pytest.raises(SrConfigError):
+            domain.add_mapping_server_entry(routers[0])
+
+    def test_indexes_shared_namespace(self):
+        net, routers, domain = build()
+        domain.enroll(routers[0])
+        index = domain.add_mapping_server_entry(routers[3])
+        config = domain.enroll(routers[1])
+        assert config.sid_index != index
+
+
+class TestDefaults:
+    def test_default_srgb_fallback(self):
+        # vendors without a shipped default get the Cisco-compatible range
+        assert default_srgb(Vendor.JUNIPER) == LabelRange(16_000, 23_999)
+        assert default_srgb(Vendor.CISCO) == LabelRange(16_000, 23_999)
+        assert default_srgb(Vendor.HUAWEI) == LabelRange(16_000, 47_999)
+
+    def test_default_srlb(self):
+        assert default_srlb(Vendor.JUNIPER) is None
+        assert default_srlb(Vendor.CISCO) == LabelRange(15_000, 15_999)
+
+    def test_php_flag(self):
+        net, routers, domain = build(php=False)
+        assert not domain.php

@@ -1,0 +1,169 @@
+"""Tests for tunnel program construction (ingress label stacks)."""
+
+import pytest
+
+from repro.netsim.tunnels import ServiceSidRegistry, TunnelPolicy
+from repro.netsim.vendors import VENDOR_PROFILES, Vendor
+
+from tests.conftest import TARGET_ASN, ChainNetwork
+
+
+class TestPlainSrPrograms:
+    def test_single_node_sid(self, sr_chain):
+        ingress = sr_chain.routers[0].router_id
+        final = sr_chain.egress.router_id
+        program = sr_chain.controller.program_for(ingress, final)
+        assert program is not None
+        assert program.egress == final
+        assert program.depth == 1
+        assert program.truth_planes == ("sr",)
+        index = sr_chain.sr_domain.node_index(final)
+        assert program.labels[0] == 16_000 + index
+
+    def test_program_cached(self, sr_chain):
+        ingress = sr_chain.routers[0].router_id
+        final = sr_chain.egress.router_id
+        assert sr_chain.controller.program_for(
+            ingress, final
+        ) is sr_chain.controller.program_for(ingress, final)
+
+    def test_no_program_at_egress(self, sr_chain):
+        final = sr_chain.egress.router_id
+        assert sr_chain.controller.program_for(final, final) is None
+
+    def test_no_program_without_ler(self):
+        chain = ChainNetwork(sr=False, ldp=False)
+        ingress = chain.routers[0].router_id
+        assert (
+            chain.controller.program_for(ingress, chain.egress.router_id)
+            is None
+        )
+
+    def test_one_hop_php_no_push(self, sr_chain):
+        # Penultimate router: downstream IS the egress; PHP leaves
+        # nothing on the wire.
+        penultimate = sr_chain.routers[-2].router_id
+        assert (
+            sr_chain.controller.program_for(
+                penultimate, sr_chain.egress.router_id
+            )
+            is None
+        )
+
+
+class TestLdpPrograms:
+    def test_ldp_label_is_downstream_binding(self, ldp_chain):
+        ingress = ldp_chain.routers[0].router_id
+        final = ldp_chain.egress.router_id
+        program = ldp_chain.controller.program_for(ingress, final)
+        assert program is not None
+        assert program.truth_planes == ("ldp",)
+        fec = ldp_chain.controller.egress_fec(final)
+        nh = ldp_chain.igp.next_hop(ingress, final)
+        assert program.labels[0] == ldp_chain.ldp.binding(nh, fec)
+
+    def test_ldp_one_hop_implicit_null_no_push(self, ldp_chain):
+        penultimate = ldp_chain.routers[-2].router_id
+        assert (
+            ldp_chain.controller.program_for(
+                penultimate, ldp_chain.egress.router_id
+            )
+            is None
+        )
+
+
+class TestTePrograms:
+    def test_te_stack_shape(self):
+        chain = ChainNetwork(
+            length=7,
+            policy=TunnelPolicy(asn=TARGET_ASN, te_waypoint_share=1.0),
+        )
+        ingress = chain.routers[0].router_id
+        program = chain.controller.program_for(
+            ingress, chain.egress.router_id
+        )
+        assert program is not None
+        # [node SID of waypoint; adjacency SID; node SID of egress]
+        assert program.depth == 3
+        assert program.truth_planes == ("sr", "sr", "sr")
+
+    def test_te_falls_back_to_plain_when_impossible(self):
+        chain = ChainNetwork(
+            length=2,
+            policy=TunnelPolicy(asn=TARGET_ASN, te_waypoint_share=1.0),
+        )
+        ingress = chain.routers[0].router_id
+        program = chain.controller.program_for(
+            ingress, chain.egress.router_id
+        )
+        # length 2: ingress's next hop IS the egress -> PHP, no program
+        assert program is None
+
+
+class TestServicePrograms:
+    def test_service_labels_at_bottom(self):
+        chain = ChainNetwork(
+            policy=TunnelPolicy(
+                asn=TARGET_ASN, service_sid_share=1.0, second_service_share=0.0
+            ),
+        )
+        ingress = chain.routers[0].router_id
+        program = chain.controller.program_for(
+            ingress, chain.egress.router_id
+        )
+        assert program is not None
+        assert program.depth == 2
+        # the chain's egress is SR-enabled: its services are SR SIDs
+        assert program.truth_planes[-1] == "service-sr"
+        assert chain.controller.services.is_service_label(
+            chain.egress.router_id, program.labels[-1]
+        )
+
+    def test_second_service_label(self):
+        chain = ChainNetwork(
+            policy=TunnelPolicy(
+                asn=TARGET_ASN, service_sid_share=1.0, second_service_share=1.0
+            ),
+        )
+        program = chain.controller.program_for(
+            chain.routers[0].router_id, chain.egress.router_id
+        )
+        assert program is not None
+        assert program.truth_planes[-2:] == ("service-sr", "service-sr")
+
+
+class TestServiceSidRegistry:
+    def test_allocation_stable(self, sr_chain):
+        registry = ServiceSidRegistry(sr_chain.network)
+        rid = sr_chain.egress.router_id
+        assert registry.allocate(rid) == registry.allocate(rid)
+
+    def test_slots_distinct(self, sr_chain):
+        registry = ServiceSidRegistry(sr_chain.network)
+        rid = sr_chain.egress.router_id
+        assert registry.allocate(rid, 0) != registry.allocate(rid, 1)
+
+    def test_ownership(self, sr_chain):
+        registry = ServiceSidRegistry(sr_chain.network)
+        rid = sr_chain.egress.router_id
+        other = sr_chain.routers[0].router_id
+        label = registry.allocate(rid)
+        assert registry.is_service_label(rid, label)
+        assert not registry.is_service_label(other, label)
+
+    def test_cisco_service_labels_in_srlb(self, sr_chain):
+        registry = ServiceSidRegistry(sr_chain.network)
+        label = registry.allocate(sr_chain.egress.router_id)
+        assert label in VENDOR_PROFILES[Vendor.CISCO].default_srlb
+
+
+class TestAsEgress:
+    def test_egress_is_last_in_as(self, sr_chain):
+        ingress = sr_chain.routers[0].router_id
+        final = sr_chain.egress.router_id
+        assert sr_chain.controller.as_egress(ingress, final) == final
+
+    def test_policy_auto_created(self, sr_chain):
+        policy = sr_chain.controller.policy(99_999)
+        assert policy.asn == 99_999
+        assert policy.te_waypoint_share == 0.0

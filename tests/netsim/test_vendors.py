@@ -1,0 +1,106 @@
+"""Tests for vendor profiles (Table 1 fidelity and TTL classes)."""
+
+import pytest
+
+from repro.netsim.vendors import (
+    CISCO_HUAWEI_SRGB_INTERSECTION,
+    LabelRange,
+    TTLSignature,
+    VENDOR_PROFILES,
+    Vendor,
+    profile,
+    ttl_signature_class,
+)
+
+
+class TestLabelRange:
+    def test_containment(self):
+        r = LabelRange(16_000, 23_999)
+        assert 16_000 in r and 23_999 in r
+        assert 15_999 not in r and 24_000 not in r
+
+    def test_size(self):
+        assert LabelRange(16_000, 23_999).size() == 8_000
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LabelRange(10, 5)
+        with pytest.raises(ValueError):
+            LabelRange(0, 2**20)
+
+    def test_overlap_and_intersection(self):
+        cisco = LabelRange(16_000, 23_999)
+        huawei = LabelRange(16_000, 47_999)
+        arista = LabelRange(900_000, 965_535)
+        assert cisco.overlaps(huawei)
+        assert not cisco.overlaps(arista)
+        assert cisco.intersection(huawei) == LabelRange(16_000, 23_999)
+        assert cisco.intersection(arista) is None
+
+
+class TestTable1Fidelity:
+    """The defaults must match Table 1 of the paper exactly."""
+
+    def test_cisco(self):
+        p = profile(Vendor.CISCO)
+        assert p.default_srgb == LabelRange(16_000, 23_999)
+        assert p.default_srlb == LabelRange(15_000, 15_999)
+
+    def test_huawei(self):
+        p = profile(Vendor.HUAWEI)
+        assert p.default_srgb == LabelRange(16_000, 47_999)
+        assert p.default_srlb is not None
+        assert p.default_srlb.low >= 48_000  # "base >= 48,000"
+
+    def test_arista(self):
+        p = profile(Vendor.ARISTA)
+        assert p.default_srgb == LabelRange(900_000, 965_535)
+        assert p.default_srlb == LabelRange(100_000, 116_383)
+
+    def test_juniper_has_no_srlb(self):
+        # Sec. 2.3: Juniper allocates adjacency SIDs from the dynamic pool.
+        p = profile(Vendor.JUNIPER)
+        assert p.default_srlb is None
+
+    def test_cisco_huawei_intersection(self):
+        cisco = profile(Vendor.CISCO).default_srgb
+        huawei = profile(Vendor.HUAWEI).default_srgb
+        assert cisco is not None and huawei is not None
+        assert cisco.intersection(huawei) == CISCO_HUAWEI_SRGB_INTERSECTION
+
+    def test_dynamic_pools_avoid_reserved_labels(self):
+        for p in VENDOR_PROFILES.values():
+            assert p.dynamic_pool.low >= 16
+
+    def test_arista_not_snmp_identifiable(self):
+        # Sec. 5: the SNMPv3 dataset has no Arista fingerprints.
+        assert not profile(Vendor.ARISTA).snmp_identifiable
+        assert profile(Vendor.CISCO).snmp_identifiable
+
+
+class TestTTLSignatures:
+    def test_cisco_huawei_share_signature(self):
+        # The paper's key ambiguity: both answer with <255, 255>.
+        assert (
+            profile(Vendor.CISCO).ttl_signature
+            == profile(Vendor.HUAWEI).ttl_signature
+        )
+
+    def test_signature_class_for_255_255(self):
+        cls = ttl_signature_class(TTLSignature(255, 255))
+        assert cls == frozenset({Vendor.CISCO, Vendor.HUAWEI})
+
+    def test_juniper_distinguishable(self):
+        cls = ttl_signature_class(profile(Vendor.JUNIPER).ttl_signature)
+        assert Vendor.CISCO not in cls
+
+    def test_implausible_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            TTLSignature(100, 255)
+
+    def test_unknown_vendor_has_no_profile(self):
+        with pytest.raises(KeyError):
+            profile(Vendor.UNKNOWN)
+
+    def test_unknown_signature_empty_class(self):
+        assert ttl_signature_class(TTLSignature(128, 128)) == frozenset()

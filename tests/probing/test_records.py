@@ -1,0 +1,117 @@
+"""Tests for measurement-side record types."""
+
+import pytest
+
+from repro.netsim.addressing import IPv4Address
+from repro.probing.records import QuotedLse, Trace, TraceHop, truth_transport_is_sr
+
+from tests.conftest import make_hop, make_trace
+
+
+class TestQuotedLse:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotedLse(label=2**20, tc=0, bottom_of_stack=True, ttl=1)
+        with pytest.raises(ValueError):
+            QuotedLse(label=1, tc=0, bottom_of_stack=True, ttl=300)
+
+    def test_str(self):
+        lse = QuotedLse(label=16_005, tc=0, bottom_of_stack=True, ttl=1)
+        assert "16005" in str(lse)
+
+
+class TestTraceHop:
+    def test_star_hop(self):
+        hop = make_hop(3, None)
+        assert not hop.responded
+        assert not hop.has_lses
+        assert hop.stack_depth == 0
+        assert hop.top_label is None
+
+    def test_labeled_hop(self):
+        hop = make_hop(3, "10.0.0.1", labels=(16_005, 992_000))
+        assert hop.responded
+        assert hop.stack_depth == 2
+        assert hop.top_label == 16_005
+        assert hop.lses[-1].bottom_of_stack
+
+    def test_with_annotation(self):
+        hop = make_hop(3, "10.0.0.1")
+        annotated = hop.with_annotation(truth_asn=42)
+        assert annotated.truth_asn == 42
+        assert hop.truth_asn is None  # original untouched
+
+
+class TestTrace:
+    def test_views(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, None),
+                make_hop(3, "10.0.0.2", labels=(16_005,)),
+            ]
+        )
+        assert len(trace) == 3
+        assert len(trace.responding_hops()) == 2
+        assert len(trace.labeled_hops()) == 1
+        assert trace.addresses() == {
+            IPv4Address.from_string("10.0.0.1"),
+            IPv4Address.from_string("10.0.0.2"),
+        }
+
+    def test_str_renders_stars_and_stacks(self):
+        trace = make_trace(
+            [make_hop(1, None), make_hop(2, "10.0.0.2", labels=(16_005,))]
+        )
+        text = str(trace)
+        assert "*" in text
+        assert "16005" in text
+
+    def test_with_hops_replaces(self):
+        trace = make_trace([make_hop(1, "10.0.0.1")])
+        new = trace.with_hops(trace.hops + (make_hop(2, "10.0.0.2"),))
+        assert len(new) == 2
+        assert len(trace) == 1
+
+
+class TestTruthTransport:
+    def test_sr_plane(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", truth_planes=("sr", "service"))]
+        )
+        assert truth_transport_is_sr(trace, 0)
+
+    def test_ldp_plane(self):
+        trace = make_trace([make_hop(1, "10.0.0.1", truth_planes=("ldp",))])
+        assert not truth_transport_is_sr(trace, 0)
+
+    def test_no_planes(self):
+        trace = make_trace([make_hop(1, "10.0.0.1")])
+        assert not truth_transport_is_sr(trace, 0)
+
+    def test_service_tail_inherits_sr(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", truth_planes=("sr", "service")),
+                make_hop(2, "10.0.0.2", truth_planes=("service",)),
+            ]
+        )
+        assert truth_transport_is_sr(trace, 1)
+
+    def test_service_tail_inherits_ldp(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", truth_planes=("ldp", "service")),
+                make_hop(2, "10.0.0.2", truth_planes=("service",)),
+            ]
+        )
+        assert not truth_transport_is_sr(trace, 1)
+
+    def test_service_tail_with_gap_stops(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, "10.0.0.2", truth_planes=("service",)),
+            ]
+        )
+        assert not truth_transport_is_sr(trace, 1)

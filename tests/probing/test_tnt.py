@@ -1,0 +1,84 @@
+"""Tests for the TNT prober: annotation and hidden-tunnel revelation."""
+
+from repro.probing.tnt import TntProber
+
+from tests.conftest import TARGET_ASN, ChainNetwork
+
+
+class TestAnnotation:
+    def test_truth_asn_attached(self, sr_chain):
+        tr = TntProber(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        in_as = [h for h in tr.hops if h.truth_asn == TARGET_ASN]
+        assert len(in_as) == 6  # 5 routers + destination
+
+    def test_truth_planes_on_labeled_hops(self, sr_chain):
+        tr = TntProber(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        for hop in tr.labeled_hops():
+            assert hop.truth_planes[0] == "sr"
+
+    def test_destination_reply_carries_no_planes(self, sr_chain):
+        tr = TntProber(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        assert tr.hops[-1].destination_reply
+        assert tr.hops[-1].truth_planes == ()
+
+    def test_ingress_hop_unlabeled_truth(self, sr_chain):
+        tr = TntProber(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        first_in_as = next(h for h in tr.hops if h.truth_asn == TARGET_ASN)
+        assert first_in_as.truth_planes == ()  # the pusher received IP
+
+
+class TestRevelation:
+    def test_invisible_tunnel_revealed(self):
+        chain = ChainNetwork(propagate=False, rfc4950=False)
+        tr = TntProber(chain.engine, reveal_success_rate=1.0).trace(
+            chain.vp.router_id, chain.target
+        )
+        revealed = [h for h in tr.hops if h.tnt_revealed]
+        assert revealed
+        # Revealed hops carry addresses but never LSEs (Sec. 2.2).
+        assert all(h.address is not None for h in revealed)
+        assert all(h.lses is None for h in revealed)
+        assert all(not h.truth_uniform for h in revealed)
+
+    def test_revelation_can_fail(self):
+        chain = ChainNetwork(propagate=False, rfc4950=False)
+        tr = TntProber(chain.engine, reveal_success_rate=0.0).trace(
+            chain.vp.router_id, chain.target
+        )
+        assert not any(h.tnt_revealed for h in tr.hops)
+
+    def test_no_revelation_on_explicit_tunnels(self, sr_chain):
+        tr = TntProber(sr_chain.engine, reveal_success_rate=1.0).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        assert not any(h.tnt_revealed for h in tr.hops)
+
+    def test_revealed_hops_inserted_in_path_order(self):
+        chain = ChainNetwork(length=6, propagate=False, rfc4950=False)
+        tr = TntProber(chain.engine, reveal_success_rate=1.0).trace(
+            chain.vp.router_id, chain.target
+        )
+        truth = chain.engine.truth_walk(
+            chain.vp.router_id, chain.target, tr.flow_id
+        )
+        order = {t.router_id: i for i, t in enumerate(truth)}
+        positions = [
+            order[h.truth_router_id]
+            for h in tr.hops
+            if h.truth_router_id in order
+        ]
+        assert positions == sorted(positions)
+
+    def test_invalid_reveal_rate(self, sr_chain):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TntProber(sr_chain.engine, reveal_success_rate=1.5)

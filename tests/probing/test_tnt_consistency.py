@@ -1,0 +1,54 @@
+"""Cross-checks between TNT's revelation and its opaque-TTL inference.
+
+Two independent mechanisms measure the same hidden quantity: the quoted
+LSE-TTL of an opaque ending hop (255 - k) and the number of interior
+hops TNT's revelation surfaces.  They must agree.
+"""
+
+import pytest
+
+from repro.probing.tnt import TntProber
+from repro.probing.tunnels import (
+    TunnelType,
+    classify_tunnels,
+    infer_opaque_length,
+)
+
+from tests.conftest import ChainNetwork
+
+
+@pytest.mark.parametrize("length", [4, 6, 9])
+def test_revealed_interior_matches_ttl_inference(length):
+    chain = ChainNetwork(length=length, propagate=False, rfc4950=True)
+    prober = TntProber(chain.engine, reveal_success_rate=1.0, seed=4)
+    trace = prober.trace(chain.vp.router_id, chain.target)
+
+    opaque_hop = next(h for h in trace.hops if h.has_lses)
+    inferred = infer_opaque_length(opaque_hop)
+    assert inferred is not None
+
+    revealed = [h for h in trace.hops if h.tnt_revealed]
+    # the quoted TTL counts every decrement since the push: the revealed
+    # interior hops plus the quoting EH's own arrival decrement... the
+    # quote happens *before* the EH decrements, so the counts match the
+    # interior exactly.
+    assert len(revealed) == inferred
+
+
+def test_inference_without_revelation_still_available():
+    chain = ChainNetwork(length=7, propagate=False, rfc4950=True)
+    prober = TntProber(chain.engine, reveal_success_rate=0.0, seed=4)
+    trace = prober.trace(chain.vp.router_id, chain.target)
+    tunnels = classify_tunnels(trace)
+    opaque = [t for t in tunnels if t.tunnel_type is TunnelType.OPAQUE]
+    assert len(opaque) == 1
+    hop = trace.hops[opaque[0].hop_indices[0]]
+    # 7-router chain: push at r0, PHP pop at r5; interior r1..r4
+    assert infer_opaque_length(hop) == 4
+
+
+def test_explicit_tunnels_never_infer_a_length(sr_chain):
+    prober = TntProber(sr_chain.engine, seed=4)
+    trace = prober.trace(sr_chain.vp.router_id, sr_chain.target)
+    for hop in trace.labeled_hops():
+        assert infer_opaque_length(hop) is None

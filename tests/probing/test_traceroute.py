@@ -1,0 +1,81 @@
+"""Tests for the Paris traceroute client."""
+
+import pytest
+
+from repro.probing.traceroute import ParisTraceroute
+
+from tests.conftest import ChainNetwork
+
+
+class TestParisTraceroute:
+    def test_full_trace_shape(self, sr_chain):
+        tr = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target, vp_name="vp1"
+        )
+        assert tr.reached
+        assert tr.vp == "vp1"
+        assert tr.hops[-1].destination_reply
+        assert tr.hops[-1].address == sr_chain.target
+        assert [h.probe_ttl for h in tr.hops] == list(
+            range(1, len(tr.hops) + 1)
+        )
+
+    def test_flow_id_stable_for_same_tuple(self, sr_chain):
+        prober = ParisTraceroute(sr_chain.engine)
+        a = prober.trace(sr_chain.vp.router_id, sr_chain.target)
+        b = prober.trace(sr_chain.vp.router_id, sr_chain.target)
+        assert a.flow_id == b.flow_id
+        assert [h.address for h in a.hops] == [h.address for h in b.hops]
+
+    def test_explicit_flow_id_respected(self, sr_chain):
+        prober = ParisTraceroute(sr_chain.engine)
+        tr = prober.trace(sr_chain.vp.router_id, sr_chain.target, flow_id=77)
+        assert tr.flow_id == 77
+
+    def test_rtts_monotonic_ish(self, sr_chain):
+        tr = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        rtts = [h.rtt_ms for h in tr.hops if h.rtt_ms is not None]
+        # Jitter is < one hop latency, so order must hold.
+        assert rtts == sorted(rtts)
+
+    def test_stars_recorded_and_give_up(self):
+        chain = ChainNetwork(length=8)
+        for r in chain.routers[2:]:
+            r.icmp_silent = True
+        chain.routers[-1].icmp_silent = True
+        tr = ParisTraceroute(chain.engine, max_ttl=30).trace(
+            chain.vp.router_id, chain.target
+        )
+        # gives up after consecutive stars, before max_ttl
+        assert not tr.reached
+        assert len(tr.hops) < 30
+        assert any(h.address is None for h in tr.hops)
+
+    def test_max_ttl_cap(self, sr_chain):
+        tr = ParisTraceroute(sr_chain.engine, max_ttl=3).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        assert not tr.reached
+        assert len(tr.hops) == 3
+
+    def test_invalid_max_ttl(self, sr_chain):
+        with pytest.raises(ValueError):
+            ParisTraceroute(sr_chain.engine, max_ttl=0)
+
+    def test_lses_quoted_on_explicit_tunnel(self, sr_chain):
+        tr = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        labeled = tr.labeled_hops()
+        assert len(labeled) == 3
+        assert all(h.lses[0].label == labeled[0].lses[0].label for h in labeled)
+
+    def test_reply_ttl_recorded(self, sr_chain):
+        tr = ParisTraceroute(sr_chain.engine).trace(
+            sr_chain.vp.router_id, sr_chain.target
+        )
+        assert all(
+            h.reply_ip_ttl is not None for h in tr.hops if h.responded
+        )

@@ -1,0 +1,100 @@
+"""Tests for the explicit/implicit/opaque/invisible tunnel taxonomy."""
+
+from repro.probing.tnt import TntProber
+from repro.probing.tunnels import (
+    TunnelType,
+    classify_tunnels,
+    implicit_hops,
+    infer_opaque_length,
+)
+
+from tests.conftest import ChainNetwork, make_hop, make_trace
+
+
+def observed(chain: ChainNetwork, reveal: float = 1.0):
+    tr = TntProber(chain.engine, reveal_success_rate=reveal).trace(
+        chain.vp.router_id, chain.target
+    )
+    return tr, classify_tunnels(tr)
+
+
+class TestEndToEndTaxonomy:
+    def test_explicit(self):
+        tr, tunnels = observed(ChainNetwork())
+        assert [t.tunnel_type for t in tunnels] == [TunnelType.EXPLICIT]
+        assert tunnels[0].length == 3
+
+    def test_implicit(self):
+        tr, tunnels = observed(ChainNetwork(rfc4950=False))
+        assert [t.tunnel_type for t in tunnels] == [TunnelType.IMPLICIT]
+
+    def test_opaque_with_revealed_interior(self):
+        tr, tunnels = observed(ChainNetwork(propagate=False))
+        assert [t.tunnel_type for t in tunnels] == [TunnelType.OPAQUE]
+        # revelation folded the interior into the same observation
+        assert tunnels[0].length > 1
+
+    def test_opaque_without_revelation(self):
+        tr, tunnels = observed(ChainNetwork(propagate=False), reveal=0.0)
+        assert [t.tunnel_type for t in tunnels] == [TunnelType.OPAQUE]
+        assert tunnels[0].length == 1
+
+    def test_invisible(self):
+        tr, tunnels = observed(
+            ChainNetwork(propagate=False, rfc4950=False)
+        )
+        assert all(
+            t.tunnel_type is TunnelType.INVISIBLE for t in tunnels
+        )
+
+    def test_plain_ip_no_tunnels(self):
+        tr, tunnels = observed(ChainNetwork(sr=False, ldp=False))
+        assert tunnels == []
+
+
+class TestSyntheticTaxonomy:
+    def test_opaque_requires_high_lse_ttl(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(16_005,), lse_ttl=253)]
+        )
+        tunnels = classify_tunnels(trace)
+        assert tunnels[0].tunnel_type is TunnelType.OPAQUE
+
+    def test_low_ttl_single_hop_is_explicit(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1", labels=(16_005,), lse_ttl=1)]
+        )
+        tunnels = classify_tunnels(trace)
+        assert tunnels[0].tunnel_type is TunnelType.EXPLICIT
+
+    def test_labeled_run_is_one_explicit_tunnel(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1", labels=(16_005,)),
+                make_hop(2, "10.0.0.2", labels=(16_005,)),
+                make_hop(3, "10.0.0.3"),
+                make_hop(4, "10.0.0.4", labels=(16_009,)),
+                make_hop(5, "10.0.0.5", labels=(16_009,)),
+            ]
+        )
+        tunnels = classify_tunnels(trace)
+        assert [t.tunnel_type for t in tunnels] == [
+            TunnelType.EXPLICIT,
+            TunnelType.EXPLICIT,
+        ]
+
+    def test_infer_opaque_length(self):
+        hop = make_hop(1, "10.0.0.1", labels=(16_005,), lse_ttl=251)
+        assert infer_opaque_length(hop) == 4
+        low = make_hop(1, "10.0.0.1", labels=(16_005,), lse_ttl=1)
+        assert infer_opaque_length(low) is None
+
+    def test_implicit_hops_helper(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, "10.0.0.2", truth_planes=("ldp",)),
+                make_hop(3, "10.0.0.3", labels=(55,)),
+            ]
+        )
+        assert implicit_hops(trace) == [1]

@@ -1,0 +1,126 @@
+"""Tests for the ``arest`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "arest" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestRunAs:
+    def test_esnet(self, capsys):
+        assert main(["run-as", "46", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ESnet" in out
+        assert "CO=" in out
+
+    def test_no_evidence_as(self, capsys):
+        assert main(
+            ["run-as", "3", "--seed", "1", "--targets", "12", "--vps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no SR-MPLS evidence" in out
+
+    def test_dump(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        assert main(
+            [
+                "run-as",
+                "46",
+                "--targets",
+                "8",
+                "--vps",
+                "2",
+                "--dump",
+                str(path),
+            ]
+        ) == 0
+        assert path.exists()
+        from repro.campaign import TraceDataset
+
+        dataset = TraceDataset.load_jsonl(path)
+        assert len(dataset) == 16  # 8 targets x 2 VPs
+
+
+class TestDetect:
+    def test_offline_detection(self, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        main(
+            ["run-as", "28", "--targets", "8", "--vps", "2",
+             "--dump", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["detect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "distinct segments" in out
+        assert "CO" in out
+
+
+class TestValidate:
+    def test_table3(self, capsys):
+        assert main(["validate", "46", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "precision=1.000" in out
+
+
+class TestSurvey:
+    def test_fig5(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Cisco" in out
+        assert "SRGB: 70%" in out
+
+
+class TestPortfolioTable:
+    def test_table5(self, capsys):
+        assert main(["portfolio-table"]) == 0
+        out = capsys.readouterr().out
+        assert "AS#46" in out and "ESnet" in out
+        assert out.count("AS#") == 60
+
+
+class TestErrorPaths:
+    def test_detect_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["detect", "/nonexistent/traces.jsonl"])
+
+    def test_run_as_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["run-as", "99"])
+
+    def test_validate_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["validate", "99"])
+
+
+class TestTestbedCommand:
+    def test_all_pass(self, capsys):
+        assert main(["testbed"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[PASS]") == 5
+        assert "all five flags isolated" in out
+
+
+class TestPortfolioCommand:
+    def test_small_portfolio_summary(self, capsys):
+        assert main(
+            ["portfolio", "--targets", "6", "--vps", "2", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "confirmed ASes detected" in out

@@ -1,0 +1,120 @@
+"""Generative properties over hybrid (SR + LDP island) chains.
+
+Random split points, visibility knobs and seeds; the invariants cover
+the interworking forwarding path end to end: delivery, plane ordering,
+mapping-server stitching, and detection confined to real SR hops.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import ArestDetector
+from repro.core.flags import SEQUENCE_FLAGS
+from repro.netsim.forwarding import ForwardingEngine, ReplyKind
+from repro.netsim.igp import ShortestPaths
+from repro.netsim.ldp import LdpState
+from repro.netsim.sr import SegmentRoutingDomain
+from repro.netsim.topology import Network, RouterRole
+from repro.netsim.tunnels import TunnelController, TunnelPolicy
+from repro.netsim.vendors import Vendor
+from repro.probing.records import truth_transport_is_sr
+from repro.probing.tnt import TntProber
+
+ASN = 65_050
+
+
+def build_hybrid(
+    length: int,
+    split: int,
+    sr_first: bool,
+    propagate: bool,
+    seed: int,
+):
+    """A chain whose first ``split`` routers run one protocol and the
+    rest the other; the boundary router is dual-stack."""
+    net = Network()
+    vp = net.add_router("vp", asn=64_900, role=RouterRole.VANTAGE)
+    routers, prev = [], vp
+    for i in range(length):
+        r = net.add_router(
+            f"h{i}", asn=ASN, vendor=Vendor.CISCO, ttl_propagate=propagate
+        )
+        net.add_link(prev, r)
+        routers.append(r)
+        prev = r
+    prefix = net.announce_prefix(routers[-1], 24)
+    igp = ShortestPaths(net)
+    ldp = LdpState(net, seed=seed)
+    domain = SegmentRoutingDomain(net, asn=ASN, seed=seed)
+    first, second = routers[:split], routers[split:]
+    sr_side, ldp_side = (first, second) if sr_first else (second, first)
+    for r in sr_side:
+        domain.enroll(r)
+    for r in ldp_side:
+        r.ldp_enabled = True
+        domain.add_mapping_server_entry(r)
+    # dual-stack at the boundary
+    boundary_sr = sr_side[-1] if sr_first else sr_side[0]
+    boundary_sr.ldp_enabled = True
+    controller = TunnelController(net, igp, ldp, {ASN: domain})
+    controller.set_policy(TunnelPolicy(asn=ASN))
+    engine = ForwardingEngine(net, igp, controller)
+    return net, vp, prefix.address_at(4), engine
+
+
+hybrid_cases = st.tuples(
+    st.integers(min_value=4, max_value=9),  # length
+    st.floats(min_value=0.25, max_value=0.75),  # split fraction
+    st.booleans(),  # sr_first
+    st.booleans(),  # propagate
+    st.integers(min_value=0, max_value=30),  # seed
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(hybrid_cases)
+def test_hybrid_always_delivers(case):
+    length, frac, sr_first, propagate, seed = case
+    split = max(1, min(length - 1, round(length * frac)))
+    net, vp, target, engine = build_hybrid(
+        length, split, sr_first, propagate, seed
+    )
+    reply = engine.forward_probe(vp.router_id, target, 64)
+    assert reply is not None
+    assert reply.kind is ReplyKind.DEST_UNREACHABLE
+
+
+@settings(max_examples=50, deadline=None)
+@given(hybrid_cases)
+def test_hybrid_planes_never_interleave(case):
+    """Once the transport switched protocols it never switches back on
+    a two-region chain."""
+    length, frac, sr_first, propagate, seed = case
+    split = max(1, min(length - 1, round(length * frac)))
+    net, vp, target, engine = build_hybrid(
+        length, split, sr_first, propagate, seed
+    )
+    truth = engine.truth_walk(vp.router_id, target)
+    transports = [
+        t.received_planes[0]
+        for t in truth
+        if t.received_planes and t.received_planes[0] in ("sr", "ldp")
+    ]
+    switches = sum(
+        1 for a, b in zip(transports, transports[1:]) if a != b
+    )
+    assert switches <= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(hybrid_cases)
+def test_hybrid_consecutive_flags_only_on_sr(case):
+    length, frac, sr_first, propagate, seed = case
+    split = max(1, min(length - 1, round(length * frac)))
+    net, vp, target, engine = build_hybrid(
+        length, split, sr_first, propagate, seed
+    )
+    trace = TntProber(engine, seed=seed).trace(vp.router_id, target)
+    for segment in ArestDetector().detect(trace, {}):
+        if segment.flag in SEQUENCE_FLAGS:
+            for index in segment.hop_indices:
+                assert truth_transport_is_sr(trace, index)

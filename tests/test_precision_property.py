@@ -1,0 +1,82 @@
+"""Generative precision guarantee.
+
+Hypothesis drives random deployment scenarios through the full stack
+(topology build, control planes, probing, fingerprinting, detection,
+validation) and asserts the paper's central claim on every one of them:
+**strong flags never fire on traditional MPLS**.  This generalizes the
+portfolio-level zero-FP check to deployment configurations no human
+picked.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.validation import validate_against_truth
+from repro.campaign import CampaignRunner
+from repro.core.flags import STRONG_FLAGS
+from repro.topogen.deployment import DeploymentScenario
+from repro.topogen.portfolio import Portfolio, default_portfolio
+from repro.netsim.vendors import Vendor
+
+scenario_strategy = st.builds(
+    DeploymentScenario,
+    deploys_sr=st.just(True),
+    mpls=st.just(True),
+    sr_share=st.sampled_from([0.0, 0.6, 0.8, 1.0]),
+    propagate_share=st.sampled_from([0.0, 0.5, 1.0]),
+    rfc4950_share=st.sampled_from([0.0, 1.0]),
+    vendor_weights=st.sampled_from(
+        [
+            ((Vendor.CISCO, 1.0),),
+            ((Vendor.JUNIPER, 0.5), (Vendor.CISCO, 0.5)),
+            ((Vendor.ARISTA, 0.4), (Vendor.NOKIA, 0.6)),
+        ]
+    ),
+    snmp_share=st.sampled_from([0.0, 0.5, 1.0]),
+    ping_share=st.sampled_from([0.0, 1.0]),
+    te_share=st.sampled_from([0.0, 0.5]),
+    service_share=st.sampled_from([0.0, 0.7]),
+    sr_policy_share=st.sampled_from([0.0, 0.5]),
+    entropy_share=st.sampled_from([0.0, 0.5]),
+    rsvp_te_share=st.sampled_from([0.0, 0.5]),
+    n_core=st.sampled_from([4, 8]),
+    n_edge=st.just(2),
+    n_border=st.just(2),
+    n_customers=st.just(1),
+    uhp=st.booleans(),
+    heterogeneous_srgb=st.booleans(),
+)
+
+
+def _fix(scenario: DeploymentScenario) -> DeploymentScenario:
+    # deploys_sr requires a positive share to mean anything; normalize
+    if scenario.sr_share == 0.0:
+        return replace(
+            scenario, deploys_sr=False, sr_policy_share=0.0, uhp=False,
+            heterogeneous_srgb=False,
+        )
+    return scenario
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario=scenario_strategy, seed=st.integers(min_value=0, max_value=20))
+def test_no_strong_flag_false_positives_ever(scenario, seed):
+    scenario = _fix(scenario)
+    base = default_portfolio()
+    spec = replace(base.spec(28), scenario=scenario)
+    portfolio = Portfolio(
+        tuple(spec if s.as_id == 28 else s for s in base)
+    )
+    runner = CampaignRunner(
+        portfolio=portfolio,
+        seed=seed,
+        vps_per_as=2,
+        targets_per_as=8,
+    )
+    result = runner.run_as(28)
+    report = validate_against_truth(result)
+    for flag in STRONG_FLAGS:
+        assert report.per_flag[flag].false_positives == 0, flag
+    # and recall sanity: whatever was flagged SR at interface level is SR
+    assert report.interface_fp == 0

@@ -1,0 +1,181 @@
+"""Cross-cutting property-based tests on forwarding and detection.
+
+These generate random chain configurations and assert invariants that
+must hold regardless of deployment style -- the safety net under every
+scenario the campaign can produce.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import ArestDetector
+from repro.core.flags import SEQUENCE_FLAGS
+from repro.netsim.forwarding import ReplyKind
+from repro.netsim.tunnels import TunnelPolicy
+from repro.netsim.vendors import Vendor
+from repro.probing.tnt import TntProber
+
+from tests.conftest import TARGET_ASN, ChainNetwork
+
+chain_configs = st.fixed_dictionaries(
+    {
+        "length": st.integers(min_value=2, max_value=8),
+        "sr": st.booleans(),
+        "propagate": st.booleans(),
+        "rfc4950": st.booleans(),
+        "php": st.booleans(),
+        "vendor": st.sampled_from(
+            [Vendor.CISCO, Vendor.JUNIPER, Vendor.HUAWEI, Vendor.ARISTA]
+        ),
+        "te": st.sampled_from([0.0, 1.0]),
+        "service": st.sampled_from([0.0, 1.0]),
+        "seed": st.integers(min_value=0, max_value=50),
+    }
+)
+
+
+def build_chain(config) -> ChainNetwork:
+    return ChainNetwork(
+        length=config["length"],
+        sr=config["sr"],
+        ldp=not config["sr"],
+        propagate=config["propagate"],
+        rfc4950=config["rfc4950"],
+        php=config["php"],
+        vendor=config["vendor"],
+        seed=config["seed"],
+        policy=TunnelPolicy(
+            asn=TARGET_ASN,
+            te_waypoint_share=config["te"],
+            service_sid_share=config["service"],
+            seed=config["seed"],
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=chain_configs)
+def test_probes_always_reach_or_expire(config):
+    """Liveness: every probe either expires at a router, is silently
+    dropped, or reaches the destination -- and a large-enough TTL always
+    reaches it."""
+    chain = build_chain(config)
+    final = chain.engine.forward_probe(chain.vp.router_id, chain.target, 64)
+    assert final is not None
+    assert final.kind is ReplyKind.DEST_UNREACHABLE
+    assert final.source_ip == chain.target
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=chain_configs)
+def test_hop_positions_monotone(config):
+    """Responding routers appear in forward-path order as TTL grows."""
+    chain = build_chain(config)
+    truth = chain.engine.truth_walk(chain.vp.router_id, chain.target)
+    order = {t.router_id: i for i, t in enumerate(truth)}
+    positions = []
+    for ttl in range(1, 40):
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, ttl
+        )
+        if reply is None:
+            continue
+        positions.append(order[reply.truth_router_id])
+        if reply.kind is not ReplyKind.TIME_EXCEEDED:
+            break
+    assert positions == sorted(positions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=chain_configs)
+def test_truth_walk_label_balance(config):
+    """Conservation: labels pushed at the ingress either pop inside the
+    AS or the packet is delivered unlabeled -- the stack never leaks out
+    of the simulation."""
+    chain = build_chain(config)
+    truth = chain.engine.truth_walk(chain.vp.router_id, chain.target)
+    # the last hop before the destination host carries at most the
+    # stack the egress will consume itself
+    assert truth
+    for t in truth:
+        assert len(t.received_labels) == len(t.received_planes)
+        assert all(0 <= label < 2**20 for label in t.received_labels)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=chain_configs)
+def test_quoted_stacks_match_truth(config):
+    """Every RFC 4950 quote equals the stack the router truly received."""
+    chain = build_chain(config)
+    prober = TntProber(chain.engine, reveal_success_rate=0.0, seed=1)
+    trace = prober.trace(chain.vp.router_id, chain.target)
+    truth = {
+        t.router_id: t
+        for t in chain.engine.truth_walk(
+            chain.vp.router_id, chain.target, trace.flow_id
+        )
+    }
+    for hop in trace.hops:
+        if not hop.has_lses or hop.truth_router_id not in truth:
+            continue
+        quoted = tuple(e.label for e in hop.lses)
+        assert quoted == truth[hop.truth_router_id].received_labels
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=chain_configs)
+def test_detector_segments_well_formed(config):
+    """Detected segments never overlap, stay in-bounds, and respect
+    per-flag arity regardless of input."""
+    chain = build_chain(config)
+    prober = TntProber(chain.engine, seed=2)
+    trace = prober.trace(chain.vp.router_id, chain.target)
+    segments = ArestDetector().detect(trace, {})
+    seen: set[int] = set()
+    for segment in segments:
+        for index in segment.hop_indices:
+            assert 0 <= index < len(trace.hops)
+            assert index not in seen
+            seen.add(index)
+        if segment.flag in SEQUENCE_FLAGS:
+            assert segment.length >= 2
+        else:
+            assert segment.length == 1
+        # flagged hops carry labels by construction
+        for index in segment.hop_indices:
+            assert trace.hops[index].has_lses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    config=chain_configs,
+    reveal=st.sampled_from([0.0, 0.5, 1.0]),
+)
+def test_tnt_reveals_addresses_never_labels(config, reveal):
+    """TNT's contract (Sec. 2.2): revealed hops have addresses, no LSEs."""
+    chain = build_chain(config)
+    prober = TntProber(chain.engine, reveal_success_rate=reveal, seed=3)
+    trace = prober.trace(chain.vp.router_id, chain.target)
+    for hop in trace.hops:
+        if hop.tnt_revealed:
+            assert hop.address is not None
+            assert hop.lses is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=chain_configs)
+def test_uniform_tunnels_never_hide_hops(config):
+    """With ttl-propagate, every transit router answers some TTL."""
+    if not config["propagate"]:
+        return
+    chain = build_chain(config)
+    responders = set()
+    for ttl in range(1, 40):
+        reply = chain.engine.forward_probe(
+            chain.vp.router_id, chain.target, ttl
+        )
+        if reply is None:
+            continue
+        responders.add(reply.truth_router_id)
+        if reply.kind is not ReplyKind.TIME_EXCEEDED:
+            break
+    assert {r.router_id for r in chain.routers} <= responders

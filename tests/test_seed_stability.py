@@ -1,0 +1,40 @@
+"""Seed stability: the paper-level conclusions hold across campaigns.
+
+Marked slow: runs the full 41-AS portfolio on extra seeds.
+"""
+
+import pytest
+
+from repro.analysis.validation import headline_detection, validate_against_truth
+from repro.campaign import CampaignRunner
+from repro.core.flags import STRONG_FLAGS, Flag
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [2, 9])
+def test_portfolio_conclusions_stable_across_seeds(seed):
+    runner = CampaignRunner(seed=seed, vps_per_as=3, targets_per_as=18)
+    results = runner.run_portfolio()
+    headline = headline_detection(results)
+
+    # detection rates stay in the paper's neighbourhood
+    assert 0.55 <= headline.confirmed_rate <= 0.95
+    assert headline.unconfirmed_rate >= 0.7
+
+    # the structurally-invisible ASes stay undetected
+    for as_id in (2, 3, 16):
+        assert not results[as_id].analysis.has_sr_evidence(
+            strong_only=False
+        )
+
+    # ESnet stays CO-only and FP-free
+    esnet = results[46]
+    counts = esnet.analysis.flag_counts()
+    assert counts[Flag.CO] > 0
+    assert counts[Flag.CVR] == 0
+
+    # zero strong-flag false positives, any seed
+    for result in results.values():
+        report = validate_against_truth(result)
+        for flag in STRONG_FLAGS:
+            assert report.per_flag[flag].false_positives == 0

@@ -1,0 +1,88 @@
+"""Tests for the controlled validation environment (Fig. 6 in code)."""
+
+import pytest
+
+from repro.core.flags import Flag
+from repro.testbed import (
+    SCENARIO_BUILDERS,
+    co_scenario,
+    cvr_scenario,
+    lso_scenario,
+    lsvr_scenario,
+    lvr_scenario,
+    run_all_scenarios,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_all_scenarios()
+
+
+class TestFig6InCode:
+    def test_five_scenarios(self, outcomes):
+        assert len(outcomes) == 5
+        assert [o.scenario.expected_flag for o in outcomes] == [
+            Flag.CVR,
+            Flag.CO,
+            Flag.LSVR,
+            Flag.LVR,
+            Flag.LSO,
+        ]
+
+    def test_each_scenario_isolates_its_flag(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.as_expected, (
+                outcome.scenario.name,
+                outcome.flags_raised,
+            )
+
+    def test_traces_reach_their_targets(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.trace.reached
+
+    def test_deterministic(self):
+        first = run_scenario(cvr_scenario())
+        second = run_scenario(cvr_scenario())
+        assert first.trace.hops == second.trace.hops
+        assert [s.key() for s in first.segments] == [
+            s.key() for s in second.segments
+        ]
+
+
+class TestScenarioDetails:
+    def test_cvr_uses_default_cisco_srgb(self):
+        outcome = run_scenario(cvr_scenario())
+        label = outcome.segments[0].top_labels[0]
+        assert 16_000 <= label <= 23_999
+
+    def test_co_custom_srgb_outside_fingerprint_reach(self):
+        outcome = run_scenario(co_scenario())
+        label = outcome.segments[0].top_labels[0]
+        assert 17_000 <= label <= 24_999
+        assert not outcome.scenario.fingerprinted
+
+    def test_lsvr_stack_shape(self):
+        outcome = run_scenario(lsvr_scenario())
+        segment = outcome.segments[0]
+        assert segment.stack_depths == (2,)
+        assert 16_000 <= segment.top_labels[0] <= 23_999
+
+    def test_lvr_single_label(self):
+        outcome = run_scenario(lvr_scenario())
+        assert outcome.segments[0].stack_depths == (1,)
+
+    def test_lso_labels_match_no_range(self):
+        outcome = run_scenario(lso_scenario())
+        segment = outcome.segments[0]
+        assert segment.stack_depths[0] >= 2
+        assert segment.top_labels[0] >= 400_000
+
+    def test_builders_are_fresh(self):
+        # each call builds an independent network
+        a, b = cvr_scenario(), cvr_scenario()
+        assert a.network is not b.network
+
+    def test_builder_registry(self):
+        assert len(SCENARIO_BUILDERS) == 5

@@ -1,0 +1,89 @@
+"""Tests for shared utilities: determinism and table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.determinism import DeterministicRng, int_hash, unit_hash
+from repro.util.tables import format_table
+
+
+class TestIntHash:
+    def test_stable(self):
+        assert int_hash("a", 1) == int_hash("a", 1)
+
+    def test_distinct_keys(self):
+        assert int_hash("a", 1) != int_hash("a", 2)
+        assert int_hash("a", 1) != int_hash("b", 1)
+
+    def test_order_matters(self):
+        assert int_hash("a", "b") != int_hash("b", "a")
+
+    def test_64_bit(self):
+        assert 0 <= int_hash("x") < 2**64
+
+    def test_no_separator_ambiguity(self):
+        # "ab" + "c" must not hash like "a" + "bc"
+        assert int_hash("ab", "c") != int_hash("a", "bc")
+
+
+class TestUnitHash:
+    @given(st.text(max_size=20), st.integers())
+    def test_in_unit_interval(self, text, number):
+        value = unit_hash(text, number)
+        assert 0.0 <= value < 1.0
+
+    def test_roughly_uniform(self):
+        draws = [unit_hash("u", i) for i in range(2_000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+        assert sum(1 for d in draws if d < 0.1) == pytest.approx(
+            200, rel=0.35
+        )
+
+
+class TestDeterministicRng:
+    def test_same_key_same_stream(self):
+        a = DeterministicRng("k", 1)
+        b = DeterministicRng("k", 1)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_keys_differ(self):
+        a = DeterministicRng("k", 1)
+        b = DeterministicRng("k", 2)
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+    def test_full_random_api(self):
+        rng = DeterministicRng("api")
+        assert rng.sample(range(10), 3)
+        assert rng.choice([1, 2, 3]) in (1, 2, 3)
+        items = list(range(5))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(5))
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].index("x") == lines[2].index("1")
+
+    def test_float_formatting(self):
+        assert "0.333" in format_table(["v"], [[1 / 3]])
+
+    def test_title_optional(self):
+        untitled = format_table(["v"], [[1]])
+        assert not untitled.startswith("\n")
+        titled = format_table(["v"], [[1]], title="T")
+        assert titled.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "-" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])

@@ -1,0 +1,77 @@
+"""Tests for MIDAR/APPLE-style alias resolution."""
+
+from repro.topogen.alias import AliasResolver, IpIdCounter
+
+from tests.conftest import ChainNetwork
+
+
+def observed_addresses(chain: ChainNetwork):
+    addresses = set()
+    for router in chain.routers:
+        addresses.update(router.interfaces.values())
+    return addresses
+
+
+class TestIpIdCounter:
+    def test_monotonic_modulo_wrap(self):
+        counter = IpIdCounter(router_id=7, seed=1)
+        samples = [counter.sample() for _ in range(100)]
+        deltas = [
+            (b - a) % 65_536 for a, b in zip(samples, samples[1:])
+        ]
+        assert all(0 < d < 10 for d in deltas)  # small positive stride
+
+    def test_distinct_routers_distinct_sequences(self):
+        a = [IpIdCounter(1, seed=1).sample() for _ in range(3)]
+        b = [IpIdCounter(2, seed=1).sample() for _ in range(3)]
+        assert a != b
+
+
+class TestAliasResolver:
+    def test_full_success_groups_by_router(self):
+        chain = ChainNetwork()
+        resolver = AliasResolver(chain.network, success_rate=1.0)
+        sets = resolver.resolve(observed_addresses(chain))
+        # every alias set maps onto exactly one router
+        for alias_set in sets:
+            owners = {
+                chain.network.owner_of(a) for a in alias_set.addresses
+            }
+            assert len(owners) == 1
+        # interior routers expose two interfaces each
+        sizes = sorted(len(s) for s in sets)
+        assert sizes == [1, 2, 2, 2, 2]
+
+    def test_zero_success_all_singletons(self):
+        chain = ChainNetwork()
+        resolver = AliasResolver(chain.network, success_rate=0.0)
+        sets = resolver.resolve(observed_addresses(chain))
+        assert all(len(s) == 1 for s in sets)
+
+    def test_unknown_addresses_dropped(self):
+        from repro.netsim.addressing import IPv4Address
+
+        chain = ChainNetwork()
+        resolver = AliasResolver(chain.network, success_rate=1.0)
+        sets = resolver.resolve(
+            {IPv4Address.from_string("203.0.113.1")}
+        )
+        assert sets == []
+
+    def test_deterministic(self):
+        chain = ChainNetwork()
+        addresses = observed_addresses(chain)
+        a = AliasResolver(chain.network, success_rate=0.5, seed=3).resolve(
+            addresses
+        )
+        b = AliasResolver(chain.network, success_rate=0.5, seed=3).resolve(
+            addresses
+        )
+        assert a == b
+
+    def test_invalid_rate(self):
+        import pytest
+
+        chain = ChainNetwork()
+        with pytest.raises(ValueError):
+            AliasResolver(chain.network, success_rate=-0.1)

@@ -1,0 +1,58 @@
+"""Tests for Anaximander-style target selection."""
+
+import pytest
+
+from repro.topogen.anaximander import build_target_list
+from repro.topogen.internet import build_measurement_network
+from repro.topogen.portfolio import default_portfolio
+
+
+@pytest.fixture(scope="module")
+def net():
+    spec = default_portfolio().spec(27)
+    return build_measurement_network(spec, ["VM1"], seed=2)
+
+
+class TestTargetList:
+    def test_targets_inside_announced_prefixes(self, net):
+        targets = build_target_list(net, per_prefix=2, seed=2)
+        for address in targets:
+            assert any(
+                p.contains(address) for p in net.target_prefixes
+            )
+
+    def test_per_prefix_cap(self, net):
+        targets = build_target_list(net, per_prefix=2, seed=2)
+        for prefix in net.target_prefixes:
+            hits = sum(1 for a in targets if prefix.contains(a))
+            assert hits <= 2
+
+    def test_round_robin_interleaving(self, net):
+        targets = build_target_list(net, per_prefix=3, seed=2)
+        addresses = list(targets)
+        k = len(net.target_prefixes)
+        # the first k targets hit k distinct prefixes
+        first_prefixes = set()
+        for address in addresses[:k]:
+            for i, prefix in enumerate(net.target_prefixes):
+                if prefix.contains(address):
+                    first_prefixes.add(i)
+        assert len(first_prefixes) == k
+
+    def test_limit(self, net):
+        targets = build_target_list(net, per_prefix=3, limit=5, seed=2)
+        assert len(targets) == 5
+
+    def test_no_duplicates(self, net):
+        targets = build_target_list(net, per_prefix=3, seed=2)
+        addresses = list(targets)
+        assert len(addresses) == len(set(addresses))
+
+    def test_deterministic(self, net):
+        a = build_target_list(net, per_prefix=3, seed=2)
+        b = build_target_list(net, per_prefix=3, seed=2)
+        assert a.addresses == b.addresses
+
+    def test_invalid_per_prefix(self, net):
+        with pytest.raises(ValueError):
+            build_target_list(net, per_prefix=0)

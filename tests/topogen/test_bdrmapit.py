@@ -1,0 +1,73 @@
+"""Tests for bdrmapIT-style ownership annotation."""
+
+from repro.netsim.addressing import IPv4Address
+from repro.topogen.bdrmapit import BdrmapIt
+
+from tests.conftest import TARGET_ASN, VP_ASN, ChainNetwork, make_hop
+
+
+class TestAnnotation:
+    def test_perfect_annotation(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network, error_rate=0.0)
+        for router in chain.routers:
+            for address in router.interfaces.values():
+                assert bdrmap.asn_of_address(address) == TARGET_ASN
+        assert (
+            bdrmap.asn_of_address(chain.vp.loopback) == VP_ASN
+        )
+
+    def test_unknown_address(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network)
+        assert (
+            bdrmap.asn_of_address(
+                IPv4Address.from_string("203.0.113.44")
+            )
+            is None
+        )
+
+    def test_announced_prefix_attributed_to_origin_as(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network)
+        assert bdrmap.asn_of_address(chain.target) == TARGET_ASN
+
+    def test_errors_go_to_neighbor_as(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network, error_rate=1.0, seed=5)
+        # the first AS router borders the VP's AS: full error rate must
+        # flip it to a *neighbouring* AS, never an arbitrary one
+        border = chain.routers[0]
+        address = border.interfaces[chain.vp.router_id]
+        wrong = bdrmap.asn_of_address(address)
+        assert wrong in (VP_ASN, TARGET_ASN)
+
+    def test_interior_router_has_no_foreign_neighbor(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network, error_rate=1.0, seed=5)
+        interior = chain.routers[2]
+        address = interior.interfaces[chain.routers[1].router_id]
+        # fallback: no foreign neighbour -> truth preserved
+        assert bdrmap.asn_of_address(address) == TARGET_ASN
+
+    def test_cached_and_stable(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network, error_rate=0.5, seed=5)
+        address = chain.routers[0].interfaces[chain.vp.router_id]
+        assert bdrmap.asn_of_address(address) == bdrmap.asn_of_address(
+            address
+        )
+
+    def test_hop_adapter(self):
+        chain = ChainNetwork()
+        bdrmap = BdrmapIt(chain.network)
+        hop = make_hop(1, str(chain.routers[0].loopback))
+        assert bdrmap.asn_of_hop(hop) == TARGET_ASN
+        assert bdrmap.asn_of_hop(make_hop(2, None)) is None
+
+    def test_invalid_error_rate(self):
+        import pytest
+
+        chain = ChainNetwork()
+        with pytest.raises(ValueError):
+            BdrmapIt(chain.network, error_rate=1.5)

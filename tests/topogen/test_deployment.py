@@ -1,0 +1,188 @@
+"""Tests for deployment scenario application."""
+
+import pytest
+
+from repro.netsim.topology import Network, RouterRole
+from repro.netsim.vendors import LabelRange, Vendor
+from repro.topogen.deployment import (
+    DeploymentScenario,
+    apply_scenario,
+    pick_vendor,
+)
+from repro.topogen.intra import build_intra_as
+
+ASN = 65_020
+
+
+def scenario(**overrides):
+    defaults = dict(
+        deploys_sr=True,
+        mpls=True,
+        sr_share=1.0,
+        propagate_share=1.0,
+        rfc4950_share=1.0,
+        vendor_weights=((Vendor.CISCO, 1.0),),
+        snmp_share=0.0,
+        ping_share=0.0,
+        te_share=0.0,
+        service_share=0.0,
+    )
+    defaults.update(overrides)
+    return DeploymentScenario(**defaults)
+
+
+def build_and_apply(sc, seed=3):
+    net = Network()
+    build_intra_as(net, ASN, n_core=8, n_edge=3, n_border=2, seed=seed)
+    applied = apply_scenario(net, ASN, sc, seed=seed)
+    return net, applied
+
+
+class TestScenarioValidation:
+    def test_shares_validated(self):
+        with pytest.raises(ValueError):
+            scenario(sr_share=1.5)
+        with pytest.raises(ValueError):
+            scenario(propagate_share=-0.1)
+
+    def test_sr_requires_mpls(self):
+        with pytest.raises(ValueError):
+            scenario(mpls=False)
+
+    def test_vendor_weights_required(self):
+        with pytest.raises(ValueError):
+            scenario(vendor_weights=())
+
+
+class TestApplyScenario:
+    def test_full_sr(self):
+        net, applied = build_and_apply(scenario())
+        routers = net.routers_in_as(ASN)
+        assert all(r.sr_enabled for r in routers)
+        assert not any(r.ldp_enabled for r in routers)
+        assert applied.sr_domain is not None
+        assert applied.ldp_only_routers == []
+
+    def test_no_mpls(self):
+        net, applied = build_and_apply(
+            scenario(deploys_sr=False, sr_share=0.0, mpls=False)
+        )
+        routers = net.routers_in_as(ASN)
+        assert not any(r.sr_enabled or r.ldp_enabled for r in routers)
+        assert applied.sr_domain is None
+
+    def test_pure_ldp(self):
+        net, applied = build_and_apply(
+            scenario(deploys_sr=False, sr_share=0.0)
+        )
+        routers = net.routers_in_as(ASN)
+        assert all(r.ldp_enabled for r in routers)
+        assert applied.sr_domain is None
+
+    def test_hybrid_island_connected(self):
+        net, applied = build_and_apply(scenario(sr_share=0.7))
+        island = set(applied.ldp_only_routers)
+        assert island
+        # connectivity: BFS within the island reaches every member
+        start = next(iter(island))
+        seen = {start}
+        queue = [start]
+        while queue:
+            rid = queue.pop()
+            for n in net.neighbors(rid):
+                if n in island and n not in seen:
+                    seen.add(n)
+                    queue.append(n)
+        assert seen == island
+
+    def test_hybrid_island_excludes_borders(self):
+        net, applied = build_and_apply(scenario(sr_share=0.7))
+        for rid in applied.ldp_only_routers:
+            assert net.router(rid).role is not RouterRole.BORDER
+
+    def test_ldp_at_ingress_island_contains_border(self):
+        net, applied = build_and_apply(
+            scenario(sr_share=0.7, ldp_at_ingress=True)
+        )
+        roles = {
+            net.router(rid).role for rid in applied.ldp_only_routers
+        }
+        assert RouterRole.BORDER in roles
+        assert RouterRole.EDGE not in roles
+
+    def test_boundary_routers_dual_stack(self):
+        net, applied = build_and_apply(scenario(sr_share=0.7))
+        island = set(applied.ldp_only_routers)
+        for rid in applied.sr_routers:
+            router = net.router(rid)
+            touches_island = any(
+                n in island for n in net.neighbors(rid)
+            )
+            assert router.ldp_enabled == touches_island
+
+    def test_mapping_server_covers_island(self):
+        net, applied = build_and_apply(scenario(sr_share=0.7))
+        domain = applied.sr_domain
+        assert domain is not None
+        for rid in applied.ldp_only_routers:
+            assert domain.has_mapping_entry(rid)
+
+    def test_custom_srgb_applied(self):
+        custom = LabelRange(400_000, 407_999)
+        net, applied = build_and_apply(scenario(custom_srgb=custom))
+        domain = applied.sr_domain
+        for rid in applied.sr_routers:
+            assert domain.config(rid).srgb == custom
+
+    def test_aligned_srgb_despite_vendor_mix(self):
+        mixed = scenario(
+            vendor_weights=(
+                (Vendor.CISCO, 0.4),
+                (Vendor.ARISTA, 0.3),
+                (Vendor.JUNIPER, 0.3),
+            )
+        )
+        net, applied = build_and_apply(mixed)
+        domain = applied.sr_domain
+        assert domain.srgbs_homogeneous()
+
+    def test_heterogeneous_srgb(self):
+        net, applied = build_and_apply(
+            scenario(heterogeneous_srgb=True)
+        )
+        domain = applied.sr_domain
+        bases = {
+            domain.config(rid).srgb.low for rid in applied.sr_routers
+        }
+        assert len(bases) > 1
+        # bases differ by whole thousands (suffix matching works)
+        assert all(b % 1_000 == 0 for b in bases)
+
+    def test_uhp_disables_php(self):
+        net, applied = build_and_apply(scenario(uhp=True))
+        assert not applied.sr_domain.php
+
+    def test_rfc4950_uniform_per_as(self):
+        net, applied = build_and_apply(scenario(rfc4950_share=1.0))
+        values = {r.rfc4950 for r in net.routers_in_as(ASN)}
+        assert len(values) == 1
+
+    def test_empty_as_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            apply_scenario(net, 99_999, scenario())
+
+
+class TestPickVendor:
+    def test_deterministic(self):
+        weights = ((Vendor.CISCO, 0.5), (Vendor.JUNIPER, 0.5))
+        assert pick_vendor(weights, 1, 2) == pick_vendor(weights, 1, 2)
+
+    def test_single_option(self):
+        assert pick_vendor(((Vendor.NOKIA, 1.0),), "x") is Vendor.NOKIA
+
+    def test_distribution_roughly_follows_weights(self):
+        weights = ((Vendor.CISCO, 0.8), (Vendor.JUNIPER, 0.2))
+        picks = [pick_vendor(weights, i) for i in range(500)]
+        cisco_share = picks.count(Vendor.CISCO) / len(picks)
+        assert 0.7 <= cisco_share <= 0.9

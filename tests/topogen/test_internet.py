@@ -1,0 +1,69 @@
+"""Tests for full measurement-network construction."""
+
+import networkx as nx
+import pytest
+
+from repro.netsim.topology import RouterRole
+from repro.topogen.internet import build_measurement_network
+from repro.topogen.portfolio import default_portfolio
+
+
+@pytest.fixture(scope="module")
+def esnet_net():
+    spec = default_portfolio().spec(46)
+    return build_measurement_network(spec, ["VM1", "VM2", "VM3"], seed=4)
+
+
+class TestConstruction:
+    def test_connected(self, esnet_net):
+        assert nx.is_connected(esnet_net.network.to_graph())
+
+    def test_vantage_points_registered(self, esnet_net):
+        assert set(esnet_net.vantage_points) == {"VM1", "VM2", "VM3"}
+        for rid in esnet_net.vantage_points.values():
+            assert (
+                esnet_net.network.router(rid).role is RouterRole.VANTAGE
+            )
+
+    def test_target_as_routers_configured(self, esnet_net):
+        routers = esnet_net.network.routers_in_as(esnet_net.target_asn)
+        assert routers
+        # ESnet scenario: all SR, none fingerprintable
+        assert all(r.sr_enabled for r in routers)
+        assert not any(r.snmp_responsive for r in routers)
+        assert not any(r.responds_to_ping for r in routers)
+
+    def test_prefixes_cover_pe_and_customers(self, esnet_net):
+        spec = esnet_net.spec
+        expected = spec.scenario.n_edge + spec.scenario.n_customers
+        assert len(esnet_net.target_prefixes) == expected
+
+    def test_customers_behind_target_as(self, esnet_net):
+        # every customer prefix is reachable and transits the target AS
+        vp = next(iter(esnet_net.vantage_points.values()))
+        customer_prefix = esnet_net.target_prefixes[-1]
+        truth = esnet_net.engine.truth_walk(
+            vp, customer_prefix.address_at(3)
+        )
+        assert any(t.asn == esnet_net.target_asn for t in truth)
+
+    def test_deterministic_build(self):
+        spec = default_portfolio().spec(27)
+        a = build_measurement_network(spec, ["VM1"], seed=9)
+        b = build_measurement_network(spec, ["VM1"], seed=9)
+        assert a.network.num_routers == b.network.num_routers
+        assert a.network.num_links == b.network.num_links
+
+    def test_requires_vps(self):
+        spec = default_portfolio().spec(27)
+        with pytest.raises(ValueError):
+            build_measurement_network(spec, [], seed=1)
+
+    def test_transit_chains_plain_ip(self, esnet_net):
+        transit_routers = [
+            r
+            for r in esnet_net.network.routers()
+            if r.name.startswith("tr")
+        ]
+        assert transit_routers
+        assert not any(r.sr_enabled or r.ldp_enabled for r in transit_routers)

@@ -1,0 +1,177 @@
+"""Tests for intra-AS topology generation."""
+
+import networkx as nx
+import pytest
+
+from repro.netsim.topology import Network, RouterRole
+from repro.topogen.intra import build_intra_as
+
+
+def build(n_core=10, n_edge=4, n_border=3, seed=7):
+    net = Network()
+    topo = build_intra_as(
+        net, 65_010, n_core=n_core, n_edge=n_edge, n_border=n_border,
+        seed=seed,
+    )
+    return net, topo
+
+
+class TestShape:
+    def test_counts(self):
+        net, topo = build()
+        assert len(topo.core) == 10
+        assert len(topo.edges) == 4
+        assert len(topo.borders) == 3
+        assert len(topo.prefixes) == 4
+
+    def test_roles(self):
+        net, topo = build()
+        assert all(r.role is RouterRole.CORE for r in topo.core)
+        assert all(r.role is RouterRole.EDGE for r in topo.edges)
+        assert all(r.role is RouterRole.BORDER for r in topo.borders)
+
+    def test_connected(self):
+        net, topo = build()
+        assert nx.is_connected(net.to_graph())
+
+    def test_core_ring_present(self):
+        net, topo = build()
+        for i in range(len(topo.core)):
+            a = topo.core[i].router_id
+            b = topo.core[(i + 1) % len(topo.core)].router_id
+            assert net.link_between(a, b) is not None
+
+    def test_edges_announce_prefixes(self):
+        net, topo = build()
+        for prefix, edge in zip(topo.prefixes, topo.edges):
+            assert net.originating_router(prefix.address_at(1)) == (
+                edge.router_id
+            )
+
+    def test_borders_dual_homed(self):
+        net, topo = build()
+        for border in topo.borders:
+            assert len(net.neighbors(border.router_id)) == 2
+
+    def test_border_edge_separation(self):
+        """Borders attach near ring position 0, PEs on the far side, so
+        border->PE paths cross several core hops (label runs >= 3)."""
+        from repro.netsim.igp import ShortestPaths
+
+        net, topo = build(n_core=12)
+        igp = ShortestPaths(net)
+        lengths = [
+            len(igp.path(b.router_id, e.router_id)) - 1
+            for b in topo.borders
+            for e in topo.edges
+        ]
+        assert sum(lengths) / len(lengths) >= 3
+
+    def test_no_announce_option(self):
+        net = Network()
+        topo = build_intra_as(net, 65_010, 4, 2, 1, announce=False)
+        assert topo.prefixes == []
+
+    def test_deterministic(self):
+        net_a, topo_a = build(seed=3)
+        net_b, topo_b = build(seed=3)
+        assert net_a.num_links == net_b.num_links
+        assert [r.name for r in topo_a.all_routers()] == [
+            r.name for r in topo_b.all_routers()
+        ]
+
+    def test_minimum_core(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            build_intra_as(net, 65_010, 0, 1, 1)
+
+    def test_single_core_works(self):
+        net = Network()
+        topo = build_intra_as(net, 65_010, 1, 1, 1)
+        assert nx.is_connected(net.to_graph())
+
+
+class TestPopTopology:
+    def _build(self, n_core=12, seed=5):
+        import networkx as nx
+        from repro.topogen.intra import build_pop_intra_as
+
+        net = Network()
+        topo = build_pop_intra_as(
+            net, 65_011, n_core=n_core, n_edge=4, n_border=2, seed=seed
+        )
+        return net, topo
+
+    def test_counts_and_roles(self):
+        net, topo = self._build()
+        assert len(topo.core) == 12
+        assert len(topo.edges) == 4
+        assert len(topo.borders) == 2
+        assert all(r.role is RouterRole.CORE for r in topo.core)
+
+    def test_connected(self):
+        import networkx as nx
+
+        net, topo = self._build()
+        assert nx.is_connected(net.to_graph())
+
+    def test_pop_pairs_linked(self):
+        net, topo = self._build()
+        # routers named pop<k>-p0 / pop<k>-p1 share an intra-PoP link
+        by_pop = {}
+        for router in topo.core:
+            pop = router.name.split("-")[1]
+            by_pop.setdefault(pop, []).append(router)
+        for routers in by_pop.values():
+            for a, b in zip(routers, routers[1:]):
+                assert net.link_between(a.router_id, b.router_id)
+
+    def test_border_pe_separation(self):
+        from repro.netsim.igp import ShortestPaths
+
+        net, topo = self._build(n_core=16)
+        igp = ShortestPaths(net)
+        lengths = [
+            len(igp.path(b.router_id, e.router_id)) - 1
+            for b in topo.borders
+            for e in topo.edges
+        ]
+        assert sum(lengths) / len(lengths) >= 3
+
+    def test_single_pop_degenerate(self):
+        import networkx as nx
+        from repro.topogen.intra import build_pop_intra_as
+
+        net = Network()
+        topo = build_pop_intra_as(
+            net, 65_011, n_core=2, n_edge=1, n_border=1, seed=1
+        )
+        assert nx.is_connected(net.to_graph())
+
+    def test_deterministic(self):
+        net_a, topo_a = self._build(seed=9)
+        net_b, topo_b = self._build(seed=9)
+        assert net_a.num_links == net_b.num_links
+
+    def test_campaign_runs_on_pop_style(self):
+        from dataclasses import replace
+
+        from repro.campaign import CampaignRunner
+        from repro.topogen.portfolio import Portfolio, default_portfolio
+
+        base = default_portfolio()
+        spec = base.spec(28)
+        pop_spec = replace(
+            spec, scenario=replace(spec.scenario, topology_style="pop")
+        )
+        others = tuple(
+            s if s.as_id != 28 else pop_spec for s in base
+        )
+        runner = CampaignRunner(
+            portfolio=Portfolio(others),
+            seed=1,
+            vps_per_as=2,
+            targets_per_as=10,
+        )
+        result = runner.run_as(28)
+        assert result.analysis.has_sr_evidence()

@@ -1,0 +1,127 @@
+"""Tests for the Table 5 portfolio and scenario derivation."""
+
+import pytest
+
+from repro.topogen.as_types import AsRole, Confirmation
+from repro.topogen.portfolio import MIN_DISCOVERED_IPS, default_portfolio
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    return default_portfolio()
+
+
+class TestTable5Fidelity:
+    def test_sixty_ases(self, portfolio):
+        assert len(portfolio) == 60
+
+    def test_confirmation_counts(self, portfolio):
+        # Sec. 5: 25 from Cisco, 10 from the survey, 25 unconfirmed.
+        cisco = [s for s in portfolio if s.confirmation is Confirmation.CISCO]
+        survey = [s for s in portfolio if s.confirmation is Confirmation.SURVEY]
+        none = [s for s in portfolio if s.confirmation is Confirmation.NONE]
+        assert len(cisco) == 25
+        assert len(survey) == 10
+        assert len(none) == 25
+
+    def test_role_ranges(self, portfolio):
+        # "#1-12 Stub, #13-25 Content, #26-52 Transit, #53-60 Tier-1"
+        for spec in portfolio:
+            if spec.as_id <= 12:
+                assert spec.role is AsRole.STUB
+            elif spec.as_id <= 25:
+                assert spec.role is AsRole.CONTENT
+            elif spec.as_id <= 52:
+                assert spec.role is AsRole.TRANSIT
+            else:
+                assert spec.role is AsRole.TIER1
+
+    def test_role_shares(self, portfolio):
+        # Appendix B: 20% Stub, 22% Content, 45% Transit, 13% Tier-1.
+        assert len(portfolio.by_role(AsRole.STUB)) == 12
+        assert len(portfolio.by_role(AsRole.CONTENT)) == 13
+        assert len(portfolio.by_role(AsRole.TRANSIT)) == 27
+        assert len(portfolio.by_role(AsRole.TIER1)) == 8
+
+    def test_exclusion_threshold_gives_41_analyzed(self, portfolio):
+        assert len(portfolio.analyzed()) == 41
+        assert len(portfolio.excluded()) == 19
+
+    def test_paper_excluded_list(self, portfolio):
+        # Sec. 5: "#1, #4-6, #8-12, #18, #21-23, #32, #45, and #48-51"
+        expected = {1, 4, 5, 6, 8, 9, 10, 11, 12, 18, 21, 22, 23, 32, 45,
+                    48, 49, 50, 51}
+        assert {s.as_id for s in portfolio.excluded()} == expected
+
+    def test_key_asns(self, portfolio):
+        assert portfolio.spec(46).asn == 293  # ESnet
+        assert portfolio.spec(15).asn == 8075  # Microsoft
+        assert portfolio.spec(14).asn == 15169  # Google
+        assert portfolio.spec(60).asn == 3356  # Level3
+
+    def test_exclusion_matches_threshold(self, portfolio):
+        for spec in portfolio:
+            assert spec.analyzed == (
+                spec.ips_discovered >= MIN_DISCOVERED_IPS
+            )
+
+    def test_unknown_as_id_raises(self, portfolio):
+        with pytest.raises(KeyError):
+            portfolio.spec(99)
+
+
+class TestScenarioNarrative:
+    def test_esnet_is_all_sr_and_unfingerprintable(self, portfolio):
+        scenario = portfolio.spec(46).scenario
+        assert scenario.deploys_sr
+        assert scenario.sr_share == 1.0
+        assert scenario.snmp_share == 0.0
+        assert scenario.ping_share == 0.0
+        assert scenario.uhp  # unshrinking stacks (Sec. 6.2)
+
+    def test_invisible_confirmed_ases(self, portfolio):
+        # #2, #3, #16: no explicit tunnels at all.
+        for as_id in (2, 3, 16):
+            scenario = portfolio.spec(as_id).scenario
+            assert scenario.deploys_sr
+            assert scenario.propagate_share == 0.0
+
+    def test_proximus_pure_classic_mpls(self, portfolio):
+        scenario = portfolio.spec(7).scenario
+        assert not scenario.deploys_sr
+        assert scenario.mpls
+        assert scenario.service_share >= 0.5  # LSO-generating stacks
+
+    def test_fingerprint_rich_ases(self, portfolio):
+        for as_id in (31, 38, 40, 55):
+            scenario = portfolio.spec(as_id).scenario
+            assert scenario.snmp_share >= 0.4
+
+    def test_confirmed_ases_deploy_sr(self, portfolio):
+        for spec in portfolio.confirmed():
+            assert spec.scenario.deploys_sr
+
+    def test_digital_ocean_all_implicit(self, portfolio):
+        # classic MPLS without RFC 4950: every tunnel implicit, so no
+        # LSEs ever reach AReST -- the correctly-undetected black AS
+        scenario = portfolio.spec(20).scenario
+        assert not scenario.deploys_sr
+        assert scenario.rfc4950_share == 0.0
+        assert scenario.propagate_share > 0.5
+
+    def test_heterogeneous_srgb_rare(self, portfolio):
+        hetero = [
+            s for s in portfolio if s.scenario.heterogeneous_srgb
+        ]
+        assert len(hetero) == 1  # AS#26 (Free)
+
+    def test_custom_srgb_minority(self, portfolio):
+        sr_specs = [s for s in portfolio if s.scenario.deploys_sr]
+        custom = [s for s in sr_specs if s.scenario.custom_srgb is not None]
+        # survey: ~30% customize
+        assert 0.05 <= len(custom) / len(sr_specs) <= 0.5
+
+    def test_sizes_scale_with_discovery(self, portfolio):
+        big = portfolio.spec(58).scenario  # Arelion, 339k addresses
+        small = portfolio.spec(47).scenario  # Aruba, 346 addresses
+        assert big.total_routers > small.total_routers
