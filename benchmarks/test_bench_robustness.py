@@ -8,6 +8,9 @@ Two sweeps:
    the flat ring style to the two-tier PoP style leaves the qualitative
    conclusions (CO dominance at the ground-truth AS, detection of the
    strongly-deployed ASes) intact.
+3. **Fault sweep**: injecting probe loss degrades recall gracefully --
+   the zero-FP guarantee on the strong flags survives every swept loss
+   level.
 """
 
 from dataclasses import replace
@@ -106,3 +109,38 @@ def test_bench_robustness(benchmark):
     assert pop_fps == 0
     esnet = pop_results[46].analysis.flag_counts()
     assert esnet[Flag.CO] > 0 and esnet[Flag.CVR] == 0
+
+
+def test_bench_fault_sweep(benchmark):
+    """Degradation under injected probe loss (Sec. 6 robustness check)."""
+    from repro.analysis.robustness import (
+        degradation_study,
+        render_degradation_table,
+    )
+
+    study = benchmark.pedantic(
+        lambda: degradation_study(
+            loss_levels=(0.0, 0.02, 0.10),
+            as_ids=tuple(_SLICE),
+            seed=1,
+            vps_per_as=3,
+            targets_per_as=15,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_degradation_table(study))
+
+    # the fault-free level IS the baseline: perfect recall everywhere
+    for deg in study.level(0.0).per_flag.values():
+        assert deg.recall == 1.0
+    for level in study.levels:
+        # no AS run sinks under loss, and CVR never hallucinates
+        assert level.failed_ases == 0
+        assert level.cvr_false_positives == 0
+        assert level.strong_false_positives == 0
+    # loss costs recall gradually, never catastrophically
+    lossy = study.level(0.10)
+    assert lossy.counters.probes_lost > 0
+    assert lossy.per_flag[Flag.CO].recall > 0.5
+    assert lossy.confirmed_detected >= 3

@@ -13,8 +13,17 @@
 - :mod:`repro.analysis.labels` -- label-space occupancy (Fig. 16).
 - :mod:`repro.analysis.vp_coverage` -- per-VP discovery CDF (Fig. 17).
 - :mod:`repro.analysis.tunnel_stats` -- tunnel-type mix (Fig. 13).
+- :mod:`repro.analysis.robustness` -- degradation curves under injected
+  measurement faults.
 """
 
+from repro.analysis.robustness import (
+    DegradationLevel,
+    DegradationStudy,
+    FlagDegradation,
+    degradation_study,
+    render_degradation_table,
+)
 from repro.analysis.survey import SurveyAnswers, generate_survey, summarize_survey
 from repro.analysis.validation import (
     FlagValidation,
@@ -29,4 +38,9 @@ __all__ = [
     "FlagValidation",
     "headline_detection",
     "validate_against_truth",
+    "DegradationLevel",
+    "DegradationStudy",
+    "FlagDegradation",
+    "degradation_study",
+    "render_degradation_table",
 ]

@@ -1,0 +1,251 @@
+"""Degradation study: AReST's guarantees under an imperfect data plane.
+
+The paper's headline claims -- zero CVR false positives, CO dominance at
+the ground-truth AS, high detection of confirmed deployments -- were
+established over a pristine simulated campaign.  This module sweeps a
+fault intensity (per-probe loss, optionally ICMP rate limiting and SNMP
+timeouts) across a portfolio slice and scores, per flag:
+
+- **recall**: the share of the fault-free baseline's distinct segments
+  still detected at the fault level (a degradation curve anchor);
+- **precision**: TP / (TP + FP) against simulator ground truth, which
+  must stay at 1.0 for CVR -- the zero-FP guarantee may lose recall
+  under loss, but must never start hallucinating.
+
+Everything is deterministic given the seed, so degradation curves are
+reproducible artifacts, not Monte Carlo noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.validation import validate_against_truth
+from repro.campaign.runner import AsCampaignResult, CampaignReport, CampaignRunner
+from repro.core.flags import Flag, STRONG_FLAGS
+from repro.netsim.faults import FaultCounters, FaultPlan
+from repro.util.retry import RetryPolicy
+from repro.util.tables import format_table
+
+#: one AS per deployment flavour, mirroring the robustness benchmark
+DEFAULT_SLICE = (7, 15, 27, 31, 46)
+
+
+@dataclass(frozen=True, slots=True)
+class FlagDegradation:
+    """How one flag held up at one fault level."""
+
+    flag: Flag
+    #: distinct segments the fault-free baseline detected
+    baseline_segments: int
+    #: distinct segments detected at this fault level
+    detected_segments: int
+    #: baseline segments still detected at this fault level
+    retained_segments: int
+    true_positives: int
+    false_positives: int
+
+    @property
+    def recall(self) -> float:
+        """Baseline segments retained (1.0 when the baseline is empty)."""
+        if self.baseline_segments == 0:
+            return 1.0
+        return self.retained_segments / self.baseline_segments
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP) against ground truth (1.0 when nothing fired)."""
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total else 1.0
+
+
+@dataclass(slots=True)
+class DegradationLevel:
+    """Scores for one fault intensity across the studied slice."""
+
+    probe_loss: float
+    per_flag: dict[Flag, FlagDegradation] = field(default_factory=dict)
+    confirmed_detected: int = 0
+    confirmed_total: int = 0
+    failed_ases: int = 0
+    counters: FaultCounters = field(default_factory=FaultCounters)
+    retries: int = 0
+
+    @property
+    def cvr_false_positives(self) -> int:
+        """The zero-FP guarantee's subject: CVR FPs at this level."""
+        cvr = self.per_flag.get(Flag.CVR)
+        return cvr.false_positives if cvr else 0
+
+    @property
+    def strong_false_positives(self) -> int:
+        """FPs across the strong (CVR/CO) flags."""
+        return sum(
+            self.per_flag[f].false_positives
+            for f in STRONG_FLAGS
+            if f in self.per_flag
+        )
+
+
+@dataclass(slots=True)
+class DegradationStudy:
+    """A full sweep: one :class:`DegradationLevel` per fault intensity."""
+
+    levels: list[DegradationLevel] = field(default_factory=list)
+    as_ids: tuple[int, ...] = DEFAULT_SLICE
+    seed: int = 1
+
+    def level(self, probe_loss: float) -> DegradationLevel:
+        """Look up one swept intensity."""
+        for lvl in self.levels:
+            if lvl.probe_loss == probe_loss:
+                return lvl
+        raise KeyError(f"no level with probe_loss={probe_loss}")
+
+
+def _segment_keys(
+    results: Mapping[int, AsCampaignResult],
+) -> dict[Flag, set[tuple]]:
+    """Distinct (AS, segment) keys per flag across a result set."""
+    keys: dict[Flag, set[tuple]] = {flag: set() for flag in Flag}
+    for as_id, result in results.items():
+        for _trace, segments in result.trace_segments:
+            for segment in segments:
+                keys[segment.flag].add((as_id, segment.key()))
+    return keys
+
+
+def _flag_validation_totals(
+    results: Mapping[int, AsCampaignResult],
+) -> dict[Flag, tuple[int, int]]:
+    """Aggregated (TP, FP) per flag against ground truth."""
+    totals: dict[Flag, tuple[int, int]] = {flag: (0, 0) for flag in Flag}
+    for result in results.values():
+        report = validate_against_truth(result)
+        for flag, validation in report.per_flag.items():
+            tp, fp = totals[flag]
+            totals[flag] = (
+                tp + validation.true_positives,
+                fp + validation.false_positives,
+            )
+    return totals
+
+
+def _confirmed_detection(
+    results: Mapping[int, AsCampaignResult],
+) -> tuple[int, int]:
+    detected = total = 0
+    for result in results.values():
+        if not result.spec.confirmation.confirmed:
+            continue
+        total += 1
+        if result.analysis.has_sr_evidence(strong_only=False):
+            detected += 1
+    return detected, total
+
+
+def _score_level(
+    probe_loss: float,
+    report: CampaignReport,
+    baseline_keys: dict[Flag, set[tuple]],
+) -> DegradationLevel:
+    level_keys = _segment_keys(report)
+    totals = _flag_validation_totals(report)
+    detected, total = _confirmed_detection(report)
+    level = DegradationLevel(
+        probe_loss=probe_loss,
+        confirmed_detected=detected,
+        confirmed_total=total,
+        failed_ases=len(report.failures),
+        counters=report.fault_counters,
+        retries=report.retry_accounting.retries,
+    )
+    for flag in Flag:
+        base = baseline_keys[flag]
+        found = level_keys[flag]
+        tp, fp = totals[flag]
+        level.per_flag[flag] = FlagDegradation(
+            flag=flag,
+            baseline_segments=len(base),
+            detected_segments=len(found),
+            retained_segments=len(found & base),
+            true_positives=tp,
+            false_positives=fp,
+        )
+    return level
+
+
+def degradation_study(
+    loss_levels: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    as_ids: Iterable[int] = DEFAULT_SLICE,
+    seed: int = 1,
+    vps_per_as: int = 3,
+    targets_per_as: int = 15,
+    icmp_rate_limit: float | None = None,
+    snmp_timeout_rate: float = 0.0,
+    retry: RetryPolicy | None = None,
+) -> DegradationStudy:
+    """Sweep probe-loss intensities and score the degradation per flag.
+
+    The fault-free baseline is always computed (reusing the 0.0 level
+    when it is part of the sweep) and anchors every recall figure.
+    """
+    as_ids = tuple(as_ids)
+    retry = retry or RetryPolicy.none()
+
+    def run(plan: FaultPlan) -> CampaignReport:
+        runner = CampaignRunner(
+            seed=seed,
+            vps_per_as=vps_per_as,
+            targets_per_as=targets_per_as,
+            fault_plan=plan,
+            retry=retry,
+        )
+        return runner.run_portfolio(as_ids=list(as_ids))
+
+    def plan_for(loss: float) -> FaultPlan:
+        plan = FaultPlan(
+            probe_loss=loss,
+            icmp_rate_limit=icmp_rate_limit,
+            snmp_timeout_rate=snmp_timeout_rate,
+            seed=seed,
+        )
+        return plan if plan.active else FaultPlan.none()
+
+    baseline_report = run(FaultPlan.none())
+    baseline_keys = _segment_keys(baseline_report)
+
+    study = DegradationStudy(as_ids=as_ids, seed=seed)
+    for loss in loss_levels:
+        plan = plan_for(loss)
+        report = baseline_report if not plan.active else run(plan)
+        study.levels.append(_score_level(loss, report, baseline_keys))
+    return study
+
+
+def render_degradation_table(study: DegradationStudy) -> str:
+    """The degradation curves as a text table (one row per fault level)."""
+    flags = [f for f in Flag]
+    rows = []
+    for level in study.levels:
+        row: list[object] = [f"{level.probe_loss:.0%}"]
+        for flag in flags:
+            deg = level.per_flag[flag]
+            row.append(f"{deg.recall:.2f}/{deg.precision:.2f}")
+        row.append(level.cvr_false_positives)
+        row.append(
+            f"{level.confirmed_detected}/{level.confirmed_total}"
+        )
+        row.append(level.retries)
+        rows.append(tuple(row))
+    return format_table(
+        ["Loss"]
+        + [f"{f.name} R/P" for f in flags]
+        + ["CVR FPs", "Confirmed", "Retries"],
+        rows,
+        title=(
+            f"Degradation curves -- recall/precision per flag vs. probe "
+            f"loss (seed {study.seed}, ASes {list(study.as_ids)})"
+        ),
+    )

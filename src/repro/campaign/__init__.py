@@ -11,7 +11,17 @@
 from repro.campaign.vantage_points import VantagePoint, default_vantage_points
 from repro.campaign.dataset import TraceDataset
 from repro.campaign.anonymize import PrefixPreservingAnonymizer
-from repro.campaign.runner import AsCampaignResult, CampaignRunner
+from repro.campaign.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointEntry,
+    CheckpointMismatchError,
+)
+from repro.campaign.runner import (
+    AsCampaignResult,
+    AsFailure,
+    CampaignReport,
+    CampaignRunner,
+)
 
 __all__ = [
     "VantagePoint",
@@ -19,5 +29,10 @@ __all__ = [
     "TraceDataset",
     "PrefixPreservingAnonymizer",
     "AsCampaignResult",
+    "AsFailure",
+    "CampaignReport",
     "CampaignRunner",
+    "CampaignCheckpoint",
+    "CheckpointEntry",
+    "CheckpointMismatchError",
 ]

@@ -1,0 +1,176 @@
+"""JSON checkpointing for interrupted portfolio runs.
+
+The checkpoint persists, per completed AS, exactly what the paper's
+campaign would have banked on disk: the collected trace dataset and the
+interface fingerprints (plus the fault/retry tallies incurred while
+collecting them).  Everything downstream -- bdrmapIT annotation, the
+AReST pipeline, alias resolution, ground truth -- is deterministic given
+that data and the campaign seed, so resuming re-derives the analysis
+without re-firing a single probe and produces a bit-identical report.
+
+The file embeds a config signature (seed, probing knobs, fault plan,
+retry policy); resuming under a different configuration raises
+:class:`CheckpointMismatchError` rather than silently mixing campaigns.
+Writes go through a temp file + atomic rename, so a run killed mid-write
+never corrupts the previously banked ASes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.dataset import TraceDataset, _trace_from_json, _trace_to_json
+from repro.fingerprint.records import Fingerprint, FingerprintMethod
+from repro.netsim.addressing import IPv4Address
+from repro.netsim.faults import FaultCounters
+from repro.netsim.vendors import Vendor
+from repro.util.retry import RetryAccounting
+
+_KIND = "arest-checkpoint"
+_VERSION = 1
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint was written by a differently-configured campaign."""
+
+
+@dataclass(slots=True)
+class CheckpointEntry:
+    """Banked measurement data for one completed AS."""
+
+    dataset: TraceDataset
+    fingerprints: dict[IPv4Address, Fingerprint]
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
+    retry_accounting: RetryAccounting = field(default_factory=RetryAccounting)
+
+
+def _fingerprint_to_json(address: IPv4Address, fp: Fingerprint) -> dict:
+    return {
+        "addr": str(address),
+        "method": fp.method.value,
+        "vendor": fp.exact_vendor.value if fp.exact_vendor else None,
+        "class": sorted(v.value for v in fp.vendor_class),
+    }
+
+
+def _fingerprint_from_json(record: dict) -> tuple[IPv4Address, Fingerprint]:
+    address = IPv4Address.from_string(record["addr"])
+    fp = Fingerprint(
+        method=FingerprintMethod(record["method"]),
+        exact_vendor=Vendor(record["vendor"]) if record["vendor"] else None,
+        vendor_class=frozenset(Vendor(v) for v in record["class"]),
+    )
+    return address, fp
+
+
+def _dataset_to_json(dataset: TraceDataset) -> dict:
+    return {
+        "target_asn": dataset.target_asn,
+        "metadata": dataset.metadata,
+        "traces": [_trace_to_json(t) for t in dataset],
+    }
+
+
+def _dataset_from_json(record: dict) -> TraceDataset:
+    dataset = TraceDataset(
+        target_asn=int(record["target_asn"]),
+        metadata=dict(record.get("metadata", {})),
+    )
+    for trace in record.get("traces", ()):
+        dataset.add(_trace_from_json(trace))
+    return dataset
+
+
+def _entry_to_json(entry: CheckpointEntry) -> dict:
+    return {
+        "dataset": _dataset_to_json(entry.dataset),
+        "fingerprints": [
+            _fingerprint_to_json(addr, fp)
+            for addr, fp in sorted(
+                entry.fingerprints.items(), key=lambda item: str(item[0])
+            )
+        ],
+        "fault_counters": entry.fault_counters.as_dict(),
+        "retry_accounting": entry.retry_accounting.as_dict(),
+    }
+
+
+def _entry_from_json(record: dict) -> CheckpointEntry:
+    return CheckpointEntry(
+        dataset=_dataset_from_json(record["dataset"]),
+        fingerprints=dict(
+            _fingerprint_from_json(fp) for fp in record.get("fingerprints", ())
+        ),
+        fault_counters=FaultCounters.from_dict(
+            record.get("fault_counters", {})
+        ),
+        retry_accounting=RetryAccounting.from_dict(
+            record.get("retry_accounting", {})
+        ),
+    )
+
+
+class CampaignCheckpoint:
+    """One checkpoint file bound to one campaign configuration."""
+
+    def __init__(self, path: str | Path, config: dict) -> None:
+        self._path = Path(path)
+        self._config = config
+        self._entries: dict[int, CheckpointEntry] = {}
+
+    @property
+    def path(self) -> Path:
+        """Location of the checkpoint file."""
+        return self._path
+
+    @property
+    def completed_as_ids(self) -> list[int]:
+        """ASes banked so far, in completion order."""
+        return list(self._entries)
+
+    def load(self) -> dict[int, CheckpointEntry]:
+        """Read banked entries; missing file means a fresh start.
+
+        Raises :class:`CheckpointMismatchError` when the file was
+        written under a different campaign configuration.
+        """
+        if not self._path.exists():
+            return {}
+        with self._path.open("r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        if record.get("kind") != _KIND:
+            raise ValueError(f"not an AReST checkpoint: {self._path}")
+        if record.get("config") != self._config:
+            raise CheckpointMismatchError(
+                f"checkpoint {self._path} was written by a different "
+                f"campaign configuration; delete it or rerun with the "
+                f"original settings"
+            )
+        self._entries = {
+            int(as_id): _entry_from_json(entry)
+            for as_id, entry in record.get("completed", {}).items()
+        }
+        return dict(self._entries)
+
+    def record(self, as_id: int, entry: CheckpointEntry) -> None:
+        """Bank one completed AS and atomically rewrite the file."""
+        self._entries[as_id] = entry
+        self._flush()
+
+    def _flush(self) -> None:
+        record = {
+            "kind": _KIND,
+            "version": _VERSION,
+            "config": self._config,
+            "completed": {
+                str(as_id): _entry_to_json(entry)
+                for as_id, entry in self._entries.items()
+            },
+        }
+        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        os.replace(tmp, self._path)

@@ -9,12 +9,24 @@ For each AS of interest the runner mirrors the paper's Sec. 5 workflow:
 4. fingerprint every responding interface (SNMPv3 first, TTL fallback);
 5. annotate ownership bdrmapIT-style and run the AReST pipeline;
 6. extract simulator ground truth for evaluation.
+
+The runner survives an imperfect measurement plane: a seeded
+:class:`~repro.netsim.faults.FaultPlan` (default off) injects probe
+loss, ICMP rate limiting, blackouts and SNMP timeouts; a bounded
+:class:`~repro.util.retry.RetryPolicy` re-fires unanswered probes; and
+:meth:`CampaignRunner.run_portfolio` isolates per-AS errors, reports
+partial results through a :class:`CampaignReport`, and can checkpoint
+completed ASes to JSON so interrupted runs resume where they left off.
 """
 
 from __future__ import annotations
 
+import logging
+from collections.abc import Mapping
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.campaign.checkpoint import CampaignCheckpoint, CheckpointEntry
 from repro.campaign.dataset import TraceDataset
 from repro.campaign.vantage_points import VantagePoint, default_vantage_points
 from repro.core.detector import ArestDetector
@@ -24,6 +36,7 @@ from repro.fingerprint.combined import CombinedFingerprinter
 from repro.fingerprint.records import Fingerprint, FingerprintMethod
 from repro.fingerprint.snmp import SnmpOracle
 from repro.netsim.addressing import IPv4Address
+from repro.netsim.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.probing.records import Trace, truth_transport_is_sr
 from repro.probing.tnt import TntProber
 from repro.topogen.alias import AliasResolver, AliasSet
@@ -32,6 +45,9 @@ from repro.topogen.bdrmapit import BdrmapIt
 from repro.topogen.internet import MeasurementNetwork, build_measurement_network
 from repro.topogen.portfolio import AsSpec, Portfolio, default_portfolio
 from repro.util.determinism import DeterministicRng
+from repro.util.retry import RetryAccounting, RetryPolicy
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -60,6 +76,10 @@ class AsCampaignResult:
     )
     #: MIDAR/APPLE-style alias sets over the observed addresses
     alias_sets: list[AliasSet] = field(default_factory=list)
+    #: faults injected while measuring this AS (all zero when fault-free)
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
+    #: retry cost of the probing stage
+    retry_accounting: RetryAccounting = field(default_factory=RetryAccounting)
 
     @property
     def as_id(self) -> int:
@@ -89,6 +109,86 @@ class AsCampaignResult:
         return counts
 
 
+@dataclass(slots=True)
+class AsFailure:
+    """One AS run that errored; the rest of the portfolio continued."""
+
+    as_id: int
+    stage: str
+    error: str
+
+
+class CampaignReport(Mapping):
+    """Portfolio outcome: per-AS results, failures, fault/retry tallies.
+
+    Behaves as a ``Mapping[int, AsCampaignResult]`` over the *successful*
+    ASes, so every consumer of the former plain-dict return value (flag
+    tables, headline detection, benchmarks) keeps working unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[int, AsCampaignResult] = {}
+        #: AS id -> recorded failure
+        self.failures: dict[int, AsFailure] = {}
+        #: aggregated fault tallies across all completed ASes
+        self.fault_counters = FaultCounters()
+        #: aggregated retry cost across all completed ASes
+        self.retry_accounting = RetryAccounting()
+        #: ASes restored from a checkpoint instead of re-measured
+        self.resumed_as_ids: list[int] = []
+
+    # -- Mapping protocol over the successful results --------------------------
+
+    def __getitem__(self, as_id: int) -> AsCampaignResult:
+        return self._results[as_id]
+
+    def __iter__(self):
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- assembly ---------------------------------------------------------------
+
+    def add(self, result: AsCampaignResult, resumed: bool = False) -> None:
+        """Record one completed AS and fold in its tallies."""
+        self._results[result.as_id] = result
+        self.fault_counters.merge(result.fault_counters)
+        self.retry_accounting.merge(result.retry_accounting)
+        if resumed:
+            self.resumed_as_ids.append(result.as_id)
+
+    def record_failure(
+        self, as_id: int, stage: str, error: Exception
+    ) -> None:
+        """Record one failed AS without aborting the portfolio."""
+        self.failures[as_id] = AsFailure(
+            as_id=as_id, stage=stage, error=f"{type(error).__name__}: {error}"
+        )
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def results(self) -> dict[int, AsCampaignResult]:
+        """The successful per-AS results (insertion-ordered)."""
+        return dict(self._results)
+
+    def summary(self) -> str:
+        """One-line human summary of the portfolio outcome."""
+        parts = [f"{len(self._results)} AS(es) completed"]
+        if self.resumed_as_ids:
+            parts.append(f"{len(self.resumed_as_ids)} from checkpoint")
+        if self.failures:
+            parts.append(f"{len(self.failures)} failed")
+        if self.fault_counters.total_faults():
+            parts.append(
+                f"{self.fault_counters.total_faults()} faults injected"
+            )
+        if self.retry_accounting.retries:
+            parts.append(f"{self.retry_accounting.retries} retries")
+        return ", ".join(parts)
+
+
 class CampaignRunner:
     """Runs the measurement campaign over a portfolio."""
 
@@ -105,13 +205,23 @@ class CampaignRunner:
         bdrmap_error_rate: float = 0.0,
         alias_success_rate: float = 0.9,
         max_ttl: int = 40,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if vps_per_as < 1:
             raise ValueError("vps_per_as must be >= 1")
         self.portfolio = portfolio or default_portfolio()
         self.vantage_points = vantage_points or default_vantage_points()
         self.seed = seed
+        self.vps_requested = vps_per_as
         self.vps_per_as = min(vps_per_as, len(self.vantage_points))
+        if self.vps_per_as < vps_per_as:
+            logger.warning(
+                "vps_per_as=%d exceeds the %d-VP pool; clamping to %d",
+                vps_per_as,
+                len(self.vantage_points),
+                self.vps_per_as,
+            )
         self.targets_per_as = targets_per_as
         self.per_prefix = per_prefix
         self.reveal_success_rate = reveal_success_rate
@@ -119,19 +229,199 @@ class CampaignRunner:
         self.bdrmap_error_rate = bdrmap_error_rate
         self.alias_success_rate = alias_success_rate
         self.max_ttl = max_ttl
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.retry = retry or RetryPolicy.none()
         self._pipeline = ArestPipeline(ArestDetector())
+        #: stage the most recent run_as reached (error attribution)
+        self._stage = "idle"
 
     # -- public API ----------------------------------------------------------------
 
     def run_as(self, as_id: int) -> AsCampaignResult:
         """Run the full campaign for one portfolio AS."""
+        self._stage = "setup"
         spec = self.portfolio.spec(as_id)
         vps = self._select_vps(as_id)
+        self._stage = "topology"
         net = build_measurement_network(
             spec, [vp.vp_id for vp in vps], seed=self.seed
         )
-        dataset = self._probe(net, vps)
-        fingerprints = self._fingerprint(net, dataset)
+        injector = self._injector_for(as_id)
+        if injector is not None:
+            net.engine.faults = injector
+        self._stage = "probe"
+        dataset, accounting = self._probe(net, vps)
+        self._stage = "fingerprint"
+        fingerprints = self._fingerprint(net, dataset, faults=injector)
+        self._stage = "analysis"
+        result = self._analyze(spec, net, dataset, fingerprints)
+        if injector is not None:
+            result.fault_counters = injector.counters
+        result.retry_accounting = accounting
+        self._stage = "done"
+        return result
+
+    def run_portfolio(
+        self,
+        as_ids: list[int] | None = None,
+        analyzed_only: bool = True,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+    ) -> CampaignReport:
+        """Run every requested AS (default: the 41 analyzed ones).
+
+        One failing AS is recorded in the report and the rest of the
+        portfolio continues.  With ``checkpoint`` set, each completed
+        AS's measurement data is banked to a JSON file; ``resume=True``
+        restores banked ASes (re-deriving their analysis without
+        re-probing) and measures only what is missing, producing the
+        same report as an uninterrupted run.
+        """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
+        if as_ids is None:
+            specs = (
+                self.portfolio.analyzed()
+                if analyzed_only
+                else list(self.portfolio)
+            )
+            as_ids = [s.as_id for s in specs]
+        store: CampaignCheckpoint | None = None
+        banked: dict[int, CheckpointEntry] = {}
+        if checkpoint is not None:
+            store = CampaignCheckpoint(checkpoint, self._config_signature())
+            if resume:
+                banked = store.load()
+        report = CampaignReport()
+        for as_id in as_ids:
+            entry = banked.get(as_id)
+            if entry is not None:
+                report.add(self._rehydrate_as(as_id, entry), resumed=True)
+                continue
+            try:
+                result = self.run_as(as_id)
+            except Exception as exc:  # noqa: BLE001 -- per-AS isolation
+                logger.warning(
+                    "AS#%d failed during %s stage: %s",
+                    as_id,
+                    self._stage,
+                    exc,
+                )
+                report.record_failure(as_id, self._stage, exc)
+                continue
+            report.add(result)
+            if store is not None:
+                store.record(
+                    as_id,
+                    CheckpointEntry(
+                        dataset=result.dataset,
+                        fingerprints=result.fingerprints,
+                        fault_counters=result.fault_counters,
+                        retry_accounting=result.retry_accounting,
+                    ),
+                )
+        return report
+
+    # -- stages ----------------------------------------------------------------------
+
+    def _select_vps(self, as_id: int) -> list[VantagePoint]:
+        rng = DeterministicRng("vp-select", self.seed, as_id)
+        return rng.sample(list(self.vantage_points), self.vps_per_as)
+
+    def _injector_for(self, as_id: int) -> FaultInjector | None:
+        """A per-AS fault injector, or None for the fault-free plan.
+
+        An inactive plan attaches nothing at all, so the measurement
+        path stays byte-identical to the seed behaviour.
+        """
+        if not self.fault_plan.active:
+            return None
+        return FaultInjector(self.fault_plan, "as", as_id)
+
+    def _probe(
+        self, net: MeasurementNetwork, vps: list[VantagePoint]
+    ) -> tuple[TraceDataset, RetryAccounting]:
+        targets = build_target_list(
+            net,
+            per_prefix=self.per_prefix,
+            limit=self.targets_per_as,
+            seed=self.seed,
+        )
+        prober = TntProber(
+            net.engine,
+            max_ttl=self.max_ttl,
+            reveal_success_rate=self.reveal_success_rate,
+            seed=self.seed,
+            retry=self.retry,
+        )
+        metadata = {
+            "as_id": str(net.spec.as_id),
+            "seed": str(self.seed),
+            "vps": ",".join(vp.vp_id for vp in vps),
+        }
+        if self.vps_per_as < self.vps_requested:
+            metadata["vps_requested"] = str(self.vps_requested)
+            metadata["vps_effective"] = str(self.vps_per_as)
+        dataset = TraceDataset(target_asn=net.target_asn, metadata=metadata)
+        for vp in vps:
+            vp_router = net.vantage_points[vp.vp_id]
+            # Each VP probes the same targets, shuffled per VP (Sec. 5).
+            rng = DeterministicRng("shuffle", self.seed, vp.vp_id)
+            shuffled = list(targets.addresses)
+            rng.shuffle(shuffled)
+            for destination in shuffled:
+                dataset.add(
+                    prober.trace(vp_router, destination, vp_name=vp.vp_id)
+                )
+        return dataset, prober.accounting
+
+    def _fingerprint(
+        self,
+        net: MeasurementNetwork,
+        dataset: TraceDataset,
+        faults: FaultInjector | None = None,
+    ) -> dict[IPv4Address, Fingerprint]:
+        snmp = SnmpOracle(
+            net.network,
+            coverage=self.snmp_coverage,
+            seed=self.seed,
+            faults=faults,
+        )
+        combined = CombinedFingerprinter(net.engine, snmp)
+        fingerprints: dict[IPv4Address, Fingerprint] = {}
+        # Fingerprinting is a pure function of (address, reply TTL, VP),
+        # so probing the same combination twice cannot improve on the
+        # recorded result: dedupe on that key while still letting a
+        # *different* hop context retry an unidentified address.
+        attempted: set[tuple[IPv4Address, int | None, int]] = set()
+        for trace in dataset:
+            for hop in trace.hops:
+                if hop.address is None:
+                    continue
+                existing = fingerprints.get(hop.address)
+                if existing is not None and existing.identified:
+                    continue
+                key = (hop.address, hop.reply_ip_ttl, trace.vp_router_id)
+                if key in attempted:
+                    continue
+                attempted.add(key)
+                fingerprints[hop.address] = combined.fingerprint(
+                    hop.address, hop.reply_ip_ttl, trace.vp_router_id
+                )
+        return fingerprints
+
+    def _analyze(
+        self,
+        spec: AsSpec,
+        net: MeasurementNetwork,
+        dataset: TraceDataset,
+        fingerprints: dict[IPv4Address, Fingerprint],
+    ) -> AsCampaignResult:
+        """Everything downstream of data collection.
+
+        Deterministic given (dataset, fingerprints, seed) -- this is the
+        path checkpoint resume replays without re-firing probes.
+        """
         bdrmap = BdrmapIt(
             net.network, error_rate=self.bdrmap_error_rate, seed=self.seed
         )
@@ -160,81 +450,24 @@ class CampaignRunner:
             alias_sets=alias_sets,
         )
 
-    def run_portfolio(
-        self,
-        as_ids: list[int] | None = None,
-        analyzed_only: bool = True,
-    ) -> dict[int, AsCampaignResult]:
-        """Run every requested AS (default: the 41 analyzed ones)."""
-        if as_ids is None:
-            specs = (
-                self.portfolio.analyzed()
-                if analyzed_only
-                else list(self.portfolio)
-            )
-            as_ids = [s.as_id for s in specs]
-        return {as_id: self.run_as(as_id) for as_id in as_ids}
+    def _rehydrate_as(
+        self, as_id: int, entry: CheckpointEntry
+    ) -> AsCampaignResult:
+        """Rebuild one AS result from banked measurement data.
 
-    # -- stages ----------------------------------------------------------------------
-
-    def _select_vps(self, as_id: int) -> list[VantagePoint]:
-        rng = DeterministicRng("vp-select", self.seed, as_id)
-        return rng.sample(list(self.vantage_points), self.vps_per_as)
-
-    def _probe(
-        self, net: MeasurementNetwork, vps: list[VantagePoint]
-    ) -> TraceDataset:
-        targets = build_target_list(
-            net,
-            per_prefix=self.per_prefix,
-            limit=self.targets_per_as,
-            seed=self.seed,
+        The topology is regenerated deterministically from the seed, the
+        stored dataset and fingerprints stand in for the probing and
+        fingerprinting stages, and the analysis replays bit-identically.
+        """
+        spec = self.portfolio.spec(as_id)
+        vps = self._select_vps(as_id)
+        net = build_measurement_network(
+            spec, [vp.vp_id for vp in vps], seed=self.seed
         )
-        prober = TntProber(
-            net.engine,
-            max_ttl=self.max_ttl,
-            reveal_success_rate=self.reveal_success_rate,
-            seed=self.seed,
-        )
-        dataset = TraceDataset(
-            target_asn=net.target_asn,
-            metadata={
-                "as_id": str(net.spec.as_id),
-                "seed": str(self.seed),
-                "vps": ",".join(vp.vp_id for vp in vps),
-            },
-        )
-        for vp in vps:
-            vp_router = net.vantage_points[vp.vp_id]
-            # Each VP probes the same targets, shuffled per VP (Sec. 5).
-            rng = DeterministicRng("shuffle", self.seed, vp.vp_id)
-            shuffled = list(targets.addresses)
-            rng.shuffle(shuffled)
-            for destination in shuffled:
-                dataset.add(
-                    prober.trace(vp_router, destination, vp_name=vp.vp_id)
-                )
-        return dataset
-
-    def _fingerprint(
-        self, net: MeasurementNetwork, dataset: TraceDataset
-    ) -> dict[IPv4Address, Fingerprint]:
-        snmp = SnmpOracle(
-            net.network, coverage=self.snmp_coverage, seed=self.seed
-        )
-        combined = CombinedFingerprinter(net.engine, snmp)
-        fingerprints: dict[IPv4Address, Fingerprint] = {}
-        for trace in dataset:
-            for hop in trace.hops:
-                if hop.address is None:
-                    continue
-                existing = fingerprints.get(hop.address)
-                if existing is not None and existing.identified:
-                    continue
-                fingerprints[hop.address] = combined.fingerprint(
-                    hop.address, hop.reply_ip_ttl, trace.vp_router_id
-                )
-        return fingerprints
+        result = self._analyze(spec, net, entry.dataset, entry.fingerprints)
+        result.fault_counters = entry.fault_counters
+        result.retry_accounting = entry.retry_accounting
+        return result
 
     def _ground_truth(
         self, spec: AsSpec, dataset: TraceDataset
@@ -253,3 +486,19 @@ class CampaignRunner:
                 else:
                     truth.ldp_addresses.add(hop.address)
         return truth
+
+    def _config_signature(self) -> dict:
+        """JSON-comparable fingerprint of everything that shapes results."""
+        return {
+            "seed": self.seed,
+            "vps_per_as": self.vps_per_as,
+            "targets_per_as": self.targets_per_as,
+            "per_prefix": self.per_prefix,
+            "reveal_success_rate": self.reveal_success_rate,
+            "snmp_coverage": self.snmp_coverage,
+            "bdrmap_error_rate": self.bdrmap_error_rate,
+            "alias_success_rate": self.alias_success_rate,
+            "max_ttl": self.max_ttl,
+            "fault_plan": self.fault_plan.as_dict(),
+            "retry": self.retry.as_dict(),
+        }

@@ -66,6 +66,65 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument(
         "--targets", type=int, default=36, dest="targets_per_as"
     )
+    portfolio.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-probe loss probability injected into the campaign",
+    )
+    portfolio.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "ICMP rate limit: sustained time-exceeded replies per router "
+            "per probe sent (token bucket; default: unlimited)"
+        ),
+    )
+    portfolio.add_argument(
+        "--snmp-timeout",
+        type=float,
+        default=0.0,
+        help="probability an SNMPv3 fingerprint lookup times out",
+    )
+    portfolio.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per probe (1 = no retries)",
+    )
+    portfolio.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="bank each completed AS to FILE (JSON) as the run progresses",
+    )
+    portfolio.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed ASes from --checkpoint and run the rest",
+    )
+
+    degradation = sub.add_parser(
+        "degradation",
+        help="degradation curves: per-flag recall/precision vs. probe loss",
+    )
+    degradation.add_argument("--seed", type=int, default=1)
+    degradation.add_argument(
+        "--loss-levels",
+        default="0,0.02,0.05,0.1",
+        metavar="L1,L2,...",
+        help="comma-separated probe-loss intensities to sweep",
+    )
+    degradation.add_argument("--vps", type=int, default=3, dest="vps_per_as")
+    degradation.add_argument(
+        "--targets", type=int, default=15, dest="targets_per_as"
+    )
+    degradation.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per probe during the sweep",
+    )
 
     detect = sub.add_parser(
         "detect", help="run AReST offline over a JSONL trace dataset"
@@ -146,21 +205,74 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_flag_proportions
     from repro.analysis.validation import headline_detection
     from repro.campaign import CampaignRunner
+    from repro.netsim.faults import FaultPlan
+    from repro.util.retry import RetryPolicy
 
+    plan = FaultPlan(
+        probe_loss=args.loss,
+        icmp_rate_limit=args.rate_limit,
+        snmp_timeout_rate=args.snmp_timeout,
+        seed=args.seed,
+    )
     runner = CampaignRunner(
         seed=args.seed,
         vps_per_as=args.vps_per_as,
         targets_per_as=args.targets_per_as,
+        fault_plan=plan if plan.active else None,
+        retry=RetryPolicy(max_attempts=args.retries),
     )
-    results = runner.run_portfolio()
-    print(render_flag_proportions(results))
-    headline = headline_detection(results)
+    report = runner.run_portfolio(
+        checkpoint=args.checkpoint, resume=args.resume
+    )
+    print(render_flag_proportions(report))
+    headline = headline_detection(report)
     print(
         f"\nconfirmed ASes detected: {headline.confirmed_detected}/"
         f"{headline.confirmed_total} ({headline.confirmed_rate:.0%}); "
         f"unconfirmed with evidence: {headline.unconfirmed_detected}/"
         f"{headline.unconfirmed_total} ({headline.unconfirmed_rate:.0%})"
     )
+    if report.resumed_as_ids:
+        print(
+            f"resumed {len(report.resumed_as_ids)} AS(es) from "
+            f"{args.checkpoint}"
+        )
+    if plan.active or report.retry_accounting.retries:
+        counters = report.fault_counters
+        print(
+            f"faults: {counters.probes_lost} probes lost, "
+            f"{counters.icmp_rate_limited} rate-limited, "
+            f"{counters.blackout_drops} blackout drops, "
+            f"{counters.snmp_timeouts} SNMP timeouts; "
+            f"{report.retry_accounting.retries} retries "
+            f"({report.retry_accounting.backoff_ms:.0f}ms backoff)"
+        )
+    for failure in report.failures.values():
+        print(
+            f"FAILED AS#{failure.as_id} during {failure.stage}: "
+            f"{failure.error}"
+        )
+    return 1 if report.failures and not len(report) else 0
+
+
+def _cmd_degradation(args: argparse.Namespace) -> int:
+    from repro.analysis.robustness import (
+        degradation_study,
+        render_degradation_table,
+    )
+    from repro.util.retry import RetryPolicy
+
+    levels = tuple(
+        float(level) for level in args.loss_levels.split(",") if level
+    )
+    study = degradation_study(
+        loss_levels=levels,
+        seed=args.seed,
+        vps_per_as=args.vps_per_as,
+        targets_per_as=args.targets_per_as,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
+    print(render_degradation_table(study))
     return 0
 
 
@@ -301,6 +413,7 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run-as": _cmd_run_as,
     "portfolio": _cmd_portfolio,
+    "degradation": _cmd_degradation,
     "detect": _cmd_detect,
     "validate": _cmd_validate,
     "survey": _cmd_survey,

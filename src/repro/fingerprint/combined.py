@@ -25,6 +25,8 @@ class CombinedFingerprinter:
         self._snmp = snmp
         self._ttl = TtlFingerprinter(engine)
         self._cache: dict[IPv4Address, Fingerprint] = {}
+        #: full SNMP+TTL probe rounds actually performed (cache misses)
+        self.probe_count = 0
 
     def fingerprint(
         self,
@@ -36,6 +38,7 @@ class CombinedFingerprinter:
         cached = self._cache.get(address)
         if cached is not None and cached.method is not FingerprintMethod.NONE:
             return cached
+        self.probe_count += 1
         result = self._snmp.lookup(address)
         if not result.identified:
             result = self._ttl.fingerprint(

@@ -14,6 +14,7 @@ coverage draw succeeds (dataset snapshots never see every box).
 from __future__ import annotations
 
 from repro.netsim.addressing import IPv4Address
+from repro.netsim.faults import FaultInjector
 from repro.netsim.topology import Network
 from repro.netsim.vendors import VENDOR_PROFILES
 from repro.fingerprint.records import Fingerprint
@@ -28,17 +29,26 @@ class SnmpOracle:
         network: Network,
         coverage: float = 1.0,
         seed: int = 0,
+        faults: FaultInjector | None = None,
     ) -> None:
         if not 0.0 <= coverage <= 1.0:
             raise ValueError("coverage must be within [0, 1]")
         self._network = network
         self._coverage = coverage
         self._seed = seed
+        self._faults = faults
+        #: queries answered (timeouts included) -- dedupe verification
+        self.lookup_count = 0
 
     def lookup(self, address: IPv4Address) -> Fingerprint:
         """Exact-vendor fingerprint for an interface, or none."""
+        self.lookup_count += 1
         owner = self._network.owner_of(address)
         if owner is None:
+            return Fingerprint.none()
+        if self._faults is not None and self._faults.snmp_timeout(owner):
+            # The dataset snapshot never caught this box: the SNMPv3
+            # query timed out when the collector swept it.
             return Fingerprint.none()
         router = self._network.router(owner)
         if not router.snmp_responsive:

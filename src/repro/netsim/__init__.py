@@ -25,6 +25,7 @@ measurement campaign exercised in the wild:
 """
 
 from repro.netsim.addressing import IPv4Address, IPv4Prefix, PrefixAllocator
+from repro.netsim.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.netsim.forwarding import ForwardingEngine
 from repro.netsim.igp import ShortestPaths
 from repro.netsim.ldp import LdpState
@@ -40,6 +41,9 @@ __all__ = [
     "IPv4Address",
     "IPv4Prefix",
     "PrefixAllocator",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
     "ForwardingEngine",
     "ShortestPaths",
     "LdpState",

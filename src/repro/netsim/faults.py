@@ -1,0 +1,239 @@
+"""Deterministic fault injection for the measurement plane.
+
+The paper's campaign ran 7.7M traceroutes from 50 real vantage points,
+where probe loss, ICMP rate-limiting, transient outages and SNMP dataset
+gaps are the norm.  This module models those impairments as a seeded
+:class:`FaultPlan` so robustness experiments are reproducible bit-for-bit:
+
+- **per-probe loss** -- each probe (identified by its flow, destination,
+  TTL and retry attempt) is dropped with probability ``probe_loss``;
+- **ICMP rate limiting** -- each router polices the ``time-exceeded``
+  messages it originates through a token bucket refilled per probe sent
+  (the campaign-wide probe counter is the clock);
+- **transient blackouts** -- a router goes completely dark (neither
+  forwards nor replies) for whole windows of the probe clock;
+- **SNMP timeouts** -- a router's SNMPv3 fingerprint lookup times out,
+  modelling gaps in the frozen public dataset.
+
+All draws hash stable keys (:func:`repro.util.determinism.unit_hash`),
+so a fixed plan replays the exact same fault schedule, and
+:meth:`FaultPlan.none` -- the default everywhere -- injects nothing at
+all: runners never attach an injector for an inactive plan, keeping seed
+behaviour byte-identical.
+
+The :class:`FaultPlan` is immutable configuration; the
+:class:`FaultInjector` carries the mutable runtime (probe clock, token
+buckets, counters) and is scoped per campaign AS so fault streams stay
+independent across ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.util.determinism import unit_hash
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Immutable, seeded description of measurement-plane impairments."""
+
+    #: probability that any single probe is lost in transit
+    probe_loss: float = 0.0
+    #: sustained ICMP time-exceeded replies per router per probe sent;
+    #: None disables rate limiting entirely
+    icmp_rate_limit: float | None = None
+    #: token-bucket burst size for ICMP rate limiting
+    icmp_burst: int = 8
+    #: probability a router is dark during any given blackout window
+    blackout_rate: float = 0.0
+    #: width of one blackout window, in probes sent
+    blackout_window: int = 256
+    #: probability a router's SNMPv3 lookup times out (dataset gap)
+    snmp_timeout_rate: float = 0.0
+    #: seed for every fault draw (independent of the campaign seed)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("probe_loss", "blackout_rate", "snmp_timeout_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.icmp_rate_limit is not None and self.icmp_rate_limit < 0:
+            raise ValueError("icmp_rate_limit must be >= 0 or None")
+        if self.icmp_burst < 1:
+            raise ValueError("icmp_burst must be >= 1")
+        if self.blackout_window < 1:
+            raise ValueError("blackout_window must be >= 1")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The fault-free plan (the default everywhere)."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """True when the plan can inject at least one fault."""
+        return bool(
+            self.probe_loss > 0.0
+            or self.icmp_rate_limit is not None
+            or self.blackout_rate > 0.0
+            or self.snmp_timeout_rate > 0.0
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (checkpoint config signatures)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class FaultCounters:
+    """Per-stage tallies of what the injector actually did."""
+
+    probes_sent: int = 0
+    probes_lost: int = 0
+    icmp_rate_limited: int = 0
+    blackout_drops: int = 0
+    snmp_timeouts: int = 0
+    reveal_losses: int = 0
+
+    def merge(self, other: "FaultCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for f in fields(self):
+            setattr(
+                self, f.name, getattr(self, f.name) + getattr(other, f.name)
+            )
+
+    def total_faults(self) -> int:
+        """Every injected fault (everything but ``probes_sent``)."""
+        return (
+            self.probes_lost
+            + self.icmp_rate_limited
+            + self.blackout_drops
+            + self.snmp_timeouts
+            + self.reveal_losses
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-friendly view."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultCounters":
+        """Inverse of :meth:`as_dict`."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in record.items() if k in names})
+
+
+class FaultInjector:
+    """Runtime fault state for one campaign scope (typically one AS).
+
+    Loss, blackout and SNMP draws hash stable keys, so they are
+    independent of call order; only the token buckets and the blackout
+    windows evolve with the probe clock, which advances once per probe
+    sent -- itself a deterministic sequence for a fixed campaign.
+    """
+
+    def __init__(self, plan: FaultPlan, *scope: object) -> None:
+        self._plan = plan
+        self._scope = scope
+        self._clock = 0
+        #: router id -> (tokens, clock at last refill)
+        self._buckets: dict[int, tuple[float, int]] = {}
+        self.counters = FaultCounters()
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The immutable plan this injector executes."""
+        return self._plan
+
+    @property
+    def clock(self) -> int:
+        """Probes sent so far in this scope (the fault clock)."""
+        return self._clock
+
+    # -- probe plane -------------------------------------------------------------
+
+    def on_probe(self) -> None:
+        """Advance the fault clock: one probe has been sent."""
+        self._clock += 1
+        self.counters.probes_sent += 1
+
+    def probe_lost(
+        self,
+        flow_id: int,
+        dest: object,
+        ttl: int,
+        attempt: int,
+        kind: str = "probe",
+    ) -> bool:
+        """Stable per-probe loss draw; attempts redraw independently."""
+        if self._plan.probe_loss <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "loss", kind, *self._scope,
+            flow_id, dest, ttl, attempt,
+        )
+        if draw < self._plan.probe_loss:
+            self.counters.probes_lost += 1
+            return True
+        return False
+
+    def blacked_out(self, router_id: int) -> bool:
+        """Is the router dark during the current blackout window?"""
+        rate = self._plan.blackout_rate
+        if rate <= 0.0:
+            return False
+        window = self._clock // self._plan.blackout_window
+        draw = unit_hash(
+            self._plan.seed, "blackout", *self._scope, router_id, window
+        )
+        if draw < rate:
+            self.counters.blackout_drops += 1
+            return True
+        return False
+
+    def allow_icmp(self, router_id: int) -> bool:
+        """Consume one token from the router's ICMP bucket, if available."""
+        rate = self._plan.icmp_rate_limit
+        if rate is None:
+            return True
+        burst = float(self._plan.icmp_burst)
+        tokens, last = self._buckets.get(router_id, (burst, self._clock))
+        tokens = min(burst, tokens + (self._clock - last) * rate)
+        if tokens >= 1.0:
+            self._buckets[router_id] = (tokens - 1.0, self._clock)
+            return True
+        self._buckets[router_id] = (tokens, self._clock)
+        self.counters.icmp_rate_limited += 1
+        return False
+
+    # -- revelation -------------------------------------------------------------
+
+    def reveal_lost(self, flow_id: int, key: object, attempt: int) -> bool:
+        """Loss draw for TNT's extra revelation probes."""
+        if self._plan.probe_loss <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "reveal-loss", *self._scope,
+            flow_id, key, attempt,
+        )
+        if draw < self._plan.probe_loss:
+            self.counters.reveal_losses += 1
+            return True
+        return False
+
+    # -- control plane ----------------------------------------------------------
+
+    def snmp_timeout(self, router_id: int) -> bool:
+        """Stable per-router SNMP timeout draw (a frozen dataset gap)."""
+        rate = self._plan.snmp_timeout_rate
+        if rate <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "snmp-timeout", *self._scope, router_id
+        )
+        if draw < rate:
+            self.counters.snmp_timeouts += 1
+            return True
+        return False

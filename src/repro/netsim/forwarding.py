@@ -35,6 +35,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.netsim.addressing import IPv4Address
+from repro.netsim.faults import FaultInjector
 from repro.netsim.igp import NoRouteError, ShortestPaths
 from repro.netsim.mpls import LabelStack, LabelStackEntry, ReservedLabel
 from repro.netsim.topology import Network, Router
@@ -89,6 +90,7 @@ class DropReason(enum.Enum):
     NO_ROUTE = "no-route"
     UNKNOWN_LABEL = "unknown-label"
     WALK_LIMIT = "walk-limit"
+    BLACKOUT = "blackout"
 
 
 class PacketDropped(Exception):
@@ -108,6 +110,8 @@ class _Packet:
     stack: LabelStack = field(default_factory=LabelStack)
     planes: list[str] = field(default_factory=list)
     uniform: bool = True  # RFC 3443 TTL model of the current tunnel
+    #: True for measurement probes; ground-truth walks are never faulted
+    measured: bool = False
 
 
 class ForwardingEngine:
@@ -118,10 +122,12 @@ class ForwardingEngine:
         network: Network,
         igp: ShortestPaths,
         tunnels: TunnelController,
+        faults: FaultInjector | None = None,
     ) -> None:
         self._network = network
         self._igp = igp
         self._tunnels = tunnels
+        self._faults = faults
 
     @property
     def network(self) -> Network:
@@ -138,6 +144,15 @@ class ForwardingEngine:
         """The tunnel controller."""
         return self._tunnels
 
+    @property
+    def faults(self) -> FaultInjector | None:
+        """The attached fault injector (None = pristine measurement plane)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, injector: FaultInjector | None) -> None:
+        self._faults = injector
+
     # -- public API -------------------------------------------------------------
 
     def forward_probe(
@@ -146,14 +161,21 @@ class ForwardingEngine:
         dest: IPv4Address,
         ttl: int,
         flow_id: int = 0,
+        attempt: int = 0,
     ) -> ProbeReply | None:
         """Send one UDP probe; return the ICMP reply observed at the VP.
 
-        Returns None when the expiring router is ICMP-silent or the
-        packet is dropped.
+        Returns None when the expiring router is ICMP-silent, the packet
+        is dropped, or an attached fault injector swallows the probe.
+        ``attempt`` distinguishes retries of the same probe so each
+        attempt redraws its loss fate independently.
         """
         if ttl <= 0:
             raise ValueError(f"probe TTL must be positive, got {ttl}")
+        if self._faults is not None:
+            self._faults.on_probe()
+            if self._faults.probe_lost(flow_id, dest, ttl, attempt):
+                return None
         try:
             return self._walk(src, dest, ttl, flow_id, truth=None)
         except PacketDropped:
@@ -179,6 +201,12 @@ class ForwardingEngine:
         router = self._network.router(owner)
         if not router.responds_to_ping:
             return None
+        if self._faults is not None:
+            self._faults.on_probe()
+            if self._faults.probe_lost(flow_id, target, 0, 0, kind="ping"):
+                return None
+            if self._faults.blacked_out(owner):
+                return None
         return ProbeReply(
             kind=ReplyKind.ECHO_REPLY,
             source_ip=target,
@@ -201,7 +229,13 @@ class ForwardingEngine:
         final = self._network.owner_of(dest)
         if final is None:
             raise PacketDropped(DropReason.NO_ROUTE)
-        packet = _Packet(dest=dest, ip_ttl=ttl, flow_id=flow_id, origin=src)
+        packet = _Packet(
+            dest=dest,
+            ip_ttl=ttl,
+            flow_id=flow_id,
+            origin=src,
+            measured=truth is None,
+        )
         node = src
         prev: int | None = None
         for _ in range(_MAX_WALK):
@@ -212,6 +246,14 @@ class ForwardingEngine:
                 next_node = self._flow_next_hop(node, final, packet.flow_id)
                 prev, node = node, next_node
                 continue
+            if (
+                packet.measured
+                and self._faults is not None
+                and self._faults.blacked_out(node)
+            ):
+                # The router is transiently dark: it neither forwards
+                # nor replies, so the probe dies silently.
+                raise PacketDropped(DropReason.BLACKOUT)
             step = self._process_at(node, prev, final, packet, truth)
             if isinstance(step, ProbeReply):
                 return step
@@ -579,6 +621,15 @@ class ForwardingEngine:
         ):
             # ICMP rate limiting: this flow's probes expiring here are
             # consistently policed away (a '*' in the traceroute).
+            return None
+        if (
+            self._faults is not None
+            and packet is not None
+            and packet.measured
+            and not self._faults.allow_icmp(node)
+        ):
+            # Injected token-bucket policing: the router's ICMP budget
+            # for this stretch of the campaign is spent.
             return None
         source = (
             router.interfaces.get(prev) if prev is not None else router.loopback

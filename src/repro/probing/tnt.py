@@ -21,6 +21,7 @@ from repro.netsim.addressing import IPv4Address
 from repro.probing.records import Trace, TraceHop
 from repro.probing.traceroute import ParisTraceroute
 from repro.util.determinism import unit_hash
+from repro.util.retry import RetryAccounting, RetryPolicy
 
 
 class TntProber:
@@ -32,13 +33,22 @@ class TntProber:
         max_ttl: int = 40,
         reveal_success_rate: float = 0.85,
         seed: int = 0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not 0.0 <= reveal_success_rate <= 1.0:
             raise ValueError("reveal_success_rate must be within [0, 1]")
         self._engine = engine
-        self._traceroute = ParisTraceroute(engine, max_ttl=max_ttl, seed=seed)
+        self._retry = retry or RetryPolicy.none()
+        self._traceroute = ParisTraceroute(
+            engine, max_ttl=max_ttl, seed=seed, retry=self._retry
+        )
         self._reveal_rate = reveal_success_rate
         self._seed = seed
+
+    @property
+    def accounting(self) -> RetryAccounting:
+        """Retry accounting of the underlying traceroute client."""
+        return self._traceroute.accounting
 
     def trace(
         self,
@@ -128,10 +138,7 @@ class TntProber:
         hops = list(trace.hops)
         for run in reversed(runs):  # insert back-to-front to keep indices valid
             key = tuple(t.router_id for t in run)
-            if (
-                unit_hash(self._seed, "reveal", trace.flow_id, key)
-                >= self._reveal_rate
-            ):
+            if not self._reveal_succeeds(trace.flow_id, key):
                 continue
             anchor = self._anchor_index(hops, truth, run)
             if anchor is None:
@@ -161,6 +168,32 @@ class TntProber:
                 prev_router = t.router_id
             hops[anchor:anchor] = revealed
         return trace.with_hops(tuple(hops))
+
+    def _reveal_succeeds(self, flow_id: int, key: tuple[int, ...]) -> bool:
+        """One revelation attempt per retry budget slot.
+
+        Attempt 0 reuses the legacy draw key so fault-free, retry-free
+        campaigns reproduce the seed bit-for-bit; further attempts (the
+        retry policy re-firing TNT's extra probes) redraw independently.
+        Revelation probes are subject to injected probe loss like any
+        other probe.
+        """
+        faults = self._engine.faults
+        for attempt in range(max(1, self._retry.max_attempts)):
+            if attempt == 0:
+                draw = unit_hash(self._seed, "reveal", flow_id, key)
+            else:
+                draw = unit_hash(
+                    self._seed, "reveal", flow_id, key, attempt
+                )
+            if draw >= self._reveal_rate:
+                continue
+            if faults is not None and faults.reveal_lost(
+                flow_id, key, attempt
+            ):
+                continue
+            return True
+        return False
 
     @staticmethod
     def _hidden_runs(

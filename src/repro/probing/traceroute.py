@@ -15,6 +15,7 @@ from repro.netsim.addressing import IPv4Address
 from repro.netsim.forwarding import ForwardingEngine, ProbeReply, ReplyKind
 from repro.probing.records import QuotedLse, Trace, TraceHop
 from repro.util.determinism import unit_hash
+from repro.util.retry import RetryAccounting, RetryPolicy
 
 #: per-hop one-way latency used to synthesize RTTs, in milliseconds
 _HOP_LATENCY_MS = 0.42
@@ -43,12 +44,20 @@ class ParisTraceroute:
         engine: ForwardingEngine,
         max_ttl: int = 40,
         seed: int = 0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if max_ttl <= 0:
             raise ValueError("max_ttl must be positive")
         self._engine = engine
         self._max_ttl = max_ttl
         self._seed = seed
+        self._retry = retry or RetryPolicy.none()
+        self.accounting = RetryAccounting()
+
+    @property
+    def retry(self) -> RetryPolicy:
+        """The per-probe retry policy."""
+        return self._retry
 
     def trace(
         self,
@@ -65,7 +74,7 @@ class ParisTraceroute:
         reached = False
         stars = 0
         for ttl in range(1, self._max_ttl + 1):
-            reply = self._engine.forward_probe(
+            reply = self._probe_with_retries(
                 vp_router_id, destination, ttl, flow_id
             )
             if reply is None:
@@ -90,6 +99,36 @@ class ParisTraceroute:
             hops=tuple(hops),
             reached=reached,
         )
+
+    def _probe_with_retries(
+        self,
+        vp_router_id: int,
+        destination: IPv4Address,
+        ttl: int,
+        flow_id: int,
+    ) -> ProbeReply | None:
+        """Fire one probe, re-firing per the retry policy while silent.
+
+        Each attempt redraws its loss fate in the fault injector (the
+        ``attempt`` index keys the draw), so retries genuinely recover
+        lost probes; a router that is ICMP-silent by configuration stays
+        silent on every attempt, exactly as in the wild.
+        """
+        self.accounting.probes += 1
+        reply = self._engine.forward_probe(
+            vp_router_id, destination, ttl, flow_id
+        )
+        attempt = 1
+        while reply is None and attempt < self._retry.max_attempts:
+            self.accounting.retries += 1
+            self.accounting.backoff_ms += self._retry.backoff_ms(attempt)
+            reply = self._engine.forward_probe(
+                vp_router_id, destination, ttl, flow_id, attempt=attempt
+            )
+            attempt += 1
+        if reply is None and self._retry.enabled:
+            self.accounting.exhausted += 1
+        return reply
 
     def _hop_from_reply(
         self,

@@ -1,6 +1,15 @@
-"""Shared utilities: deterministic randomness and text-table rendering."""
+"""Shared utilities: deterministic randomness, retry accounting and
+text-table rendering."""
 
 from repro.util.determinism import DeterministicRng, int_hash, unit_hash
+from repro.util.retry import RetryAccounting, RetryPolicy
 from repro.util.tables import format_table
 
-__all__ = ["DeterministicRng", "int_hash", "unit_hash", "format_table"]
+__all__ = [
+    "DeterministicRng",
+    "int_hash",
+    "unit_hash",
+    "RetryAccounting",
+    "RetryPolicy",
+    "format_table",
+]

@@ -1,0 +1,99 @@
+"""Bounded, deterministic retry accounting for the measurement plane.
+
+Real campaigns re-fire unanswered probes after an exponential backoff.
+The simulator has no wall clock, so retries are *accounted* rather than
+slept: the policy computes the backoff each retry would have cost and a
+:class:`RetryAccounting` accumulates it, keeping campaigns bit-for-bit
+reproducible while still bounding the per-probe attempt budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to re-fire an unanswered probe, and at what cost."""
+
+    #: total attempts per probe (1 = no retries)
+    max_attempts: int = 1
+    #: virtual backoff before the first retry, in milliseconds
+    backoff_base_ms: float = 50.0
+    #: multiplier applied to the backoff after each retry
+    backoff_factor: float = 2.0
+    #: ceiling on any single backoff interval
+    backoff_cap_ms: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_cap_ms < 0:
+            raise ValueError("backoff_cap_ms must be >= 0")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single-attempt policy (the default everywhere)."""
+        return cls(max_attempts=1)
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """A sensible campaign policy: 3 attempts, 50ms doubling backoff."""
+        return cls(max_attempts=3)
+
+    @property
+    def enabled(self) -> bool:
+        """True when the policy allows at least one retry."""
+        return self.max_attempts > 1
+
+    def backoff_ms(self, retry_index: int) -> float:
+        """Virtual backoff before the ``retry_index``-th retry (1-based)."""
+        if retry_index < 1:
+            raise ValueError("retry_index is 1-based")
+        raw = self.backoff_base_ms * self.backoff_factor ** (retry_index - 1)
+        return min(self.backoff_cap_ms, raw)
+
+    def max_backoff_ms(self) -> float:
+        """Total virtual backoff if every retry of one probe is used."""
+        return sum(
+            self.backoff_ms(i) for i in range(1, self.max_attempts)
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (checkpoint config signatures)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class RetryAccounting:
+    """What the retries of one probing client actually cost."""
+
+    #: probes attempted at least once
+    probes: int = 0
+    #: extra attempts beyond the first
+    retries: int = 0
+    #: probes still unanswered after the full attempt budget
+    exhausted: int = 0
+    #: total virtual backoff accumulated, in milliseconds
+    backoff_ms: float = 0.0
+
+    def merge(self, other: "RetryAccounting") -> None:
+        """Accumulate another accounting into this one."""
+        self.probes += other.probes
+        self.retries += other.retries
+        self.exhausted += other.exhausted
+        self.backoff_ms += other.backoff_ms
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RetryAccounting":
+        """Inverse of :meth:`as_dict`."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in names})

@@ -1,0 +1,107 @@
+"""Tests for the degradation study (robustness analysis)."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    DegradationLevel,
+    FlagDegradation,
+    degradation_study,
+    render_degradation_table,
+)
+from repro.core.flags import Flag
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return degradation_study(
+        loss_levels=(0.0, 0.10),
+        as_ids=(15, 46),
+        seed=1,
+        vps_per_as=2,
+        targets_per_as=10,
+    )
+
+
+class TestFlagDegradation:
+    def test_recall_of_empty_baseline_is_one(self):
+        deg = FlagDegradation(
+            flag=Flag.LVR,
+            baseline_segments=0,
+            detected_segments=0,
+            retained_segments=0,
+            true_positives=0,
+            false_positives=0,
+        )
+        assert deg.recall == 1.0
+        assert deg.precision == 1.0
+
+    def test_ratios(self):
+        deg = FlagDegradation(
+            flag=Flag.CO,
+            baseline_segments=10,
+            detected_segments=9,
+            retained_segments=8,
+            true_positives=9,
+            false_positives=1,
+        )
+        assert deg.recall == 0.8
+        assert deg.precision == 0.9
+
+
+class TestDegradationStudy:
+    def test_levels_match_the_sweep(self, small_study):
+        assert [lvl.probe_loss for lvl in small_study.levels] == [0.0, 0.10]
+        assert small_study.level(0.10).probe_loss == 0.10
+        with pytest.raises(KeyError):
+            small_study.level(0.5)
+
+    def test_zero_loss_level_is_the_baseline(self, small_study):
+        baseline = small_study.level(0.0)
+        for flag, deg in baseline.per_flag.items():
+            assert deg.recall == 1.0, flag
+            assert deg.detected_segments == deg.baseline_segments
+        assert baseline.counters.total_faults() == 0
+        assert baseline.failed_ases == 0
+
+    def test_loss_injects_faults_without_sinking_ases(self, small_study):
+        lossy = small_study.level(0.10)
+        assert lossy.counters.probes_lost > 0
+        assert lossy.failed_ases == 0
+
+    def test_cvr_never_hallucinates(self, small_study):
+        """The acceptance criterion: zero CVR false positives at <= 10%
+        probe loss, while recall is still being reported per flag."""
+        for level in small_study.levels:
+            assert level.cvr_false_positives == 0
+            assert level.strong_false_positives == 0
+            for deg in level.per_flag.values():
+                assert 0.0 <= deg.recall <= 1.0
+
+    def test_degradation_is_graceful_not_total(self, small_study):
+        lossy = small_study.level(0.10)
+        co = lossy.per_flag[Flag.CO]
+        assert co.baseline_segments > 0
+        assert co.recall > 0.5  # degraded, not destroyed
+        assert co.precision == 1.0
+
+    def test_deterministic(self, small_study):
+        again = degradation_study(
+            loss_levels=(0.0, 0.10),
+            as_ids=(15, 46),
+            seed=1,
+            vps_per_as=2,
+            targets_per_as=10,
+        )
+        for a, b in zip(small_study.levels, again.levels):
+            assert a.per_flag == b.per_flag
+            assert a.counters == b.counters
+
+
+class TestRenderTable:
+    def test_table_shape(self, small_study):
+        table = render_degradation_table(small_study)
+        assert "Degradation curves" in table
+        assert "CVR FPs" in table
+        assert "0%" in table and "10%" in table
+        for flag in Flag:
+            assert f"{flag.name} R/P" in table

@@ -1,0 +1,129 @@
+"""Resilient portfolio execution: error isolation, checkpoint/resume."""
+
+import pytest
+
+from repro.campaign.checkpoint import CampaignCheckpoint, CheckpointMismatchError
+from repro.campaign.runner import CampaignReport, CampaignRunner
+from repro.netsim.faults import FaultPlan
+from repro.util.retry import RetryPolicy
+
+
+def _runner(**overrides) -> CampaignRunner:
+    config = dict(seed=1, vps_per_as=2, targets_per_as=8)
+    config.update(overrides)
+    return CampaignRunner(**config)
+
+
+class TestErrorIsolation:
+    def test_one_failing_as_does_not_sink_the_portfolio(self):
+        report = _runner().run_portfolio(as_ids=[46, 9999, 27])
+        assert sorted(report) == [27, 46]
+        assert set(report.failures) == {9999}
+        failure = report.failures[9999]
+        assert failure.stage == "setup"
+        assert "no AS#9999 in portfolio" in failure.error
+        assert "KeyError" in failure.error
+
+    def test_failure_logged(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.campaign.runner"):
+            _runner().run_portfolio(as_ids=[9999])
+        assert any("AS#9999 failed" in r.message for r in caplog.records)
+
+    def test_report_is_a_mapping_over_successes(self):
+        report = _runner().run_portfolio(as_ids=[46, 9999])
+        assert isinstance(report, CampaignReport)
+        assert len(report) == 1
+        assert 46 in report
+        assert report[46].as_id == 46
+        assert report.results == {46: report[46]}
+        with pytest.raises(KeyError):
+            report[9999]
+
+    def test_summary_mentions_failures(self):
+        report = _runner().run_portfolio(as_ids=[46, 9999])
+        summary = report.summary()
+        assert "1 AS(es) completed" in summary
+        assert "1 failed" in summary
+
+
+class TestCheckpointResume:
+    FAULTS = FaultPlan(probe_loss=0.05, seed=3)
+
+    def test_resume_equals_uninterrupted(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        uninterrupted = _runner(fault_plan=self.FAULTS).run_portfolio(
+            as_ids=[46, 27]
+        )
+
+        # "Crash" after the first AS: only 46 lands in the checkpoint.
+        first = _runner(fault_plan=self.FAULTS).run_portfolio(
+            as_ids=[46], checkpoint=path
+        )
+        assert sorted(first) == [46]
+
+        resumed = _runner(fault_plan=self.FAULTS).run_portfolio(
+            as_ids=[46, 27], checkpoint=path, resume=True
+        )
+        assert resumed.resumed_as_ids == [46]
+        assert sorted(resumed) == sorted(uninterrupted)
+        for as_id in uninterrupted:
+            a, b = uninterrupted[as_id], resumed[as_id]
+            assert a.dataset.traces == b.dataset.traces
+            assert a.fingerprints == b.fingerprints
+            assert a.analysis.flag_counts() == b.analysis.flag_counts()
+            assert a.truth.sr_addresses == b.truth.sr_addresses
+            assert a.fault_counters == b.fault_counters
+            assert a.retry_accounting == b.retry_accounting
+        assert (
+            resumed.fault_counters.as_dict()
+            == uninterrupted.fault_counters.as_dict()
+        )
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            _runner().run_portfolio(as_ids=[46], resume=True)
+
+    def test_missing_checkpoint_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "does-not-exist.json"
+        report = _runner().run_portfolio(
+            as_ids=[46], checkpoint=path, resume=True
+        )
+        assert sorted(report) == [46]
+        assert report.resumed_as_ids == []
+        assert path.exists()  # written after the fresh run
+
+    def test_config_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        _runner(seed=1).run_portfolio(as_ids=[46], checkpoint=path)
+        with pytest.raises(CheckpointMismatchError):
+            _runner(seed=2).run_portfolio(
+                as_ids=[46], checkpoint=path, resume=True
+            )
+
+    def test_retry_policy_is_part_of_the_signature(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        _runner().run_portfolio(as_ids=[46], checkpoint=path)
+        with pytest.raises(CheckpointMismatchError):
+            _runner(retry=RetryPolicy.default()).run_portfolio(
+                as_ids=[46], checkpoint=path, resume=True
+            )
+
+    def test_checkpoint_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else"}')
+        store = CampaignCheckpoint(path, {"seed": 1})
+        with pytest.raises(ValueError):
+            store.load()
+
+    def test_failed_as_is_retried_on_resume(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        partial = _runner().run_portfolio(
+            as_ids=[46, 9999], checkpoint=path
+        )
+        assert 9999 in partial.failures
+        resumed = _runner().run_portfolio(
+            as_ids=[46, 9999], checkpoint=path, resume=True
+        )
+        # 46 restores from the bank; 9999 is attempted (and fails) again
+        assert resumed.resumed_as_ids == [46]
+        assert 9999 in resumed.failures

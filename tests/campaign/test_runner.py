@@ -151,6 +151,65 @@ class TestAliasIntegration:
         )
 
 
+class TestVpClamp:
+    def test_clamp_warns_and_records_metadata(self, caplog):
+        from repro.campaign.vantage_points import default_vantage_points
+
+        pool = tuple(default_vantage_points()[:3])
+        with caplog.at_level("WARNING", logger="repro.campaign.runner"):
+            runner = CampaignRunner(
+                vantage_points=pool, seed=3, vps_per_as=5, targets_per_as=6
+            )
+        assert runner.vps_requested == 5
+        assert runner.vps_per_as == 3
+        assert any(
+            "clamping" in record.getMessage() for record in caplog.records
+        )
+        metadata = runner.run_as(27).dataset.metadata
+        assert metadata["vps_requested"] == "5"
+        assert metadata["vps_effective"] == "3"
+
+    def test_no_clamp_leaves_metadata_untouched(self):
+        runner = CampaignRunner(seed=3, vps_per_as=2, targets_per_as=6)
+        metadata = runner.run_as(27).dataset.metadata
+        assert "vps_requested" not in metadata
+        assert "vps_effective" not in metadata
+
+
+class TestFingerprintDedupe:
+    def test_lookups_hit_each_key_once(self, monkeypatch):
+        from repro.fingerprint.combined import CombinedFingerprinter
+
+        calls = []
+        original = CombinedFingerprinter.fingerprint
+
+        def counting(self, address, reply_ttl, vp_router_id):
+            calls.append((address, reply_ttl, vp_router_id))
+            return original(self, address, reply_ttl, vp_router_id)
+
+        monkeypatch.setattr(CombinedFingerprinter, "fingerprint", counting)
+        runner = CampaignRunner(seed=3, vps_per_as=2, targets_per_as=8)
+        result = runner.run_as(27)
+        # every (address, reply TTL, VP) key is probed at most once...
+        assert len(calls) == len(set(calls))
+        # ...which is strictly cheaper than probing every hop occurrence
+        occurrences = sum(
+            1
+            for trace in result.dataset
+            for hop in trace.hops
+            if hop.address is not None
+        )
+        assert 0 < len(calls) < occurrences
+
+    def test_dedupe_preserves_results(self):
+        # Two identical runs (the dedupe is always on) stay deterministic
+        # and identified addresses keep their fingerprints.
+        a = CampaignRunner(seed=3, vps_per_as=2, targets_per_as=8).run_as(31)
+        b = CampaignRunner(seed=3, vps_per_as=2, targets_per_as=8).run_as(31)
+        assert a.fingerprints == b.fingerprints
+        assert any(fp.identified for fp in a.fingerprints.values())
+
+
 class TestAnonymizedDump:
     def test_cli_anonymized_dump(self, tmp_path, capsys):
         from repro.campaign import TraceDataset

@@ -1,0 +1,91 @@
+"""Property tests: the fault layer never perturbs fault-free runs, and a
+fixed plan replays the exact same fault schedule."""
+
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.runner import CampaignRunner
+from repro.netsim.faults import FaultInjector, FaultPlan
+
+_CAMPAIGN_ASES = (7, 27, 46)
+
+
+def _dataset_bytes(dataset) -> bytes:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dataset.jsonl"
+        dataset.dump_jsonl(path)
+        return path.read_bytes()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    as_id=st.sampled_from(_CAMPAIGN_ASES),
+    vps=st.integers(min_value=1, max_value=3),
+    targets=st.integers(min_value=4, max_value=10),
+)
+def test_none_plan_is_byte_identical_to_no_plan(seed, as_id, vps, targets):
+    """FaultPlan.none() must be indistinguishable from the seed behaviour:
+    the serialized datasets agree byte for byte."""
+    plain = CampaignRunner(
+        seed=seed, vps_per_as=vps, targets_per_as=targets
+    ).run_as(as_id)
+    with_plan = CampaignRunner(
+        seed=seed,
+        vps_per_as=vps,
+        targets_per_as=targets,
+        fault_plan=FaultPlan.none(),
+    ).run_as(as_id)
+    assert _dataset_bytes(plain.dataset) == _dataset_bytes(with_plan.dataset)
+    assert plain.fingerprints == with_plan.fingerprints
+    assert plain.analysis.flag_counts() == with_plan.analysis.flag_counts()
+    assert with_plan.fault_counters.total_faults() == 0
+
+
+fault_plans = st.builds(
+    FaultPlan,
+    probe_loss=st.floats(min_value=0.0, max_value=1.0),
+    icmp_rate_limit=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=2.0)
+    ),
+    icmp_burst=st.integers(min_value=1, max_value=16),
+    blackout_rate=st.floats(min_value=0.0, max_value=1.0),
+    blackout_window=st.integers(min_value=1, max_value=64),
+    snmp_timeout_rate=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=fault_plans, scope=st.integers(min_value=0, max_value=99))
+def test_fault_schedule_replays_exactly(plan, scope):
+    """Two injectors with the same plan and scope make identical
+    decisions and end with identical counters."""
+
+    def run(injector: FaultInjector) -> list:
+        decisions = []
+        for i in range(60):
+            decisions.append(
+                (
+                    injector.probe_lost(i % 5, f"10.0.0.{i % 8}", i % 30, 0),
+                    injector.blacked_out(i % 4),
+                    injector.allow_icmp(i % 3),
+                    injector.snmp_timeout(i % 6),
+                    injector.reveal_lost(i % 5, ("lse", i % 7), 1),
+                )
+            )
+            injector.on_probe()
+        return decisions
+
+    a = FaultInjector(plan, "as", scope)
+    b = FaultInjector(plan, "as", scope)
+    assert run(a) == run(b)
+    assert a.counters == b.counters
+    # counters survive a JSON round trip (the checkpoint path)
+    restored = type(a.counters).from_dict(
+        json.loads(json.dumps(a.counters.as_dict()))
+    )
+    assert restored == a.counters

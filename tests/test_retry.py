@@ -1,0 +1,132 @@
+"""Tests for the deterministic retry policy and its probing integration."""
+
+import pytest
+
+from repro.netsim.faults import FaultInjector, FaultPlan
+from repro.probing.traceroute import ParisTraceroute
+from repro.util.retry import RetryAccounting, RetryPolicy
+
+from tests.conftest import ChainNetwork
+
+
+class TestRetryPolicy:
+    def test_none_is_single_attempt(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert not policy.enabled
+        assert policy.max_backoff_ms() == 0.0
+
+    def test_default_enables_retries(self):
+        policy = RetryPolicy.default()
+        assert policy.enabled
+        assert policy.max_attempts == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_ms": -1.0},
+            {"backoff_factor": 0.5},
+            {"backoff_cap_ms": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_schedule_doubles_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            backoff_base_ms=100.0,
+            backoff_factor=2.0,
+            backoff_cap_ms=500.0,
+        )
+        assert [policy.backoff_ms(i) for i in range(1, 6)] == [
+            100.0,
+            200.0,
+            400.0,
+            500.0,
+            500.0,
+        ]
+        assert policy.max_backoff_ms() == 1700.0
+
+    def test_backoff_index_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy.default().backoff_ms(0)
+
+
+class TestRetryAccounting:
+    def test_merge(self):
+        a = RetryAccounting(probes=10, retries=2, exhausted=1, backoff_ms=150.0)
+        b = RetryAccounting(probes=4, retries=1, backoff_ms=50.0)
+        a.merge(b)
+        assert a == RetryAccounting(
+            probes=14, retries=3, exhausted=1, backoff_ms=200.0
+        )
+
+    def test_dict_round_trip(self):
+        acct = RetryAccounting(probes=3, retries=2, exhausted=1, backoff_ms=75.0)
+        assert RetryAccounting.from_dict(acct.as_dict()) == acct
+
+
+def _lossy_chain(seed: int = 1) -> ChainNetwork:
+    chain = ChainNetwork(length=6, seed=seed)
+    chain.engine.faults = FaultInjector(
+        FaultPlan(probe_loss=0.4, seed=seed), "test"
+    )
+    return chain
+
+
+class TestRetriesRecoverLostProbes:
+    def test_retries_fill_in_stars(self):
+        bare = _lossy_chain()
+        no_retry = ParisTraceroute(bare.engine).trace(
+            bare.vp.router_id, bare.target
+        )
+        retried_chain = _lossy_chain()
+        prober = ParisTraceroute(
+            retried_chain.engine, retry=RetryPolicy(max_attempts=4)
+        )
+        retried = prober.trace(retried_chain.vp.router_id, retried_chain.target)
+        stars = lambda tr: sum(1 for h in tr.hops if h.address is None)  # noqa: E731
+        assert stars(retried) < stars(no_retry)
+        assert prober.accounting.retries > 0
+        assert prober.accounting.backoff_ms > 0.0
+
+    def test_without_faults_retry_changes_nothing(self):
+        base = ChainNetwork(length=6)
+        baseline = ParisTraceroute(base.engine).trace(
+            base.vp.router_id, base.target
+        )
+        with_retry = ChainNetwork(length=6)
+        prober = ParisTraceroute(
+            with_retry.engine, retry=RetryPolicy.default()
+        )
+        trace = prober.trace(with_retry.vp.router_id, with_retry.target)
+        assert trace == baseline
+        assert prober.accounting.retries == 0
+        assert prober.accounting.exhausted == 0
+
+    def test_accounting_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            chain = _lossy_chain(seed=7)
+            prober = ParisTraceroute(
+                chain.engine, retry=RetryPolicy(max_attempts=3)
+            )
+            trace = prober.trace(chain.vp.router_id, chain.target)
+            runs.append((trace, prober.accounting))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+    def test_icmp_silent_router_stays_silent(self):
+        chain = ChainNetwork(length=6)
+        chain.routers[2].icmp_silent = True
+        prober = ParisTraceroute(
+            chain.engine, retry=RetryPolicy(max_attempts=5)
+        )
+        trace = prober.trace(chain.vp.router_id, chain.target)
+        assert trace.hops[2].address is None  # still a star
+        # configured silence is not recoverable, so the budget was spent
+        assert prober.accounting.retries >= 4
+        assert prober.accounting.exhausted >= 1
