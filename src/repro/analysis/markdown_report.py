@@ -57,6 +57,7 @@ def render_markdown_report(
     sections += _interworking_section(results)
     sections += _tunnels_section(results)
     sections += _fingerprint_section(results)
+    sections += _data_quality_section(results)
     sections += _validation_section(results)
     return "\n".join(sections) + "\n"
 
@@ -208,6 +209,49 @@ def _fingerprint_section(results) -> list[str]:
         f"- method split among identified interfaces: TTL {ttl_share:.0%}, "
         f"SNMPv3 {snmp_share:.0%}",
         f"- SNMPv3 vendor totals: {vendor_bits or 'none'}",
+        "",
+    ]
+
+
+def _data_quality_section(results) -> list[str]:
+    """Sanitizer outcome: anomalies and quarantines, per AS.
+
+    Rendered only when the sanitizer found something, so reports over
+    clean campaigns are unchanged.
+    """
+    rows = []
+    kind_totals: Counter = Counter()
+    for as_id in sorted(results):
+        analysis = results[as_id].analysis
+        if not analysis.anomalies and not analysis.traces_quarantined:
+            continue
+        counts = analysis.anomaly_counts()
+        kind_totals.update(counts)
+        rows.append(
+            [
+                f"AS#{as_id}",
+                analysis.traces_total,
+                analysis.traces_analyzed,
+                analysis.traces_quarantined,
+                len(analysis.anomalies),
+                sum(1 for a in analysis.anomalies if a.repaired),
+            ]
+        )
+    if not rows:
+        return []
+    kinds = ", ".join(
+        f"{kind}: {count}" for kind, count in kind_totals.most_common()
+    )
+    return [
+        "## Data quality (sanitization & quarantine)",
+        "",
+        _md_table(
+            ["AS", "Collected", "Analyzed", "Quarantined", "Anomalies",
+             "Repaired"],
+            rows,
+        ),
+        "",
+        f"- anomaly kinds: {kinds}",
         "",
     ]
 

@@ -18,7 +18,7 @@ reproducible artifacts, not Monte Carlo noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.validation import validate_against_truth
@@ -65,12 +65,16 @@ class DegradationLevel:
     """Scores for one fault intensity across the studied slice."""
 
     probe_loss: float
+    #: headline corruption intensity (0.0 on loss-axis sweeps)
+    corruption: float = 0.0
     per_flag: dict[Flag, FlagDegradation] = field(default_factory=dict)
     confirmed_detected: int = 0
     confirmed_total: int = 0
     failed_ases: int = 0
     counters: FaultCounters = field(default_factory=FaultCounters)
     retries: int = 0
+    #: traces the sanitizer quarantined at this level
+    quarantined: int = 0
 
     @property
     def cvr_false_positives(self) -> int:
@@ -95,13 +99,18 @@ class DegradationStudy:
     levels: list[DegradationLevel] = field(default_factory=list)
     as_ids: tuple[int, ...] = DEFAULT_SLICE
     seed: int = 1
+    #: what the sweep varies: "loss" (probe loss) or "corruption"
+    axis: str = "loss"
 
-    def level(self, probe_loss: float) -> DegradationLevel:
-        """Look up one swept intensity."""
+    def level(self, intensity: float) -> DegradationLevel:
+        """Look up one swept intensity (on the study's axis)."""
         for lvl in self.levels:
-            if lvl.probe_loss == probe_loss:
+            value = (
+                lvl.corruption if self.axis == "corruption" else lvl.probe_loss
+            )
+            if value == intensity:
                 return lvl
-        raise KeyError(f"no level with probe_loss={probe_loss}")
+        raise KeyError(f"no level with {self.axis}={intensity}")
 
 
 def _segment_keys(
@@ -149,17 +158,20 @@ def _score_level(
     probe_loss: float,
     report: CampaignReport,
     baseline_keys: dict[Flag, set[tuple]],
+    corruption: float = 0.0,
 ) -> DegradationLevel:
     level_keys = _segment_keys(report)
     totals = _flag_validation_totals(report)
     detected, total = _confirmed_detection(report)
     level = DegradationLevel(
         probe_loss=probe_loss,
+        corruption=corruption,
         confirmed_detected=detected,
         confirmed_total=total,
         failed_ases=len(report.failures),
         counters=report.fault_counters,
         retries=report.retry_accounting.retries,
+        quarantined=report.traces_quarantined,
     )
     for flag in Flag:
         base = baseline_keys[flag]
@@ -185,11 +197,18 @@ def degradation_study(
     icmp_rate_limit: float | None = None,
     snmp_timeout_rate: float = 0.0,
     retry: RetryPolicy | None = None,
+    corruption_levels: Sequence[float] | None = None,
+    stale_replay_rate: float = 0.0,
 ) -> DegradationStudy:
-    """Sweep probe-loss intensities and score the degradation per flag.
+    """Sweep fault intensities and score the degradation per flag.
 
-    The fault-free baseline is always computed (reusing the 0.0 level
-    when it is part of the sweep) and anchors every recall figure.
+    By default the sweep varies probe loss.  With ``corruption_levels``
+    set, it varies the corruption mix of :meth:`FaultPlan.corruption`
+    instead (``loss_levels`` is ignored); ``stale_replay_rate`` rides
+    along at a fixed rate to expose the semantic attack sanitization
+    cannot remove.  The fault-free baseline is always computed (reusing
+    the 0.0 level when it is part of the sweep) and anchors every
+    recall figure.
     """
     as_ids = tuple(as_ids)
     retry = retry or RetryPolicy.none()
@@ -204,7 +223,7 @@ def degradation_study(
         )
         return runner.run_portfolio(as_ids=list(as_ids))
 
-    def plan_for(loss: float) -> FaultPlan:
+    def plan_for_loss(loss: float) -> FaultPlan:
         plan = FaultPlan(
             probe_loss=loss,
             icmp_rate_limit=icmp_rate_limit,
@@ -213,23 +232,40 @@ def degradation_study(
         )
         return plan if plan.active else FaultPlan.none()
 
+    def plan_for_corruption(rate: float) -> FaultPlan:
+        plan = FaultPlan.corruption(rate, seed=seed)
+        if stale_replay_rate > 0.0:
+            plan = replace(plan, stale_replay_rate=stale_replay_rate)
+        return plan if plan.active else FaultPlan.none()
+
     baseline_report = run(FaultPlan.none())
     baseline_keys = _segment_keys(baseline_report)
 
-    study = DegradationStudy(as_ids=as_ids, seed=seed)
-    for loss in loss_levels:
-        plan = plan_for(loss)
-        report = baseline_report if not plan.active else run(plan)
-        study.levels.append(_score_level(loss, report, baseline_keys))
+    axis = "corruption" if corruption_levels is not None else "loss"
+    study = DegradationStudy(as_ids=as_ids, seed=seed, axis=axis)
+    if corruption_levels is not None:
+        for rate in corruption_levels:
+            plan = plan_for_corruption(rate)
+            report = baseline_report if not plan.active else run(plan)
+            study.levels.append(
+                _score_level(0.0, report, baseline_keys, corruption=rate)
+            )
+    else:
+        for loss in loss_levels:
+            plan = plan_for_loss(loss)
+            report = baseline_report if not plan.active else run(plan)
+            study.levels.append(_score_level(loss, report, baseline_keys))
     return study
 
 
 def render_degradation_table(study: DegradationStudy) -> str:
     """The degradation curves as a text table (one row per fault level)."""
     flags = [f for f in Flag]
+    corruption_axis = study.axis == "corruption"
     rows = []
     for level in study.levels:
-        row: list[object] = [f"{level.probe_loss:.0%}"]
+        intensity = level.corruption if corruption_axis else level.probe_loss
+        row: list[object] = [f"{intensity:.0%}"]
         for flag in flags:
             deg = level.per_flag[flag]
             row.append(f"{deg.recall:.2f}/{deg.precision:.2f}")
@@ -238,14 +274,16 @@ def render_degradation_table(study: DegradationStudy) -> str:
             f"{level.confirmed_detected}/{level.confirmed_total}"
         )
         row.append(level.retries)
+        row.append(level.quarantined)
         rows.append(tuple(row))
+    subject = "corruption" if corruption_axis else "probe loss"
     return format_table(
-        ["Loss"]
+        ["Corruption" if corruption_axis else "Loss"]
         + [f"{f.name} R/P" for f in flags]
-        + ["CVR FPs", "Confirmed", "Retries"],
+        + ["CVR FPs", "Confirmed", "Retries", "Quarantined"],
         rows,
         title=(
-            f"Degradation curves -- recall/precision per flag vs. probe "
-            f"loss (seed {study.seed}, ASes {list(study.as_ids)})"
+            f"Degradation curves -- recall/precision per flag vs. "
+            f"{subject} (seed {study.seed}, ASes {list(study.as_ids)})"
         ),
     )

@@ -11,13 +11,21 @@ without re-firing a single probe and produces a bit-identical report.
 The file embeds a config signature (seed, probing knobs, fault plan,
 retry policy); resuming under a different configuration raises
 :class:`CheckpointMismatchError` rather than silently mixing campaigns.
-Writes go through a temp file + atomic rename, so a run killed mid-write
-never corrupts the previously banked ASes.
+
+Since version 2 the on-disk format is JSONL: a header line (kind,
+version, config) followed by one line per banked AS.  Banking an AS
+appends a single line instead of rewriting the whole file, and a run
+killed mid-append at worst truncates the final line -- :meth:`load`
+salvages every intact line before the damage, logs what it discarded,
+and compacts the file, so ``--resume`` keeps working after a crash or
+a partially-synced copy.  Version-1 checkpoints (one JSON object) are
+still read transparently.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,7 +38,9 @@ from repro.netsim.vendors import Vendor
 from repro.util.retry import RetryAccounting
 
 _KIND = "arest-checkpoint"
-_VERSION = 1
+_VERSION = 2
+
+logger = logging.getLogger(__name__)
 
 
 class CheckpointMismatchError(ValueError):
@@ -120,6 +130,8 @@ class CampaignCheckpoint:
         self._path = Path(path)
         self._config = config
         self._entries: dict[int, CheckpointEntry] = {}
+        #: does the on-disk file hold exactly ``_entries`` in v2 form?
+        self._synced = False
 
     @property
     def path(self) -> Path:
@@ -134,43 +146,94 @@ class CampaignCheckpoint:
     def load(self) -> dict[int, CheckpointEntry]:
         """Read banked entries; missing file means a fresh start.
 
+        A truncated or garbled tail (crash mid-append, partial copy)
+        does not lose the campaign: every intact line before the first
+        damaged one is salvaged, the discard is logged, and the file is
+        compacted to the salvaged prefix so the next append starts from
+        a clean state.
+
         Raises :class:`CheckpointMismatchError` when the file was
         written under a different campaign configuration.
         """
         if not self._path.exists():
             return {}
         with self._path.open("r", encoding="utf-8") as fh:
-            record = json.load(fh)
-        if record.get("kind") != _KIND:
+            lines = fh.read().splitlines()
+        header_line = lines[0] if lines else ""
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise ValueError(
+                f"not an AReST checkpoint (unparseable header): "
+                f"{self._path}"
+            ) from None
+        if not isinstance(header, dict) or header.get("kind") != _KIND:
             raise ValueError(f"not an AReST checkpoint: {self._path}")
-        if record.get("config") != self._config:
+        if header.get("config") != self._config:
             raise CheckpointMismatchError(
                 f"checkpoint {self._path} was written by a different "
                 f"campaign configuration; delete it or rerun with the "
                 f"original settings"
             )
-        self._entries = {
-            int(as_id): _entry_from_json(entry)
-            for as_id, entry in record.get("completed", {}).items()
-        }
+        if "completed" in header:
+            # Legacy v1: the whole file is one JSON object.
+            self._entries = {
+                int(as_id): _entry_from_json(entry)
+                for as_id, entry in header.get("completed", {}).items()
+            }
+            self._flush()  # upgrade to v2 on the spot
+            return dict(self._entries)
+        self._entries = {}
+        salvaged = damaged = 0
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                as_id = int(record["as_id"])
+                entry = _entry_from_json(record["entry"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # First damaged line: everything after it is suspect
+                # too -- salvage the intact prefix and drop the rest.
+                damaged = len(lines) - lineno + 1
+                logger.warning(
+                    "checkpoint %s: line %d is damaged; salvaged %d "
+                    "banked AS(es), discarding %d trailing line(s)",
+                    self._path, lineno, salvaged, damaged,
+                )
+                break
+            self._entries[as_id] = entry
+            salvaged += 1
+        if damaged:
+            self._flush()  # compact away the damaged tail
+        else:
+            self._synced = True
         return dict(self._entries)
 
     def record(self, as_id: int, entry: CheckpointEntry) -> None:
-        """Bank one completed AS and atomically rewrite the file."""
+        """Bank one completed AS.
+
+        Appends one line when the file is already in sync (the common
+        mid-campaign case); otherwise atomically rewrites the whole
+        file first.
+        """
+        replacing = self._synced and as_id in self._entries
         self._entries[as_id] = entry
-        self._flush()
+        if self._synced and not replacing:
+            line = json.dumps({"as_id": as_id, "entry": _entry_to_json(entry)})
+            with self._path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        else:
+            self._flush()
 
     def _flush(self) -> None:
-        record = {
-            "kind": _KIND,
-            "version": _VERSION,
-            "config": self._config,
-            "completed": {
-                str(as_id): _entry_to_json(entry)
-                for as_id, entry in self._entries.items()
-            },
-        }
+        """Atomically rewrite header + one line per banked AS."""
+        header = {"kind": _KIND, "version": _VERSION, "config": self._config}
         tmp = self._path.with_suffix(self._path.suffix + ".tmp")
         with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(record, fh)
+            fh.write(json.dumps(header) + "\n")
+            for as_id, entry in self._entries.items():
+                record = {"as_id": as_id, "entry": _entry_to_json(entry)}
+                fh.write(json.dumps(record) + "\n")
         os.replace(tmp, self._path)
+        self._synced = True

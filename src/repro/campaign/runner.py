@@ -86,6 +86,16 @@ class AsCampaignResult:
         """The Table 5 identifier of the probed AS."""
         return self.spec.as_id
 
+    @property
+    def traces_quarantined(self) -> int:
+        """Traces the sanitizer withheld from this AS's analysis."""
+        return self.analysis.traces_quarantined
+
+    @property
+    def anomalies(self):
+        """Structured sanitizer anomaly records for this AS."""
+        return self.analysis.anomalies
+
     def router_count(self) -> int:
         """Distinct routers behind the observed interfaces, per the
         alias resolution (the paper reports both views: "103 distinct IP
@@ -136,6 +146,10 @@ class CampaignReport(Mapping):
         self.retry_accounting = RetryAccounting()
         #: ASes restored from a checkpoint instead of re-measured
         self.resumed_as_ids: list[int] = []
+        #: traces the sanitizer quarantined across all completed ASes
+        self.traces_quarantined = 0
+        #: sanitizer anomaly tallies by kind across all completed ASes
+        self.anomaly_counts: dict[str, int] = {}
 
     # -- Mapping protocol over the successful results --------------------------
 
@@ -155,6 +169,11 @@ class CampaignReport(Mapping):
         self._results[result.as_id] = result
         self.fault_counters.merge(result.fault_counters)
         self.retry_accounting.merge(result.retry_accounting)
+        self.traces_quarantined += result.analysis.traces_quarantined
+        for kind, count in result.analysis.anomaly_counts().items():
+            self.anomaly_counts[kind] = (
+                self.anomaly_counts.get(kind, 0) + count
+            )
         if resumed:
             self.resumed_as_ids.append(result.as_id)
 
@@ -186,6 +205,13 @@ class CampaignReport(Mapping):
             )
         if self.retry_accounting.retries:
             parts.append(f"{self.retry_accounting.retries} retries")
+        if self.traces_quarantined:
+            parts.append(
+                f"{self.traces_quarantined} trace(s) quarantined"
+            )
+        anomalies = sum(self.anomaly_counts.values())
+        if anomalies:
+            parts.append(f"{anomalies} trace anomalies")
         return ", ".join(parts)
 
 
@@ -433,6 +459,14 @@ class CampaignRunner:
             asn_of=bdrmap.asn_of_hop,
             segment_sink=sink,
         )
+        # Data-quality accounting rides on the dataset so quarantined
+        # traces stay visible wherever the raw data travels.  Clean runs
+        # add nothing, keeping fault-free datasets byte-identical.
+        if analysis.anomalies:
+            dataset.metadata["trace_anomalies"] = str(len(analysis.anomalies))
+            dataset.metadata["traces_quarantined"] = str(
+                analysis.traces_quarantined
+            )
         truth = self._ground_truth(spec, dataset)
         resolver = AliasResolver(
             net.network,

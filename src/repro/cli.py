@@ -117,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="L1,L2,...",
         help="comma-separated probe-loss intensities to sweep",
     )
+    degradation.add_argument(
+        "--corruption",
+        default=None,
+        metavar="C1,C2,...",
+        help=(
+            "sweep trace-corruption intensities instead of probe loss "
+            "(comma-separated rates for FaultPlan.corruption)"
+        ),
+    )
+    degradation.add_argument(
+        "--stale-replay",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help=(
+            "fixed stale-label replay rate riding along a --corruption "
+            "sweep (the semantic attack sanitization cannot remove)"
+        ),
+    )
     degradation.add_argument("--vps", type=int, default=3, dest="vps_per_as")
     degradation.add_argument(
         "--targets", type=int, default=15, dest="targets_per_as"
@@ -265,12 +284,19 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
     levels = tuple(
         float(level) for level in args.loss_levels.split(",") if level
     )
+    corruption_levels = None
+    if args.corruption is not None:
+        corruption_levels = tuple(
+            float(level) for level in args.corruption.split(",") if level
+        )
     study = degradation_study(
         loss_levels=levels,
         seed=args.seed,
         vps_per_as=args.vps_per_as,
         targets_per_as=args.targets_per_as,
         retry=RetryPolicy(max_attempts=args.retries),
+        corruption_levels=corruption_levels,
+        stale_replay_rate=args.stale_replay,
     )
     print(render_degradation_table(study))
     return 0

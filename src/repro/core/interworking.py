@@ -151,7 +151,8 @@ def refine_areas_for_interworking(
             if segment.flag is Flag.LSO:
                 for i in segment.hop_indices:
                     refined[i] = HopArea.SR
-    for _ in range(2):  # two passes so adjacent fixes can propagate
+    while True:  # iterate to a fixed point so adjacent fixes propagate
+        before = list(refined)
         # Same-label adoption: an unflagged labeled hop whose active
         # label (sequence-)matches an SR hop in the same contiguous
         # non-IP run carries the same segment -- the CO run merely broke
@@ -204,6 +205,8 @@ def refine_areas_for_interworking(
                 and _top_matches_neighbor_inner(trace, i, i - 1)
             ):
                 refined[i] = HopArea.SR
+        if refined == before:  # monotone MPLS->SR, so this terminates
+            break
     return refined
 
 

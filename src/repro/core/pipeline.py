@@ -24,6 +24,7 @@ from repro.core.segments import DetectedSegment
 from repro.fingerprint.records import Fingerprint
 from repro.netsim.addressing import IPv4Address
 from repro.probing.records import Trace, TraceHop
+from repro.probing.sanitize import TraceAnomaly, TraceSanitizer
 from repro.probing.tunnels import TunnelType, classify_tunnels
 
 AsnLookup = Callable[[TraceHop], int | None]
@@ -36,6 +37,10 @@ class AsAnalysis:
     asn: int
     traces_total: int = 0
     traces_in_as: int = 0
+    #: traces the sanitizer withheld from analysis (never silently dropped)
+    traces_quarantined: int = 0
+    #: every structural anomaly the sanitizer found (repaired or not)
+    anomalies: list[TraceAnomaly] = field(default_factory=list)
     #: every detected segment occurrence (trace-level)
     segments: list[DetectedSegment] = field(default_factory=list)
     #: distinct segments per flag (Table 3 counts distinct segments)
@@ -61,6 +66,20 @@ class AsAnalysis:
     consecutive_runs: int = 0
 
     # -- derived metrics -----------------------------------------------------
+
+    @property
+    def traces_analyzed(self) -> int:
+        """Traces that actually reached detection.
+
+        The reconciliation invariant: ``traces_analyzed +
+        traces_quarantined == traces_total`` (the collected count).
+        """
+        return self.traces_total - self.traces_quarantined
+
+    def anomaly_counts(self) -> dict[str, int]:
+        """Anomaly tallies by kind (data-quality reporting)."""
+        counts = Counter(a.kind.value for a in self.anomalies)
+        return dict(counts)
 
     def flag_counts(self) -> dict[Flag, int]:
         """Distinct segments per flag."""
@@ -140,6 +159,7 @@ class ArestPipeline:
         fingerprints: Mapping[IPv4Address, Fingerprint] | FingerprintLookup,
         asn_of: AsnLookup | None = None,
         segment_sink: list[tuple[Trace, list[DetectedSegment]]] | None = None,
+        sanitizer: TraceSanitizer | None = None,
     ) -> AsAnalysis:
         """Analyze every trace, keeping only hops inside ``asn``.
 
@@ -147,9 +167,17 @@ class ArestPipeline:
         by default the hop's ``truth_asn`` is used, which corresponds to a
         perfect annotator.  ``segment_sink``, when given, receives every
         (trace, segments) pair for downstream validation.
+
+        Every trace is sanitized before detection (lenient policy by
+        default; pass a configured :class:`TraceSanitizer` to change
+        it): repairable structural defects are fixed and recorded,
+        unresolvable ones quarantine the trace -- counted, never
+        silently dropped.  Well-formed traces pass through unchanged.
         """
         if asn_of is None:
             asn_of = _truth_asn
+        if sanitizer is None:
+            sanitizer = TraceSanitizer()
         analysis = AsAnalysis(asn=asn)
         for flag in Flag:
             analysis.distinct_segments[flag] = set()
@@ -160,6 +188,12 @@ class ArestPipeline:
 
         for trace in traces:
             analysis.traces_total += 1
+            sanitized = sanitizer.sanitize(trace)
+            analysis.anomalies.extend(sanitized.anomalies)
+            if sanitized.trace is None:
+                analysis.traces_quarantined += 1
+                continue
+            trace = sanitized.trace
             indices_in_as = [
                 i for i, hop in enumerate(trace.hops) if in_as(hop)
             ]

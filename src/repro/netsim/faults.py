@@ -15,6 +15,27 @@ gaps are the norm.  This module models those impairments as a seeded
 - **SNMP timeouts** -- a router's SNMPv3 fingerprint lookup times out,
   modelling gaps in the frozen public dataset.
 
+Beyond loss, the plan models *corruption* of what a vantage point
+records -- the mangled RFC 4950 extensions, bogus reply TTLs, off-path
+spoofed replies and mid-trace path churn real campaigns see:
+
+- **stack suppression/truncation/garbling** -- a reply's quoted label
+  stack is stripped entirely, cut down to its top entry, or has its top
+  label replaced with a hash-derived 20-bit value;
+- **stale-label replay** -- a hop quotes the *previous* hop's stack
+  (a middlebox echoing cached extension bytes);
+- **reply-TTL perturbation** -- the reply IP TTL shifts by a
+  hash-derived delta, poisoning TTL fingerprinting;
+- **off-path spoofed replies** -- the reply's source address is
+  replaced by a martian (``240.0.0.0/4``) spoofer address;
+- **duplicated / reordered hops** -- a recorded hop appears twice, or
+  two adjacent records swap;
+- **mid-trace rerouting** -- the effective flow identifier churns past
+  a hash-derived pivot TTL, defeating Paris flow pinning.
+
+The injector only *decides* corruption faults; applying them to trace
+records is the probing layer's job (netsim must not import probing).
+
 All draws hash stable keys (:func:`repro.util.determinism.unit_hash`),
 so a fixed plan replays the exact same fault schedule, and
 :meth:`FaultPlan.none` -- the default everywhere -- injects nothing at
@@ -31,7 +52,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-from repro.util.determinism import unit_hash
+from repro.netsim.mpls import FIRST_UNRESERVED_LABEL, MAX_LABEL
+from repro.util.determinism import int_hash, unit_hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,11 +73,46 @@ class FaultPlan:
     blackout_window: int = 256
     #: probability a router's SNMPv3 lookup times out (dataset gap)
     snmp_timeout_rate: float = 0.0
+    #: probability a quoted stack is stripped from a reply (RFC 4950
+    #: extension lost in transit)
+    stack_suppress_rate: float = 0.0
+    #: probability a quoted stack is truncated to its top entry
+    stack_truncate_rate: float = 0.0
+    #: probability a quoted top label is replaced by a garbled value
+    label_garble_rate: float = 0.0
+    #: probability a hop replays the previous hop's quoted stack
+    stale_replay_rate: float = 0.0
+    #: probability a reply IP TTL shifts by a hash-derived delta
+    ttl_perturb_rate: float = 0.0
+    #: probability a reply's source address is spoofed off-path
+    spoof_rate: float = 0.0
+    #: probability a recorded hop is duplicated in the trace
+    duplicate_hop_rate: float = 0.0
+    #: probability two adjacent recorded hops swap places
+    reorder_rate: float = 0.0
+    #: probability a trace reroutes mid-path (flow churn past a pivot)
+    reroute_rate: float = 0.0
     #: seed for every fault draw (independent of the campaign seed)
     seed: int = 0
 
+    _CORRUPTION_RATES = (
+        "stack_suppress_rate",
+        "stack_truncate_rate",
+        "label_garble_rate",
+        "stale_replay_rate",
+        "ttl_perturb_rate",
+        "spoof_rate",
+        "duplicate_hop_rate",
+        "reorder_rate",
+        "reroute_rate",
+    )
+
     def __post_init__(self) -> None:
-        for name in ("probe_loss", "blackout_rate", "snmp_timeout_rate"):
+        for name in (
+            "probe_loss",
+            "blackout_rate",
+            "snmp_timeout_rate",
+        ) + self._CORRUPTION_RATES:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
@@ -71,6 +128,36 @@ class FaultPlan:
         """The fault-free plan (the default everywhere)."""
         return cls()
 
+    @classmethod
+    def corruption(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A representative corruption mix at headline intensity ``rate``.
+
+        The headline rate drives label garbling (the acceptance subject);
+        the structural classes ride at half intensity and the trace-shape
+        classes at a quarter.  Stale-label replay is deliberately *not*
+        part of the mix: a replayed stack is byte-identical to the
+        adjacent-identical-stack signal genuine uniform-mode SR tunnels
+        produce, so no sanitizer can remove it without destroying real
+        evidence -- sweep ``stale_replay_rate`` explicitly to study that
+        semantic attack.
+        """
+        return cls(
+            label_garble_rate=rate,
+            stack_suppress_rate=rate / 2,
+            stack_truncate_rate=rate / 2,
+            ttl_perturb_rate=rate / 2,
+            spoof_rate=rate / 4,
+            duplicate_hop_rate=rate / 4,
+            reorder_rate=rate / 4,
+            reroute_rate=rate / 4,
+            seed=seed,
+        )
+
+    @property
+    def corruption_active(self) -> bool:
+        """True when any corruption fault class can fire."""
+        return any(getattr(self, name) > 0.0 for name in self._CORRUPTION_RATES)
+
     @property
     def active(self) -> bool:
         """True when the plan can inject at least one fault."""
@@ -79,6 +166,7 @@ class FaultPlan:
             or self.icmp_rate_limit is not None
             or self.blackout_rate > 0.0
             or self.snmp_timeout_rate > 0.0
+            or self.corruption_active
         )
 
     def as_dict(self) -> dict:
@@ -96,6 +184,15 @@ class FaultCounters:
     blackout_drops: int = 0
     snmp_timeouts: int = 0
     reveal_losses: int = 0
+    stacks_suppressed: int = 0
+    stacks_truncated: int = 0
+    labels_garbled: int = 0
+    stale_replays: int = 0
+    ttls_perturbed: int = 0
+    replies_spoofed: int = 0
+    hops_duplicated: int = 0
+    hops_reordered: int = 0
+    traces_rerouted: int = 0
 
     def merge(self, other: "FaultCounters") -> None:
         """Accumulate another counter set into this one."""
@@ -103,6 +200,20 @@ class FaultCounters:
             setattr(
                 self, f.name, getattr(self, f.name) + getattr(other, f.name)
             )
+
+    def corruption_faults(self) -> int:
+        """Injected corruption events (stack/TTL/address/order faults)."""
+        return (
+            self.stacks_suppressed
+            + self.stacks_truncated
+            + self.labels_garbled
+            + self.stale_replays
+            + self.ttls_perturbed
+            + self.replies_spoofed
+            + self.hops_duplicated
+            + self.hops_reordered
+            + self.traces_rerouted
+        )
 
     def total_faults(self) -> int:
         """Every injected fault (everything but ``probes_sent``)."""
@@ -112,6 +223,7 @@ class FaultCounters:
             + self.blackout_drops
             + self.snmp_timeouts
             + self.reveal_losses
+            + self.corruption_faults()
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -222,6 +334,150 @@ class FaultInjector:
             self.counters.reveal_losses += 1
             return True
         return False
+
+    # -- corruption (decisions only; the probing layer applies them) -------------
+
+    def stack_suppressed(self, flow_id: int, dest: object, ttl: int) -> bool:
+        """Should this hop's quoted stack be stripped entirely?"""
+        if self._plan.stack_suppress_rate <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "suppress", *self._scope, flow_id, dest, ttl
+        )
+        if draw < self._plan.stack_suppress_rate:
+            self.counters.stacks_suppressed += 1
+            return True
+        return False
+
+    def stack_truncated(self, flow_id: int, dest: object, ttl: int) -> bool:
+        """Should this hop's quoted stack lose its inner entries?"""
+        if self._plan.stack_truncate_rate <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "truncate", *self._scope, flow_id, dest, ttl
+        )
+        if draw < self._plan.stack_truncate_rate:
+            self.counters.stacks_truncated += 1
+            return True
+        return False
+
+    def garbled_label(
+        self, flow_id: int, dest: object, ttl: int, label: int
+    ) -> int | None:
+        """A garbled replacement for the hop's top label, or None.
+
+        The replacement is a hash-derived unreserved 20-bit value,
+        guaranteed to differ from the original.
+        """
+        if self._plan.label_garble_rate <= 0.0:
+            return None
+        draw = unit_hash(
+            self._plan.seed, "garble", *self._scope, flow_id, dest, ttl
+        )
+        if draw >= self._plan.label_garble_rate:
+            return None
+        span = MAX_LABEL + 1 - FIRST_UNRESERVED_LABEL
+        offset = int_hash(
+            self._plan.seed, "garble-value", *self._scope, flow_id, dest, ttl
+        ) % span
+        garbled = FIRST_UNRESERVED_LABEL + offset
+        if garbled == label:
+            garbled = FIRST_UNRESERVED_LABEL + (offset + 1) % span
+        self.counters.labels_garbled += 1
+        return garbled
+
+    def stale_replayed(self, flow_id: int, dest: object, ttl: int) -> bool:
+        """Should this hop replay the previous hop's quoted stack?"""
+        if self._plan.stale_replay_rate <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "replay", *self._scope, flow_id, dest, ttl
+        )
+        if draw < self._plan.stale_replay_rate:
+            self.counters.stale_replays += 1
+            return True
+        return False
+
+    def ttl_perturbation(self, flow_id: int, dest: object, ttl: int) -> int:
+        """A signed reply-TTL delta (0 when the hop is unperturbed)."""
+        if self._plan.ttl_perturb_rate <= 0.0:
+            return 0
+        draw = unit_hash(
+            self._plan.seed, "ttl-perturb", *self._scope, flow_id, dest, ttl
+        )
+        if draw >= self._plan.ttl_perturb_rate:
+            return 0
+        word = int_hash(
+            self._plan.seed, "ttl-delta", *self._scope, flow_id, dest, ttl
+        )
+        magnitude = 1 + word % 64
+        self.counters.ttls_perturbed += 1
+        return -magnitude if (word >> 8) % 2 else magnitude
+
+    def spoofed_source(
+        self, flow_id: int, dest: object, ttl: int
+    ) -> int | None:
+        """A martian (240.0.0.0/4) spoofer address value, or None."""
+        if self._plan.spoof_rate <= 0.0:
+            return None
+        draw = unit_hash(
+            self._plan.seed, "spoof", *self._scope, flow_id, dest, ttl
+        )
+        if draw >= self._plan.spoof_rate:
+            return None
+        host = int_hash(
+            self._plan.seed, "spoof-addr", *self._scope, flow_id, dest, ttl
+        ) % (1 << 28)
+        self.counters.replies_spoofed += 1
+        return 0xF0000000 | host
+
+    def hop_duplicated(self, flow_id: int, dest: object, ttl: int) -> bool:
+        """Should this recorded hop appear twice in the trace?"""
+        if self._plan.duplicate_hop_rate <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "duplicate", *self._scope, flow_id, dest, ttl
+        )
+        if draw < self._plan.duplicate_hop_rate:
+            self.counters.hops_duplicated += 1
+            return True
+        return False
+
+    def hops_swapped(self, flow_id: int, dest: object, position: int) -> bool:
+        """Should the records at ``position`` and ``position + 1`` swap?"""
+        if self._plan.reorder_rate <= 0.0:
+            return False
+        draw = unit_hash(
+            self._plan.seed, "reorder", *self._scope, flow_id, dest, position
+        )
+        if draw < self._plan.reorder_rate:
+            self.counters.hops_reordered += 1
+            return True
+        return False
+
+    def rerouted_flow(
+        self, flow_id: int, dest: object, max_ttl: int
+    ) -> tuple[int, int] | None:
+        """Mid-trace reroute: ``(pivot_ttl, new_flow_id)`` or None.
+
+        Probes at or beyond the pivot TTL forward under the new flow
+        identifier, modelling path churn Paris pinning cannot suppress.
+        """
+        if self._plan.reroute_rate <= 0.0:
+            return None
+        draw = unit_hash(
+            self._plan.seed, "reroute", *self._scope, flow_id, dest
+        )
+        if draw >= self._plan.reroute_rate:
+            return None
+        pivot = 2 + int_hash(
+            self._plan.seed, "reroute-pivot", *self._scope, flow_id, dest
+        ) % max(1, max_ttl - 2)
+        shift = 1 + int_hash(
+            self._plan.seed, "reroute-flow", *self._scope, flow_id, dest
+        ) % (2**16 - 1)
+        self.counters.traces_rerouted += 1
+        return pivot, (flow_id + shift) % 2**16
 
     # -- control plane ----------------------------------------------------------
 

@@ -7,6 +7,14 @@ taxonomy (explicit / implicit / opaque / invisible).
 """
 
 from repro.probing.records import QuotedLse, Trace, TraceHop
+from repro.probing.sanitize import (
+    AnomalyKind,
+    SanitizePolicy,
+    SanitizeResult,
+    TraceAnomaly,
+    TraceSanitizationError,
+    TraceSanitizer,
+)
 from repro.probing.traceroute import ParisTraceroute
 from repro.probing.tnt import TntProber
 from repro.probing.tunnels import ObservedTunnel, TunnelType, classify_tunnels
@@ -15,6 +23,12 @@ __all__ = [
     "QuotedLse",
     "Trace",
     "TraceHop",
+    "AnomalyKind",
+    "SanitizePolicy",
+    "SanitizeResult",
+    "TraceAnomaly",
+    "TraceSanitizationError",
+    "TraceSanitizer",
     "ParisTraceroute",
     "TntProber",
     "ObservedTunnel",

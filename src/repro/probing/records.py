@@ -27,6 +27,8 @@ class QuotedLse:
     def __post_init__(self) -> None:
         if not 0 <= self.label < 2**20:
             raise ValueError(f"label out of range: {self.label}")
+        if not 0 <= self.tc <= 7:
+            raise ValueError(f"LSE-TC out of range: {self.tc}")
         if not 0 <= self.ttl <= 255:
             raise ValueError(f"LSE-TTL out of range: {self.ttl}")
 

@@ -1,0 +1,443 @@
+"""Trace sanitization: structural validation, repair and quarantine.
+
+Every trace passes through a :class:`TraceSanitizer` before detection.
+The checks mirror what a careful measurement pipeline can verify without
+ground truth:
+
+- **field ranges** -- quoted labels fit 20 bits, TC fits 3 bits,
+  LSE-TTLs and reply IP TTLs fit 8 bits (a reply TTL of 0 or > 255 is
+  physically impossible);
+- **bottom-of-stack structure** -- a quoted stack sets the S-bit exactly
+  once, on its last entry (RFC 3032);
+- **martian sources** -- replies sourced from reserved address space
+  (0/8, 127/8, 224/4, 240/4) cannot come from an on-path router;
+- **destination quoted stacks** -- a port-unreachable/echo reply from
+  the destination never carries an RFC 4950 extension;
+- **probe-TTL order** -- recorded hops are non-decreasing in probe TTL
+  (TNT-revealed hops legitimately share their anchor's TTL);
+- **duplicates** -- the same probe TTL answered twice: byte-identical
+  records are deduplicated, *conflicting* records are unresolvable.
+
+Under :attr:`SanitizePolicy.LENIENT` (the default) every repairable
+anomaly is fixed in place and recorded as a :class:`TraceAnomaly`;
+traces with unresolvable anomalies -- or more repairs than the budget
+allows -- are *quarantined* (``SanitizeResult.trace is None``) rather
+than silently dropped.  :attr:`SanitizePolicy.STRICT` raises
+:class:`TraceSanitizationError` on the first anomaly instead.
+
+A well-formed trace sanitizes to the *same object* with no anomalies,
+so the default-on sanitizer leaves clean campaigns byte-identical
+(property-tested in ``tests/test_sanitize_properties.py``).
+
+What sanitization deliberately does **not** attempt: removing
+stale-label replay.  In uniform-mode SR tunnels adjacent hops genuinely
+quote identical ``[label, ttl=1]`` stacks -- that *is* the CVR/CO
+signal -- so a replayed stack is observationally indistinguishable from
+real evidence and any filter would destroy true detections.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.netsim.addressing import IPv4Address
+from repro.probing.records import QuotedLse, Trace, TraceHop
+
+_MAX_LABEL = 2**20 - 1
+_MAX_TC = 7
+_MAX_TTL = 255
+
+#: (base, mask) pairs of source ranges no on-path router can own
+_MARTIAN_RANGES = (
+    (0x00000000, 0xFF000000),  # 0.0.0.0/8        "this network"
+    (0x7F000000, 0xFF000000),  # 127.0.0.0/8      loopback
+    (0xE0000000, 0xF0000000),  # 224.0.0.0/4      multicast
+    (0xF0000000, 0xF0000000),  # 240.0.0.0/4      reserved
+)
+
+
+def is_martian(address: IPv4Address) -> bool:
+    """True when no on-path router could legitimately own ``address``."""
+    return any(
+        address.value & mask == base for base, mask in _MARTIAN_RANGES
+    )
+
+
+class SanitizePolicy(enum.Enum):
+    """What to do when a trace fails validation."""
+
+    #: raise :class:`TraceSanitizationError` on the first anomaly
+    STRICT = "strict"
+    #: repair what is safely repairable, quarantine the rest
+    LENIENT = "lenient"
+
+
+class AnomalyKind(enum.Enum):
+    """Structural defect classes a trace can exhibit."""
+
+    LSE_FIELD_RANGE = "lse-field-range"
+    REPLY_TTL_RANGE = "reply-ttl-range"
+    BAD_BOTTOM_OF_STACK = "bad-bottom-of-stack"
+    MARTIAN_SOURCE = "martian-source"
+    DESTINATION_QUOTED_STACK = "destination-quoted-stack"
+    NON_MONOTONIC_TTL = "non-monotonic-ttl"
+    DUPLICATE_HOP = "duplicate-hop"
+    CONFLICTING_HOPS = "conflicting-hops"
+    TRAILING_HOPS = "trailing-hops"
+    REACHED_MISMATCH = "reached-mismatch"
+    REPAIR_BUDGET_EXCEEDED = "repair-budget-exceeded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class TraceAnomaly:
+    """One structured record of a defect found (and possibly repaired)."""
+
+    kind: AnomalyKind
+    vp: str
+    destination: str
+    flow_id: int
+    probe_ttl: int | None
+    detail: str
+    repaired: bool
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (reports, checkpoint metadata)."""
+        return {
+            "kind": self.kind.value,
+            "vp": self.vp,
+            "destination": self.destination,
+            "flow_id": self.flow_id,
+            "probe_ttl": self.probe_ttl,
+            "detail": self.detail,
+            "repaired": self.repaired,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceAnomaly":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            kind=AnomalyKind(record["kind"]),
+            vp=record["vp"],
+            destination=record["destination"],
+            flow_id=int(record["flow_id"]),
+            probe_ttl=(
+                int(record["probe_ttl"])
+                if record.get("probe_ttl") is not None
+                else None
+            ),
+            detail=record.get("detail", ""),
+            repaired=bool(record["repaired"]),
+        )
+
+
+class TraceSanitizationError(ValueError):
+    """Strict-policy failure: the offending anomaly rides along."""
+
+    def __init__(self, anomaly: TraceAnomaly) -> None:
+        super().__init__(
+            f"trace {anomaly.vp} -> {anomaly.destination}: "
+            f"{anomaly.kind.value} ({anomaly.detail})"
+        )
+        self.anomaly = anomaly
+
+
+@dataclass(slots=True)
+class SanitizeResult:
+    """Outcome of sanitizing one trace."""
+
+    #: the (possibly repaired) trace, or None when quarantined
+    trace: Trace | None
+    anomalies: list[TraceAnomaly] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> bool:
+        """True when the trace was withheld from analysis."""
+        return self.trace is None
+
+
+class TraceSanitizer:
+    """Validates, repairs and quarantines traces before detection."""
+
+    def __init__(
+        self,
+        policy: SanitizePolicy = SanitizePolicy.LENIENT,
+        max_repairs_per_trace: int = 8,
+    ) -> None:
+        if max_repairs_per_trace < 1:
+            raise ValueError("max_repairs_per_trace must be >= 1")
+        self._policy = policy
+        self._max_repairs = max_repairs_per_trace
+
+    @property
+    def policy(self) -> SanitizePolicy:
+        """The active strictness policy."""
+        return self._policy
+
+    def sanitize(self, trace: Trace) -> SanitizeResult:
+        """Validate one trace; identity on well-formed input."""
+        anomalies: list[TraceAnomaly] = []
+        hops = list(trace.hops)
+        changed = False
+
+        for i, hop in enumerate(hops):
+            fixed = self._sanitize_hop(trace, hop, anomalies)
+            if fixed is not hop:
+                hops[i] = fixed
+                changed = True
+
+        ttls = [h.probe_ttl for h in hops]
+        if any(b < a for a, b in zip(ttls, ttls[1:])):
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.NON_MONOTONIC_TTL,
+                None,
+                "probe TTLs decrease; restored by stable sort",
+            )
+            hops.sort(key=lambda h: h.probe_ttl)
+            changed = True
+
+        deduped, conflict = self._dedupe(trace, hops, anomalies)
+        if conflict:
+            return SanitizeResult(trace=None, anomalies=anomalies)
+        if len(deduped) != len(hops):
+            changed = True
+        hops = deduped
+
+        hops, truncated = self._truncate_after_destination(
+            trace, hops, anomalies
+        )
+        changed = changed or truncated
+
+        reached = any(h.destination_reply for h in hops)
+        if reached != trace.reached:
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.REACHED_MISMATCH,
+                None,
+                f"reached={trace.reached} but destination replies "
+                f"say {reached}",
+            )
+            changed = True
+
+        if not anomalies:
+            return SanitizeResult(trace=trace)
+
+        repairs = sum(1 for a in anomalies if a.repaired)
+        if repairs > self._max_repairs:
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.REPAIR_BUDGET_EXCEEDED,
+                None,
+                f"{repairs} repairs exceed the budget of "
+                f"{self._max_repairs}",
+                repaired=False,
+            )
+            return SanitizeResult(trace=None, anomalies=anomalies)
+
+        sanitized = trace
+        if changed:
+            sanitized = trace.with_hops(tuple(hops))
+        if reached != trace.reached:
+            sanitized = Trace(
+                vp=sanitized.vp,
+                vp_router_id=sanitized.vp_router_id,
+                destination=sanitized.destination,
+                flow_id=sanitized.flow_id,
+                hops=sanitized.hops,
+                reached=reached,
+            )
+        return SanitizeResult(trace=sanitized, anomalies=anomalies)
+
+    # -- per-hop checks ----------------------------------------------------------
+
+    def _sanitize_hop(
+        self,
+        trace: Trace,
+        hop: TraceHop,
+        anomalies: list[TraceAnomaly],
+    ) -> TraceHop:
+        if hop.reply_ip_ttl is not None and not (
+            1 <= hop.reply_ip_ttl <= _MAX_TTL
+        ):
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.REPLY_TTL_RANGE,
+                hop.probe_ttl,
+                f"reply IP TTL {hop.reply_ip_ttl} impossible; cleared",
+            )
+            hop = hop.with_annotation(reply_ip_ttl=None)
+        if hop.lses:
+            hop = self._sanitize_stack(trace, hop, anomalies)
+        if hop.address is not None and is_martian(hop.address):
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.MARTIAN_SOURCE,
+                hop.probe_ttl,
+                f"reply sourced from martian {hop.address}; "
+                f"hop blanked to unresponsive",
+            )
+            hop = hop.with_annotation(
+                address=None,
+                rtt_ms=None,
+                reply_ip_ttl=None,
+                lses=None,
+                destination_reply=False,
+            )
+        if hop.destination_reply and hop.lses:
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.DESTINATION_QUOTED_STACK,
+                hop.probe_ttl,
+                "destination reply quotes a label stack; stack stripped",
+            )
+            hop = hop.with_annotation(lses=None)
+        return hop
+
+    def _sanitize_stack(
+        self,
+        trace: Trace,
+        hop: TraceHop,
+        anomalies: list[TraceAnomaly],
+    ) -> TraceHop:
+        assert hop.lses is not None
+        for entry in hop.lses:
+            if not (
+                0 <= entry.label <= _MAX_LABEL
+                and 0 <= entry.tc <= _MAX_TC
+                and 0 <= entry.ttl <= _MAX_TTL
+            ):
+                self._note(
+                    anomalies,
+                    trace,
+                    AnomalyKind.LSE_FIELD_RANGE,
+                    hop.probe_ttl,
+                    f"LSE fields out of range ({entry.label}, "
+                    f"{entry.tc}, {entry.ttl}); stack stripped",
+                )
+                return hop.with_annotation(lses=None)
+        expected = tuple(
+            i == len(hop.lses) - 1 for i in range(len(hop.lses))
+        )
+        actual = tuple(e.bottom_of_stack for e in hop.lses)
+        if actual != expected:
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.BAD_BOTTOM_OF_STACK,
+                hop.probe_ttl,
+                "bottom-of-stack bit not set exactly once on the last "
+                "entry; flags rebuilt",
+            )
+            return hop.with_annotation(
+                lses=tuple(
+                    QuotedLse(
+                        label=e.label,
+                        tc=e.tc,
+                        bottom_of_stack=bottom,
+                        ttl=e.ttl,
+                    )
+                    for e, bottom in zip(hop.lses, expected)
+                )
+            )
+        return hop
+
+    # -- cross-hop checks --------------------------------------------------------
+
+    def _dedupe(
+        self,
+        trace: Trace,
+        hops: list[TraceHop],
+        anomalies: list[TraceAnomaly],
+    ) -> tuple[list[TraceHop], bool]:
+        """Collapse identical duplicate probe TTLs; flag conflicts.
+
+        TNT-revealed hops share their anchor's probe TTL by design and
+        are exempt.  Two *different* answers for the same probe TTL are
+        unresolvable without ground truth: the trace is quarantined.
+        """
+        out: list[TraceHop] = []
+        last_real: TraceHop | None = None
+        for hop in hops:
+            if (
+                not hop.tnt_revealed
+                and last_real is not None
+                and hop.probe_ttl == last_real.probe_ttl
+            ):
+                if hop == last_real:
+                    self._note(
+                        anomalies,
+                        trace,
+                        AnomalyKind.DUPLICATE_HOP,
+                        hop.probe_ttl,
+                        "identical duplicate record dropped",
+                    )
+                    continue
+                self._note(
+                    anomalies,
+                    trace,
+                    AnomalyKind.CONFLICTING_HOPS,
+                    hop.probe_ttl,
+                    "two different answers for one probe TTL; "
+                    "trace quarantined",
+                    repaired=False,
+                )
+                return out, True
+            out.append(hop)
+            if not hop.tnt_revealed:
+                last_real = hop
+        return out, False
+
+    def _truncate_after_destination(
+        self,
+        trace: Trace,
+        hops: list[TraceHop],
+        anomalies: list[TraceAnomaly],
+    ) -> tuple[list[TraceHop], bool]:
+        first = next(
+            (i for i, h in enumerate(hops) if h.destination_reply), None
+        )
+        if first is None or first == len(hops) - 1:
+            return hops, False
+        self._note(
+            anomalies,
+            trace,
+            AnomalyKind.TRAILING_HOPS,
+            hops[first].probe_ttl,
+            f"{len(hops) - first - 1} hop(s) recorded after the "
+            f"destination reply; truncated",
+        )
+        return hops[: first + 1], True
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _note(
+        self,
+        anomalies: list[TraceAnomaly],
+        trace: Trace,
+        kind: AnomalyKind,
+        probe_ttl: int | None,
+        detail: str,
+        repaired: bool = True,
+    ) -> None:
+        anomaly = TraceAnomaly(
+            kind=kind,
+            vp=trace.vp,
+            destination=str(trace.destination),
+            flow_id=trace.flow_id,
+            probe_ttl=probe_ttl,
+            detail=detail,
+            repaired=repaired,
+        )
+        if self._policy is SanitizePolicy.STRICT:
+            raise TraceSanitizationError(anomaly)
+        anomalies.append(anomaly)

@@ -12,6 +12,7 @@ something to look at without pretending to model queueing.
 from __future__ import annotations
 
 from repro.netsim.addressing import IPv4Address
+from repro.netsim.faults import FaultInjector
 from repro.netsim.forwarding import ForwardingEngine, ProbeReply, ReplyKind
 from repro.probing.records import QuotedLse, Trace, TraceHop
 from repro.util.determinism import unit_hash
@@ -70,12 +71,22 @@ class ParisTraceroute:
         (vp, destination) as Paris traceroute derives it from the tuple."""
         if flow_id is None:
             flow_id = int(unit_hash("flow", vp_router_id, destination) * 2**16)
+        faults = self._engine.faults
+        corrupting = faults is not None and faults.plan.corruption_active
+        reroute = (
+            faults.rerouted_flow(flow_id, destination, self._max_ttl)
+            if corrupting
+            else None
+        )
         hops: list[TraceHop] = []
         reached = False
         stars = 0
         for ttl in range(1, self._max_ttl + 1):
+            probe_flow = flow_id
+            if reroute is not None and ttl >= reroute[0]:
+                probe_flow = reroute[1]
             reply = self._probe_with_retries(
-                vp_router_id, destination, ttl, flow_id
+                vp_router_id, destination, ttl, probe_flow
             )
             if reply is None:
                 hops.append(TraceHop(probe_ttl=ttl, address=None))
@@ -85,12 +96,21 @@ class ParisTraceroute:
                 continue
             stars = 0
             is_destination = reply.kind is not ReplyKind.TIME_EXCEEDED
-            hops.append(
-                self._hop_from_reply(ttl, reply, flow_id, is_destination)
-            )
+            hop = self._hop_from_reply(ttl, reply, flow_id, is_destination)
+            if corrupting:
+                hop = self._corrupt_hop(
+                    hop,
+                    hops[-1].lses if hops else None,
+                    faults,
+                    flow_id,
+                    destination,
+                )
+            hops.append(hop)
             if is_destination:
                 reached = True
                 break
+        if corrupting:
+            hops = self._corrupt_order(hops, faults, flow_id, destination)
         return Trace(
             vp=vp_name or f"vp{vp_router_id}",
             vp_router_id=vp_router_id,
@@ -149,3 +169,88 @@ class ParisTraceroute:
             destination_reply=is_destination,
             truth_router_id=reply.truth_router_id,
         )
+
+    # -- corruption application (decisions live in the fault injector) -----------
+
+    @staticmethod
+    def _corrupt_hop(
+        hop: TraceHop,
+        prev_lses: tuple[QuotedLse, ...] | None,
+        faults: FaultInjector,
+        flow_id: int,
+        destination: IPv4Address,
+    ) -> TraceHop:
+        """Apply per-hop corruption faults to one recorded reply.
+
+        Decisions are keyed on ``(flow, destination, probe TTL)`` so the
+        schedule is independent of call order; only applicable faults
+        draw, keeping counters equal to applied corruptions.
+        """
+        ttl = hop.probe_ttl
+        if prev_lses and faults.stale_replayed(flow_id, destination, ttl):
+            hop = hop.with_annotation(lses=prev_lses)
+        if hop.lses and faults.stack_suppressed(flow_id, destination, ttl):
+            hop = hop.with_annotation(lses=None)
+        if (
+            hop.lses
+            and len(hop.lses) > 1
+            and faults.stack_truncated(flow_id, destination, ttl)
+        ):
+            # the kept top entry retains bottom_of_stack=False: exactly
+            # the structural wound the sanitizer detects and repairs
+            hop = hop.with_annotation(lses=(hop.lses[0],))
+        if hop.lses:
+            garbled = faults.garbled_label(
+                flow_id, destination, ttl, hop.lses[0].label
+            )
+            if garbled is not None:
+                top = hop.lses[0]
+                hop = hop.with_annotation(
+                    lses=(
+                        QuotedLse(
+                            label=garbled,
+                            tc=top.tc,
+                            bottom_of_stack=top.bottom_of_stack,
+                            ttl=top.ttl,
+                        ),
+                    )
+                    + hop.lses[1:]
+                )
+        if hop.reply_ip_ttl is not None:
+            delta = faults.ttl_perturbation(flow_id, destination, ttl)
+            if delta:
+                hop = hop.with_annotation(
+                    reply_ip_ttl=hop.reply_ip_ttl + delta
+                )
+        if hop.responded:
+            spoofed = faults.spoofed_source(flow_id, destination, ttl)
+            if spoofed is not None:
+                hop = hop.with_annotation(
+                    address=IPv4Address(spoofed), truth_router_id=None
+                )
+        return hop
+
+    @staticmethod
+    def _corrupt_order(
+        hops: list[TraceHop],
+        faults: FaultInjector,
+        flow_id: int,
+        destination: IPv4Address,
+    ) -> list[TraceHop]:
+        """Duplicate and reorder recorded hops per the fault plan."""
+        duplicated: list[TraceHop] = []
+        for hop in hops:
+            duplicated.append(hop)
+            if faults.hop_duplicated(flow_id, destination, hop.probe_ttl):
+                duplicated.append(hop)
+        i = 0
+        while i < len(duplicated) - 1:
+            if faults.hops_swapped(flow_id, destination, i):
+                duplicated[i], duplicated[i + 1] = (
+                    duplicated[i + 1],
+                    duplicated[i],
+                )
+                i += 2
+            else:
+                i += 1
+        return duplicated

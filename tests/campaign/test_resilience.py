@@ -1,5 +1,7 @@
 """Resilient portfolio execution: error isolation, checkpoint/resume."""
 
+import json
+
 import pytest
 
 from repro.campaign.checkpoint import CampaignCheckpoint, CheckpointMismatchError
@@ -115,6 +117,16 @@ class TestCheckpointResume:
         with pytest.raises(ValueError):
             store.load()
 
+    def test_checkpoint_file_is_jsonl(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        _runner().run_portfolio(as_ids=[46, 27], checkpoint=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + one line per AS
+        header = json.loads(lines[0])
+        assert header["kind"] == "arest-checkpoint"
+        assert header["version"] == 2
+        assert {json.loads(line)["as_id"] for line in lines[1:]} == {46, 27}
+
     def test_failed_as_is_retried_on_resume(self, tmp_path):
         path = tmp_path / "campaign.ckpt.json"
         partial = _runner().run_portfolio(
@@ -127,3 +139,85 @@ class TestCheckpointResume:
         # 46 restores from the bank; 9999 is attempted (and fails) again
         assert resumed.resumed_as_ids == [46]
         assert 9999 in resumed.failures
+
+
+class TestCheckpointSalvage:
+    """A damaged checkpoint loses at most its damaged tail."""
+
+    def _bank_two(self, path) -> None:
+        _runner().run_portfolio(as_ids=[46, 27], checkpoint=path)
+
+    def test_truncated_mid_json_salvages_prefix(self, tmp_path, caplog):
+        path = tmp_path / "campaign.ckpt.json"
+        self._bank_two(path)
+        text = path.read_text()
+        # Cut the file in the middle of the last banked AS's JSON line.
+        cut = text.rstrip("\n").rfind('"as_id"')
+        path.write_text(text[: cut + 20])
+
+        store = CampaignCheckpoint(path, _runner()._config_signature())
+        with caplog.at_level("WARNING", logger="repro.campaign.checkpoint"):
+            entries = store.load()
+        assert list(entries) == [46]  # first AS survives intact
+        assert any("salvaged 1" in r.message for r in caplog.records)
+        # The file was compacted: a second load is clean and identical.
+        caplog.clear()
+        entries_again = CampaignCheckpoint(
+            path, _runner()._config_signature()
+        ).load()
+        assert list(entries_again) == [46]
+        assert not caplog.records
+
+    def test_garbled_line_discards_suffix(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        self._bank_two(path)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"as_id": 46, "entry": NOT JSON'
+        path.write_text("\n".join(lines) + "\n")
+
+        entries = CampaignCheckpoint(
+            path, _runner()._config_signature()
+        ).load()
+        # Line 2 is damaged, so line 3 (AS 27) is suspect and dropped.
+        assert entries == {}
+
+    def test_resume_after_truncation_reruns_lost_as(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        uninterrupted = _runner().run_portfolio(as_ids=[46, 27])
+        self._bank_two(path)
+        text = path.read_text()
+        path.write_text(text[: text.rstrip("\n").rfind("{") + 10])
+
+        resumed = _runner().run_portfolio(
+            as_ids=[46, 27], checkpoint=path, resume=True
+        )
+        assert resumed.resumed_as_ids == [46]
+        assert sorted(resumed) == [27, 46]
+        for as_id in uninterrupted:
+            assert (
+                resumed[as_id].analysis.flag_counts()
+                == uninterrupted[as_id].analysis.flag_counts()
+            )
+
+    def test_legacy_v1_checkpoint_still_loads(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        self._bank_two(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        header, entries = lines[0], lines[1:]
+        v1 = dict(header, version=1)
+        v1["completed"] = {
+            str(e["as_id"]): e["entry"] for e in entries
+        }
+        path.write_text(json.dumps(v1))
+
+        loaded = CampaignCheckpoint(path, _runner()._config_signature()).load()
+        assert sorted(loaded) == [27, 46]
+        # And the file was upgraded to v2 JSONL in place.
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["version"] == 2
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ValueError, match="not an AReST checkpoint"):
+            CampaignCheckpoint(path, {"seed": 1}).load()

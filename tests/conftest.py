@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.netsim.addressing import IPv4Address
@@ -16,6 +18,15 @@ from repro.probing.records import QuotedLse, Trace, TraceHop
 
 TARGET_ASN = 65_001
 VP_ASN = 64_900
+
+
+def scaled_examples(default: int) -> int:
+    """Hypothesis example budget for ``@settings(max_examples=...)``.
+
+    Local runs keep the fast default; CI's dedicated property-test job
+    multiplies every budget via ``AREST_HYPOTHESIS_SCALE``.
+    """
+    return default * max(1, int(os.environ.get("AREST_HYPOTHESIS_SCALE", "1")))
 
 
 class ChainNetwork:

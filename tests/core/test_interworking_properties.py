@@ -10,7 +10,7 @@ from repro.core.interworking import (
     refine_areas_for_interworking,
 )
 
-from tests.conftest import make_hop, make_trace
+from tests.conftest import make_hop, make_trace, scaled_examples
 
 areas = st.lists(
     st.sampled_from([HopArea.SR, HopArea.MPLS, HopArea.IP]),
@@ -56,7 +56,7 @@ def test_mode_matches_cloud_sequence(sequence):
 label_pools = st.sampled_from([16_005, 16_007, 771_001, 662_002])
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled_examples(60), deadline=None)
 @given(
     st.lists(
         st.tuples(label_pools, st.booleans()),
@@ -84,7 +84,7 @@ def test_refinement_never_downgrades_sr(hop_specs):
             assert a is HopArea.IP
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled_examples(60), deadline=None)
 @given(
     st.lists(
         st.tuples(label_pools, st.booleans()),

@@ -15,6 +15,15 @@ class TestQuotedLse:
         with pytest.raises(ValueError):
             QuotedLse(label=1, tc=0, bottom_of_stack=True, ttl=300)
 
+    def test_tc_is_three_bits(self):
+        # The TC field (RFC 5462) is 3 bits; 8 used to slip through.
+        with pytest.raises(ValueError):
+            QuotedLse(label=1, tc=8, bottom_of_stack=True, ttl=1)
+        with pytest.raises(ValueError):
+            QuotedLse(label=1, tc=-1, bottom_of_stack=True, ttl=1)
+        lse = QuotedLse(label=1, tc=7, bottom_of_stack=True, ttl=1)
+        assert lse.tc == 7
+
     def test_str(self):
         lse = QuotedLse(label=16_005, tc=0, bottom_of_stack=True, ttl=1)
         assert "16005" in str(lse)

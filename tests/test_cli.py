@@ -116,6 +116,33 @@ class TestTestbedCommand:
         assert "all five flags isolated" in out
 
 
+class TestDegradationCommand:
+    ARGS = ["degradation", "--vps", "1", "--targets", "4", "--seed", "3"]
+
+    def test_loss_sweep(self, capsys):
+        assert main(self.ARGS + ["--loss-levels", "0,0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Degradation curves" in out
+        assert "probe loss" in out
+        assert "Loss" in out and "CVR R/P" in out
+        assert "0%" in out and "10%" in out
+
+    def test_corruption_sweep(self, capsys):
+        assert main(self.ARGS + ["--corruption", "0,0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Degradation curves" in out
+        assert "vs. corruption" in out
+        assert "Corruption" in out and "Quarantined" in out
+        assert "0%" in out and "10%" in out
+
+    def test_corruption_sweep_with_stale_replay(self, capsys):
+        assert main(
+            self.ARGS + ["--corruption", "0.1", "--stale-replay", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs. corruption" in out
+
+
 class TestPortfolioCommand:
     def test_small_portfolio_summary(self, capsys):
         assert main(

@@ -10,6 +10,8 @@ from hypothesis import given, settings, strategies as st
 from repro.campaign.runner import CampaignRunner
 from repro.netsim.faults import FaultInjector, FaultPlan
 
+from tests.conftest import scaled_examples
+
 _CAMPAIGN_ASES = (7, 27, 46)
 
 
@@ -20,7 +22,7 @@ def _dataset_bytes(dataset) -> bytes:
         return path.read_bytes()
 
 
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=scaled_examples(8), deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=50),
     as_id=st.sampled_from(_CAMPAIGN_ASES),
@@ -45,21 +47,32 @@ def test_none_plan_is_byte_identical_to_no_plan(seed, as_id, vps, targets):
     assert with_plan.fault_counters.total_faults() == 0
 
 
+_rate = st.floats(min_value=0.0, max_value=1.0)
+
 fault_plans = st.builds(
     FaultPlan,
-    probe_loss=st.floats(min_value=0.0, max_value=1.0),
+    probe_loss=_rate,
     icmp_rate_limit=st.one_of(
         st.none(), st.floats(min_value=0.0, max_value=2.0)
     ),
     icmp_burst=st.integers(min_value=1, max_value=16),
-    blackout_rate=st.floats(min_value=0.0, max_value=1.0),
+    blackout_rate=_rate,
     blackout_window=st.integers(min_value=1, max_value=64),
-    snmp_timeout_rate=st.floats(min_value=0.0, max_value=1.0),
+    snmp_timeout_rate=_rate,
+    stack_suppress_rate=_rate,
+    stack_truncate_rate=_rate,
+    label_garble_rate=_rate,
+    stale_replay_rate=_rate,
+    ttl_perturb_rate=_rate,
+    spoof_rate=_rate,
+    duplicate_hop_rate=_rate,
+    reorder_rate=_rate,
+    reroute_rate=_rate,
     seed=st.integers(min_value=0, max_value=1000),
 )
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=scaled_examples(40), deadline=None)
 @given(plan=fault_plans, scope=st.integers(min_value=0, max_value=99))
 def test_fault_schedule_replays_exactly(plan, scope):
     """Two injectors with the same plan and scope make identical
@@ -68,13 +81,23 @@ def test_fault_schedule_replays_exactly(plan, scope):
     def run(injector: FaultInjector) -> list:
         decisions = []
         for i in range(60):
+            flow, dest, ttl = i % 5, f"10.0.0.{i % 8}", i % 30
             decisions.append(
                 (
-                    injector.probe_lost(i % 5, f"10.0.0.{i % 8}", i % 30, 0),
+                    injector.probe_lost(flow, dest, ttl, 0),
                     injector.blacked_out(i % 4),
                     injector.allow_icmp(i % 3),
                     injector.snmp_timeout(i % 6),
-                    injector.reveal_lost(i % 5, ("lse", i % 7), 1),
+                    injector.reveal_lost(flow, ("lse", i % 7), 1),
+                    injector.stack_suppressed(flow, dest, ttl),
+                    injector.stack_truncated(flow, dest, ttl),
+                    injector.garbled_label(flow, dest, ttl, 16_000 + i),
+                    injector.stale_replayed(flow, dest, ttl),
+                    injector.ttl_perturbation(flow, dest, ttl),
+                    injector.spoofed_source(flow, dest, ttl),
+                    injector.hop_duplicated(flow, dest, ttl),
+                    injector.hops_swapped(flow, dest, i),
+                    injector.rerouted_flow(flow, dest, 30),
                 )
             )
             injector.on_probe()
@@ -89,3 +112,16 @@ def test_fault_schedule_replays_exactly(plan, scope):
         json.loads(json.dumps(a.counters.as_dict()))
     )
     assert restored == a.counters
+
+
+@settings(max_examples=scaled_examples(20), deadline=None)
+@given(plan=fault_plans)
+def test_garbled_labels_stay_in_range_and_differ(plan):
+    """A garbled label is always a valid, different unreserved label."""
+    injector = FaultInjector(plan, "as", 1)
+    for i in range(40):
+        original = 16_000 + i * 37
+        garbled = injector.garbled_label(i % 5, f"10.0.1.{i % 9}", i, original)
+        if garbled is not None:
+            assert 16 <= garbled < 2**20
+            assert garbled != original

@@ -7,6 +7,8 @@ mapping-server stitching, and detection confined to real SR hops.
 
 from hypothesis import given, settings, strategies as st
 
+from tests.conftest import scaled_examples
+
 from repro.core.detector import ArestDetector
 from repro.core.flags import SEQUENCE_FLAGS
 from repro.netsim.forwarding import ForwardingEngine, ReplyKind
@@ -70,7 +72,7 @@ hybrid_cases = st.tuples(
 )
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=scaled_examples(50), deadline=None)
 @given(hybrid_cases)
 def test_hybrid_always_delivers(case):
     length, frac, sr_first, propagate, seed = case
@@ -83,7 +85,7 @@ def test_hybrid_always_delivers(case):
     assert reply.kind is ReplyKind.DEST_UNREACHABLE
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=scaled_examples(50), deadline=None)
 @given(hybrid_cases)
 def test_hybrid_planes_never_interleave(case):
     """Once the transport switched protocols it never switches back on
@@ -105,7 +107,7 @@ def test_hybrid_planes_never_interleave(case):
     assert switches <= 1
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=scaled_examples(50), deadline=None)
 @given(hybrid_cases)
 def test_hybrid_consecutive_flags_only_on_sr(case):
     length, frac, sr_first, propagate, seed = case

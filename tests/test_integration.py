@@ -177,6 +177,61 @@ class TestOpaqueEligibility:
         assert counts[Flag.CVR] + counts[Flag.CO] == 0
 
 
+class TestQuarantineAccounting:
+    """Quarantined traces are counted everywhere, never silently lost."""
+
+    def test_reconciliation_invariant_clean(self, small_portfolio_results):
+        for as_id, result in small_portfolio_results.items():
+            analysis = result.analysis
+            assert (
+                analysis.traces_analyzed + analysis.traces_quarantined
+                == analysis.traces_total
+            ), as_id
+            assert analysis.traces_quarantined == 0, as_id
+
+    def test_reconciliation_invariant_under_corruption(self):
+        from repro.analysis.markdown_report import render_markdown_report
+        from repro.netsim.faults import FaultPlan
+
+        runner = CampaignRunner(
+            seed=1,
+            vps_per_as=2,
+            targets_per_as=10,
+            fault_plan=FaultPlan.corruption(0.25, seed=1),
+        )
+        report = runner.run_portfolio(as_ids=[15, 46])
+        total = analyzed = quarantined = 0
+        for as_id in report:
+            analysis = report[as_id].analysis
+            assert (
+                analysis.traces_analyzed + analysis.traces_quarantined
+                == analysis.traces_total
+            ), as_id
+            assert analysis.traces_total == len(report[as_id].dataset.traces)
+            total += analysis.traces_total
+            analyzed += analysis.traces_analyzed
+            quarantined += analysis.traces_quarantined
+        assert analyzed + quarantined == total
+        # corruption at 25% must actually exercise the sanitizer
+        anomalies = sum(len(report[i].analysis.anomalies) for i in report)
+        assert anomalies > 0
+        # ...and the accounting surfaces in the campaign-level report
+        assert report.traces_quarantined == quarantined
+        assert sum(report.anomaly_counts.values()) == anomalies
+        if quarantined:
+            assert f"{quarantined} trace(s) quarantined" in report.summary()
+        markdown = render_markdown_report(report.results)
+        assert "Data quality" in markdown
+
+    def test_clean_report_has_no_data_quality_section(
+        self, small_portfolio_results
+    ):
+        from repro.analysis.markdown_report import render_markdown_report
+
+        markdown = render_markdown_report(small_portfolio_results.results)
+        assert "Data quality" not in markdown
+
+
 @pytest.mark.slow
 class TestFullSixtyAsSweep:
     def test_all_sixty_ases_run(self):

@@ -1,0 +1,121 @@
+"""Property tests: default-on sanitization never perturbs clean
+campaigns, and corrupted campaigns replay deterministically."""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.runner import CampaignRunner
+from repro.netsim.faults import FaultPlan
+from repro.probing.sanitize import TraceSanitizer
+
+from tests.conftest import scaled_examples
+
+_CAMPAIGN_ASES = (27, 46)
+
+_trace_cache: dict[int, list] = {}
+
+
+def _campaign_traces(as_id: int) -> list:
+    """Traces from one clean campaign run (cached; runs are expensive)."""
+    if as_id not in _trace_cache:
+        result = CampaignRunner(
+            seed=3, vps_per_as=2, targets_per_as=8
+        ).run_as(as_id)
+        _trace_cache[as_id] = list(result.dataset)
+    return _trace_cache[as_id]
+
+
+def _dataset_bytes(dataset) -> bytes:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dataset.jsonl"
+        dataset.dump_jsonl(path)
+        return path.read_bytes()
+
+
+@settings(max_examples=scaled_examples(30), deadline=None)
+@given(
+    as_id=st.sampled_from(_CAMPAIGN_ASES),
+    index=st.integers(min_value=0, max_value=10_000),
+)
+def test_sanitizer_is_identity_on_clean_campaign_traces(as_id, index):
+    """Every well-formed trace sanitizes to the *same object* with no
+    anomalies -- the pass-through that keeps clean runs byte-identical."""
+    traces = _campaign_traces(as_id)
+    trace = traces[index % len(traces)]
+    result = TraceSanitizer().sanitize(trace)
+    assert result.trace is trace
+    assert result.anomalies == []
+
+
+@settings(max_examples=scaled_examples(6), deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    as_id=st.sampled_from(_CAMPAIGN_ASES),
+)
+def test_clean_campaign_has_no_anomalies(seed, as_id):
+    """With no corruption injected, the default-on sanitizer stays
+    invisible: nothing flagged, nothing quarantined, every trace
+    analyzed."""
+    result = CampaignRunner(
+        seed=seed, vps_per_as=2, targets_per_as=6
+    ).run_as(as_id)
+    analysis = result.analysis
+    assert analysis.anomalies == []
+    assert analysis.traces_quarantined == 0
+    assert analysis.traces_analyzed == analysis.traces_total
+    assert "trace_anomalies" not in result.dataset.metadata
+
+
+@settings(max_examples=scaled_examples(5), deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    rate=st.floats(min_value=0.01, max_value=0.30),
+)
+def test_corrupted_campaign_replays_byte_identical(seed, rate):
+    """The corruption schedule is part of the deterministic contract:
+    the same plan and seed reproduce the same corrupted dataset, the
+    same fault counters and the same quarantine decisions."""
+
+    def run():
+        return CampaignRunner(
+            seed=seed,
+            vps_per_as=2,
+            targets_per_as=6,
+            fault_plan=FaultPlan.corruption(rate, seed=seed),
+        ).run_as(46)
+
+    a, b = run(), run()
+    assert _dataset_bytes(a.dataset) == _dataset_bytes(b.dataset)
+    assert a.fault_counters == b.fault_counters
+    assert a.analysis.flag_counts() == b.analysis.flag_counts()
+    assert a.analysis.traces_quarantined == b.analysis.traces_quarantined
+    assert a.analysis.anomaly_counts() == b.analysis.anomaly_counts()
+
+
+@settings(max_examples=scaled_examples(5), deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    rate=st.floats(min_value=0.05, max_value=0.40),
+    as_id=st.sampled_from(_CAMPAIGN_ASES),
+)
+def test_quarantine_reconciliation_under_corruption(seed, rate, as_id):
+    """No trace is silently dropped: analyzed + quarantined always
+    reconciles with collected, at any corruption intensity."""
+    result = CampaignRunner(
+        seed=seed,
+        vps_per_as=2,
+        targets_per_as=6,
+        fault_plan=FaultPlan.corruption(rate, seed=seed),
+    ).run_as(as_id)
+    analysis = result.analysis
+    assert (
+        analysis.traces_analyzed + analysis.traces_quarantined
+        == analysis.traces_total
+    )
+    assert analysis.traces_total == len(result.dataset.traces)
+    if analysis.traces_quarantined:
+        assert result.dataset.metadata["traces_quarantined"] == str(
+            analysis.traces_quarantined
+        )
