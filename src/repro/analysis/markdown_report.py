@@ -52,6 +52,7 @@ def render_markdown_report(
         raise ValueError("no campaign results to report on")
     sections = [f"# {title}", ""]
     sections += _headline_section(results)
+    sections += _execution_section(results)
     sections += _flags_section(results)
     sections += _deployment_section(results)
     sections += _interworking_section(results)
@@ -82,6 +83,38 @@ def _headline_section(results) -> list[str]:
         f"{headline.unconfirmed_lso_dominated} of them LSO-dominated",
         "",
     ]
+
+
+def _execution_section(results) -> list[str]:
+    """Execution-plane incidents: failures, quarantines, interrupts.
+
+    Rendered only for a :class:`~repro.campaign.runner.CampaignReport`
+    that actually recorded incidents, so reports over clean runs (or
+    plain result dicts) are unchanged.
+    """
+    failures = getattr(results, "failures", {})
+    quarantined = getattr(results, "quarantined", {})
+    interrupted = getattr(results, "interrupted", False)
+    if not failures and not quarantined and not interrupted:
+        return []
+    lines = ["## Execution incidents", ""]
+    if interrupted:
+        lines.append(
+            "- **run interrupted** (SIGINT/SIGTERM): partial report; "
+            "resume from the checkpoint to complete it"
+        )
+    for failure in failures.values():
+        lines.append(
+            f"- AS#{failure.as_id} failed during {failure.stage}: "
+            f"{failure.error}"
+        )
+    for quarantine in quarantined.values():
+        lines.append(
+            f"- AS#{quarantine.as_id} quarantined ({quarantine.reason} "
+            f"after {quarantine.attempts} attempts): {quarantine.detail}"
+        )
+    lines.append("")
+    return lines
 
 
 def _flags_section(results) -> list[str]:

@@ -15,10 +15,21 @@ from repro.campaign.checkpoint import (
     CampaignCheckpoint,
     CheckpointEntry,
     CheckpointMismatchError,
+    FailureStub,
+    QuarantineStub,
+)
+from repro.campaign.executor import (
+    ExecutionResult,
+    GracefulShutdown,
+    Quarantine,
+    SupervisedExecutor,
+    TaskOutcome,
+    TaskStatus,
 )
 from repro.campaign.runner import (
     AsCampaignResult,
     AsFailure,
+    AsQuarantine,
     CampaignReport,
     CampaignRunner,
 )
@@ -30,9 +41,18 @@ __all__ = [
     "PrefixPreservingAnonymizer",
     "AsCampaignResult",
     "AsFailure",
+    "AsQuarantine",
     "CampaignReport",
     "CampaignRunner",
     "CampaignCheckpoint",
     "CheckpointEntry",
     "CheckpointMismatchError",
+    "FailureStub",
+    "QuarantineStub",
+    "ExecutionResult",
+    "GracefulShutdown",
+    "Quarantine",
+    "SupervisedExecutor",
+    "TaskOutcome",
+    "TaskStatus",
 ]

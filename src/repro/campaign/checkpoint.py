@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -35,10 +34,11 @@ from repro.fingerprint.records import Fingerprint, FingerprintMethod
 from repro.netsim.addressing import IPv4Address
 from repro.netsim.faults import FaultCounters
 from repro.netsim.vendors import Vendor
+from repro.util.atomicio import atomic_writer, durable_append
 from repro.util.retry import RetryAccounting
 
 _KIND = "arest-checkpoint"
-_VERSION = 2
+_VERSION = 3
 
 logger = logging.getLogger(__name__)
 
@@ -55,6 +55,71 @@ class CheckpointEntry:
     fingerprints: dict[IPv4Address, Fingerprint]
     fault_counters: FaultCounters = field(default_factory=FaultCounters)
     retry_accounting: RetryAccounting = field(default_factory=RetryAccounting)
+
+
+@dataclass(slots=True)
+class FailureStub:
+    """Banked record of one AS that failed deterministically mid-stage.
+
+    Carries the fault/retry tallies the AS had already incurred when it
+    failed, so a resumed run folds in exactly the same partial cost and
+    reproduces the original report without re-running the failure.
+    """
+
+    stage: str
+    error: str
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
+    retry_accounting: RetryAccounting = field(default_factory=RetryAccounting)
+
+    def as_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "error": self.error,
+            "fault_counters": self.fault_counters.as_dict(),
+            "retry_accounting": self.retry_accounting.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FailureStub":
+        return cls(
+            stage=str(record["stage"]),
+            error=str(record["error"]),
+            fault_counters=FaultCounters.from_dict(
+                record.get("fault_counters", {})
+            ),
+            retry_accounting=RetryAccounting.from_dict(
+                record.get("retry_accounting", {})
+            ),
+        )
+
+
+@dataclass(slots=True)
+class QuarantineStub:
+    """Banked record of a poison AS (deadline/crash circuit breaker).
+
+    Resume restores the quarantine instead of re-dispatching: an AS
+    that hung or killed its worker twice has proven itself poisonous.
+    Delete the checkpoint (or drop the line) to force a re-attempt.
+    """
+
+    reason: str
+    attempts: int
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "QuarantineStub":
+        return cls(
+            reason=str(record["reason"]),
+            attempts=int(record["attempts"]),
+            detail=str(record.get("detail", "")),
+        )
 
 
 def _fingerprint_to_json(address: IPv4Address, fp: Fingerprint) -> dict:
@@ -123,14 +188,30 @@ def _entry_from_json(record: dict) -> CheckpointEntry:
     )
 
 
+#: discriminator key -> codec for each banked record kind
+_RECORD_KINDS = {
+    "entry": (_entry_to_json, _entry_from_json),
+    "failure": (FailureStub.as_dict, FailureStub.from_dict),
+    "quarantine": (QuarantineStub.as_dict, QuarantineStub.from_dict),
+}
+
+
 class CampaignCheckpoint:
-    """One checkpoint file bound to one campaign configuration."""
+    """One checkpoint file bound to one campaign configuration.
+
+    Besides successful entries the file banks *failure stubs* (an AS
+    that errored mid-stage, with its partial fault/retry tallies) and
+    *quarantine stubs* (an AS whose worker hung or crashed past its
+    re-dispatch budget), so a resumed run reproduces the original
+    report exactly instead of re-running known-bad ASes.
+    """
 
     def __init__(self, path: str | Path, config: dict) -> None:
         self._path = Path(path)
         self._config = config
-        self._entries: dict[int, CheckpointEntry] = {}
-        #: does the on-disk file hold exactly ``_entries`` in v2 form?
+        #: as_id -> (record kind, decoded object), in banking order
+        self._records: dict[int, tuple[str, object]] = {}
+        #: does the on-disk file hold exactly ``_records`` in JSONL form?
         self._synced = False
 
     @property
@@ -139,9 +220,35 @@ class CampaignCheckpoint:
         return self._path
 
     @property
+    def _entries(self) -> dict[int, CheckpointEntry]:
+        return {
+            as_id: obj
+            for as_id, (kind, obj) in self._records.items()
+            if kind == "entry"
+        }
+
+    @property
     def completed_as_ids(self) -> list[int]:
-        """ASes banked so far, in completion order."""
+        """ASes banked successfully so far, in completion order."""
         return list(self._entries)
+
+    @property
+    def banked_failures(self) -> dict[int, FailureStub]:
+        """Failure stubs banked so far (populated by :meth:`load`)."""
+        return {
+            as_id: obj
+            for as_id, (kind, obj) in self._records.items()
+            if kind == "failure"
+        }
+
+    @property
+    def banked_quarantines(self) -> dict[int, QuarantineStub]:
+        """Quarantine stubs banked so far (populated by :meth:`load`)."""
+        return {
+            as_id: obj
+            for as_id, (kind, obj) in self._records.items()
+            if kind == "quarantine"
+        }
 
     def load(self) -> dict[int, CheckpointEntry]:
         """Read banked entries; missing file means a fresh start.
@@ -177,13 +284,13 @@ class CampaignCheckpoint:
             )
         if "completed" in header:
             # Legacy v1: the whole file is one JSON object.
-            self._entries = {
-                int(as_id): _entry_from_json(entry)
+            self._records = {
+                int(as_id): ("entry", _entry_from_json(entry))
                 for as_id, entry in header.get("completed", {}).items()
             }
-            self._flush()  # upgrade to v2 on the spot
+            self._flush()  # upgrade to JSONL on the spot
             return dict(self._entries)
-        self._entries = {}
+        self._records = {}
         salvaged = damaged = 0
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
@@ -191,8 +298,17 @@ class CampaignCheckpoint:
             try:
                 record = json.loads(line)
                 as_id = int(record["as_id"])
-                entry = _entry_from_json(record["entry"])
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                kind = next(
+                    k for k in _RECORD_KINDS if k in record
+                )
+                obj = _RECORD_KINDS[kind][1](record[kind])
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                StopIteration,
+                TypeError,
+                ValueError,
+            ):
                 # First damaged line: everything after it is suspect
                 # too -- salvage the intact prefix and drop the rest.
                 damaged = len(lines) - lineno + 1
@@ -202,7 +318,7 @@ class CampaignCheckpoint:
                     self._path, lineno, salvaged, damaged,
                 )
                 break
-            self._entries[as_id] = entry
+            self._records[as_id] = (kind, obj)
             salvaged += 1
         if damaged:
             self._flush()  # compact away the damaged tail
@@ -211,29 +327,62 @@ class CampaignCheckpoint:
         return dict(self._entries)
 
     def record(self, as_id: int, entry: CheckpointEntry) -> None:
-        """Bank one completed AS.
+        """Bank one completed AS."""
+        self._bank(as_id, "entry", entry)
 
-        Appends one line when the file is already in sync (the common
-        mid-campaign case); otherwise atomically rewrites the whole
-        file first.
+    def record_failure(self, as_id: int, stub: FailureStub) -> None:
+        """Bank one deterministic per-AS failure with its partial tallies."""
+        self._bank(as_id, "failure", stub)
+
+    def record_quarantine(self, as_id: int, stub: QuarantineStub) -> None:
+        """Bank one circuit-broken AS so resume does not re-dispatch it."""
+        self._bank(as_id, "quarantine", stub)
+
+    def _bank(self, as_id: int, kind: str, obj: object) -> None:
+        """Durably append one record (or rewrite when out of sync).
+
+        Appends are flushed and fsynced before returning, so a crash
+        after :meth:`record` returns can never lose the banked AS; a
+        crash *during* the append at worst truncates the final line,
+        which :meth:`load` salvages.
         """
-        replacing = self._synced and as_id in self._entries
-        self._entries[as_id] = entry
+        replacing = self._synced and as_id in self._records
+        self._records[as_id] = (kind, obj)
         if self._synced and not replacing:
-            line = json.dumps({"as_id": as_id, "entry": _entry_to_json(entry)})
-            with self._path.open("a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+            encode = _RECORD_KINDS[kind][0]
+            line = json.dumps({"as_id": as_id, kind: encode(obj)})
+            durable_append(self._path, line + "\n")
         else:
             self._flush()
+
+    def compact(self, order: list[int] | None = None) -> None:
+        """Atomically rewrite the file, optionally in canonical order.
+
+        ``order`` lists as_ids in the desired on-disk order (ids not in
+        the list keep their banking order, after the ordered prefix).
+        Runs that finish cleanly compact in portfolio order, so a
+        checkpoint's bytes are identical however the campaign got there
+        -- serial, parallel, or interrupted-then-resumed.
+        """
+        if order is not None:
+            ordered = {
+                as_id: self._records[as_id]
+                for as_id in order
+                if as_id in self._records
+            }
+            for as_id, record in self._records.items():
+                ordered.setdefault(as_id, record)
+            if list(ordered) == list(self._records) and self._synced:
+                return  # already canonical on disk
+            self._records = ordered
+        self._flush()
 
     def _flush(self) -> None:
         """Atomically rewrite header + one line per banked AS."""
         header = {"kind": _KIND, "version": _VERSION, "config": self._config}
-        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
-        with tmp.open("w", encoding="utf-8") as fh:
+        with atomic_writer(self._path) as fh:
             fh.write(json.dumps(header) + "\n")
-            for as_id, entry in self._entries.items():
-                record = {"as_id": as_id, "entry": _entry_to_json(entry)}
-                fh.write(json.dumps(record) + "\n")
-        os.replace(tmp, self._path)
+            for as_id, (kind, obj) in self._records.items():
+                encode = _RECORD_KINDS[kind][0]
+                fh.write(json.dumps({"as_id": as_id, kind: encode(obj)}) + "\n")
         self._synced = True

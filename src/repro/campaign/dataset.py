@@ -14,6 +14,7 @@ from typing import Iterable, Iterator
 
 from repro.netsim.addressing import IPv4Address
 from repro.probing.records import QuotedLse, Trace, TraceHop
+from repro.util.atomicio import atomic_writer
 
 
 @dataclass(slots=True)
@@ -59,9 +60,13 @@ class TraceDataset:
     # -- serialization ----------------------------------------------------------
 
     def dump_jsonl(self, path: str | Path) -> None:
-        """Write the dataset as line-oriented JSON."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as fh:
+        """Write the dataset as line-oriented JSON.
+
+        The write is atomic (tmp file + fsync + rename): a crash at any
+        instant leaves either the previous file or the complete new
+        one, never a torn dataset.
+        """
+        with atomic_writer(path) as fh:
             header = {
                 "kind": "header",
                 "target_asn": self.target_asn,
@@ -73,23 +78,43 @@ class TraceDataset:
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "TraceDataset":
-        """Read a dataset previously written by :meth:`dump_jsonl`."""
+        """Read a dataset previously written by :meth:`dump_jsonl`.
+
+        A malformed line raises a :class:`ValueError` naming the file
+        and the 1-based line number, so quarantine and salvage logs
+        point straight at the damage.
+        """
         path = Path(path)
         with path.open("r", encoding="utf-8") as fh:
             header_line = fh.readline()
             if not header_line:
                 raise ValueError(f"empty dataset file: {path}")
-            header = json.loads(header_line)
+            header = _parse_dataset_line(header_line, path, lineno=1)
             if header.get("kind") != "header":
                 raise ValueError(f"missing dataset header in {path}")
             dataset = cls(
                 target_asn=int(header["target_asn"]),
                 metadata=dict(header.get("metadata", {})),
             )
-            for line in fh:
+            for lineno, line in enumerate(fh, start=2):
                 if line.strip():
-                    dataset.add(_trace_from_json(json.loads(line)))
+                    dataset.add(
+                        _trace_from_json(
+                            _parse_dataset_line(line, path, lineno)
+                        )
+                    )
         return dataset
+
+
+def _parse_dataset_line(line: str, path: Path, lineno: int) -> dict:
+    """Parse one JSONL line, contextualizing any decode error."""
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: line {lineno}: malformed JSON ({exc.msg} at "
+            f"column {exc.colno})"
+        ) from exc
 
 
 def _hop_to_json(hop: TraceHop) -> dict:

@@ -17,6 +17,13 @@ loss, ICMP rate limiting, blackouts and SNMP timeouts; a bounded
 :meth:`CampaignRunner.run_portfolio` isolates per-AS errors, reports
 partial results through a :class:`CampaignReport`, and can checkpoint
 completed ASes to JSON so interrupted runs resume where they left off.
+
+It also survives an imperfect *execution* plane: per-AS tasks run
+under the supervised engine of :mod:`repro.campaign.executor`
+(``jobs=N`` bounded process pool, per-AS wall-clock deadlines, hung /
+SIGKILLed workers re-dispatched once then quarantined, SIGINT/SIGTERM
+drained gracefully), with the guarantee that report and checkpoint are
+byte-identical for any ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -26,8 +33,19 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.campaign.checkpoint import CampaignCheckpoint, CheckpointEntry
+from repro.campaign.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointEntry,
+    FailureStub,
+    QuarantineStub,
+)
 from repro.campaign.dataset import TraceDataset
+from repro.campaign.executor import (
+    GracefulShutdown,
+    SupervisedExecutor,
+    TaskOutcome,
+    TaskStatus,
+)
 from repro.campaign.vantage_points import VantagePoint, default_vantage_points
 from repro.core.detector import ArestDetector
 from repro.core.pipeline import ArestPipeline, AsAnalysis
@@ -126,6 +144,22 @@ class AsFailure:
     as_id: int
     stage: str
     error: str
+    #: faults injected before the failure hit (partial tallies)
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
+    #: retry cost sunk before the failure hit (partial tallies)
+    retry_accounting: RetryAccounting = field(default_factory=RetryAccounting)
+
+
+@dataclass(slots=True)
+class AsQuarantine:
+    """One AS whose workers hung or crashed past the re-dispatch budget."""
+
+    as_id: int
+    #: "timeout", "hung" or "crash"
+    reason: str
+    #: dispatch attempts consumed before the circuit breaker opened
+    attempts: int
+    detail: str
 
 
 class CampaignReport(Mapping):
@@ -140,6 +174,10 @@ class CampaignReport(Mapping):
         self._results: dict[int, AsCampaignResult] = {}
         #: AS id -> recorded failure
         self.failures: dict[int, AsFailure] = {}
+        #: AS id -> poison-task quarantine (deadline/crash circuit breaker)
+        self.quarantined: dict[int, AsQuarantine] = {}
+        #: True when a shutdown request (SIGINT/SIGTERM) cut the run short
+        self.interrupted = False
         #: aggregated fault tallies across all completed ASes
         self.fault_counters = FaultCounters()
         #: aggregated retry cost across all completed ASes
@@ -178,11 +216,38 @@ class CampaignReport(Mapping):
             self.resumed_as_ids.append(result.as_id)
 
     def record_failure(
-        self, as_id: int, stage: str, error: Exception
+        self,
+        as_id: int,
+        stage: str,
+        error: Exception | str,
+        fault_counters: FaultCounters | None = None,
+        retry_accounting: RetryAccounting | None = None,
     ) -> None:
-        """Record one failed AS without aborting the portfolio."""
-        self.failures[as_id] = AsFailure(
-            as_id=as_id, stage=stage, error=f"{type(error).__name__}: {error}"
+        """Record one failed AS without aborting the portfolio.
+
+        The fault/retry cost the AS sank *before* failing is folded
+        into the portfolio tallies, so partial work is accounted for
+        rather than silently dropped.
+        """
+        if isinstance(error, BaseException):
+            error = f"{type(error).__name__}: {error}"
+        failure = AsFailure(
+            as_id=as_id,
+            stage=stage,
+            error=error,
+            fault_counters=fault_counters or FaultCounters(),
+            retry_accounting=retry_accounting or RetryAccounting(),
+        )
+        self.failures[as_id] = failure
+        self.fault_counters.merge(failure.fault_counters)
+        self.retry_accounting.merge(failure.retry_accounting)
+
+    def record_quarantine(
+        self, as_id: int, reason: str, attempts: int, detail: str
+    ) -> None:
+        """Record one poison AS the engine gave up re-dispatching."""
+        self.quarantined[as_id] = AsQuarantine(
+            as_id=as_id, reason=reason, attempts=attempts, detail=detail
         )
 
     # -- views ------------------------------------------------------------------
@@ -199,6 +264,8 @@ class CampaignReport(Mapping):
             parts.append(f"{len(self.resumed_as_ids)} from checkpoint")
         if self.failures:
             parts.append(f"{len(self.failures)} failed")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
         if self.fault_counters.total_faults():
             parts.append(
                 f"{self.fault_counters.total_faults()} faults injected"
@@ -212,7 +279,91 @@ class CampaignReport(Mapping):
         anomalies = sum(self.anomaly_counts.values())
         if anomalies:
             parts.append(f"{anomalies} trace anomalies")
+        if self.interrupted:
+            parts.append("INTERRUPTED")
         return ", ".join(parts)
+
+    def as_dict(self) -> dict:
+        """Canonical JSON-able view of the whole portfolio outcome.
+
+        This is the determinism contract: two runs of the same
+        campaign -- serial or parallel, fresh or resumed -- must
+        produce byte-identical ``json.dumps(report.as_dict())``.
+        Execution provenance (``resumed_as_ids``) is deliberately
+        excluded: whether an AS was re-measured or restored from a
+        checkpoint must not change the canonical result.
+        """
+        completed = {}
+        for as_id, result in self._results.items():
+            analysis = result.analysis
+            completed[str(as_id)] = {
+                "flags": {
+                    flag.name: count
+                    for flag, count in sorted(
+                        analysis.flag_counts().items(),
+                        key=lambda item: item[0].name,
+                    )
+                },
+                "traces_total": analysis.traces_total,
+                "traces_quarantined": analysis.traces_quarantined,
+                "sr_interfaces": len(analysis.sr_addresses),
+                "mpls_interfaces": len(analysis.mpls_addresses),
+                "ip_interfaces": len(analysis.ip_addresses),
+                "distinct_segments": analysis.total_distinct_segments(),
+                "fingerprints": len(result.fingerprints),
+                "routers": result.router_count(),
+                "fault_counters": result.fault_counters.as_dict(),
+                "retry_accounting": result.retry_accounting.as_dict(),
+            }
+        return {
+            "completed": completed,
+            "failures": {
+                str(as_id): {
+                    "stage": f.stage,
+                    "error": f.error,
+                    "fault_counters": f.fault_counters.as_dict(),
+                    "retry_accounting": f.retry_accounting.as_dict(),
+                }
+                for as_id, f in self.failures.items()
+            },
+            "quarantined": {
+                str(as_id): {
+                    "reason": q.reason,
+                    "attempts": q.attempts,
+                    "detail": q.detail,
+                }
+                for as_id, q in self.quarantined.items()
+            },
+            "interrupted": self.interrupted,
+            "fault_counters": self.fault_counters.as_dict(),
+            "retry_accounting": self.retry_accounting.as_dict(),
+            "traces_quarantined": self.traces_quarantined,
+            "anomaly_counts": dict(sorted(self.anomaly_counts.items())),
+        }
+
+
+def _quarantine_reason(outcome: TaskOutcome) -> str:
+    """Human-stable quarantine reason for a final timeout/crash outcome."""
+    if outcome.status is TaskStatus.CRASH:
+        return "crash"
+    if outcome.error and "hung" in outcome.error:
+        return "hung"
+    return "timeout"
+
+
+def _campaign_worker(payload: tuple, heartbeat) -> dict:
+    """Process-pool task: rebuild the runner and run one AS.
+
+    Each worker constructs a *fresh* runner from the parent's
+    constructor kwargs, so results are a pure function of
+    ``(config, as_id)`` -- the property that makes parallel output
+    byte-identical to serial.  Stage transitions double as watchdog
+    heartbeats.
+    """
+    runner_cls, kwargs, as_id = payload
+    runner = runner_cls(**kwargs)
+    runner._stage_hook = heartbeat
+    return runner._run_as_guarded(as_id)
 
 
 class CampaignRunner:
@@ -260,31 +411,40 @@ class CampaignRunner:
         self._pipeline = ArestPipeline(ArestDetector())
         #: stage the most recent run_as reached (error attribution)
         self._stage = "idle"
+        #: optional callback fired on each stage transition (heartbeats)
+        self._stage_hook = None
+        #: live fault injector / prober of the in-flight run_as, so a
+        #: mid-stage failure can still report its partial tallies
+        self._active_injector: FaultInjector | None = None
+        self._active_prober = None
 
     # -- public API ----------------------------------------------------------------
 
     def run_as(self, as_id: int) -> AsCampaignResult:
         """Run the full campaign for one portfolio AS."""
-        self._stage = "setup"
+        self._active_injector = None
+        self._active_prober = None
+        self._set_stage("setup")
         spec = self.portfolio.spec(as_id)
         vps = self._select_vps(as_id)
-        self._stage = "topology"
+        self._set_stage("topology")
         net = build_measurement_network(
             spec, [vp.vp_id for vp in vps], seed=self.seed
         )
         injector = self._injector_for(as_id)
+        self._active_injector = injector
         if injector is not None:
             net.engine.faults = injector
-        self._stage = "probe"
+        self._set_stage("probe")
         dataset, accounting = self._probe(net, vps)
-        self._stage = "fingerprint"
+        self._set_stage("fingerprint")
         fingerprints = self._fingerprint(net, dataset, faults=injector)
-        self._stage = "analysis"
+        self._set_stage("analysis")
         result = self._analyze(spec, net, dataset, fingerprints)
         if injector is not None:
             result.fault_counters = injector.counters
         result.retry_accounting = accounting
-        self._stage = "done"
+        self._set_stage("done")
         return result
 
     def run_portfolio(
@@ -293,18 +453,42 @@ class CampaignRunner:
         analyzed_only: bool = True,
         checkpoint: str | Path | None = None,
         resume: bool = False,
+        jobs: int = 1,
+        timeout_per_as: float | None = None,
+        heartbeat_timeout: float | None = None,
     ) -> CampaignReport:
         """Run every requested AS (default: the 41 analyzed ones).
 
+        Execution is supervised (:mod:`repro.campaign.executor`):
+
+        - ``jobs=1`` (default) runs in-process, exactly the sequential
+          loop it always was; ``jobs>1`` dispatches per-AS tasks to a
+          bounded process pool.  Results are *deterministic in jobs*:
+          the report and the banked checkpoint are byte-identical for
+          any job count, because each AS derives everything from
+          ``(seed, as_id)`` and assembly/banking follow ``as_ids``
+          order regardless of completion order.
+        - ``timeout_per_as`` bounds each AS in wall-clock seconds
+          (pool mode only); a worker past its deadline -- or silent
+          past ``heartbeat_timeout`` -- is SIGKILLed, re-dispatched
+          once, and quarantined on the second strike.  A worker killed
+          from outside (OOM, ``kill -9``) is handled the same way.
+        - SIGINT/SIGTERM drain in-flight work, flush the checkpoint
+          and return a partial report with ``interrupted=True``; a
+          second signal aborts hard.
+
         One failing AS is recorded in the report and the rest of the
-        portfolio continues.  With ``checkpoint`` set, each completed
-        AS's measurement data is banked to a JSON file; ``resume=True``
-        restores banked ASes (re-deriving their analysis without
-        re-probing) and measures only what is missing, producing the
-        same report as an uninterrupted run.
+        portfolio continues.  With ``checkpoint`` set, every completed
+        AS -- and every failure or quarantine -- is durably banked as
+        the run progresses; ``resume=True`` restores banked outcomes
+        (re-deriving analyses without re-probing, and without
+        re-running known failures) and measures only what is missing,
+        producing the same report as an uninterrupted run.
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint path")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         if as_ids is None:
             specs = (
                 self.portfolio.analyzed()
@@ -314,29 +498,201 @@ class CampaignRunner:
             as_ids = [s.as_id for s in specs]
         store: CampaignCheckpoint | None = None
         banked: dict[int, CheckpointEntry] = {}
+        banked_failures: dict[int, FailureStub] = {}
+        banked_quarantines: dict[int, QuarantineStub] = {}
         if checkpoint is not None:
             store = CampaignCheckpoint(checkpoint, self._config_signature())
             if resume:
                 banked = store.load()
+                banked_failures = store.banked_failures
+                banked_quarantines = store.banked_quarantines
+
+        to_run = [
+            as_id
+            for as_id in as_ids
+            if as_id not in banked
+            and as_id not in banked_failures
+            and as_id not in banked_quarantines
+        ]
+        outcomes, interrupted = self._execute(
+            to_run, store, jobs, timeout_per_as, heartbeat_timeout
+        )
+
+        # Assemble strictly in as_ids order so the report is identical
+        # whatever order tasks actually completed in.
         report = CampaignReport()
+        report.interrupted = interrupted
         for as_id in as_ids:
             entry = banked.get(as_id)
             if entry is not None:
                 report.add(self._rehydrate_as(as_id, entry), resumed=True)
                 continue
-            try:
-                result = self.run_as(as_id)
-            except Exception as exc:  # noqa: BLE001 -- per-AS isolation
-                logger.warning(
-                    "AS#%d failed during %s stage: %s",
+            stub = banked_failures.get(as_id)
+            if stub is not None:
+                report.record_failure(
                     as_id,
-                    self._stage,
-                    exc,
+                    stub.stage,
+                    stub.error,
+                    stub.fault_counters,
+                    stub.retry_accounting,
                 )
-                report.record_failure(as_id, self._stage, exc)
                 continue
-            report.add(result)
+            qstub = banked_quarantines.get(as_id)
+            if qstub is not None:
+                report.record_quarantine(
+                    as_id, qstub.reason, qstub.attempts, qstub.detail
+                )
+                continue
+            outcome = outcomes.get(as_id)
+            if outcome is None:
+                continue  # interrupted before this AS was dispatched
+            self._fold_outcome(report, as_id, outcome)
+        if store is not None and not interrupted:
+            # Canonicalize the on-disk order so a resumed checkpoint's
+            # bytes match an uninterrupted run's.
+            store.compact(order=list(as_ids))
+        return report
+
+    # -- supervised execution ----------------------------------------------------
+
+    def _execute(
+        self,
+        to_run: list[int],
+        store: CampaignCheckpoint | None,
+        jobs: int,
+        timeout_per_as: float | None,
+        heartbeat_timeout: float | None,
+    ) -> tuple[dict[int, TaskOutcome], bool]:
+        """Run the missing ASes under supervision, banking in order.
+
+        Completed outcomes are banked to the checkpoint as soon as the
+        contiguous prefix (in ``to_run`` order) allows, so the file's
+        line order -- and therefore its bytes -- never depends on which
+        worker finished first.
+        """
+        if not to_run:
+            return {}, False
+        completed: dict[int, TaskOutcome] = {}
+        bank_index = 0
+
+        def bank_ready() -> None:
+            nonlocal bank_index
+            while bank_index < len(to_run):
+                outcome = completed.get(to_run[bank_index])
+                if outcome is None:
+                    break
+                self._bank_outcome(store, to_run[bank_index], outcome)
+                bank_index += 1
+
+        def on_complete(outcome: TaskOutcome) -> None:
+            completed[outcome.key] = outcome
             if store is not None:
+                bank_ready()
+
+        if jobs == 1:
+
+            def task(as_id: int, heartbeat) -> dict:
+                self._stage_hook = heartbeat
+                try:
+                    return self._run_as_guarded(as_id)
+                finally:
+                    self._stage_hook = None
+
+            engine = SupervisedExecutor(task, jobs=1)
+            payloads = [(as_id, as_id) for as_id in to_run]
+        else:
+            engine = SupervisedExecutor(
+                _campaign_worker,
+                jobs=jobs,
+                timeout=timeout_per_as,
+                heartbeat_timeout=heartbeat_timeout,
+            )
+            spawn = self._spawn_config()
+            payloads = [
+                (as_id, (type(self), spawn, as_id)) for as_id in to_run
+            ]
+        with GracefulShutdown() as shutdown:
+            result = engine.run(
+                payloads, on_complete=on_complete, stop=shutdown
+            )
+        if result.interrupted and store is not None:
+            # Bank completed-but-unbanked outcomes past the prefix gap;
+            # the holes are simply re-run on resume.
+            for as_id in to_run[bank_index:]:
+                outcome = completed.get(as_id)
+                if outcome is not None:
+                    self._bank_outcome(store, as_id, outcome)
+        return result.outcomes, result.interrupted
+
+    def _run_as_guarded(self, as_id: int) -> dict:
+        """:meth:`run_as` wrapped for the engine: never raises.
+
+        Failures come back as structured records carrying the stage
+        reached and the partial fault/retry tallies already sunk, so
+        the portfolio accounts for interrupted work.
+        """
+        try:
+            result = self.run_as(as_id)
+        except Exception as exc:  # noqa: BLE001 -- per-AS isolation
+            return {
+                "status": "error",
+                "stage": self._stage,
+                "error": f"{type(exc).__name__}: {exc}",
+                "fault_counters": self._partial_fault_counters(),
+                "retry_accounting": self._partial_retry_accounting(),
+            }
+        return {"status": "ok", "result": result}
+
+    def _fold_outcome(
+        self, report: CampaignReport, as_id: int, outcome: TaskOutcome
+    ) -> None:
+        """Translate one engine outcome into report state."""
+        if outcome.status is TaskStatus.OK:
+            message = outcome.value
+            if message["status"] == "ok":
+                report.add(message["result"])
+                return
+            logger.warning(
+                "AS#%d failed during %s stage: %s",
+                as_id,
+                message["stage"],
+                message["error"],
+            )
+            report.record_failure(
+                as_id,
+                message["stage"],
+                message["error"],
+                message["fault_counters"],
+                message["retry_accounting"],
+            )
+        elif outcome.status is TaskStatus.ERROR:
+            logger.warning(
+                "AS#%d worker raised: %s", as_id, outcome.error
+            )
+            report.record_failure(
+                as_id, outcome.last_stage or "worker", outcome.error or ""
+            )
+        else:  # TIMEOUT / CRASH past the re-dispatch budget
+            report.record_quarantine(
+                as_id,
+                _quarantine_reason(outcome),
+                outcome.attempts,
+                outcome.error or "",
+            )
+
+    def _bank_outcome(
+        self,
+        store: CampaignCheckpoint | None,
+        as_id: int,
+        outcome: TaskOutcome,
+    ) -> None:
+        """Durably bank one final outcome (entry, failure or quarantine)."""
+        if store is None:
+            return
+        if outcome.status is TaskStatus.OK:
+            message = outcome.value
+            if message["status"] == "ok":
+                result = message["result"]
                 store.record(
                     as_id,
                     CheckpointEntry(
@@ -346,7 +702,76 @@ class CampaignRunner:
                         retry_accounting=result.retry_accounting,
                     ),
                 )
-        return report
+            else:
+                store.record_failure(
+                    as_id,
+                    FailureStub(
+                        stage=message["stage"],
+                        error=message["error"],
+                        fault_counters=message["fault_counters"],
+                        retry_accounting=message["retry_accounting"],
+                    ),
+                )
+        elif outcome.status is TaskStatus.ERROR:
+            store.record_failure(
+                as_id,
+                FailureStub(
+                    stage=outcome.last_stage or "worker",
+                    error=outcome.error or "",
+                ),
+            )
+        else:
+            store.record_quarantine(
+                as_id,
+                QuarantineStub(
+                    reason=_quarantine_reason(outcome),
+                    attempts=outcome.attempts,
+                    detail=outcome.error or "",
+                ),
+            )
+
+    def _spawn_config(self) -> dict:
+        """Constructor kwargs reproducing this runner in a worker process.
+
+        Subclasses with a different ``__init__`` signature must
+        override this accordingly.
+        """
+        return dict(
+            portfolio=self.portfolio,
+            vantage_points=self.vantage_points,
+            seed=self.seed,
+            vps_per_as=self.vps_requested,
+            targets_per_as=self.targets_per_as,
+            per_prefix=self.per_prefix,
+            reveal_success_rate=self.reveal_success_rate,
+            snmp_coverage=self.snmp_coverage,
+            bdrmap_error_rate=self.bdrmap_error_rate,
+            alias_success_rate=self.alias_success_rate,
+            max_ttl=self.max_ttl,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
+        )
+
+    def _set_stage(self, stage: str) -> None:
+        self._stage = stage
+        if self._stage_hook is not None:
+            self._stage_hook(stage)
+
+    def _partial_fault_counters(self) -> FaultCounters:
+        """Snapshot of the in-flight run's fault tallies (may be partial)."""
+        if self._active_injector is None:
+            return FaultCounters()
+        return FaultCounters.from_dict(
+            self._active_injector.counters.as_dict()
+        )
+
+    def _partial_retry_accounting(self) -> RetryAccounting:
+        """Snapshot of the in-flight run's retry cost (may be partial)."""
+        if self._active_prober is None:
+            return RetryAccounting()
+        return RetryAccounting.from_dict(
+            self._active_prober.accounting.as_dict()
+        )
 
     # -- stages ----------------------------------------------------------------------
 
@@ -380,6 +805,7 @@ class CampaignRunner:
             seed=self.seed,
             retry=self.retry,
         )
+        self._active_prober = prober
         metadata = {
             "as_id": str(net.spec.as_id),
             "seed": str(self.seed),

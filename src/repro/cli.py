@@ -23,6 +23,44 @@ from typing import Sequence
 from repro.version import __version__
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Supervised-engine knobs shared by campaign-running commands."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "per-AS worker processes (1 = in-process; results are "
+            "byte-identical for any N)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout-per-as",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock deadline per AS (workers past it are killed, "
+            "re-dispatched once, then quarantined; requires --jobs > 1)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``arest`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -98,13 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument(
         "--checkpoint",
         metavar="FILE",
-        help="bank each completed AS to FILE (JSON) as the run progresses",
+        help="bank each completed AS to FILE (JSONL) as the run progresses",
     )
     portfolio.add_argument(
         "--resume",
         action="store_true",
         help="restore completed ASes from --checkpoint and run the rest",
     )
+    portfolio.add_argument(
+        "--as",
+        action="append",
+        type=int,
+        dest="as_ids",
+        metavar="ID",
+        help="run only this AS id (repeatable; default: all analyzed)",
+    )
+    _add_execution_arguments(portfolio)
 
     degradation = sub.add_parser(
         "degradation",
@@ -172,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "-o", "--output", metavar="FILE", help="write to FILE (else stdout)"
     )
+    _add_execution_arguments(report)
 
     sub.add_parser("portfolio-table", help="print Table 5")
     sub.add_parser(
@@ -241,8 +289,25 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.retries),
     )
     report = runner.run_portfolio(
-        checkpoint=args.checkpoint, resume=args.resume
+        as_ids=args.as_ids,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        jobs=args.jobs,
+        timeout_per_as=args.timeout_per_as,
     )
+    if not len(report):
+        for failure in report.failures.values():
+            print(
+                f"FAILED AS#{failure.as_id} during {failure.stage}: "
+                f"{failure.error}"
+            )
+        for quarantine in report.quarantined.values():
+            print(
+                f"QUARANTINED AS#{quarantine.as_id} ({quarantine.reason}, "
+                f"{quarantine.attempts} attempts): {quarantine.detail}"
+            )
+        print(report.summary())
+        return 130 if report.interrupted else 1
     print(render_flag_proportions(report))
     headline = headline_detection(report)
     print(
@@ -271,7 +336,15 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             f"FAILED AS#{failure.as_id} during {failure.stage}: "
             f"{failure.error}"
         )
-    return 1 if report.failures and not len(report) else 0
+    for quarantine in report.quarantined.values():
+        print(
+            f"QUARANTINED AS#{quarantine.as_id} ({quarantine.reason}, "
+            f"{quarantine.attempts} attempts): {quarantine.detail}"
+        )
+    if report.interrupted:
+        print(f"interrupted: {report.summary()}")
+        return 130
+    return 0
 
 
 def _cmd_degradation(args: argparse.Namespace) -> int:
@@ -377,11 +450,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         vps_per_as=args.vps_per_as,
         targets_per_as=args.targets_per_as,
     )
-    results = runner.run_portfolio()
+    results = runner.run_portfolio(
+        jobs=args.jobs, timeout_per_as=args.timeout_per_as
+    )
     text = render_markdown_report(results)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(args.output, text)
         print(f"report written to {args.output}")
     else:
         print(text)

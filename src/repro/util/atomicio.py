@@ -1,0 +1,93 @@
+"""Crash-safe file writes: tmp file + fsync + atomic rename.
+
+Campaign artifacts (trace datasets, checkpoints, markdown reports) must
+survive a ``kill -9`` delivered at any instant: a reader must always
+find either the complete old file or the complete new one, never a torn
+or half-flushed hybrid.  POSIX gives exactly one primitive with that
+guarantee -- ``rename(2)`` within a filesystem -- so every whole-file
+write goes through :func:`atomic_writer`:
+
+1. write to a uniquely-named temporary file *in the target directory*
+   (same filesystem, so the rename cannot degrade to copy+delete);
+2. flush and ``fsync`` the temporary file (data is on stable storage
+   before the name flips);
+3. ``os.replace`` it over the target (atomic on POSIX and Windows);
+4. ``fsync`` the directory so the new name itself is durable.
+
+Append-mode artifacts (the JSONL checkpoint) cannot be renamed into
+place line by line; :func:`durable_append` instead flushes and fsyncs
+after the write, bounding a crash's damage to a truncated final line --
+which the checkpoint loader already salvages.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush a directory's metadata so renames within it are durable.
+
+    Best-effort: some platforms/filesystems refuse ``open(2)`` on
+    directories; losing the directory sync there degrades durability,
+    not atomicity.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(
+    path: str | Path, encoding: str = "utf-8"
+) -> Iterator[IO[str]]:
+    """Context manager yielding a handle whose contents replace ``path``
+    atomically on successful exit.
+
+    On any exception the temporary file is removed and the target is
+    left untouched.  A crash (even ``SIGKILL``) at any point leaves
+    either the old file or the new file, never a mixture.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    fh = tmp.open("w", encoding=encoding)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        fh.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path``'s contents with ``text``."""
+    with atomic_writer(path, encoding=encoding) as fh:
+        fh.write(text)
+
+
+def durable_append(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Append ``text`` and fsync before returning.
+
+    Not atomic -- a crash mid-call can leave a partial tail -- but once
+    this returns the bytes are on stable storage, and the damage window
+    is bounded to the single in-flight append.
+    """
+    with Path(path).open("a", encoding=encoding) as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())

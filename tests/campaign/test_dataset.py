@@ -1,6 +1,7 @@
 """Tests for the trace dataset container and JSONL round-trips."""
 
 import io
+import json
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -68,6 +69,30 @@ class TestJsonlRoundtrip:
         path.write_text("")
         with pytest.raises(ValueError):
             TraceDataset.load_jsonl(path)
+
+    def test_malformed_trace_line_names_file_and_line(self, tmp_path):
+        dataset = sample_dataset()
+        path = tmp_path / "traces.jsonl"
+        dataset.dump_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10] + "<<GARBAGE>>"  # first trace, line 2
+        path.write_text("\n".join(lines) + "\n")
+
+        with pytest.raises(ValueError) as excinfo:
+            TraceDataset.load_jsonl(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "line 2" in message
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
+
+    def test_malformed_header_names_file_and_line_one(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError) as excinfo:
+            TraceDataset.load_jsonl(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "line 1" in message
 
     @settings(
         max_examples=20,

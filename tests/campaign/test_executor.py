@@ -1,0 +1,191 @@
+"""Supervised executor: deadlines, crash containment, quarantine.
+
+Worker functions live at module level so they survive pickling under
+any multiprocessing start method.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign.executor import (
+    GracefulShutdown,
+    SupervisedExecutor,
+    TaskStatus,
+)
+
+
+def well_behaved(payload, heartbeat):
+    heartbeat("working")
+    return payload * 10
+
+
+def failing(payload, heartbeat):
+    raise ValueError(f"bad payload {payload}")
+
+
+def hang_on_two(payload, heartbeat):
+    if payload == 2:
+        heartbeat("hanging")
+        time.sleep(600)
+    return payload * 10
+
+
+def sigkill_on_two(payload, heartbeat):
+    if payload == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload * 10
+
+
+def crash_once_then_succeed(payload, heartbeat):
+    # A *transient* crash: the marker file exists only on the first
+    # attempt, so the one-shot re-dispatch rescues the task.
+    marker, value = payload
+    if os.path.exists(marker):
+        os.unlink(marker)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+class TestInProcessPath:
+    def test_runs_all_tasks_in_order(self):
+        engine = SupervisedExecutor(well_behaved, jobs=1)
+        result = engine.run([("a", 1), ("b", 2), ("c", 3)])
+        assert [o.value for o in result.outcomes.values()] == [10, 20, 30]
+        assert list(result.outcomes) == ["a", "b", "c"]
+        assert not result.interrupted
+        assert not result.quarantined
+
+    def test_error_isolation(self):
+        engine = SupervisedExecutor(failing, jobs=1)
+        result = engine.run([("a", 1)])
+        outcome = result.outcomes["a"]
+        assert outcome.status is TaskStatus.ERROR
+        assert "ValueError: bad payload 1" in outcome.error
+
+    def test_stop_flag_interrupts_between_tasks(self):
+        shutdown = GracefulShutdown()
+        seen = []
+
+        def fn(payload, heartbeat):
+            seen.append(payload)
+            if payload == 2:
+                shutdown.request()
+            return payload
+
+        result = SupervisedExecutor(fn, jobs=1).run(
+            [(k, k) for k in (1, 2, 3)], stop=shutdown
+        )
+        assert result.interrupted
+        assert seen == [1, 2]  # task 3 never dispatched
+        assert 3 not in result.outcomes
+
+    def test_duplicate_keys_rejected(self):
+        engine = SupervisedExecutor(well_behaved, jobs=1)
+        with pytest.raises(ValueError, match="unique"):
+            engine.run([("a", 1), ("a", 2)])
+
+    def test_on_complete_fires_per_task(self):
+        completions = []
+        SupervisedExecutor(well_behaved, jobs=1).run(
+            [("a", 1), ("b", 2)], on_complete=completions.append
+        )
+        assert [c.key for c in completions] == ["a", "b"]
+
+
+class TestSupervisedPool:
+    def test_parallel_results_match_serial(self):
+        tasks = [(k, k) for k in range(6)]
+        serial = SupervisedExecutor(well_behaved, jobs=1).run(tasks)
+        parallel = SupervisedExecutor(well_behaved, jobs=3).run(tasks)
+        assert {k: o.value for k, o in parallel.outcomes.items()} == {
+            k: o.value for k, o in serial.outcomes.items()
+        }
+
+    def test_worker_exception_reported(self):
+        result = SupervisedExecutor(failing, jobs=2).run([("a", 7)])
+        outcome = result.outcomes["a"]
+        assert outcome.status is TaskStatus.ERROR
+        assert "ValueError: bad payload 7" in outcome.error
+
+    def test_hung_worker_is_quarantined_and_rest_complete(self):
+        engine = SupervisedExecutor(
+            hang_on_two,
+            jobs=2,
+            timeout=0.4,
+            watch_interval=0.05,
+            max_redispatch=1,
+        )
+        start = time.monotonic()
+        result = engine.run([(k, k) for k in (1, 2, 3)])
+        elapsed = time.monotonic() - start
+        assert result.outcomes[1].value == 10
+        assert result.outcomes[3].value == 30
+        victim = result.outcomes[2]
+        assert victim.status is TaskStatus.TIMEOUT
+        assert victim.attempts == 2  # one re-dispatch, then quarantine
+        assert 2 in result.quarantined
+        assert result.quarantined[2].reason == "timeout"
+        # Two 0.4s deadlines plus watchdog slack, nowhere near the
+        # 600s the task wanted to sleep.
+        assert elapsed < 5
+
+    def test_heartbeat_watchdog_catches_silent_worker_early(self):
+        engine = SupervisedExecutor(
+            hang_on_two,
+            jobs=2,
+            timeout=30,  # generous deadline: the heartbeat must trip first
+            heartbeat_timeout=0.3,
+            watch_interval=0.05,
+        )
+        start = time.monotonic()
+        result = engine.run([(2, 2)])
+        elapsed = time.monotonic() - start
+        assert result.outcomes[2].status is TaskStatus.TIMEOUT
+        assert "hung" in result.outcomes[2].error
+        assert result.quarantined[2].reason == "hung"
+        assert elapsed < 5
+
+    def test_sigkilled_worker_is_contained(self):
+        engine = SupervisedExecutor(
+            sigkill_on_two, jobs=2, watch_interval=0.05
+        )
+        result = engine.run([(k, k) for k in (1, 2, 3)])
+        assert result.outcomes[1].value == 10
+        assert result.outcomes[3].value == 30
+        victim = result.outcomes[2]
+        assert victim.status is TaskStatus.CRASH
+        assert "died without a result" in victim.error
+        assert result.quarantined[2].reason == "crash"
+        assert result.quarantined[2].attempts == 2
+
+    def test_transient_crash_survives_via_redispatch(self, tmp_path):
+        marker = tmp_path / "crash-once"
+        marker.touch()
+        engine = SupervisedExecutor(
+            crash_once_then_succeed, jobs=2, watch_interval=0.05
+        )
+        result = engine.run([("a", (str(marker), 4))])
+        outcome = result.outcomes["a"]
+        assert outcome.status is TaskStatus.OK
+        assert outcome.value == 40
+        assert outcome.attempts == 2
+        assert not result.quarantined
+
+    def test_stage_heartbeats_surface_in_outcome(self):
+        result = SupervisedExecutor(well_behaved, jobs=2).run([("a", 1)])
+        assert result.outcomes["a"].last_stage == "working"
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SupervisedExecutor(well_behaved, jobs=0)
+        with pytest.raises(ValueError):
+            SupervisedExecutor(well_behaved, timeout=0)
+        with pytest.raises(ValueError):
+            SupervisedExecutor(well_behaved, watch_interval=0)
+        with pytest.raises(ValueError):
+            SupervisedExecutor(well_behaved, max_redispatch=-1)

@@ -124,10 +124,10 @@ class TestCheckpointResume:
         assert len(lines) == 3  # header + one line per AS
         header = json.loads(lines[0])
         assert header["kind"] == "arest-checkpoint"
-        assert header["version"] == 2
+        assert header["version"] == 3
         assert {json.loads(line)["as_id"] for line in lines[1:]} == {46, 27}
 
-    def test_failed_as_is_retried_on_resume(self, tmp_path):
+    def test_failed_as_is_restored_from_bank_on_resume(self, tmp_path):
         path = tmp_path / "campaign.ckpt.json"
         partial = _runner().run_portfolio(
             as_ids=[46, 9999], checkpoint=path
@@ -136,9 +136,15 @@ class TestCheckpointResume:
         resumed = _runner().run_portfolio(
             as_ids=[46, 9999], checkpoint=path, resume=True
         )
-        # 46 restores from the bank; 9999 is attempted (and fails) again
+        # 46 restores from the bank; 9999's banked failure stub is
+        # restored too, so the resumed report reproduces the partial
+        # one exactly instead of re-running a known-bad AS.
         assert resumed.resumed_as_ids == [46]
         assert 9999 in resumed.failures
+        assert resumed.failures[9999].error == partial.failures[9999].error
+        assert json.dumps(resumed.as_dict(), sort_keys=True) == json.dumps(
+            partial.as_dict(), sort_keys=True
+        )
 
 
 class TestCheckpointSalvage:
@@ -212,12 +218,75 @@ class TestCheckpointSalvage:
 
         loaded = CampaignCheckpoint(path, _runner()._config_signature()).load()
         assert sorted(loaded) == [27, 46]
-        # And the file was upgraded to v2 JSONL in place.
+        # And the file was upgraded to current JSONL in place.
         first = json.loads(path.read_text().splitlines()[0])
-        assert first["version"] == 2
+        assert first["version"] == 3
 
     def test_empty_file_is_rejected(self, tmp_path):
         path = tmp_path / "empty.json"
         path.write_text("")
         with pytest.raises(ValueError, match="not an AReST checkpoint"):
             CampaignCheckpoint(path, {"seed": 1}).load()
+
+
+class MidCampaignFaultRunner(CampaignRunner):
+    """Probes AS#46 normally, then dies in its fingerprint stage.
+
+    Models an AS that burns real measurement budget (probes, injected
+    faults, retries) before failing: exactly the partial work the
+    failure stub must carry into the checkpoint.
+    """
+
+    def run_as(self, as_id):
+        self._current_as = as_id
+        return super().run_as(as_id)
+
+    def _fingerprint(self, net, dataset, faults=None):
+        if self._current_as == 46:
+            raise RuntimeError("fingerprint backend unavailable")
+        return super()._fingerprint(net, dataset, faults=faults)
+
+
+class TestFailureStubTallies:
+    """Failed ASes bank their partial fault/retry spend (satellite 1)."""
+
+    FAULTS = FaultPlan(probe_loss=0.2, seed=7)
+
+    def _runner(self) -> CampaignRunner:
+        return MidCampaignFaultRunner(
+            seed=1, vps_per_as=2, targets_per_as=8, fault_plan=self.FAULTS
+        )
+
+    def test_partial_tallies_fold_into_report(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        report = self._runner().run_portfolio(as_ids=[46], checkpoint=path)
+
+        assert sorted(report) == []
+        failure = report.failures[46]
+        assert failure.stage == "fingerprint"
+        # The probe stage ran under a lossy fault plan before the
+        # failure, so the stub carries non-zero partial spend...
+        assert failure.fault_counters.total_faults() > 0
+        assert failure.retry_accounting.probes > 0
+        # ...and the portfolio totals include it.
+        assert report.fault_counters.total_faults() == (
+            failure.fault_counters.total_faults()
+        )
+        assert report.retry_accounting.probes == (
+            failure.retry_accounting.probes
+        )
+
+    def test_resume_reproduces_identical_report(self, tmp_path):
+        path = tmp_path / "campaign.ckpt.json"
+        partial = self._runner().run_portfolio(
+            as_ids=[46, 27], checkpoint=path
+        )
+        resumed = self._runner().run_portfolio(
+            as_ids=[46, 27], checkpoint=path, resume=True
+        )
+        # Nothing re-ran: 27 rehydrates, 46's failure stub restores
+        # with its partial tallies, and the reports match exactly.
+        assert resumed.resumed_as_ids == [27]
+        assert json.dumps(resumed.as_dict(), sort_keys=True) == json.dumps(
+            partial.as_dict(), sort_keys=True
+        )
