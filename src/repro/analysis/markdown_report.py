@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import statistics
 from collections import Counter
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.analysis.deployment import deployment_rows
 from repro.analysis.fingerprint_stats import (
@@ -32,6 +32,9 @@ from repro.core.flags import Flag
 from repro.core.interworking import InterworkingMode
 from repro.probing.tunnels import TunnelType
 
+if TYPE_CHECKING:  # avoid a hard runtime dependency on the obs package
+    from repro.obs.summary import TelemetrySummary
+
 
 def _md_table(headers: list[str], rows: list[list[object]]) -> str:
     lines = [
@@ -46,8 +49,14 @@ def _md_table(headers: list[str], rows: list[list[object]]) -> str:
 def render_markdown_report(
     results: Mapping[int, AsCampaignResult],
     title: str = "AReST campaign report",
+    telemetry: "TelemetrySummary | None" = None,
 ) -> str:
-    """One markdown document covering the whole campaign."""
+    """One markdown document covering the whole campaign.
+
+    ``telemetry`` (a :class:`~repro.obs.summary.TelemetrySummary`)
+    appends a Performance section with per-stage wall-clock totals;
+    without it the document is exactly the deterministic core.
+    """
     if not results:
         raise ValueError("no campaign results to report on")
     sections = [f"# {title}", ""]
@@ -60,6 +69,10 @@ def render_markdown_report(
     sections += _fingerprint_section(results)
     sections += _data_quality_section(results)
     sections += _validation_section(results)
+    if telemetry is not None:
+        from repro.obs.summary import performance_section
+
+        sections += performance_section(telemetry)
     return "\n".join(sections) + "\n"
 
 
@@ -109,10 +122,21 @@ def _execution_section(results) -> list[str]:
             f"{failure.error}"
         )
     for quarantine in quarantined.values():
-        lines.append(
+        line = (
             f"- AS#{quarantine.as_id} quarantined ({quarantine.reason} "
             f"after {quarantine.attempts} attempts): {quarantine.detail}"
         )
+        last_stage = getattr(quarantine, "last_stage", None)
+        if last_stage:
+            line += f"; last stage: {last_stage}"
+        stage_seconds = getattr(quarantine, "stage_seconds", None)
+        if stage_seconds:
+            spent = ", ".join(
+                f"{stage} {seconds:.1f}s"
+                for stage, seconds in sorted(stage_seconds.items())
+            )
+            line += f" (time per stage: {spent})"
+        lines.append(line)
     lines.append("")
     return lines
 

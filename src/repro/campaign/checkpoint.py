@@ -105,20 +105,40 @@ class QuarantineStub:
     reason: str
     attempts: int
     detail: str
+    #: heartbeat stage the worker last reported before it was killed
+    last_stage: str | None = None
+    #: supervisor-observed seconds per heartbeat stage (post-mortem)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return {
+        record = {
             "reason": self.reason,
             "attempts": self.attempts,
             "detail": self.detail,
         }
+        if self.last_stage is not None:
+            record["last_stage"] = self.last_stage
+        if self.stage_seconds:
+            record["stage_seconds"] = {
+                stage: round(seconds, 3)
+                for stage, seconds in sorted(self.stage_seconds.items())
+            }
+        return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "QuarantineStub":
+        last_stage = record.get("last_stage")
         return cls(
             reason=str(record["reason"]),
             attempts=int(record["attempts"]),
             detail=str(record.get("detail", "")),
+            last_stage=str(last_stage) if last_stage is not None else None,
+            stage_seconds={
+                str(stage): float(seconds)
+                for stage, seconds in record.get(
+                    "stage_seconds", {}
+                ).items()
+            },
         )
 
 

@@ -80,6 +80,10 @@ class TaskOutcome:
     attempts: int = 1
     #: last heartbeat note received from the worker, if any
     last_stage: str | None = None
+    #: supervisor-observed wall-clock seconds per heartbeat stage, for
+    #: workers that never returned (``TIMEOUT``/``CRASH``/``ERROR``) --
+    #: the post-mortem of where a killed worker spent its life
+    stage_seconds: dict[str, float] | None = None
 
 
 @dataclass(slots=True)
@@ -193,8 +197,23 @@ class _Inflight:
     started: float
     last_beat: float
     last_stage: str | None = None
+    #: when the current heartbeat stage began (dispatch time initially)
+    stage_started: float = 0.0
+    #: observed seconds per completed heartbeat stage
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     #: result/exception message received, pending process exit
     message: tuple[str, Any] | None = None
+
+
+def _close_stage(worker: _Inflight, now: float) -> None:
+    """Fold the currently-open heartbeat stage into the observed tally."""
+    if worker.last_stage is not None:
+        worker.stage_seconds[worker.last_stage] = (
+            worker.stage_seconds.get(worker.last_stage, 0.0)
+            + now
+            - worker.stage_started
+        )
+    worker.stage_started = now
 
 
 class SupervisedExecutor:
@@ -417,6 +436,7 @@ class SupervisedExecutor:
             conn=parent_conn,
             started=now,
             last_beat=now,
+            stage_started=now,
         )
 
     def _pump(self, inflight: dict[Any, _Inflight]) -> None:
@@ -443,6 +463,7 @@ class SupervisedExecutor:
                 return  # worker died mid-send; exit code settles it
             worker.last_beat = now
             if kind == "hb":
+                _close_stage(worker, now)
                 worker.last_stage = str(body)
             else:  # "res" / "exc"
                 worker.message = (kind, body)
@@ -488,6 +509,7 @@ class SupervisedExecutor:
                     ),
                     False,
                 )
+            _close_stage(worker, now)
             return (
                 TaskOutcome(
                     key=worker.key,
@@ -495,6 +517,7 @@ class SupervisedExecutor:
                     error=str(body),
                     attempts=worker.attempts,
                     last_stage=worker.last_stage,
+                    stage_seconds=dict(worker.stage_seconds),
                 ),
                 False,
             )
@@ -525,29 +548,18 @@ class SupervisedExecutor:
                 f"{worker.process.exitcode}) in stage "
                 f"{worker.last_stage or 'unknown'}"
             )
+        _close_stage(worker, now)
         if stopping:
             return (None, False)
-        if worker.attempts <= self.max_redispatch:
-            return (
-                TaskOutcome(
-                    key=worker.key,
-                    status=status,
-                    error=error,
-                    attempts=worker.attempts,
-                    last_stage=worker.last_stage,
-                ),
-                True,
-            )
-        return (
-            TaskOutcome(
-                key=worker.key,
-                status=status,
-                error=error,
-                attempts=worker.attempts,
-                last_stage=worker.last_stage,
-            ),
-            False,
+        outcome = TaskOutcome(
+            key=worker.key,
+            status=status,
+            error=error,
+            attempts=worker.attempts,
+            last_stage=worker.last_stage,
+            stage_seconds=dict(worker.stage_seconds),
         )
+        return (outcome, worker.attempts <= self.max_redispatch)
 
     @staticmethod
     def _kill(worker: _Inflight) -> None:

@@ -55,6 +55,8 @@ from repro.fingerprint.records import Fingerprint, FingerprintMethod
 from repro.fingerprint.snmp import SnmpOracle
 from repro.netsim.addressing import IPv4Address
 from repro.netsim.faults import FaultCounters, FaultInjector, FaultPlan
+from repro.obs.session import TelemetrySession
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, merge_counters
 from repro.probing.records import Trace, truth_transport_is_sr
 from repro.probing.tnt import TntProber
 from repro.topogen.alias import AliasResolver, AliasSet
@@ -160,6 +162,11 @@ class AsQuarantine:
     #: dispatch attempts consumed before the circuit breaker opened
     attempts: int
     detail: str
+    #: last stage heartbeat the final worker delivered before dying
+    last_stage: str | None = None
+    #: supervisor-observed seconds per heartbeat stage of the final
+    #: attempt (the post-mortem of where the worker spent its life)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class CampaignReport(Mapping):
@@ -243,11 +250,22 @@ class CampaignReport(Mapping):
         self.retry_accounting.merge(failure.retry_accounting)
 
     def record_quarantine(
-        self, as_id: int, reason: str, attempts: int, detail: str
+        self,
+        as_id: int,
+        reason: str,
+        attempts: int,
+        detail: str,
+        last_stage: str | None = None,
+        stage_seconds: dict[str, float] | None = None,
     ) -> None:
         """Record one poison AS the engine gave up re-dispatching."""
         self.quarantined[as_id] = AsQuarantine(
-            as_id=as_id, reason=reason, attempts=attempts, detail=detail
+            as_id=as_id,
+            reason=reason,
+            attempts=attempts,
+            detail=detail,
+            last_stage=last_stage,
+            stage_seconds=dict(stage_seconds or {}),
         )
 
     # -- views ------------------------------------------------------------------
@@ -331,6 +349,13 @@ class CampaignReport(Mapping):
                     "reason": q.reason,
                     "attempts": q.attempts,
                     "detail": q.detail,
+                    "last_stage": q.last_stage,
+                    "stage_seconds": {
+                        stage: round(seconds, 3)
+                        for stage, seconds in sorted(
+                            q.stage_seconds.items()
+                        )
+                    },
                 }
                 for as_id, q in self.quarantined.items()
             },
@@ -351,6 +376,37 @@ def _quarantine_reason(outcome: TaskOutcome) -> str:
     return "timeout"
 
 
+def result_counters(result: AsCampaignResult) -> dict[str, int]:
+    """Typed telemetry counters derived from one completed AS result.
+
+    Derivation from the (deterministic) result object -- rather than
+    in-band instrumentation -- is what makes counter totals identical
+    for serial, parallel, and resumed executions of the same campaign:
+    rehydrated results carry the banked tallies, and addition is
+    order-independent.
+    """
+    analysis = result.analysis
+    counters = {
+        "traces_collected": analysis.traces_total,
+        "traces_analyzed": analysis.traces_analyzed,
+        "traces_quarantined": analysis.traces_quarantined,
+        "probes_attempted": result.retry_accounting.probes,
+        "probe_retries": result.retry_accounting.retries,
+        "probes_exhausted": result.retry_accounting.exhausted,
+        "faults_injected": result.fault_counters.total_faults(),
+        "fingerprints": len(result.fingerprints),
+    }
+    flag_counts = analysis.flag_counts()
+    counters["flags_total"] = sum(flag_counts.values())
+    for flag, count in flag_counts.items():
+        counters[f"flags_{flag.name.lower()}"] = count
+    anomaly_counts = analysis.anomaly_counts()
+    counters["anomalies_total"] = sum(anomaly_counts.values())
+    for kind, count in anomaly_counts.items():
+        counters[f"anomaly_{kind}"] = count
+    return counters
+
+
 def _campaign_worker(payload: tuple, heartbeat) -> dict:
     """Process-pool task: rebuild the runner and run one AS.
 
@@ -358,11 +414,13 @@ def _campaign_worker(payload: tuple, heartbeat) -> dict:
     constructor kwargs, so results are a pure function of
     ``(config, as_id)`` -- the property that makes parallel output
     byte-identical to serial.  Stage transitions double as watchdog
-    heartbeats.
+    heartbeats.  Telemetry recorded in-worker is buffered and shipped
+    back inside the outcome dict (see :meth:`_run_as_guarded`).
     """
-    runner_cls, kwargs, as_id = payload
+    runner_cls, kwargs, as_id, telemetry_on = payload
     runner = runner_cls(**kwargs)
     runner._stage_hook = heartbeat
+    runner._telemetry_on = telemetry_on
     return runner._run_as_guarded(as_id)
 
 
@@ -413,6 +471,12 @@ class CampaignRunner:
         self._stage = "idle"
         #: optional callback fired on each stage transition (heartbeats)
         self._stage_hook = None
+        #: telemetry recorder for the in-flight AS (observational only:
+        #: results and checkpoints never read it)
+        self.telemetry = NULL_TELEMETRY
+        #: when True, guarded runs record into a fresh per-AS recorder
+        #: and ship its export through the outcome channel
+        self._telemetry_on = False
         #: live fault injector / prober of the in-flight run_as, so a
         #: mid-stage failure can still report its partial tallies
         self._active_injector: FaultInjector | None = None
@@ -420,31 +484,81 @@ class CampaignRunner:
 
     # -- public API ----------------------------------------------------------------
 
-    def run_as(self, as_id: int) -> AsCampaignResult:
-        """Run the full campaign for one portfolio AS."""
+    def run_as(
+        self, as_id: int, telemetry_dir: str | Path | None = None
+    ) -> AsCampaignResult:
+        """Run the full campaign for one portfolio AS.
+
+        Stage transitions feed two observability channels at once: the
+        watchdog heartbeat hook, and -- when a live recorder is
+        attached via :attr:`telemetry` -- hierarchical spans
+        (``as > stage``) whose durations land in the telemetry
+        artifacts only, never in the result.  ``telemetry_dir`` wraps
+        the run in a single-AS :class:`TelemetrySession` (manifest,
+        event stream, Prometheus export), exactly like
+        :meth:`run_portfolio`'s.
+        """
+        if telemetry_dir is not None:
+            return self._run_as_with_session(as_id, telemetry_dir)
+        tel = self.telemetry
         self._active_injector = None
         self._active_prober = None
-        self._set_stage("setup")
-        spec = self.portfolio.spec(as_id)
-        vps = self._select_vps(as_id)
-        self._set_stage("topology")
-        net = build_measurement_network(
-            spec, [vp.vp_id for vp in vps], seed=self.seed
+        with tel.span("as", as_id=as_id):
+            self._set_stage("setup")
+            spec = self.portfolio.spec(as_id)
+            vps = self._select_vps(as_id)
+            self._set_stage("topology")
+            with tel.span("topology"):
+                net = build_measurement_network(
+                    spec, [vp.vp_id for vp in vps], seed=self.seed
+                )
+            injector = self._injector_for(as_id)
+            self._active_injector = injector
+            if injector is not None:
+                net.engine.faults = injector
+            self._set_stage("probe")
+            with tel.span("probe"):
+                dataset, accounting = self._probe(net, vps)
+            self._set_stage("fingerprint")
+            with tel.span("fingerprint"):
+                fingerprints = self._fingerprint(
+                    net, dataset, faults=injector
+                )
+            self._set_stage("analysis")
+            with tel.span("analyze"):
+                result = self._analyze(spec, net, dataset, fingerprints)
+            if injector is not None:
+                result.fault_counters = injector.counters
+            result.retry_accounting = accounting
+            self._set_stage("done")
+        return result
+
+    def _run_as_with_session(
+        self, as_id: int, telemetry_dir: str | Path
+    ) -> AsCampaignResult:
+        """:meth:`run_as` under a telemetry session of its own."""
+        session = TelemetrySession(
+            telemetry_dir,
+            config=self._config_signature(),
+            seed=self.seed,
+            command="run_as",
+            jobs=1,
+            as_ids=[as_id],
         )
-        injector = self._injector_for(as_id)
-        self._active_injector = injector
-        if injector is not None:
-            net.engine.faults = injector
-        self._set_stage("probe")
-        dataset, accounting = self._probe(net, vps)
-        self._set_stage("fingerprint")
-        fingerprints = self._fingerprint(net, dataset, faults=injector)
-        self._set_stage("analysis")
-        result = self._analyze(spec, net, dataset, fingerprints)
-        if injector is not None:
-            result.fault_counters = injector.counters
-        result.retry_accounting = accounting
-        self._set_stage("done")
+        tel = Telemetry()
+        self.telemetry = tel
+        try:
+            result = self.run_as(as_id)
+        except BaseException:
+            tel.count("as_failed")
+            session.record_export(as_id, tel.export())
+            session.finalize("error")
+            raise
+        finally:
+            self.telemetry = NULL_TELEMETRY
+        merge_counters(tel.counters, result_counters(result))
+        session.record_export(as_id, tel.export())
+        session.finalize("ok")
         return result
 
     def run_portfolio(
@@ -456,6 +570,7 @@ class CampaignRunner:
         jobs: int = 1,
         timeout_per_as: float | None = None,
         heartbeat_timeout: float | None = None,
+        telemetry_dir: str | Path | None = None,
     ) -> CampaignReport:
         """Run every requested AS (default: the 41 analyzed ones).
 
@@ -484,6 +599,13 @@ class CampaignRunner:
         (re-deriving analyses without re-probing, and without
         re-running known failures) and measures only what is missing,
         producing the same report as an uninterrupted run.
+
+        ``telemetry_dir`` turns on observability for the run: a
+        :class:`~repro.obs.session.TelemetrySession` writes a run
+        manifest, a crash-safe JSONL stream of per-AS stage timings
+        and counters, and a Prometheus textfile export into that
+        directory.  Telemetry is purely observational -- the report
+        and the checkpoint are byte-identical with it on or off.
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint path")
@@ -496,6 +618,47 @@ class CampaignRunner:
                 else list(self.portfolio)
             )
             as_ids = [s.as_id for s in specs]
+        session: TelemetrySession | None = None
+        if telemetry_dir is not None:
+            session = TelemetrySession(
+                telemetry_dir,
+                config=self._config_signature(),
+                seed=self.seed,
+                command="run_portfolio",
+                jobs=jobs,
+                as_ids=list(as_ids),
+            )
+        try:
+            report = self._run_portfolio_inner(
+                as_ids,
+                checkpoint,
+                resume,
+                jobs,
+                timeout_per_as,
+                heartbeat_timeout,
+                session,
+            )
+        except BaseException:
+            if session is not None:
+                session.finalize("error")
+            raise
+        if session is not None:
+            session.finalize(
+                "interrupted" if report.interrupted else "ok"
+            )
+        return report
+
+    def _run_portfolio_inner(
+        self,
+        as_ids: list[int],
+        checkpoint: str | Path | None,
+        resume: bool,
+        jobs: int,
+        timeout_per_as: float | None,
+        heartbeat_timeout: float | None,
+        session: TelemetrySession | None,
+    ) -> CampaignReport:
+        """The portfolio loop proper (session lifecycle handled above)."""
         store: CampaignCheckpoint | None = None
         banked: dict[int, CheckpointEntry] = {}
         banked_failures: dict[int, FailureStub] = {}
@@ -515,7 +678,7 @@ class CampaignRunner:
             and as_id not in banked_quarantines
         ]
         outcomes, interrupted = self._execute(
-            to_run, store, jobs, timeout_per_as, heartbeat_timeout
+            to_run, store, jobs, timeout_per_as, heartbeat_timeout, session
         )
 
         # Assemble strictly in as_ids order so the report is identical
@@ -525,7 +688,8 @@ class CampaignRunner:
         for as_id in as_ids:
             entry = banked.get(as_id)
             if entry is not None:
-                report.add(self._rehydrate_as(as_id, entry), resumed=True)
+                result = self._rehydrate_banked(as_id, entry, session)
+                report.add(result, resumed=True)
                 continue
             stub = banked_failures.get(as_id)
             if stub is not None:
@@ -536,12 +700,23 @@ class CampaignRunner:
                     stub.fault_counters,
                     stub.retry_accounting,
                 )
+                if session is not None:
+                    session.record_scope(as_id, counters={"as_failed": 1})
                 continue
             qstub = banked_quarantines.get(as_id)
             if qstub is not None:
                 report.record_quarantine(
-                    as_id, qstub.reason, qstub.attempts, qstub.detail
+                    as_id,
+                    qstub.reason,
+                    qstub.attempts,
+                    qstub.detail,
+                    qstub.last_stage,
+                    qstub.stage_seconds,
                 )
+                if session is not None:
+                    session.record_scope(
+                        as_id, counters={"as_quarantined": 1}
+                    )
                 continue
             outcome = outcomes.get(as_id)
             if outcome is None:
@@ -562,13 +737,16 @@ class CampaignRunner:
         jobs: int,
         timeout_per_as: float | None,
         heartbeat_timeout: float | None,
+        session: TelemetrySession | None = None,
     ) -> tuple[dict[int, TaskOutcome], bool]:
         """Run the missing ASes under supervision, banking in order.
 
         Completed outcomes are banked to the checkpoint as soon as the
         contiguous prefix (in ``to_run`` order) allows, so the file's
         line order -- and therefore its bytes -- never depends on which
-        worker finished first.
+        worker finished first.  Telemetry batches, by contrast, are
+        appended in completion order -- the event stream is
+        observational, only counter totals are contractual.
         """
         if not to_run:
             return {}, False
@@ -586,17 +764,22 @@ class CampaignRunner:
 
         def on_complete(outcome: TaskOutcome) -> None:
             completed[outcome.key] = outcome
+            if session is not None:
+                self._record_outcome_telemetry(session, outcome)
             if store is not None:
                 bank_ready()
 
+        telemetry_on = session is not None
         if jobs == 1:
 
             def task(as_id: int, heartbeat) -> dict:
                 self._stage_hook = heartbeat
+                self._telemetry_on = telemetry_on
                 try:
                     return self._run_as_guarded(as_id)
                 finally:
                     self._stage_hook = None
+                    self._telemetry_on = False
 
             engine = SupervisedExecutor(task, jobs=1)
             payloads = [(as_id, as_id) for as_id in to_run]
@@ -609,7 +792,8 @@ class CampaignRunner:
             )
             spawn = self._spawn_config()
             payloads = [
-                (as_id, (type(self), spawn, as_id)) for as_id in to_run
+                (as_id, (type(self), spawn, as_id, telemetry_on))
+                for as_id in to_run
             ]
         with GracefulShutdown() as shutdown:
             result = engine.run(
@@ -624,24 +808,77 @@ class CampaignRunner:
                     self._bank_outcome(store, as_id, outcome)
         return result.outcomes, result.interrupted
 
+    def _record_outcome_telemetry(
+        self, session: TelemetrySession, outcome: TaskOutcome
+    ) -> None:
+        """Append one final engine outcome's telemetry to the session.
+
+        OK outcomes carry the worker's own recorder export (shipped
+        through the outcome pipe); killed/crashed workers never export,
+        so the supervisor's observed heartbeat-stage durations stand in
+        as their post-mortem.
+        """
+        as_id = outcome.key
+        if outcome.attempts > 1:
+            session.count("worker_redispatches", outcome.attempts - 1)
+        if outcome.status is TaskStatus.OK:
+            shipped = outcome.value.get("telemetry")
+            if shipped is not None:
+                session.record_export(as_id, shipped)
+            return
+        spans = [
+            {"stage": stage, "path": f"as/{stage}", "seconds": seconds}
+            for stage, seconds in sorted(
+                (outcome.stage_seconds or {}).items()
+            )
+        ]
+        counter = (
+            "as_failed"
+            if outcome.status is TaskStatus.ERROR
+            else "as_quarantined"
+        )
+        session.record_scope(as_id, spans=spans, counters={counter: 1})
+
     def _run_as_guarded(self, as_id: int) -> dict:
         """:meth:`run_as` wrapped for the engine: never raises.
 
         Failures come back as structured records carrying the stage
         reached and the partial fault/retry tallies already sunk, so
         the portfolio accounts for interrupted work.
+
+        With telemetry enabled a fresh per-AS recorder captures stage
+        spans, and its export rides the outcome dict back through the
+        engine's pipe -- the worker never touches the session files, so
+        a SIGKILLed worker cannot corrupt the event stream.  Counters
+        are derived from the finished result (:func:`result_counters`),
+        which is what keeps totals identical across serial, parallel
+        and resumed runs.
         """
+        tel = Telemetry() if self._telemetry_on else None
+        if tel is not None:
+            self.telemetry = tel
         try:
             result = self.run_as(as_id)
         except Exception as exc:  # noqa: BLE001 -- per-AS isolation
-            return {
+            message = {
                 "status": "error",
                 "stage": self._stage,
                 "error": f"{type(exc).__name__}: {exc}",
                 "fault_counters": self._partial_fault_counters(),
                 "retry_accounting": self._partial_retry_accounting(),
             }
-        return {"status": "ok", "result": result}
+            if tel is not None:
+                tel.count("as_failed")
+                message["telemetry"] = tel.export()
+            return message
+        finally:
+            if tel is not None:
+                self.telemetry = NULL_TELEMETRY
+        message = {"status": "ok", "result": result}
+        if tel is not None:
+            merge_counters(tel.counters, result_counters(result))
+            message["telemetry"] = tel.export()
+        return message
 
     def _fold_outcome(
         self, report: CampaignReport, as_id: int, outcome: TaskOutcome
@@ -678,6 +915,8 @@ class CampaignRunner:
                 _quarantine_reason(outcome),
                 outcome.attempts,
                 outcome.error or "",
+                outcome.last_stage,
+                dict(outcome.stage_seconds or {}),
             )
 
     def _bank_outcome(
@@ -727,6 +966,8 @@ class CampaignRunner:
                     reason=_quarantine_reason(outcome),
                     attempts=outcome.attempts,
                     detail=outcome.error or "",
+                    last_stage=outcome.last_stage,
+                    stage_seconds=dict(outcome.stage_seconds or {}),
                 ),
             )
 
@@ -884,6 +1125,7 @@ class CampaignRunner:
             fingerprints,
             asn_of=bdrmap.asn_of_hop,
             segment_sink=sink,
+            telemetry=self.telemetry,
         )
         # Data-quality accounting rides on the dataset so quarantined
         # traces stay visible wherever the raw data travels.  Clean runs
@@ -909,6 +1151,34 @@ class CampaignRunner:
             trace_segments=sink,
             alias_sets=alias_sets,
         )
+
+    def _rehydrate_banked(
+        self,
+        as_id: int,
+        entry: CheckpointEntry,
+        session: TelemetrySession | None,
+    ) -> AsCampaignResult:
+        """Rehydrate one banked AS, recording telemetry for the replay.
+
+        The replayed analysis gets its own spans (the parent does the
+        work, so the parent records it) and the result-derived counters
+        -- banked fault/retry tallies included -- so a resumed run's
+        counter totals equal an uninterrupted run's.
+        """
+        if session is None:
+            return self._rehydrate_as(as_id, entry)
+        tel = Telemetry()
+        previous = self.telemetry
+        self.telemetry = tel
+        try:
+            with tel.span("as", as_id=as_id, resumed=True):
+                with tel.span("analyze"):
+                    result = self._rehydrate_as(as_id, entry)
+        finally:
+            self.telemetry = previous
+        merge_counters(tel.counters, result_counters(result))
+        session.record_export(as_id, tel.export())
+        return result
 
     def _rehydrate_as(
         self, as_id: int, entry: CheckpointEntry

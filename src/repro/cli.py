@@ -20,6 +20,7 @@ import sys
 from collections import Counter
 from typing import Sequence
 
+from repro.obs.logsetup import LOG_FORMATS, LOG_LEVELS, configure_logging
 from repro.version import __version__
 
 
@@ -59,6 +60,20 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "re-dispatched once, then quarantined; requires --jobs > 1)"
         ),
     )
+    _add_telemetry_argument(parser)
+
+
+def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write run telemetry into DIR: manifest.json, a crash-safe "
+            "telemetry.jsonl event stream, and a Prometheus textfile "
+            "(results are byte-identical with or without it)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"arest {__version__}"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="root logger threshold (default: warning)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=LOG_FORMATS,
+        default="text",
+        help="text lines or one JSON object per line (default: text)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -95,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
             "stripping) applied to the dumped dataset"
         ),
     )
+    _add_telemetry_argument(run_as)
 
     portfolio = sub.add_parser(
         "portfolio", help="run the full 41-AS campaign"
@@ -221,6 +249,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(report)
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="summarize a run's telemetry directory (timings, counters)",
+    )
+    telemetry.add_argument(
+        "directory", help="directory written by --telemetry-dir"
+    )
+    telemetry.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus exposition text instead of tables",
+    )
+
     sub.add_parser("portfolio-table", help="print Table 5")
     sub.add_parser(
         "testbed",
@@ -238,7 +279,7 @@ def _cmd_run_as(args: argparse.Namespace) -> int:
         vps_per_as=args.vps_per_as,
         targets_per_as=args.targets_per_as,
     )
-    result = runner.run_as(args.as_id)
+    result = runner.run_as(args.as_id, telemetry_dir=args.telemetry_dir)
     analysis = result.analysis
     print(f"{result.spec}: {analysis.traces_total} traces, "
           f"{analysis.traces_in_as} crossing the AS")
@@ -294,6 +335,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         resume=args.resume,
         jobs=args.jobs,
         timeout_per_as=args.timeout_per_as,
+        telemetry_dir=args.telemetry_dir,
     )
     if not len(report):
         for failure in report.failures.values():
@@ -451,9 +493,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         targets_per_as=args.targets_per_as,
     )
     results = runner.run_portfolio(
-        jobs=args.jobs, timeout_per_as=args.timeout_per_as
+        jobs=args.jobs,
+        timeout_per_as=args.timeout_per_as,
+        telemetry_dir=args.telemetry_dir,
     )
-    text = render_markdown_report(results)
+    summary = None
+    if args.telemetry_dir:
+        from repro.obs import summarize_telemetry
+
+        summary = summarize_telemetry(args.telemetry_dir)
+    text = render_markdown_report(results, telemetry=summary)
     if args.output:
         from repro.util.atomicio import atomic_write_text
 
@@ -461,6 +510,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        render_prometheus,
+        render_telemetry_report,
+        summarize_telemetry,
+    )
+
+    summary = summarize_telemetry(args.directory)
+    if summary.manifest is None and not summary.counters:
+        print(f"no telemetry found in {args.directory}", file=sys.stderr)
+        return 1
+    if args.prometheus:
+        print(render_prometheus(summary), end="")
+    else:
+        print(render_telemetry_report(summary))
     return 0
 
 
@@ -520,6 +587,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "survey": _cmd_survey,
     "report": _cmd_report,
+    "telemetry": _cmd_telemetry,
     "portfolio-table": _cmd_portfolio_table,
     "testbed": _cmd_testbed,
 }
@@ -528,6 +596,7 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level, args.log_format)
     return _COMMANDS[args.command](args)
 
 

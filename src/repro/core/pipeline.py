@@ -160,6 +160,7 @@ class ArestPipeline:
         asn_of: AsnLookup | None = None,
         segment_sink: list[tuple[Trace, list[DetectedSegment]]] | None = None,
         sanitizer: TraceSanitizer | None = None,
+        telemetry=None,
     ) -> AsAnalysis:
         """Analyze every trace, keeping only hops inside ``asn``.
 
@@ -173,11 +174,22 @@ class ArestPipeline:
         it): repairable structural defects are fixed and recorded,
         unresolvable ones quarantine the trace -- counted, never
         silently dropped.  Well-formed traces pass through unchanged.
+
+        ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`, duck
+        typed to avoid the dependency) receives ``sanitize`` and
+        ``detect`` stage durations.  The timing is accumulated in
+        locals -- two clock reads per trace, only when enabled -- so
+        the hot loop stays within the <2% instrumentation budget and
+        the disabled path does no extra work at all.
         """
         if asn_of is None:
             asn_of = _truth_asn
         if sanitizer is None:
             sanitizer = TraceSanitizer()
+        track = telemetry is not None and telemetry.enabled
+        clock = telemetry.clock if track else None
+        sanitize_seconds = 0.0
+        detect_seconds = 0.0
         analysis = AsAnalysis(asn=asn)
         for flag in Flag:
             analysis.distinct_segments[flag] = set()
@@ -188,7 +200,11 @@ class ArestPipeline:
 
         for trace in traces:
             analysis.traces_total += 1
+            if track:
+                tick = clock()
             sanitized = sanitizer.sanitize(trace)
+            if track:
+                sanitize_seconds += clock() - tick
             analysis.anomalies.extend(sanitized.anomalies)
             if sanitized.trace is None:
                 analysis.traces_quarantined += 1
@@ -200,9 +216,13 @@ class ArestPipeline:
             if not indices_in_as:
                 continue
             analysis.traces_in_as += 1
+            if track:
+                tick = clock()
             segments = self._detector.detect(
                 trace, fingerprints, hop_filter=in_as
             )
+            if track:
+                detect_seconds += clock() - tick
             if segment_sink is not None:
                 segment_sink.append((trace, segments))
             self._accumulate_segments(analysis, trace, segments)
@@ -210,6 +230,9 @@ class ArestPipeline:
                 analysis, trace, segments, set(indices_in_as)
             )
             self._accumulate_tunnels(analysis, trace, set(indices_in_as))
+        if track:
+            telemetry.add_seconds("sanitize", sanitize_seconds)
+            telemetry.add_seconds("detect", detect_seconds)
         return analysis
 
     # -- accumulation ------------------------------------------------------------

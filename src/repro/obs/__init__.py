@@ -1,0 +1,66 @@
+"""Observability: telemetry recording, run manifests, reporting exports.
+
+The campaign's execution story (PRs 1-3) emits rich internal state --
+stage transitions, retries, quarantines, sanitizer anomalies -- and this
+package makes it observable without touching the determinism contract:
+all wall-clock data lives in telemetry artifacts only, and the default
+:data:`~repro.obs.telemetry.NULL_TELEMETRY` path is zero-overhead.
+
+Layout:
+
+- :mod:`repro.obs.telemetry` -- in-process recorders (spans, counters);
+- :mod:`repro.obs.sink` -- crash-safe JSONL event stream;
+- :mod:`repro.obs.manifest` -- run provenance (``manifest.json``);
+- :mod:`repro.obs.session` -- campaign-scoped orchestration;
+- :mod:`repro.obs.summary` -- aggregation + text/markdown rendering;
+- :mod:`repro.obs.prometheus` -- scrapeable textfile export;
+- :mod:`repro.obs.logsetup` -- CLI logging configuration.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    RunManifest,
+    begin_manifest,
+    load_manifest,
+)
+from repro.obs.prometheus import render_prometheus
+from repro.obs.session import (
+    PORTFOLIO_SCOPE,
+    PROMETHEUS_FILENAME,
+    TelemetrySession,
+)
+from repro.obs.sink import EVENTS_FILENAME, TelemetryWriter, load_events
+from repro.obs.summary import (
+    TelemetrySummary,
+    performance_section,
+    render_telemetry_report,
+    summarize_telemetry,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    merge_counters,
+)
+
+__all__ = [
+    "EVENTS_FILENAME",
+    "MANIFEST_FILENAME",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "PORTFOLIO_SCOPE",
+    "PROMETHEUS_FILENAME",
+    "RunManifest",
+    "Telemetry",
+    "TelemetrySession",
+    "TelemetrySummary",
+    "TelemetryWriter",
+    "begin_manifest",
+    "load_events",
+    "load_manifest",
+    "merge_counters",
+    "performance_section",
+    "render_prometheus",
+    "render_telemetry_report",
+    "summarize_telemetry",
+]

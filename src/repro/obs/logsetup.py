@@ -1,0 +1,66 @@
+"""Root-logger configuration for the ``arest`` CLI.
+
+The campaign engine logs real operational events -- worker
+re-dispatches, quarantines, checkpoint salvage, VP-pool clamps -- but a
+library must never configure logging behind its caller's back, so until
+the entry point wires the root logger those records ride Python's
+last-resort handler (bare messages, WARNING+ only).  The CLI calls
+:func:`configure_logging` once, honouring ``--log-level`` and
+``--log-format``:
+
+- ``text`` -- conventional ``HH:MM:SS level logger: message`` lines on
+  stderr;
+- ``json`` -- one JSON object per line (timestamp, level, logger,
+  message, optional exception), the shape log shippers ingest directly.
+
+Repeated calls reconfigure (``force=True``), so tests and embedders can
+switch formats without handler duplication.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+#: accepted ``--log-level`` choices (argparse restricts to these)
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: accepted ``--log-format`` choices
+LOG_FORMATS = ("text", "json")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as single-line JSON objects."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_logging(level: str = "warning", fmt: str = "text") -> None:
+    """Wire the root logger for CLI runs (idempotent, ``force=True``)."""
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}")
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}")
+    handler = logging.StreamHandler()
+    if fmt == "json":
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    logging.basicConfig(
+        level=getattr(logging, level.upper()), handlers=[handler], force=True
+    )

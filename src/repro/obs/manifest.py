@@ -1,0 +1,136 @@
+"""Run manifests: who ran what, where, and how it ended.
+
+Every telemetry-enabled campaign writes a ``manifest.json`` next to its
+event stream -- the provenance record a reader needs before trusting
+any number in the telemetry: the exact configuration signature (the
+same dict the checkpoint embeds), the seed, package and Python
+versions, host information, wall-clock start/end, and the exit status.
+
+The manifest is written *twice* through
+:func:`~repro.util.atomicio.atomic_write_text`:
+
+- at campaign start with ``exit_status: "running"`` -- so a run that
+  dies without cleanup is self-describing (a manifest still saying
+  ``running`` after the process is gone means a crash or SIGKILL);
+- at campaign end via :meth:`RunManifest.finalize` with the real
+  outcome (``ok``, ``error``, ``interrupted``) and the end timestamp.
+
+Both writes are atomic whole-file replacements, so a reader always
+sees a complete, parseable manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.atomicio import atomic_write_text
+from repro.version import __version__
+
+#: canonical manifest filename inside a telemetry directory
+MANIFEST_FILENAME = "manifest.json"
+
+_KIND = "arest-manifest"
+_VERSION = 1
+
+
+def _environment() -> dict:
+    """Host / interpreter / package provenance."""
+    return {
+        "package": "repro",
+        "package_version": __version__,
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "hostname": platform.node(),
+        "argv": list(sys.argv),
+    }
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """One campaign run's provenance record (see module docstring)."""
+
+    path: Path
+    config: dict
+    seed: int
+    command: str
+    jobs: int = 1
+    as_ids: list[int] = field(default_factory=list)
+    environment: dict = field(default_factory=_environment)
+    started_unix: float = 0.0
+    finished_unix: float | None = None
+    exit_status: str = "running"
+
+    def as_dict(self) -> dict:
+        """JSON view, exactly what lands in ``manifest.json``."""
+        return {
+            "kind": _KIND,
+            "version": _VERSION,
+            "command": self.command,
+            "config": self.config,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "as_ids": list(self.as_ids),
+            "environment": dict(self.environment),
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "duration_seconds": (
+                None
+                if self.finished_unix is None
+                else self.finished_unix - self.started_unix
+            ),
+            "exit_status": self.exit_status,
+        }
+
+    def write(self) -> None:
+        """Atomically (re)write ``manifest.json``."""
+        atomic_write_text(
+            self.path, json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+        )
+
+    def finalize(self, exit_status: str, clock=time.time) -> None:
+        """Record the outcome and end time, and rewrite the manifest."""
+        self.exit_status = exit_status
+        self.finished_unix = clock()
+        self.write()
+
+
+def begin_manifest(
+    directory: str | Path,
+    *,
+    config: dict,
+    seed: int,
+    command: str,
+    jobs: int = 1,
+    as_ids: list[int] | None = None,
+    clock=time.time,
+) -> RunManifest:
+    """Create and durably write a ``running`` manifest in ``directory``."""
+    manifest = RunManifest(
+        path=Path(directory) / MANIFEST_FILENAME,
+        config=config,
+        seed=seed,
+        command=command,
+        jobs=jobs,
+        as_ids=list(as_ids or ()),
+        started_unix=clock(),
+    )
+    manifest.write()
+    return manifest
+
+
+def load_manifest(directory: str | Path) -> dict | None:
+    """Read a telemetry directory's manifest, or None when absent."""
+    path = Path(directory) / MANIFEST_FILENAME
+    if not path.exists():
+        return None
+    with path.open("r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    if record.get("kind") != _KIND:
+        raise ValueError(f"{path} is not an AReST run manifest")
+    return record

@@ -1,0 +1,88 @@
+"""Prometheus textfile export of campaign telemetry.
+
+Renders a :class:`~repro.obs.summary.TelemetrySummary` in the exposition
+format the node_exporter textfile collector (and any Prometheus scrape)
+understands.  A telemetry-enabled campaign writes this as
+``metrics.prom`` at finalize; ``arest telemetry <dir> --prometheus``
+re-renders it from the JSONL stream on demand.
+
+Metric families:
+
+- ``arest_stage_seconds_total{scope,stage}`` -- wall-clock seconds per
+  scope (AS id or ``portfolio``) and pipeline stage;
+- ``arest_events_total{scope,name}`` -- every typed counter;
+- ``arest_run_duration_seconds`` -- total campaign wall clock;
+- ``arest_run_info{...} 1`` -- provenance labels (version, seed, jobs,
+  exit status), the conventional info-metric idiom.
+"""
+
+from __future__ import annotations
+
+from repro.obs.summary import TelemetrySummary
+
+
+def _escape(value: object) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def render_prometheus(summary: TelemetrySummary) -> str:
+    """Render the summary in Prometheus exposition format."""
+    lines: list[str] = []
+    manifest = summary.manifest
+    if manifest is not None:
+        env = manifest.get("environment", {})
+        labels = ",".join(
+            f'{k}="{_escape(v)}"'
+            for k, v in (
+                ("command", manifest.get("command")),
+                ("seed", manifest.get("seed")),
+                ("jobs", manifest.get("jobs")),
+                ("exit_status", manifest.get("exit_status")),
+                ("package_version", env.get("package_version")),
+                ("python_version", env.get("python_version")),
+            )
+        )
+        lines += [
+            "# HELP arest_run_info Campaign run provenance.",
+            "# TYPE arest_run_info gauge",
+            f"arest_run_info{{{labels}}} 1",
+        ]
+        duration = manifest.get("duration_seconds")
+        if duration is not None:
+            lines += [
+                "# HELP arest_run_duration_seconds Campaign wall clock.",
+                "# TYPE arest_run_duration_seconds gauge",
+                f"arest_run_duration_seconds {duration:.6f}",
+            ]
+    if summary.stage_seconds:
+        lines += [
+            "# HELP arest_stage_seconds_total Wall-clock seconds per "
+            "scope and stage.",
+            "# TYPE arest_stage_seconds_total counter",
+        ]
+        for scope in sorted(summary.stage_seconds, key=str):
+            for stage, seconds in sorted(
+                summary.stage_seconds[scope].items()
+            ):
+                lines.append(
+                    f'arest_stage_seconds_total{{scope="{_escape(scope)}",'
+                    f'stage="{_escape(stage)}"}} {seconds:.6f}'
+                )
+    if summary.counters:
+        lines += [
+            "# HELP arest_events_total Typed event counters per scope.",
+            "# TYPE arest_events_total counter",
+        ]
+        for scope in sorted(summary.counters, key=str):
+            for name, value in sorted(summary.counters[scope].items()):
+                lines.append(
+                    f'arest_events_total{{scope="{_escape(scope)}",'
+                    f'name="{_escape(name)}"}} {value}'
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,134 @@
+"""Campaign-scoped telemetry session: manifest + event sink + totals.
+
+A :class:`TelemetrySession` owns one telemetry directory for the
+lifetime of one campaign run:
+
+- on construction it creates the directory and writes a ``running``
+  :mod:`manifest <repro.obs.manifest>`;
+- :meth:`record_scope` durably appends one scope's span/counter batch
+  to ``telemetry.jsonl`` (called as each AS completes -- in completion
+  order, which is fine: the event stream is observational) and folds
+  the counters into the session totals;
+- :meth:`count` accumulates portfolio-level counters (events that
+  belong to no single AS, like worker re-dispatches);
+- :meth:`finalize` flushes the portfolio batch including the total
+  wall-clock span, rewrites the manifest with the exit status, and
+  renders ``metrics.prom`` (Prometheus textfile format) from the
+  on-disk stream -- so the export always agrees with what a scraper of
+  the JSONL would see, even after a crash-recovery.
+
+The session holds no result data and is consulted by no result path:
+deleting every artifact it writes changes nothing about a campaign's
+report or checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.obs.manifest import RunManifest, begin_manifest
+from repro.obs.sink import EVENTS_FILENAME, TelemetryWriter
+from repro.obs.telemetry import merge_counters
+
+#: canonical Prometheus textfile name inside a telemetry directory
+PROMETHEUS_FILENAME = "metrics.prom"
+
+#: scope label for campaign-level records
+PORTFOLIO_SCOPE = "portfolio"
+
+
+class TelemetrySession:
+    """One campaign run's telemetry artifacts, start to finish."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        config: dict,
+        seed: int,
+        command: str = "run_portfolio",
+        jobs: int = 1,
+        as_ids: list[int] | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.manifest: RunManifest = begin_manifest(
+            self.directory,
+            config=config,
+            seed=seed,
+            command=command,
+            jobs=jobs,
+            as_ids=as_ids,
+        )
+        self.writer = TelemetryWriter(self.directory / EVENTS_FILENAME)
+        #: counter totals across every scope recorded so far
+        self.totals: dict[str, int] = {}
+        self._portfolio_counters: dict[str, int] = {}
+        self._clock = clock
+        self._started = clock()
+        self._finalized = False
+
+    # -- recording -------------------------------------------------------------
+
+    def record_scope(
+        self,
+        scope: int | str,
+        spans: list[dict] | None = None,
+        counters: dict[str, int] | None = None,
+        gauges: dict[str, float] | None = None,
+    ) -> None:
+        """Durably append one scope's telemetry batch."""
+        self.writer.append_batch(
+            scope, spans=spans, counters=counters, gauges=gauges
+        )
+        if counters:
+            merge_counters(self.totals, counters)
+
+    def record_export(self, scope: int | str, export: dict) -> None:
+        """Record one :meth:`repro.obs.telemetry.Telemetry.export` blob."""
+        self.record_scope(
+            scope,
+            spans=export.get("spans"),
+            counters=export.get("counters"),
+            gauges=export.get("gauges"),
+        )
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a portfolio-level counter (flushed at finalize)."""
+        if n:
+            self._portfolio_counters[name] = (
+                self._portfolio_counters.get(name, 0) + n
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def finalize(self, exit_status: str = "ok") -> None:
+        """Flush portfolio records, settle the manifest, render exports.
+
+        Idempotent: only the first call writes (so an error path can
+        finalize defensively without clobbering an earlier outcome).
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        wall = self._clock() - self._started
+        self.record_scope(
+            PORTFOLIO_SCOPE,
+            spans=[
+                {"stage": "portfolio", "path": "portfolio", "seconds": wall}
+            ],
+            counters=dict(self._portfolio_counters),
+        )
+        self.manifest.finalize(exit_status)
+        # Render the Prometheus textfile from the on-disk stream so the
+        # export and the JSONL can never disagree.
+        from repro.obs.prometheus import render_prometheus
+        from repro.obs.summary import summarize_telemetry
+        from repro.util.atomicio import atomic_write_text
+
+        summary = summarize_telemetry(self.directory)
+        atomic_write_text(
+            self.directory / PROMETHEUS_FILENAME, render_prometheus(summary)
+        )

@@ -1,0 +1,120 @@
+"""Crash-safe JSONL event sink for campaign telemetry.
+
+One campaign writes one ``telemetry.jsonl``: a stream of small JSON
+records (span durations, counter tallies) appended *per completed AS*
+in batches.  The append protocol mirrors the checkpoint's durability
+story (:mod:`repro.util.atomicio`):
+
+1. all records of one AS are serialized into a single text block, each
+   record one line, terminated by a ``flush`` marker record;
+2. the block is appended with :func:`~repro.util.atomicio.durable_append`
+   (write + flush + fsync), so once :meth:`TelemetryWriter.append_batch`
+   returns the batch is on stable storage;
+3. a crash (even ``kill -9``) mid-append at worst truncates the final
+   line; :func:`load_events` salvages every intact line before the
+   damage and reports what it dropped, and the ``flush`` markers let
+   readers distinguish complete AS batches from a torn tail.
+
+Records are plain dicts with a ``kind`` field (``span``, ``counter``,
+``flush``); every record carries the ``scope`` it was recorded under
+(an AS id, or ``"portfolio"`` for campaign-level records).  The sink is
+observational: nothing here feeds back into results, so completion
+order -- which varies across parallel runs -- is allowed to leak into
+the file.  Only the *counter totals* are contractual (order-independent
+by construction, see :func:`repro.obs.telemetry.merge_counters`).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+
+from repro.util.atomicio import durable_append
+
+logger = logging.getLogger(__name__)
+
+#: canonical telemetry stream filename inside a telemetry directory
+EVENTS_FILENAME = "telemetry.jsonl"
+
+
+class TelemetryWriter:
+    """Appends per-scope record batches to the JSONL event stream."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append_batch(
+        self,
+        scope: int | str,
+        spans: list[dict] | None = None,
+        counters: dict[str, int] | None = None,
+        gauges: dict[str, float] | None = None,
+    ) -> int:
+        """Durably append one scope's telemetry; returns records written.
+
+        The batch is one ``write(2)`` followed by an fsync, closed by a
+        ``flush`` marker: a reader that sees the marker knows the whole
+        batch is intact.
+        """
+        records: list[dict] = []
+        for span in spans or ():
+            records.append({"kind": "span", "scope": scope, **span})
+        for name in sorted(counters or ()):
+            records.append(
+                {
+                    "kind": "counter",
+                    "scope": scope,
+                    "name": name,
+                    "value": counters[name],
+                }
+            )
+        for name in sorted(gauges or ()):
+            records.append(
+                {
+                    "kind": "gauge",
+                    "scope": scope,
+                    "name": name,
+                    "value": gauges[name],
+                }
+            )
+        records.append({"kind": "flush", "scope": scope})
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        durable_append(self.path, text)
+        return len(records)
+
+
+def load_events(path: str | Path) -> tuple[list[dict], int]:
+    """Read every salvageable record; returns ``(records, dropped)``.
+
+    Tolerates the damage a crash can inflict: undecodable or truncated
+    lines are dropped (and counted), never raised, so a telemetry file
+    that survived a ``kill -9`` still renders.  A missing file is an
+    empty stream.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    records: list[dict] = []
+    dropped = 0
+    with path.open("r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if not isinstance(record, dict) or "kind" not in record:
+                dropped += 1
+                continue
+            records.append(record)
+    if dropped:
+        logger.warning(
+            "telemetry stream %s: dropped %d corrupt line(s)", path, dropped
+        )
+    return records, dropped

@@ -1,0 +1,245 @@
+"""Aggregating and rendering a campaign's telemetry directory.
+
+:func:`summarize_telemetry` reads the artifacts a
+:class:`~repro.obs.session.TelemetrySession` wrote (``manifest.json``
+plus ``telemetry.jsonl``) into a :class:`TelemetrySummary`:
+per-scope/per-stage wall-clock totals, per-scope counter tallies, and
+campaign-wide counter totals.  Renderers turn a summary into the
+operator surfaces:
+
+- :func:`render_telemetry_report` -- the ``arest telemetry <dir>``
+  text view (run provenance, a per-AS stage-timing table, a per-AS
+  counter table, and the counter totals);
+- :func:`performance_section` -- the markdown "Performance" section
+  ``arest report --telemetry-dir`` appends to the campaign report;
+- :mod:`repro.obs.prometheus` -- the scrapeable textfile export.
+
+Everything tolerates the partial artifacts a crashed run leaves
+behind: missing manifest, torn final line, batches without a ``flush``
+marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.manifest import load_manifest
+from repro.obs.sink import EVENTS_FILENAME, load_events
+from repro.obs.telemetry import merge_counters
+from repro.util.tables import format_table
+
+#: canonical stage ordering for tables (extras appended alphabetically)
+STAGE_ORDER = (
+    "as",
+    "setup",
+    "topology",
+    "probe",
+    "sanitize",
+    "fingerprint",
+    "detect",
+    "analyze",
+    "portfolio",
+)
+
+
+@dataclass(slots=True)
+class TelemetrySummary:
+    """Aggregated view of one telemetry directory."""
+
+    directory: Path
+    #: parsed ``manifest.json`` (None when missing)
+    manifest: dict | None = None
+    #: scope -> stage -> summed seconds
+    stage_seconds: dict[object, dict[str, float]] = field(default_factory=dict)
+    #: scope -> counter name -> value
+    counters: dict[object, dict[str, int]] = field(default_factory=dict)
+    #: counter totals across all scopes
+    totals: dict[str, int] = field(default_factory=dict)
+    #: scopes whose final batch carried a ``flush`` marker
+    flushed_scopes: set = field(default_factory=set)
+    #: corrupt lines the loader dropped
+    dropped_lines: int = 0
+
+    def as_scopes(self) -> list[int]:
+        """The AS-id scopes seen, sorted."""
+        scopes = set(self.stage_seconds) | set(self.counters)
+        return sorted(s for s in scopes if isinstance(s, int))
+
+    def stages(self) -> list[str]:
+        """Every stage observed, in canonical order."""
+        seen = {
+            stage
+            for per_scope in self.stage_seconds.values()
+            for stage in per_scope
+        }
+        ordered = [stage for stage in STAGE_ORDER if stage in seen]
+        ordered.extend(sorted(seen.difference(STAGE_ORDER)))
+        return ordered
+
+
+def summarize_telemetry(directory: str | Path) -> TelemetrySummary:
+    """Aggregate a telemetry directory into a :class:`TelemetrySummary`."""
+    directory = Path(directory)
+    summary = TelemetrySummary(directory=directory)
+    summary.manifest = load_manifest(directory)
+    records, dropped = load_events(directory / EVENTS_FILENAME)
+    summary.dropped_lines = dropped
+    for record in records:
+        scope = record.get("scope")
+        kind = record.get("kind")
+        if kind == "span":
+            per_scope = summary.stage_seconds.setdefault(scope, {})
+            stage = str(record.get("stage", "unknown"))
+            per_scope[stage] = per_scope.get(stage, 0.0) + float(
+                record.get("seconds", 0.0)
+            )
+        elif kind == "counter":
+            name = str(record.get("name", "unknown"))
+            value = int(record.get("value", 0))
+            per_scope = summary.counters.setdefault(scope, {})
+            per_scope[name] = per_scope.get(name, 0) + value
+            merge_counters(summary.totals, {name: value})
+        elif kind == "flush":
+            summary.flushed_scopes.add(scope)
+    return summary
+
+
+#: the per-AS counter columns the compact table shows (full tallies
+#: remain available in the totals table and the raw JSONL)
+_KEY_COUNTERS = (
+    ("traces_collected", "Traces"),
+    ("traces_quarantined", "Quar."),
+    ("probes_attempted", "Probes"),
+    ("probe_retries", "Retries"),
+    ("faults_injected", "Faults"),
+    ("fingerprints", "Fprints"),
+    ("flags_total", "Flags"),
+    ("anomalies_total", "Anom."),
+)
+
+
+def _manifest_lines(summary: TelemetrySummary) -> list[str]:
+    manifest = summary.manifest
+    if manifest is None:
+        return [f"telemetry: {summary.directory} (no manifest found)"]
+    env = manifest.get("environment", {})
+    duration = manifest.get("duration_seconds")
+    lines = [
+        f"run: {manifest.get('command')} seed={manifest.get('seed')} "
+        f"jobs={manifest.get('jobs')} exit={manifest.get('exit_status')}",
+        f"host: {env.get('hostname')} ({env.get('platform')}) "
+        f"python {env.get('python_version')} "
+        f"repro {env.get('package_version')}",
+    ]
+    if duration is not None:
+        lines.append(f"wall clock: {duration:.2f}s")
+    return lines
+
+
+def render_telemetry_report(summary: TelemetrySummary) -> str:
+    """The ``arest telemetry <dir>`` text view."""
+    parts = _manifest_lines(summary)
+    if summary.dropped_lines:
+        parts.append(
+            f"WARNING: dropped {summary.dropped_lines} corrupt telemetry "
+            f"line(s) (crash-truncated stream)"
+        )
+    as_scopes = summary.as_scopes()
+    stages = [s for s in summary.stages() if s != "portfolio"]
+    if as_scopes and stages:
+        rows = []
+        for scope in as_scopes:
+            per_stage = summary.stage_seconds.get(scope, {})
+            rows.append(
+                [
+                    f"AS#{scope}",
+                    *(
+                        f"{per_stage[stage]:.3f}" if stage in per_stage else "-"
+                        for stage in stages
+                    ),
+                ]
+            )
+        header = ["AS", *(("total" if s == "as" else s) for s in stages)]
+        parts.append("")
+        parts.append(
+            format_table(header, rows, title="Per-stage wall-clock seconds")
+        )
+    if as_scopes:
+        rows = []
+        for scope in as_scopes:
+            counters = summary.counters.get(scope, {})
+            rows.append(
+                [
+                    f"AS#{scope}",
+                    *(
+                        str(counters.get(name, 0))
+                        for name, _ in _KEY_COUNTERS
+                    ),
+                ]
+            )
+        parts.append("")
+        parts.append(
+            format_table(
+                ["AS", *(label for _, label in _KEY_COUNTERS)],
+                rows,
+                title="Per-AS counters",
+            )
+        )
+    if summary.totals:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["Counter", "Total"],
+                [
+                    (name, str(value))
+                    for name, value in sorted(summary.totals.items())
+                ],
+                title="Counter totals",
+            )
+        )
+    if not as_scopes and not summary.totals:
+        parts.append("(no telemetry events recorded)")
+    return "\n".join(parts)
+
+
+def performance_section(summary: TelemetrySummary) -> list[str]:
+    """Markdown "Performance" section for the campaign report."""
+    lines = ["## Performance", ""]
+    manifest = summary.manifest
+    if manifest is not None:
+        duration = manifest.get("duration_seconds")
+        lines.append(
+            f"- run: `{manifest.get('command')}` seed="
+            f"{manifest.get('seed')} jobs={manifest.get('jobs')} "
+            f"exit={manifest.get('exit_status')}"
+            + (f", {duration:.2f}s wall clock" if duration is not None else "")
+        )
+    as_scopes = summary.as_scopes()
+    stages = [s for s in summary.stages() if s != "portfolio"]
+    if as_scopes and stages:
+        header = ["AS", *(("total" if s == "as" else s) for s in stages)]
+        table_lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        for scope in as_scopes:
+            per_stage = summary.stage_seconds.get(scope, {})
+            cells = [
+                f"{per_stage[stage]:.3f}" if stage in per_stage else "-"
+                for stage in stages
+            ]
+            table_lines.append(
+                "| " + " | ".join([f"AS#{scope}", *cells]) + " |"
+            )
+        lines.append("")
+        lines.extend(table_lines)
+    if summary.totals:
+        interesting = ", ".join(
+            f"{name}={value}"
+            for name, value in sorted(summary.totals.items())
+            if value
+        )
+        lines.extend(["", f"- counter totals: {interesting}"])
+    lines.append("")
+    return lines

@@ -1,0 +1,160 @@
+"""In-process telemetry recording: hierarchical spans and typed counters.
+
+The campaign's determinism contract -- byte-identical reports and
+checkpoints for any execution plan -- forbids wall-clock data anywhere
+near the results.  Telemetry therefore lives entirely *beside* the
+pipeline: a :class:`Telemetry` recorder collects monotonic span
+durations and counter tallies into its own buffers, and everything it
+records flows only into observability artifacts (the JSONL event sink,
+the run manifest, the Prometheus export), never into a result object.
+
+Two implementations share one duck-typed surface:
+
+- :class:`Telemetry` -- the live recorder.  ``span(stage)`` is a
+  context manager measuring a monotonic duration and recording it under
+  the hierarchical path of the spans currently open (``as`` >
+  ``analyze`` > ``detect`` becomes ``as/analyze/detect``);
+  ``count(name, n)`` bumps a typed counter; ``add_seconds`` records a
+  pre-measured duration (for hot loops that accumulate locally instead
+  of opening a span per iteration).
+- :class:`NullTelemetry` -- the default everywhere.  Every method is a
+  no-op and ``enabled`` is False, so hot loops can skip even the clock
+  reads (``if telemetry.enabled: ...``) and the uninstrumented path
+  stays byte-and-branch identical to the seed behaviour.
+
+Recorders are cheap, single-threaded, and scoped to one unit of work
+(one AS task, typically).  :meth:`Telemetry.export` snapshots the
+buffers into a plain JSON-able dict that survives a trip through the
+supervised executor's outcome pipe, and :func:`merge_counters` folds
+counter dicts together -- plain addition, so aggregation is
+order-independent by construction (serial, parallel and resumed runs
+produce identical totals).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+
+class NullTelemetry:
+    """No-op recorder: the zero-overhead default.
+
+    Shares the :class:`Telemetry` surface so instrumented code never
+    branches on whether telemetry is on -- except hot loops, which may
+    consult :attr:`enabled` to skip clock reads entirely.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    clock = staticmethod(time.monotonic)
+
+    @contextmanager
+    def span(self, stage: str, **attrs: object) -> Iterator[None]:
+        """No-op span."""
+        yield
+
+    def count(self, name: str, n: int = 1) -> None:
+        """No-op counter bump."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """No-op gauge set."""
+
+    def add_seconds(self, stage: str, seconds: float, **attrs: object) -> None:
+        """No-op duration record."""
+
+    def export(self) -> dict:
+        """Empty export, shaped like :meth:`Telemetry.export`."""
+        return {"spans": [], "counters": {}, "gauges": {}}
+
+
+#: process-wide shared no-op instance (stateless, safe to share)
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """Live recorder for one unit of work (typically one AS task).
+
+    Not thread-safe; the campaign gives each worker its own recorder
+    and ships the export back over the outcome channel.
+    """
+
+    __slots__ = ("clock", "spans", "counters", "gauges", "_stack")
+
+    enabled = True
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self.clock = clock
+        #: span records: {"stage", "path", "seconds", + caller attrs}
+        self.spans: list[dict] = []
+        #: typed counter tallies by name
+        self.counters: dict[str, int] = {}
+        #: last-write-wins gauges by name
+        self.gauges: dict[str, float] = {}
+        self._stack: list[str] = []
+
+    @contextmanager
+    def span(self, stage: str, **attrs: object) -> Iterator[None]:
+        """Measure a monotonic duration under the current span path.
+
+        The record is emitted even when the body raises, so a stage
+        that failed mid-flight still shows the time it sank.
+        """
+        self._stack.append(stage)
+        start = self.clock()
+        try:
+            yield
+        finally:
+            seconds = self.clock() - start
+            path = "/".join(self._stack)
+            self._stack.pop()
+            record = {"stage": stage, "path": path, "seconds": seconds}
+            if attrs:
+                record.update(attrs)
+            self.spans.append(record)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        if n:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins)."""
+        self.gauges[name] = value
+
+    def add_seconds(self, stage: str, seconds: float, **attrs: object) -> None:
+        """Record a pre-measured duration as a span under the open path.
+
+        Hot loops accumulate locally (two clock reads per iteration)
+        and call this once, instead of paying a context manager per
+        iteration.
+        """
+        path = "/".join((*self._stack, stage))
+        record = {"stage": stage, "path": path, "seconds": seconds}
+        if attrs:
+            record.update(attrs)
+        self.spans.append(record)
+
+    def export(self) -> dict:
+        """Plain JSON-able snapshot (survives the outcome pipe)."""
+        return {
+            "spans": [dict(record) for record in self.spans],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+
+def merge_counters(
+    into: dict[str, int], counters: Mapping[str, int]
+) -> dict[str, int]:
+    """Fold ``counters`` into ``into`` (in place) and return it.
+
+    Pure addition: merging any permutation of the same counter dicts
+    yields identical totals, which is what makes serial, parallel and
+    resumed runs agree.
+    """
+    for name, value in counters.items():
+        into[name] = into.get(name, 0) + value
+    return into

@@ -1,0 +1,223 @@
+"""Observability contract over the campaign engine.
+
+Two halves, one invariant each way:
+
+- telemetry must be *invisible* to results -- the report JSON and
+  checkpoint bytes are byte-identical with telemetry on or off, for any
+  execution plan;
+- results must be *faithfully visible* in telemetry -- counter totals
+  agree across serial, parallel and resumed runs of the same campaign,
+  and a quarantined worker's post-mortem (last stage, stage timings)
+  survives into the report, the checkpoint, and the markdown.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.analysis.markdown_report import render_markdown_report
+from repro.campaign import CampaignRunner
+from repro.campaign.checkpoint import QuarantineStub
+from repro.campaign.runner import result_counters
+from repro.obs import load_manifest, summarize_telemetry
+
+AS_IDS = [27, 46]
+KNOBS = dict(seed=1, vps_per_as=1, targets_per_as=4)
+
+_fork_required = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method required for the supervised pool",
+)
+
+
+def _fingerprint(report) -> str:
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+def _run(tmp_path, name, jobs=1, telemetry=False, resume=False):
+    checkpoint = tmp_path / f"{name}.ckpt"
+    telemetry_dir = tmp_path / f"{name}-telemetry" if telemetry else None
+    report = CampaignRunner(**KNOBS).run_portfolio(
+        as_ids=AS_IDS,
+        checkpoint=checkpoint,
+        resume=resume,
+        jobs=jobs,
+        timeout_per_as=120 if jobs > 1 else None,
+        telemetry_dir=telemetry_dir,
+    )
+    return report, checkpoint, telemetry_dir
+
+
+class TestTelemetryIsInvisibleToResults:
+    def test_serial_report_and_checkpoint_bytes_identical(self, tmp_path):
+        plain, plain_ckpt, _ = _run(tmp_path, "plain")
+        telem, telem_ckpt, _ = _run(tmp_path, "telem", telemetry=True)
+        assert _fingerprint(telem) == _fingerprint(plain)
+        assert telem_ckpt.read_bytes() == plain_ckpt.read_bytes()
+
+    @_fork_required
+    def test_parallel_with_telemetry_matches_serial_without(self, tmp_path):
+        plain, plain_ckpt, _ = _run(tmp_path, "plain")
+        telem, telem_ckpt, _ = _run(
+            tmp_path, "telem", jobs=2, telemetry=True
+        )
+        assert _fingerprint(telem) == _fingerprint(plain)
+        assert telem_ckpt.read_bytes() == plain_ckpt.read_bytes()
+
+
+class TestCounterTotalsAreExecutionPlanIndependent:
+    def test_serial_vs_resumed_totals(self, tmp_path):
+        _, ckpt, fresh_dir = _run(tmp_path, "fresh", telemetry=True)
+        # resume from the fully-banked checkpoint: every AS rehydrates
+        resumed_dir = tmp_path / "resumed-telemetry"
+        resumed = CampaignRunner(**KNOBS).run_portfolio(
+            as_ids=AS_IDS,
+            checkpoint=ckpt,
+            resume=True,
+            telemetry_dir=resumed_dir,
+        )
+        assert sorted(resumed.resumed_as_ids) == sorted(AS_IDS)
+        fresh_totals = summarize_telemetry(fresh_dir).totals
+        resumed_totals = summarize_telemetry(resumed_dir).totals
+        assert fresh_totals == resumed_totals
+        assert fresh_totals["traces_collected"] > 0
+
+    @_fork_required
+    def test_serial_vs_parallel_totals(self, tmp_path):
+        _, _, serial_dir = _run(tmp_path, "serial", telemetry=True)
+        _, _, parallel_dir = _run(
+            tmp_path, "parallel", jobs=2, telemetry=True
+        )
+        assert (
+            summarize_telemetry(serial_dir).totals
+            == summarize_telemetry(parallel_dir).totals
+        )
+
+
+class TestTelemetryArtifacts:
+    def test_manifest_and_stream_cover_the_run(self, tmp_path):
+        _, _, telemetry_dir = _run(tmp_path, "run", telemetry=True)
+        manifest = load_manifest(telemetry_dir)
+        assert manifest["exit_status"] == "ok"
+        assert manifest["command"] == "run_portfolio"
+        assert manifest["as_ids"] == AS_IDS
+        assert manifest["config"]["seed"] == KNOBS["seed"]
+        summary = summarize_telemetry(telemetry_dir)
+        assert summary.as_scopes() == sorted(AS_IDS)
+        # every pipeline stage shows up, hot-loop stages included
+        for stage in ("topology", "probe", "fingerprint", "analyze",
+                      "sanitize", "detect"):
+            assert stage in summary.stages()
+        # each AS flushed a complete batch; so did the portfolio scope
+        assert summary.flushed_scopes >= {*AS_IDS, "portfolio"}
+        assert (telemetry_dir / "metrics.prom").exists()
+
+    def test_counters_match_the_result_objects(self, tmp_path):
+        report, _, telemetry_dir = _run(tmp_path, "run", telemetry=True)
+        summary = summarize_telemetry(telemetry_dir)
+        for as_id in AS_IDS:
+            expected = result_counters(report[as_id])
+            recorded = summary.counters[as_id]
+            assert {k: v for k, v in recorded.items() if k in expected} == (
+                expected
+            )
+
+    def test_run_as_session_and_error_manifest(self, tmp_path):
+        runner = CampaignRunner(**KNOBS)
+        ok_dir = tmp_path / "ok"
+        runner.run_as(46, telemetry_dir=ok_dir)
+        manifest = load_manifest(ok_dir)
+        assert manifest["command"] == "run_as"
+        assert manifest["exit_status"] == "ok"
+
+        err_dir = tmp_path / "err"
+        with pytest.raises(Exception):
+            runner.run_as(987654, telemetry_dir=err_dir)
+        assert load_manifest(err_dir)["exit_status"] == "error"
+        assert summarize_telemetry(err_dir).totals.get("as_failed") == 1
+
+
+class KillsWorkerAlways(CampaignRunner):
+    """SIGKILLs the worker at AS#27's probe stage, on every dispatch.
+
+    Dying *after* the probe heartbeat makes the supervisor's post-mortem
+    deterministic: the buffered heartbeats are drained before the corpse
+    is judged, so the outcome always attributes the probe stage.
+    """
+
+    def run_as(self, as_id, telemetry_dir=None):
+        self._victim_active = as_id == 27
+        return super().run_as(as_id, telemetry_dir)
+
+    def _set_stage(self, stage):
+        super()._set_stage(stage)
+        if stage == "probe" and getattr(self, "_victim_active", False):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+@_fork_required
+class TestQuarantinePostMortem:
+    def test_stage_attribution_flows_to_every_surface(self, tmp_path):
+        telemetry_dir = tmp_path / "telemetry"
+        ckpt = tmp_path / "campaign.ckpt"
+        report = KillsWorkerAlways(**KNOBS).run_portfolio(
+            as_ids=AS_IDS,
+            checkpoint=ckpt,
+            jobs=2,
+            timeout_per_as=60,
+            telemetry_dir=telemetry_dir,
+        )
+        quarantine = report.quarantined[27]
+        assert quarantine.last_stage == "probe"
+        assert "probe" in quarantine.stage_seconds
+        assert all(s >= 0 for s in quarantine.stage_seconds.values())
+
+        # report JSON carries the post-mortem
+        entry = report.as_dict()["quarantined"]["27"]
+        assert entry["last_stage"] == quarantine.last_stage
+
+        # markdown names the stage
+        text = render_markdown_report(report)
+        assert "## Execution incidents" in text
+        assert f"last stage: {quarantine.last_stage}" in text
+
+        # telemetry counted the containment events
+        totals = summarize_telemetry(telemetry_dir).totals
+        assert totals.get("as_quarantined") == 1
+        assert totals.get("worker_redispatches") == 1
+
+        # and the banked stub restores it on resume
+        resumed = KillsWorkerAlways(**KNOBS).run_portfolio(
+            as_ids=AS_IDS, checkpoint=ckpt, resume=True
+        )
+        restored = resumed.quarantined[27]
+        assert restored.last_stage == quarantine.last_stage
+        # the checkpoint stores stage timings rounded to milliseconds
+        assert restored.stage_seconds == pytest.approx(
+            quarantine.stage_seconds, abs=5e-4
+        )
+
+
+class TestQuarantineStubCompat:
+    def test_roundtrip_with_stage_post_mortem(self):
+        stub = QuarantineStub(
+            reason="timeout",
+            attempts=2,
+            detail="exceeded 60s deadline",
+            last_stage="probe",
+            stage_seconds={"setup": 0.5, "probe": 59.5},
+        )
+        restored = QuarantineStub.from_dict(stub.as_dict())
+        assert restored.last_stage == "probe"
+        assert restored.stage_seconds == {"setup": 0.5, "probe": 59.5}
+
+    def test_reads_pre_observability_records(self):
+        # checkpoints banked before this field existed must still load
+        stub = QuarantineStub.from_dict(
+            {"reason": "crash", "attempts": 2, "detail": "killed"}
+        )
+        assert stub.last_stage is None
+        assert stub.stage_seconds == {}

@@ -1,0 +1,73 @@
+"""CLI logging configuration: text and JSON formats."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.logsetup import JsonLogFormatter, configure_logging
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    yield
+    # leave the suite's logging exactly as the harness configured it
+    root = logging.getLogger()
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    logging.basicConfig(force=True)
+
+
+class TestConfigureLogging:
+    def test_sets_level_and_single_handler(self):
+        configure_logging("debug", "text")
+        root = logging.getLogger()
+        assert root.level == logging.DEBUG
+        assert len(root.handlers) == 1
+
+    def test_reconfiguring_does_not_stack_handlers(self):
+        configure_logging("info", "text")
+        configure_logging("warning", "json")
+        root = logging.getLogger()
+        assert len(root.handlers) == 1
+        assert isinstance(root.handlers[0].formatter, JsonLogFormatter)
+
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure_logging("chatty")
+        with pytest.raises(ValueError, match="log format"):
+            configure_logging("info", "xml")
+
+
+class TestJsonFormatter:
+    def _record(self, **kwargs) -> logging.LogRecord:
+        defaults = dict(
+            name="repro.test",
+            level=logging.WARNING,
+            pathname=__file__,
+            lineno=1,
+            msg="worker %s re-dispatched",
+            args=("AS#46",),
+            exc_info=None,
+        )
+        defaults.update(kwargs)
+        return logging.LogRecord(**defaults)
+
+    def test_single_line_json_with_interpolation(self):
+        line = JsonLogFormatter().format(self._record())
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "worker AS#46 re-dispatched"
+        assert isinstance(payload["ts"], float)
+
+    def test_exception_is_embedded(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = self._record(exc_info=sys.exc_info())
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "RuntimeError: boom" in payload["exception"]

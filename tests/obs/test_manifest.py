@@ -1,0 +1,74 @@
+"""Run manifests: provenance, lifecycle, and atomic rewrites."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    begin_manifest,
+    load_manifest,
+)
+
+
+def _fake_clock(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestManifestLifecycle:
+    def test_begin_writes_running_manifest(self, tmp_path):
+        begin_manifest(
+            tmp_path,
+            config={"seed": 1},
+            seed=1,
+            command="run_portfolio",
+            jobs=4,
+            as_ids=[27, 46],
+            clock=_fake_clock([100.0]),
+        )
+        record = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        assert record["kind"] == "arest-manifest"
+        assert record["exit_status"] == "running"
+        assert record["started_unix"] == 100.0
+        assert record["finished_unix"] is None
+        assert record["duration_seconds"] is None
+        assert record["jobs"] == 4
+        assert record["as_ids"] == [27, 46]
+        assert record["config"] == {"seed": 1}
+
+    def test_environment_provenance_fields(self, tmp_path):
+        begin_manifest(
+            tmp_path, config={}, seed=0, command="run_as"
+        )
+        env = load_manifest(tmp_path)["environment"]
+        for key in (
+            "package_version",
+            "python_version",
+            "platform",
+            "hostname",
+            "argv",
+        ):
+            assert key in env
+
+    def test_finalize_records_outcome_and_duration(self, tmp_path):
+        manifest = begin_manifest(
+            tmp_path,
+            config={},
+            seed=1,
+            command="run_portfolio",
+            clock=_fake_clock([100.0]),
+        )
+        manifest.finalize("ok", clock=_fake_clock([107.5]))
+        record = load_manifest(tmp_path)
+        assert record["exit_status"] == "ok"
+        assert record["finished_unix"] == 107.5
+        assert record["duration_seconds"] == 7.5
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        (tmp_path / MANIFEST_FILENAME).write_text('{"kind": "other"}')
+        with pytest.raises(ValueError, match="not an AReST run manifest"):
+            load_manifest(tmp_path)

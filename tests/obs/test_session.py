@@ -1,0 +1,141 @@
+"""The campaign-scoped session and its rendered surfaces."""
+
+import json
+
+from repro.obs.prometheus import render_prometheus
+from repro.obs.session import (
+    PORTFOLIO_SCOPE,
+    PROMETHEUS_FILENAME,
+    TelemetrySession,
+)
+from repro.obs.sink import EVENTS_FILENAME
+from repro.obs.summary import (
+    performance_section,
+    render_telemetry_report,
+    summarize_telemetry,
+)
+
+
+def _session(tmp_path, **kwargs) -> TelemetrySession:
+    defaults = dict(config={"seed": 1}, seed=1, jobs=2, as_ids=[27, 46])
+    defaults.update(kwargs)
+    return TelemetrySession(tmp_path / "tel", **defaults)
+
+
+def _export(scope_seconds: float = 1.5) -> dict:
+    return {
+        "spans": [
+            {"stage": "as", "path": "as", "seconds": scope_seconds},
+            {"stage": "probe", "path": "as/probe", "seconds": 1.0},
+        ],
+        "counters": {"traces_collected": 4, "flags_total": 2},
+        "gauges": {},
+    }
+
+
+class TestSessionLifecycle:
+    def test_construction_writes_running_manifest(self, tmp_path):
+        session = _session(tmp_path)
+        manifest = json.loads(
+            (session.directory / "manifest.json").read_text()
+        )
+        assert manifest["exit_status"] == "running"
+        assert manifest["as_ids"] == [27, 46]
+
+    def test_record_export_accumulates_totals(self, tmp_path):
+        session = _session(tmp_path)
+        session.record_export(27, _export())
+        session.record_export(46, _export())
+        assert session.totals == {"traces_collected": 8, "flags_total": 4}
+
+    def test_finalize_settles_manifest_and_renders_prometheus(
+        self, tmp_path
+    ):
+        session = _session(tmp_path)
+        session.record_export(27, _export())
+        session.count("worker_redispatches", 1)
+        session.finalize("ok")
+        manifest = json.loads(
+            (session.directory / "manifest.json").read_text()
+        )
+        assert manifest["exit_status"] == "ok"
+        assert manifest["duration_seconds"] is not None
+        prom = (session.directory / PROMETHEUS_FILENAME).read_text()
+        assert 'exit_status="ok"' in prom
+        assert (
+            'arest_events_total{scope="27",name="traces_collected"} 4'
+            in prom
+        )
+        assert (
+            'arest_events_total{scope="portfolio",'
+            'name="worker_redispatches"} 1' in prom
+        )
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        session = _session(tmp_path)
+        session.finalize("error")
+        session.finalize("ok")  # defensive double call must not clobber
+        summary = summarize_telemetry(session.directory)
+        assert summary.manifest["exit_status"] == "error"
+        portfolio_spans = [
+            stage
+            for scope, stages in summary.stage_seconds.items()
+            if scope == PORTFOLIO_SCOPE
+            for stage in stages
+        ]
+        assert portfolio_spans == ["portfolio"]
+
+
+class TestSummaryAndRenderers:
+    def test_summary_aggregates_scopes_and_stages(self, tmp_path):
+        session = _session(tmp_path)
+        session.record_export(46, _export())
+        session.record_export(27, _export())
+        session.finalize("ok")
+        summary = summarize_telemetry(session.directory)
+        assert summary.as_scopes() == [27, 46]
+        assert summary.stages()[0] == "as"  # canonical order
+        assert summary.stages()[-1] == "portfolio"
+        assert summary.stage_seconds[27]["probe"] == 1.0
+        assert summary.flushed_scopes >= {27, 46, PORTFOLIO_SCOPE}
+        assert summary.dropped_lines == 0
+        assert summary.totals["traces_collected"] == 8
+
+    def test_summary_tolerates_torn_stream(self, tmp_path):
+        session = _session(tmp_path)
+        session.record_export(27, _export())
+        stream = session.directory / EVENTS_FILENAME
+        with stream.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "span", "scope": 46, "seco')
+        summary = summarize_telemetry(session.directory)
+        assert summary.dropped_lines == 1
+        assert summary.as_scopes() == [27]
+
+    def test_text_report_contains_tables(self, tmp_path):
+        session = _session(tmp_path)
+        session.record_export(27, _export())
+        session.finalize("ok")
+        text = render_telemetry_report(
+            summarize_telemetry(session.directory)
+        )
+        assert "Per-stage wall-clock seconds" in text
+        assert "Per-AS counters" in text
+        assert "Counter totals" in text
+        assert "AS#27" in text
+
+    def test_performance_section_is_markdown(self, tmp_path):
+        session = _session(tmp_path)
+        session.record_export(27, _export())
+        session.finalize("ok")
+        lines = performance_section(summarize_telemetry(session.directory))
+        assert lines[0] == "## Performance"
+        assert any(line.startswith("| AS ") for line in lines)
+        assert any("traces_collected=4" in line for line in lines)
+
+    def test_prometheus_escapes_label_values(self, tmp_path):
+        session = _session(tmp_path)
+        session.record_export('evil"scope\n', _export())
+        session.finalize("ok")
+        prom = render_prometheus(summarize_telemetry(session.directory))
+        assert '\\"' in prom and "\\n" in prom
+        assert "\n\n" not in prom.strip()

@@ -1,0 +1,151 @@
+"""The in-process recorders: spans, counters, and the null object."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    merge_counters,
+)
+
+from tests.conftest import scaled_examples
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances by a fixed tick per read."""
+
+    def __init__(self, tick: float = 1.0) -> None:
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+
+class TestTelemetry:
+    def test_span_records_duration_and_stage(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("probe"):
+            pass
+        assert tel.spans == [
+            {"stage": "probe", "path": "probe", "seconds": 1.0}
+        ]
+
+    def test_nested_spans_build_hierarchical_paths(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("as", as_id=46):
+            with tel.span("analyze"):
+                with tel.span("detect"):
+                    pass
+        paths = [record["path"] for record in tel.spans]
+        # inner spans close (and record) first
+        assert paths == ["as/analyze/detect", "as/analyze", "as"]
+        assert tel.spans[-1]["as_id"] == 46
+
+    def test_span_records_even_when_body_raises(self):
+        tel = Telemetry(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tel.span("probe"):
+                raise RuntimeError("boom")
+        assert [record["stage"] for record in tel.spans] == ["probe"]
+        # the stack unwound: a later span is not nested under the dead one
+        with tel.span("analyze"):
+            pass
+        assert tel.spans[-1]["path"] == "analyze"
+
+    def test_add_seconds_respects_open_span_path(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("as"):
+            tel.add_seconds("sanitize", 0.25)
+        assert tel.spans[0] == {
+            "stage": "sanitize",
+            "path": "as/sanitize",
+            "seconds": 0.25,
+        }
+
+    def test_counters_accumulate_and_skip_zero(self):
+        tel = Telemetry()
+        tel.count("traces", 3)
+        tel.count("traces", 2)
+        tel.count("noise", 0)
+        assert tel.counters == {"traces": 5}
+
+    def test_gauge_last_write_wins(self):
+        tel = Telemetry()
+        tel.gauge("queue_depth", 3)
+        tel.gauge("queue_depth", 1)
+        assert tel.gauges == {"queue_depth": 1}
+
+    def test_export_is_a_detached_snapshot(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("probe"):
+            tel.count("probes", 7)
+        export = tel.export()
+        tel.count("probes", 1)
+        assert export["counters"] == {"probes": 7}
+        assert export["spans"][0]["stage"] == "probe"
+        # mutating the export must not reach back into the recorder
+        export["spans"][0]["stage"] = "mangled"
+        assert tel.spans[0]["stage"] == "probe"
+
+
+class TestNullTelemetry:
+    def test_is_disabled_and_inert(self):
+        tel = NullTelemetry()
+        assert tel.enabled is False
+        with tel.span("anything", attr=1):
+            tel.count("x")
+            tel.gauge("y", 2.0)
+            tel.add_seconds("z", 1.0)
+        assert tel.export() == {"spans": [], "counters": {}, "gauges": {}}
+
+    def test_shared_instance_is_stateless(self):
+        NULL_TELEMETRY.count("x", 100)
+        assert NULL_TELEMETRY.export()["counters"] == {}
+
+    def test_clock_is_usable(self):
+        # hot loops may read the clock through either implementation
+        assert isinstance(NULL_TELEMETRY.clock(), float)
+
+
+_counter_dicts = st.lists(
+    st.dictionaries(
+        st.sampled_from(("traces", "probes", "flags_cvr", "faults")),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=4,
+    ),
+    max_size=5,
+)
+
+
+class TestMergeCounters:
+    def test_merges_in_place_and_returns(self):
+        into = {"a": 1}
+        out = merge_counters(into, {"a": 2, "b": 3})
+        assert out is into
+        assert into == {"a": 3, "b": 3}
+
+    @settings(max_examples=scaled_examples(50), deadline=None)
+    @given(parts=_counter_dicts)
+    def test_aggregation_is_order_independent(self, parts):
+        """Satellite property: any merge order yields identical totals.
+
+        This is the mechanism that makes serial, parallel, and resumed
+        campaign counter totals agree -- completion order varies, the
+        sum does not.  Exhaustively checks every permutation for small
+        lists (n! <= 120 here).
+        """
+        reference = None
+        for permutation in itertools.permutations(parts):
+            totals: dict[str, int] = {}
+            for part in permutation:
+                merge_counters(totals, part)
+            if reference is None:
+                reference = totals
+            assert totals == reference

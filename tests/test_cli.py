@@ -151,3 +151,68 @@ class TestPortfolioCommand:
         out = capsys.readouterr().out
         assert "Fig. 8" in out
         assert "confirmed ASes detected" in out
+
+
+class TestLoggingOptions:
+    def test_log_flags_are_accepted(self, capsys):
+        assert main(
+            [
+                "--log-level",
+                "debug",
+                "--log-format",
+                "json",
+                "run-as",
+                "46",
+                "--targets",
+                "4",
+                "--vps",
+                "1",
+            ]
+        ) == 0
+        assert "ESnet" in capsys.readouterr().out
+
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "chatty", "portfolio-table"])
+        with pytest.raises(SystemExit):
+            main(["--log-format", "xml", "portfolio-table"])
+
+
+class TestTelemetryCommand:
+    def _collect(self, tmp_path):
+        telemetry_dir = tmp_path / "telemetry"
+        assert main(
+            [
+                "run-as",
+                "46",
+                "--targets",
+                "4",
+                "--vps",
+                "1",
+                "--telemetry-dir",
+                str(telemetry_dir),
+            ]
+        ) == 0
+        return telemetry_dir
+
+    def test_text_report(self, tmp_path, capsys):
+        telemetry_dir = self._collect(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "exit=ok" in out
+        assert "Per-stage wall-clock seconds" in out
+        assert "Per-AS counters" in out
+        assert "AS#46" in out
+
+    def test_prometheus_output(self, tmp_path, capsys):
+        telemetry_dir = self._collect(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", str(telemetry_dir), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "arest_run_info{" in out
+        assert 'exit_status="ok"' in out
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nowhere")]) == 1
+        assert "no telemetry found" in capsys.readouterr().err
