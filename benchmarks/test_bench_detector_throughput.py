@@ -8,10 +8,12 @@ table the run drops ``BENCH_detector.json`` (throughput plus per-trace
 latency percentiles) so CI can archive machine-readable numbers.
 """
 
+import gc
 import json
 import time
 
 from repro.core.detector import ArestDetector
+from repro.core.vendor_ranges import ranges_for_fingerprint
 from repro.probing.tnt import TntProber
 from repro.util.atomicio import atomic_write_text
 
@@ -21,16 +23,28 @@ BENCH_FILENAME = "BENCH_detector.json"
 
 
 def _trace_corpus(portfolio_results, copies: int = 3):
-    traces = []
+    """(trace, fingerprints) pairs, as the pipeline feeds the detector.
+
+    Each trace keeps its own campaign's fingerprint mapping: vendor-range
+    lookups are part of the detector's real per-hop work and an empty
+    mapping would let the benchmark skip them entirely.
+    """
+    pairs = []
     for result in portfolio_results.values():
-        traces.extend(result.dataset.traces)
-    return traces * copies
+        fingerprints = result.fingerprints
+        pairs.extend(
+            (trace, fingerprints) for trace in result.dataset.traces
+        )
+    return pairs * copies
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted sample."""
     index = round(q * (len(sorted_values) - 1))
     return sorted_values[index]
+
+
+_WARMUP_PASSES = 2
 
 
 def test_bench_detector_throughput(benchmark, portfolio_results):
@@ -40,9 +54,15 @@ def test_bench_detector_throughput(benchmark, portfolio_results):
 
     def detect_all() -> int:
         segments = 0
-        for trace in corpus:
-            segments += len(detector.detect(trace, {}))
+        for trace, fingerprints in corpus:
+            segments += len(detector.detect(trace, fingerprints))
         return segments
+
+    # Warm-up: pay first-call costs (lazy imports, memoized vendor-range
+    # construction, branch-predictor/allocator warm-up) outside every
+    # measured window, so they stop polluting the max/p95 trajectory.
+    for _ in range(_WARMUP_PASSES):
+        detect_all()
 
     segments = benchmark(detect_all)
     per_trace_us = benchmark.stats["mean"] / len(corpus) * 1e6
@@ -54,10 +74,12 @@ def test_bench_detector_throughput(benchmark, portfolio_results):
 
     # Per-trace latency distribution (one extra pass; the benchmark
     # above measures aggregate throughput, this captures tail shape).
+    for trace, fingerprints in corpus:  # warm the per-call timing path too
+        detector.detect(trace, fingerprints)
     latencies_us = []
-    for trace in corpus:
+    for trace, fingerprints in corpus:
         tick = time.perf_counter_ns()
-        detector.detect(trace, {})
+        detector.detect(trace, fingerprints)
         latencies_us.append((time.perf_counter_ns() - tick) / 1e3)
     latencies_us.sort()
     payload = {
@@ -70,6 +92,34 @@ def test_bench_detector_throughput(benchmark, portfolio_results):
         "p95_us_per_trace": round(_percentile(latencies_us, 0.95), 3),
         "max_us_per_trace": round(latencies_us[-1], 3),
     }
+    # The vendor-range memoization delta, measured paired (alternating
+    # legs in the same process) so runner clock drift multiplies both
+    # legs equally and cancels in the ratio.  The uncached leg clears
+    # the interval-list cache once per *trace*; the pre-caching code
+    # rebuilt the list once per labeled *hop*, so the recorded delta is
+    # a conservative floor on the real win.
+    def detect_all_uncached() -> int:
+        segments = 0
+        for trace, fingerprints in corpus:
+            ranges_for_fingerprint.cache_clear()
+            segments += len(detector.detect(trace, fingerprints))
+        return segments
+
+    detect_all_uncached()  # warm the uncached leg's code path once
+    cached_s: list[float] = []
+    uncached_s: list[float] = []
+    for _ in range(3):
+        gc.disable()
+        tick = time.perf_counter()
+        detect_all()
+        cached_s.append(time.perf_counter() - tick)
+        tick = time.perf_counter()
+        detect_all_uncached()
+        uncached_s.append(time.perf_counter() - tick)
+        gc.enable()
+    ratios = sorted(u / c for c, u in zip(cached_s, uncached_s))
+    payload["uncached_ops_per_sec"] = round(len(corpus) / min(uncached_s), 1)
+    payload["range_cache_delta_pct"] = round((ratios[1] - 1) * 100, 1)
     atomic_write_text(
         BENCH_FILENAME, json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

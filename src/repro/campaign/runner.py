@@ -1066,6 +1066,10 @@ class CampaignRunner:
                 dataset.add(
                     prober.trace(vp_router, destination, vp_name=vp.vp_id)
                 )
+        # Fast-path cache gauges: observational only (the telemetry
+        # contract), but they make cache regressions visible per AS.
+        for name, value in net.engine.stats.as_dict().items():
+            self.telemetry.gauge(f"walkcache_{name}", value)
         return dataset, prober.accounting
 
     def _fingerprint(

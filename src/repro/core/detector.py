@@ -104,28 +104,36 @@ class ArestDetector:
         trace: Trace,
         fingerprints: Mapping[IPv4Address, Fingerprint] | FingerprintLookup,
         hop_filter: Callable[[TraceHop], bool] | None = None,
+        hop_mask: frozenset[int] | set[int] | None = None,
     ) -> list[DetectedSegment]:
         """Detect SR-MPLS segments in one trace.
 
         ``hop_filter`` restricts detection to hops of interest (the
         pipeline passes an is-in-target-AS predicate); hops failing the
         filter break label runs, like AS boundaries do in the paper.
+        ``hop_mask`` is the precomputed-index-set equivalent -- callers
+        that already know which hops qualify pass the set instead of
+        paying a predicate call per hop; when both are given the mask
+        wins.
         """
         lookup = (
             fingerprints
             if callable(fingerprints)
             else _lookup_from_mapping(fingerprints)
         )
-        eligible = self._eligibility(trace, hop_filter)
+        # One effective-label computation per hop; every later stage
+        # (eligibility, run discovery, classification) reads this view.
+        views = [effective_labels(hop) for hop in trace.hops]
+        eligible = self._eligibility(trace, views, hop_filter, hop_mask)
         segments: list[DetectedSegment] = []
         in_run: set[int] = set()
-        for run in self._label_runs(trace, eligible):
-            segments.append(self._classify_run(trace, run, lookup))
+        for run in self._label_runs(trace, views, eligible):
+            segments.append(self._classify_run(trace, run, views, lookup))
             in_run.update(run)
         for i, hop in enumerate(trace.hops):
             if not eligible[i] or i in in_run:
                 continue
-            segment = self._classify_single(trace, i, hop, lookup)
+            segment = self._classify_single(trace, i, hop, views[i], lookup)
             if segment is not None:
                 segments.append(segment)
         segments.sort(key=lambda s: s.hop_indices[0])
@@ -136,25 +144,33 @@ class ArestDetector:
     def _eligibility(
         self,
         trace: Trace,
+        views: list[tuple[int, ...]],
         hop_filter: Callable[[TraceHop], bool] | None,
+        hop_mask: frozenset[int] | set[int] | None,
     ) -> list[bool]:
         flags = []
-        for hop in trace.hops:
-            ok = bool(effective_labels(hop)) and not hop.tnt_revealed
-            if ok and hop_filter is not None:
-                ok = hop_filter(hop)
+        for i, hop in enumerate(trace.hops):
+            ok = bool(views[i]) and not hop.tnt_revealed
+            if ok:
+                if hop_mask is not None:
+                    ok = i in hop_mask
+                elif hop_filter is not None:
+                    ok = hop_filter(hop)
             flags.append(ok)
         return flags
 
     def _label_runs(
-        self, trace: Trace, eligible: list[bool]
+        self,
+        trace: Trace,
+        views: list[tuple[int, ...]],
+        eligible: list[bool],
     ) -> list[list[int]]:
         """Maximal runs of consecutive, label-matching, eligible hops."""
         runs: list[list[int]] = []
         current: list[int] = []
         prev_label: int | None = None
-        for i, hop in enumerate(trace.hops):
-            effective = effective_labels(hop) if eligible[i] else ()
+        for i in range(len(trace.hops)):
+            effective = views[i] if eligible[i] else ()
             label = effective[0] if effective else None
             if label is None:
                 self._flush(runs, current)
@@ -184,15 +200,16 @@ class ArestDetector:
         self,
         trace: Trace,
         run: list[int],
+        views: list[tuple[int, ...]],
         lookup: FingerprintLookup,
     ) -> DetectedSegment:
         hops = [trace.hops[i] for i in run]
-        views = [effective_labels(h) for h in hops]
-        labels = tuple(v[0] for v in views)
+        run_views = [views[i] for i in run]
+        labels = tuple(v[0] for v in run_views)
         vendor_confirmed = any(
             h.address is not None
             and label_in_vendor_range(v[0], lookup(h.address))
-            for h, v in zip(hops, views)
+            for h, v in zip(hops, run_views)
         )
         flag = Flag.CVR if vendor_confirmed else Flag.CO
         return DetectedSegment(
@@ -200,7 +217,7 @@ class ArestDetector:
             hop_indices=tuple(run),
             addresses=tuple(h.address for h in hops),  # type: ignore[arg-type]
             top_labels=labels,
-            stack_depths=tuple(len(v) for v in views),
+            stack_depths=tuple(len(v) for v in run_views),
             suffix_based=run_is_suffix_based(labels),
         )
 
@@ -209,10 +226,10 @@ class ArestDetector:
         trace: Trace,
         index: int,
         hop: TraceHop,
+        effective: tuple[int, ...],
         lookup: FingerprintLookup,
     ) -> DetectedSegment | None:
         assert hop.address is not None
-        effective = effective_labels(hop)
         assert effective
         label = effective[0]
         in_range = label_in_vendor_range(label, lookup(hop.address))

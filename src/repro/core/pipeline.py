@@ -210,26 +210,26 @@ class ArestPipeline:
                 analysis.traces_quarantined += 1
                 continue
             trace = sanitized.trace
-            indices_in_as = [
+            # AS membership is resolved once per hop; the resulting index
+            # set feeds the detector mask and both accumulators.
+            in_as_set = {
                 i for i, hop in enumerate(trace.hops) if in_as(hop)
-            ]
-            if not indices_in_as:
+            }
+            if not in_as_set:
                 continue
             analysis.traces_in_as += 1
             if track:
                 tick = clock()
             segments = self._detector.detect(
-                trace, fingerprints, hop_filter=in_as
+                trace, fingerprints, hop_mask=in_as_set
             )
             if track:
                 detect_seconds += clock() - tick
             if segment_sink is not None:
                 segment_sink.append((trace, segments))
             self._accumulate_segments(analysis, trace, segments)
-            self._accumulate_areas(
-                analysis, trace, segments, set(indices_in_as)
-            )
-            self._accumulate_tunnels(analysis, trace, set(indices_in_as))
+            self._accumulate_areas(analysis, trace, segments, in_as_set)
+            self._accumulate_tunnels(analysis, trace, in_as_set)
         if track:
             telemetry.add_seconds("sanitize", sanitize_seconds)
             telemetry.add_seconds("detect", detect_seconds)

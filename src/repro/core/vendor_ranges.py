@@ -14,6 +14,7 @@ vendor?*  Two evidence grades exist (Sec. 5):
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Mapping
 
 from repro.fingerprint.records import Fingerprint, FingerprintMethod
@@ -46,8 +47,14 @@ TTL_ACTIONABLE_CLASS: frozenset[Vendor] = frozenset(
 )
 
 
+@lru_cache(maxsize=1024)
 def ranges_for_fingerprint(fp: Fingerprint) -> tuple[LabelRange, ...]:
-    """SR label ranges implied by a fingerprint (possibly empty)."""
+    """SR label ranges implied by a fingerprint (possibly empty).
+
+    Memoized: a campaign holds a handful of distinct fingerprints but
+    the detector asks once per labeled hop, so the interval list is
+    built once instead of per hop (Fingerprint is frozen/hashable).
+    """
     if fp.method is FingerprintMethod.SNMP:
         assert fp.exact_vendor is not None
         entries = TABLE1_RANGES.get(fp.exact_vendor, ())

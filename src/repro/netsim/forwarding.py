@@ -26,6 +26,17 @@ performing the final pop.  The tunnel therefore collapses into a single
 traceroute hop -- the ending hop -- which, if it implements RFC 4950,
 quotes the received LSE and betrays the tunnel (*opaque*); otherwise the
 tunnel is *invisible*.
+
+Fast path
+---------
+
+Because forwarding decisions never read the TTL, one instrumented walk
+per ``(src, destination, flow)`` -- :meth:`ForwardingEngine.record_walk`
+-- captures enough state to answer every probe TTL of a traceroute in
+O(1) via :meth:`ForwardingEngine.forward_probe_cached`, with per-probe
+fault draws replayed in the reference call order.  See
+:mod:`repro.netsim.walkcache` for the synthesis model and its exactness
+guarantees.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.netsim.addressing import IPv4Address
 from repro.netsim.faults import FaultInjector
@@ -41,10 +53,42 @@ from repro.netsim.mpls import LabelStack, LabelStackEntry, ReservedLabel
 from repro.netsim.topology import Network, Router
 from repro.netsim.tunnels import TunnelController, TunnelProgram
 from repro.netsim.vendors import VENDOR_PROFILES
+from repro.netsim.walkcache import (
+    RECORD_TTL,
+    RecordedWalk,
+    SymTtl,
+    WalkRecorder,
+    WalkStats,
+)
 from repro.util.determinism import unit_hash
 
 _MAX_WALK = 512
 _DEFAULT_INITIAL_TTL = 64
+
+
+def _ecmp_digest(flow_id: int, node: int, target: int) -> int:
+    """The per-flow ECMP hash bucket (bit-identical to the historical
+    inline SHA-256)."""
+    digest = hashlib.sha256(f"{flow_id}:{node}:{target}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+#: memoized bucket -- the same flow re-resolves the same hop once per probe
+_ecmp_bucket = lru_cache(maxsize=1 << 16)(_ecmp_digest)
+
+
+@lru_cache(maxsize=1 << 16)
+def _truth_hop(
+    node: int,
+    asn: int,
+    labels: tuple[int, ...],
+    planes: tuple[str, ...],
+    pushed: bool,
+    uniform: bool,
+) -> "TruthHop":
+    """A memoized ground-truth hop: every flow crossing a router in the
+    same tunnel state records the identical (frozen) hop."""
+    return TruthHop(node, asn, labels, planes, pushed, uniform)
 
 
 class ReplyKind(enum.Enum):
@@ -112,6 +156,8 @@ class _Packet:
     uniform: bool = True  # RFC 3443 TTL model of the current tunnel
     #: True for measurement probes; ground-truth walks are never faulted
     measured: bool = False
+    #: observer of an instrumented recording walk (fast path)
+    recorder: WalkRecorder | None = None
 
 
 class ForwardingEngine:
@@ -128,6 +174,47 @@ class ForwardingEngine:
         self._igp = igp
         self._tunnels = tunnels
         self._faults = faults
+        #: fast-path and cache counters (observational only)
+        self.stats = WalkStats()
+        #: (node, target, flow) -> resolved ECMP next hop
+        self._next_hop_cache: dict[tuple[int, int, int], int] = {}
+        #: (node, prev, vp) -> reply skeleton, shared by walk recorders
+        self._reply_skeletons: dict = {}
+        self._memoize = True
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized routing state (call after topology changes).
+
+        Also invalidates the underlying IGP caches; recorded walks held
+        by callers are NOT tracked here and must be discarded by their
+        owners.
+        """
+        self._next_hop_cache.clear()
+        self._reply_skeletons.clear()
+        self._igp.invalidate()
+
+    @property
+    def memoize(self) -> bool:
+        """Memoize deterministic routing primitives (on by default).
+
+        Turning this off makes every walk recompute ECMP scans, flow
+        hash buckets and return-path hop counts from scratch -- the
+        pre-memoization cost model.  Results are bit-identical either
+        way; the campaign benchmark uses the switch to time its
+        reference leg honestly.
+        """
+        return self._memoize
+
+    @memoize.setter
+    def memoize(self, on: bool) -> None:
+        changed = on != self._memoize
+        self._memoize = on
+        self._igp.memoize = on
+        if changed and not on:
+            # Drop state the memoized mode accumulated; re-assigning the
+            # same value is a no-op so steady-state callers keep the SPF
+            # distance fields the seed engine also kept warm.
+            self.invalidate_caches()
 
     @property
     def network(self) -> Network:
@@ -193,6 +280,103 @@ class ForwardingEngine:
             pass
         return truth
 
+    def record_walk(
+        self, src: int, dest: IPv4Address, flow_id: int = 0
+    ) -> RecordedWalk:
+        """Run one instrumented, fault-free walk and record enough state
+        to synthesize the reply for every probe TTL of this flow.
+
+        The recording consumes no fault-injector state, so it may run at
+        any point relative to the probes it answers.  When the walk
+        cannot guarantee exactness the result has ``ok=False`` and
+        :meth:`forward_probe_cached` transparently falls back to the
+        reference walker.  The recording doubles as the ground-truth
+        walk (``RecordedWalk.truth`` equals :meth:`truth_walk` output).
+        """
+        recorder = WalkRecorder(self, src, dest, flow_id)
+        truth: list[TruthHop] = []
+        reply: ProbeReply | None = None
+        dropped = False
+        try:
+            reply = self._walk(
+                src,
+                dest,
+                SymTtl(RECORD_TTL, probe=True),
+                flow_id,
+                truth=truth,
+                recorder=recorder,
+            )
+        except PacketDropped:
+            # A TTL-independent silent death (no route, unknown label,
+            # walk limit): every deep-enough probe dies the same way.
+            dropped = True
+        except Exception:
+            # Anything else (e.g. NoRouteError mid-path) may never
+            # surface in the reference because shallow probes expire
+            # first and consecutive stars abort the trace -- refuse to
+            # synthesize rather than guess.
+            recorder.inexact = True
+        walk = recorder.finalize(reply, dropped, truth)
+        if walk.ok:
+            self.stats.walks_recorded += 1
+        else:
+            self.stats.walks_fallback += 1
+        return walk
+
+    def forward_probe_cached(
+        self, walk: RecordedWalk, ttl: int, attempt: int = 0
+    ) -> ProbeReply | None:
+        """Answer one probe of a recorded flow in O(1).
+
+        Bit-equivalent to ``forward_probe(walk.src, walk.dest, ttl,
+        walk.flow_id, attempt)``: the per-probe fault draws -- loss,
+        blackout checks along the visited prefix, ICMP policing at the
+        responder -- replay in the reference call order; only the path
+        walk itself is skipped.  Falls back to the reference walker when
+        the recording is inexact or the TTL exceeds the recording base.
+        """
+        if ttl <= 0:
+            raise ValueError(f"probe TTL must be positive, got {ttl}")
+        faults = self._faults
+        if faults is not None:
+            faults.on_probe()
+            if faults.probe_lost(walk.flow_id, walk.dest, ttl, attempt):
+                return None
+        if not walk.ok or ttl > RECORD_TTL:
+            self.stats.probes_walked += 1
+            try:
+                return self._walk(
+                    walk.src, walk.dest, ttl, walk.flow_id, truth=None
+                )
+            except PacketDropped:
+                return None
+        event = walk.expiry_by_ttl.get(ttl)
+        if faults is not None:
+            # Replay the blackout checks the reference walk would make:
+            # one per visited router up to (and including) the expiry
+            # node, stopping at the first hit exactly as the walk does.
+            upto = event.visit_index if event is not None else len(walk.visits)
+            for node in walk.visits[:upto]:
+                if faults.blacked_out(node):
+                    return None
+        self.stats.probes_synthesized += 1
+        if event is None:
+            # The probe outlives every expiry checkpoint: it reaches the
+            # walk's terminal fate (delivery, or a silent drop).
+            return walk.terminal_reply
+        if event.silent or not event.rate_passed:
+            return None
+        if faults is not None and not faults.allow_icmp(event.node):
+            return None
+        return ProbeReply(
+            kind=ReplyKind.TIME_EXCEEDED,
+            source_ip=event.source_ip,
+            quoted_stack=event.materialize_quote(ttl),
+            reply_ip_ttl=event.reply_ip_ttl,
+            truth_router_id=event.node,
+            truth_forward_hops=event.return_hops,
+        )
+
     def ping(self, src: int, target: IPv4Address, flow_id: int = 0) -> ProbeReply | None:
         """ICMP echo to an interface address (TTL fingerprint, 2nd half)."""
         owner = self._network.owner_of(target)
@@ -207,13 +391,14 @@ class ForwardingEngine:
                 return None
             if self._faults.blacked_out(owner):
                 return None
+        reply_ttl, return_hops = self._reply_meta(owner, src, echo=True)
         return ProbeReply(
             kind=ReplyKind.ECHO_REPLY,
             source_ip=target,
             quoted_stack=None,
-            reply_ip_ttl=self._reply_ttl(owner, src, echo=True),
+            reply_ip_ttl=reply_ttl,
             truth_router_id=owner,
-            truth_forward_hops=self._return_hops(owner, src),
+            truth_forward_hops=return_hops,
         )
 
     # -- walk ---------------------------------------------------------------------
@@ -225,6 +410,7 @@ class ForwardingEngine:
         ttl: int,
         flow_id: int,
         truth: list[TruthHop] | None,
+        recorder: WalkRecorder | None = None,
     ) -> ProbeReply | None:
         final = self._network.owner_of(dest)
         if final is None:
@@ -235,6 +421,7 @@ class ForwardingEngine:
             flow_id=flow_id,
             origin=src,
             measured=truth is None,
+            recorder=recorder,
         )
         node = src
         prev: int | None = None
@@ -254,6 +441,10 @@ class ForwardingEngine:
                 # The router is transiently dark: it neither forwards
                 # nor replies, so the probe dies silently.
                 raise PacketDropped(DropReason.BLACKOUT)
+            if packet.recorder is not None:
+                # Mirror the blackout checkpoint above: a measured probe
+                # draws blacked_out() once per router reached, in order.
+                packet.recorder.on_visit(node)
             step = self._process_at(node, prev, final, packet, truth)
             if isinstance(step, ProbeReply):
                 return step
@@ -277,33 +468,44 @@ class ForwardingEngine:
         Returns the next-hop router id to keep forwarding, a ProbeReply
         to stop with, or None for a silent stop.
         """
+        self.stats.nodes_processed += 1
         router = self._network.router(node)
         received_stack = packet.stack.copy() if packet.stack else None
         if truth is not None:
+            # positional: router_id, asn, received_labels, received_planes,
+            # pushed (fixed up below if a push happens), uniform
+            make_hop = _truth_hop if self._memoize else TruthHop
             truth.append(
-                TruthHop(
-                    router_id=node,
-                    asn=router.asn,
-                    received_labels=packet.stack.labels(),
-                    received_planes=tuple(packet.planes),
-                    pushed=False,  # fixed up below if a push happens
-                    uniform=packet.uniform,
+                make_hop(
+                    node,
+                    router.asn,
+                    packet.stack.labels() if received_stack is not None else (),
+                    tuple(packet.planes) if packet.planes else (),
+                    False,
+                    packet.uniform,
                 )
             )
 
         if packet.stack:
             # MPLS TTL processing on the outermost header.
+            if packet.recorder is not None:
+                packet.recorder.on_check(
+                    node, prev, packet.stack.top.ttl,
+                    received_stack if router.rfc4950 else None,
+                )
             if packet.stack.top.ttl <= 1:
                 return self._time_exceeded(
                     node, prev, packet.origin,
                     received_stack if router.rfc4950 else None,
                     packet,
                 )
-            packet.stack.decrement_ttl()
+            packet.stack.decrement_ttl(self._memoize)
             return self._label_ops(node, prev, final, packet, received_stack, truth)
 
         # Plain IP processing.  The final router is still a router: it
         # decrements before handing the packet to the destination host.
+        if packet.recorder is not None:
+            packet.recorder.on_check(node, prev, packet.ip_ttl, None)
         if packet.ip_ttl <= 1:
             return self._time_exceeded(
                 node, prev, packet.origin, None, packet
@@ -318,13 +520,14 @@ class ForwardingEngine:
                 self._push_program(router, packet, program)
                 if truth is not None and truth:
                     last = truth[-1]
-                    truth[-1] = TruthHop(
-                        router_id=last.router_id,
-                        asn=last.asn,
-                        received_labels=last.received_labels,
-                        received_planes=last.received_planes,
-                        pushed=True,
-                        uniform=packet.uniform,
+                    make_hop = _truth_hop if self._memoize else TruthHop
+                    truth[-1] = make_hop(
+                        last.router_id,
+                        last.asn,
+                        last.received_labels,
+                        last.received_planes,
+                        True,
+                        packet.uniform,
                     )
                 return self._forward_labeled(node, final, packet)
         return self._flow_next_hop(node, final, packet.flow_id)
@@ -428,7 +631,7 @@ class ForwardingEngine:
                     if out_label is None:
                         self._pop(packet)  # PHP at the penultimate hop
                     else:
-                        packet.stack.swap(out_label)
+                        packet.stack.swap(out_label, self._memoize)
                         packet.planes[0] = "rsvp"
                     return self._after_forwarding_pop(
                         node, prev, packet, received_stack, router, nh
@@ -451,12 +654,12 @@ class ForwardingEngine:
             if nh == target and domain.explicit_null:
                 # signal explicit-null: the endpoint still receives an
                 # MPLS header, carrying only label 0
-                packet.stack.swap(0)
+                packet.stack.swap(0, self._memoize)
                 packet.planes[0] = "sr"
             elif nh == target and domain.php:
                 self._pop(packet)  # PHP toward the segment endpoint
             else:
-                packet.stack.swap(domain.label_on_wire(nh, index))
+                packet.stack.swap(domain.label_on_wire(nh, index), self._memoize)
                 packet.planes[0] = "sr"
             return nh
         # SR -> LDP interworking: downstream neighbour is LDP-only.  The
@@ -466,7 +669,7 @@ class ForwardingEngine:
         if binding == int(ReservedLabel.IMPLICIT_NULL):
             self._pop(packet)
         else:
-            packet.stack.swap(binding)
+            packet.stack.swap(binding, self._memoize)
             packet.planes[0] = "ldp"
         return nh
 
@@ -483,7 +686,7 @@ class ForwardingEngine:
             if binding == int(ReservedLabel.IMPLICIT_NULL):
                 self._pop(packet)
             else:
-                packet.stack.swap(binding)
+                packet.stack.swap(binding, self._memoize)
                 packet.planes[0] = "ldp"
             return nh
         # LDP -> SR interworking: downstream speaks SR only.  This border
@@ -497,7 +700,7 @@ class ForwardingEngine:
         if nh == egress:
             self._pop(packet)
         else:
-            packet.stack.swap(domain.label_on_wire(nh, index))
+            packet.stack.swap(domain.label_on_wire(nh, index), self._memoize)
             packet.planes[0] = "sr"
         return nh
 
@@ -536,6 +739,11 @@ class ForwardingEngine:
         the *opaque* signature (the received LSE is quoted)."""
         if packet.stack or packet.uniform:
             return nh
+        if packet.recorder is not None:
+            packet.recorder.on_check(
+                node, prev, packet.ip_ttl,
+                received_stack if router.rfc4950 else None,
+            )
         if packet.ip_ttl <= 1:
             return self._time_exceeded(
                 node, prev, packet.origin,
@@ -560,6 +768,11 @@ class ForwardingEngine:
             # Pipe model: the EH performs the IP TTL check + decrement the
             # tunnel swallowed.  Expiring here with RFC 4950 produces the
             # *opaque* tunnel signature (one quoted LSE, TTL ~255-k).
+            if packet.recorder is not None:
+                packet.recorder.on_check(
+                    node, prev, packet.ip_ttl,
+                    received_stack if router.rfc4950 else None,
+                )
             if packet.ip_ttl <= 1:
                 return self._time_exceeded(
                     node, prev, packet.origin,
@@ -591,7 +804,7 @@ class ForwardingEngine:
             packet.planes.pop(0)
         if packet.uniform:
             if packet.stack:
-                packet.stack.set_top_ttl(popped.ttl)
+                packet.stack.set_top_ttl(popped.ttl, self._memoize)
             else:
                 packet.ip_ttl = popped.ttl
 
@@ -608,20 +821,29 @@ class ForwardingEngine:
         router = self._network.router(node)
         if router.icmp_silent:
             return None
-        if (
-            router.icmp_response_rate < 1.0
-            and packet is not None
-            and unit_hash(
-                "icmp-drop",
-                node,
-                packet.flow_id,
-                packet.dest.value,
-            )
-            >= router.icmp_response_rate
-        ):
-            # ICMP rate limiting: this flow's probes expiring here are
-            # consistently policed away (a '*' in the traceroute).
-            return None
+        if router.icmp_response_rate < 1.0 and packet is not None:
+            if self._memoize:
+                draw = unit_hash(
+                    "icmp-drop", node, packet.flow_id, packet.dest.value
+                )
+            else:
+                # pre-change cost model: every deterministic draw pays a
+                # fresh SHA-256 (bit-identical to unit_hash)
+                text = (
+                    f"icmp-drop\x1f{node}\x1f{packet.flow_id}"
+                    f"\x1f{packet.dest.value}"
+                )
+                draw = (
+                    int.from_bytes(
+                        hashlib.sha256(text.encode("utf-8")).digest()[:8],
+                        "big",
+                    )
+                    / 2**64
+                )
+            if draw >= router.icmp_response_rate:
+                # ICMP rate limiting: this flow's probes expiring here are
+                # consistently policed away (a '*' in the traceroute).
+                return None
         if (
             self._faults is not None
             and packet is not None
@@ -637,43 +859,67 @@ class ForwardingEngine:
         if source is None:  # pragma: no cover - defensive
             source = router.loopback
             assert source is not None
+        reply_ttl, return_hops = self._reply_meta(node, vp, echo=False)
         return ProbeReply(
             kind=ReplyKind.TIME_EXCEEDED,
             source_ip=source,
             quoted_stack=tuple(quoted) if quoted is not None else None,
-            reply_ip_ttl=self._reply_ttl(node, vp, echo=False),
+            reply_ip_ttl=reply_ttl,
             truth_router_id=node,
-            truth_forward_hops=self._return_hops(node, vp),
+            truth_forward_hops=return_hops,
         )
 
     def _deliver(self, node: int, packet: _Packet) -> ProbeReply:
+        reply_ttl, return_hops = self._reply_meta(node, packet.origin, echo=False)
         return ProbeReply(
             kind=ReplyKind.DEST_UNREACHABLE,
             source_ip=packet.dest,
             quoted_stack=None,
-            reply_ip_ttl=self._reply_ttl(node, packet.origin, echo=False),
+            reply_ip_ttl=reply_ttl,
             truth_router_id=node,
-            truth_forward_hops=self._return_hops(node, packet.origin),
+            truth_forward_hops=return_hops,
         )
 
     # -- helpers ------------------------------------------------------------------------
 
     def _flow_next_hop(self, node: int, target: int, flow_id: int) -> int:
+        if not self._memoize:
+            hops = self._igp.ecmp_next_hops(node, target)
+            if len(hops) == 1:
+                return hops[0]
+            return hops[_ecmp_digest(flow_id, node, target) % len(hops)]
+        key = (node, target, flow_id)
+        cached = self._next_hop_cache.get(key)
+        if cached is not None:
+            self.stats.next_hop_hits += 1
+            return cached
         hops = self._igp.ecmp_next_hops(node, target)
         if len(hops) == 1:
-            return hops[0]
-        digest = hashlib.sha256(f"{flow_id}:{node}:{target}".encode()).digest()
-        return hops[int.from_bytes(digest[:4], "big") % len(hops)]
+            nh = hops[0]
+        else:
+            nh = hops[_ecmp_bucket(flow_id, node, target) % len(hops)]
+        self.stats.next_hop_misses += 1
+        self._next_hop_cache[key] = nh
+        return nh
 
     def _return_hops(self, responder: int, vp: int) -> int:
         if vp < 0 or responder == vp:
             return 0
         try:
-            return len(self._igp.path(responder, vp)) - 1
+            return self._igp.hop_count(responder, vp)
         except NoRouteError:  # pragma: no cover - connected graphs
             return 0
 
-    def _reply_ttl(self, responder: int, vp: int, echo: bool) -> int:
+    def _reply_meta(self, responder: int, vp: int, echo: bool) -> tuple[int, int]:
+        """(reply IP TTL, return-path hop count) for one responder.
+
+        One helper so every reply builder pays the hop-count lookup once.
+        The unmemoized cost model resolved the reply TTL and the truth
+        hop count independently -- two path walks per reply.
+        """
+        hops = self._return_hops(responder, vp)
+        if not self._memoize:
+            hops = self._return_hops(responder, vp)
         vendor = self._network.router(responder).vendor
         profile = VENDOR_PROFILES.get(vendor)
         if profile is None:
@@ -684,4 +930,7 @@ class ForwardingEngine:
                 if echo
                 else profile.ttl_signature.time_exceeded
             )
-        return max(1, initial - self._return_hops(responder, vp))
+        return max(1, initial - hops), hops
+
+    def _reply_ttl(self, responder: int, vp: int, echo: bool) -> int:
+        return self._reply_meta(responder, vp, echo)[0]

@@ -32,10 +32,20 @@ class ShortestPaths:
         self._network = network
         #: destination -> {router -> distance}
         self._distance_cache: dict[int, dict[int, float]] = {}
+        #: (src, dst) -> ECMP next-hop set, lowest router id first
+        self._ecmp_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        #: (src, dst) -> shortest-path hop count
+        self._hop_count_cache: dict[tuple[int, int], int] = {}
+        #: memoize derived lookups (ECMP sets, hop counts) beyond the SPF
+        #: distance fields.  Results are identical either way; benchmarks
+        #: turn this off to measure the unmemoized cost model.
+        self.memoize: bool = True
 
     def invalidate(self) -> None:
         """Drop cached SPF results (call after topology changes)."""
         self._distance_cache.clear()
+        self._ecmp_cache.clear()
+        self._hop_count_cache.clear()
 
     # -- SPF ----------------------------------------------------------------
 
@@ -84,6 +94,19 @@ class ShortestPaths:
 
     def ecmp_next_hops(self, src: int, dst: int) -> list[int]:
         """Every neighbour on a shortest path, lowest router id first."""
+        if not self.memoize:
+            return list(self._ecmp_scan(src, dst))
+        return list(self._ecmp(src, dst))
+
+    def _ecmp(self, src: int, dst: int) -> tuple[int, ...]:
+        cached = self._ecmp_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        result = self._ecmp_scan(src, dst)
+        self._ecmp_cache[(src, dst)] = result
+        return result
+
+    def _ecmp_scan(self, src: int, dst: int) -> tuple[int, ...]:
         distances = self._distances_to(dst)
         if src not in distances:
             raise NoRouteError(f"no route from #{src} to #{dst}")
@@ -96,7 +119,7 @@ class ShortestPaths:
                 hops.append(neighbor)
         if not hops:
             raise NoRouteError(f"no route from #{src} to #{dst}")
-        return hops
+        return tuple(hops)
 
     def path(self, src: int, dst: int) -> list[int]:
         """The tie-broken shortest path, inclusive of both endpoints."""
@@ -110,6 +133,26 @@ class ShortestPaths:
             if guard == 0:  # pragma: no cover - defensive
                 raise RuntimeError("next-hop loop detected")
         return path
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of links on the tie-broken shortest path, memoized.
+
+        Every ICMP reply pays this lookup (return-path length for the
+        reply TTL), so one ``path()`` walk seeds the cache for every
+        suffix of the path at once.
+        """
+        if src == dst:
+            return 0
+        if not self.memoize:
+            return len(self.path(src, dst)) - 1
+        cached = self._hop_count_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        path = self.path(src, dst)
+        length = len(path) - 1
+        for i, node in enumerate(path):
+            self._hop_count_cache[(node, dst)] = length - i
+        return length
 
     def distances_from(self, src: int) -> Mapping[int, float]:
         """Distance to every reachable router (symmetric costs)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 MAX_LABEL = 2**20 - 1
@@ -38,6 +39,39 @@ class ReservedLabel(enum.IntEnum):
 
 #: First label value usable for ordinary forwarding.
 FIRST_UNRESERVED_LABEL = 16
+
+
+@lru_cache(maxsize=1 << 16)
+def _cached_plain_lse(
+    label: int, tc: int, bottom: bool, ttl: int
+) -> "LabelStackEntry":
+    return LabelStackEntry(label=label, tc=tc, bottom_of_stack=bottom, ttl=ttl)
+
+
+@lru_cache(maxsize=1 << 16)
+def _cached_probe_lse(
+    label: int, tc: int, bottom: bool, ttl_value: int
+) -> "LabelStackEntry":
+    # import here to avoid a module cycle (walkcache imports mpls); the
+    # pooled SymTtl keeps the probe-provenance flag the recorder reads
+    from repro.netsim.walkcache import _PROBE_TTL_POOL
+
+    return LabelStackEntry(
+        label=label, tc=tc, bottom_of_stack=bottom, ttl=_PROBE_TTL_POOL[ttl_value]
+    )
+
+
+def _cached_lse(label: int, tc: int, bottom: bool, ttl: int) -> "LabelStackEntry":
+    """A memoized LSE: per-hop swap/decrement rebuilds the same few
+    thousand (label, tc, bottom, ttl) combinations over and over.
+
+    Probe-derived symbolic TTLs (:class:`~repro.netsim.walkcache.SymTtl`
+    with ``probe=True``) hash equal to their plain-int value, so they get
+    a cache of their own keyed by the concrete value.
+    """
+    if getattr(ttl, "probe", False):
+        return _cached_probe_lse(label, tc, bottom, int(ttl))
+    return _cached_plain_lse(label, tc, bottom, ttl)
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,23 +216,48 @@ class LabelStack:
         self._fix_bottom()
         return entry
 
-    def swap(self, new_label: int) -> None:
-        """SWAP: replace the top label, keeping TC and TTL."""
+    def swap(self, new_label: int, memoize: bool = False) -> None:
+        """SWAP: replace the top label, keeping TC and TTL.
+
+        ``memoize`` serves the result from the shared LSE cache; off, it
+        copies through :func:`dataclasses.replace` as the pre-memoization
+        engine did (identical entries either way).
+        """
         if not self._entries:
             raise IndexError("swap on empty label stack")
-        self._entries[0] = self._entries[0].with_label(new_label)
+        entry = self._entries[0]
+        if memoize:
+            self._entries[0] = _cached_lse(
+                new_label, entry.tc, entry.bottom_of_stack, entry.ttl
+            )
+        else:
+            self._entries[0] = entry.with_label(new_label)
 
-    def decrement_ttl(self) -> None:
+    def decrement_ttl(self, memoize: bool = False) -> None:
         """Decrement the top LSE-TTL (every transit LSR does this)."""
         if not self._entries:
             raise IndexError("TTL decrement on empty label stack")
-        self._entries[0] = self._entries[0].decremented()
+        entry = self._entries[0]
+        if memoize:
+            if entry.ttl == 0:
+                raise ValueError("cannot decrement an expired LSE-TTL")
+            self._entries[0] = _cached_lse(
+                entry.label, entry.tc, entry.bottom_of_stack, entry.ttl - 1
+            )
+        else:
+            self._entries[0] = entry.decremented()
 
-    def set_top_ttl(self, ttl: int) -> None:
+    def set_top_ttl(self, ttl: int, memoize: bool = False) -> None:
         """Overwrite the top entry's TTL."""
         if not self._entries:
             raise IndexError("TTL set on empty label stack")
-        self._entries[0] = self._entries[0].with_ttl(ttl)
+        entry = self._entries[0]
+        if memoize:
+            self._entries[0] = _cached_lse(
+                entry.label, entry.tc, entry.bottom_of_stack, ttl
+            )
+        else:
+            self._entries[0] = entry.with_ttl(ttl)
 
     # -- wire format --------------------------------------------------------
 

@@ -16,10 +16,20 @@ trace records, which the evaluation harness uses for scoring.
 
 from __future__ import annotations
 
-from repro.netsim.forwarding import ForwardingEngine, TruthHop
+from dataclasses import replace
+from hashlib import sha256
+
+from repro.netsim.forwarding import ForwardingEngine, ReplyKind, TruthHop
 from repro.netsim.addressing import IPv4Address
+from repro.netsim.walkcache import RECORD_TTL, RecordedWalk
 from repro.probing.records import Trace, TraceHop
-from repro.probing.traceroute import ParisTraceroute
+from repro.probing.traceroute import (
+    _HOP_LATENCY_MS,
+    _MAX_CONSECUTIVE_STARS,
+    ParisTraceroute,
+    derive_flow_id,
+    quote_records,
+)
 from repro.util.determinism import unit_hash
 from repro.util.retry import RetryAccounting, RetryPolicy
 
@@ -34,13 +44,18 @@ class TntProber:
         reveal_success_rate: float = 0.85,
         seed: int = 0,
         retry: RetryPolicy | None = None,
+        fast_path: bool = True,
     ) -> None:
         if not 0.0 <= reveal_success_rate <= 1.0:
             raise ValueError("reveal_success_rate must be within [0, 1]")
         self._engine = engine
         self._retry = retry or RetryPolicy.none()
         self._traceroute = ParisTraceroute(
-            engine, max_ttl=max_ttl, seed=seed, retry=self._retry
+            engine,
+            max_ttl=max_ttl,
+            seed=seed,
+            retry=self._retry,
+            fast_path=fast_path,
         )
         self._reveal_rate = reveal_success_rate
         self._seed = seed
@@ -57,13 +72,183 @@ class TntProber:
         vp_name: str = "",
     ) -> Trace:
         """Run one TNT traceroute: probe, annotate, reveal."""
-        trace = self._traceroute.trace(vp_router_id, destination, vp_name)
-        truth = self._engine.truth_walk(
-            vp_router_id, destination, trace.flow_id
+        prober = self._traceroute
+        walk: RecordedWalk | None = None
+        if (
+            prober.fast_path
+            and self._engine.faults is None
+            and not self._retry.enabled
+        ):
+            flow_id = derive_flow_id(vp_router_id, destination)
+            walk = self._engine.record_walk(
+                vp_router_id, destination, flow_id
+            )
+            if (
+                walk.ok
+                and len(walk.expiry_by_ttl) + _MAX_CONSECUTIVE_STARS
+                <= RECORD_TTL
+            ):
+                return self._fused_trace(
+                    vp_router_id, destination, vp_name, flow_id, walk
+                )
+        trace, walk = prober.trace_recorded(
+            vp_router_id, destination, vp_name, prerecorded=walk
         )
+        if walk is not None and walk.ok:
+            # The recording already walked the full path with an
+            # effectively infinite TTL; its truth equals truth_walk's.
+            truth = walk.truth
+        else:
+            truth = self._engine.truth_walk(
+                vp_router_id, destination, trace.flow_id
+            )
         trace = self._annotate_truth(trace, truth)
         trace = self._reveal_hidden(trace, truth)
         return trace
+
+    def _fused_trace(
+        self,
+        vp_router_id: int,
+        destination: IPv4Address,
+        vp_name: str,
+        flow_id: int,
+        walk: RecordedWalk,
+    ) -> Trace:
+        """Synthesize the fully annotated trace in one pass.
+
+        Bit-equivalent to ``trace_recorded`` + ``_annotate_truth`` over a
+        pristine data plane (no faults, no retries): probe outcomes come
+        from the recorded walk exactly as ``forward_probe_cached`` would
+        synthesize them, and each :class:`TraceHop` is constructed once,
+        truth annotations included, instead of probe-reply -> bare hop ->
+        annotated copy.  Revelation runs unchanged on top.
+        """
+        prober = self._traceroute
+        truth = walk.truth
+        by_router: dict[int, list[TruthHop]] = {}
+        for t in truth:
+            by_router.setdefault(t.router_id, []).append(t)
+        # jitter keys never repeat within a trace, so hash the prebuilt
+        # key text directly: the memoized unit_hash pays more building
+        # its key string than the raw SHA-256 costs (bit-identical)
+        jitter_prefix = f"{prober.seed}\x1frtt\x1f{flow_id}\x1f"
+        events_get = walk.expiry_by_ttl.get
+        candidates_for = by_router.get
+        match = self._match_candidates
+        # hot-loop locals; TraceHop built positionally, field order as in
+        # records.py: (probe_ttl, address, rtt_ms, reply_ip_ttl, lses,
+        # tnt_revealed, destination_reply, truth_router_id, truth_asn,
+        # truth_planes, truth_uniform)
+        hop = TraceHop
+        digest64 = sha256
+        from_bytes = int.from_bytes
+        hops: list[TraceHop] = []
+        append = hops.append
+        reached = False
+        stars = 0
+        probes = 0
+        for ttl in range(1, prober.max_ttl + 1):
+            probes += 1
+            event = events_get(ttl)
+            terminal = None
+            if event is None:
+                terminal = walk.terminal_reply
+                if terminal is None:
+                    # the walk died silently past its last checkpoint
+                    append(hop(ttl, None))
+                    stars += 1
+                    if stars >= _MAX_CONSECUTIVE_STARS:
+                        break
+                    continue
+            elif event.silent or not event.rate_passed:
+                append(hop(ttl, None))
+                stars += 1
+                if stars >= _MAX_CONSECUTIVE_STARS:
+                    break
+                continue
+            stars = 0
+            digest = digest64(
+                (jitter_prefix + str(ttl)).encode("utf-8")
+            ).digest()
+            jitter = (from_bytes(digest[:8], "big") / 2**64) * 0.3
+            if terminal is None:
+                quote = event.quote
+                lses = (
+                    quote_records(quote, ttl) if quote is not None else None
+                )
+                info = match(candidates_for(event.node), lses)
+                if info is None:
+                    append(hop(
+                        ttl,
+                        event.source_ip,
+                        round(
+                            (ttl + event.return_hops) * _HOP_LATENCY_MS
+                            + jitter,
+                            3,
+                        ),
+                        event.reply_ip_ttl,
+                        lses,
+                        False,
+                        False,
+                        event.node,
+                    ))
+                else:
+                    append(hop(
+                        ttl,
+                        event.source_ip,
+                        round(
+                            (ttl + event.return_hops) * _HOP_LATENCY_MS
+                            + jitter,
+                            3,
+                        ),
+                        event.reply_ip_ttl,
+                        lses,
+                        False,
+                        False,
+                        event.node,
+                        info.asn,
+                        info.received_planes,
+                        info.uniform,
+                    ))
+                continue
+            is_destination = terminal.kind is not ReplyKind.TIME_EXCEEDED
+            info = match(candidates_for(terminal.truth_router_id), None)
+            append(hop(
+                ttl,
+                terminal.source_ip,
+                round(
+                    (ttl + terminal.truth_forward_hops) * _HOP_LATENCY_MS
+                    + jitter,
+                    3,
+                ),
+                terminal.reply_ip_ttl,
+                None,
+                False,
+                is_destination,
+                terminal.truth_router_id,
+                info.asn if info is not None else None,
+                # a destination reply is not forwarding evidence
+                # (see _annotate_truth)
+                (
+                    () if is_destination or info is None
+                    else info.received_planes
+                ),
+                info.uniform if info is not None else True,
+            ))
+            if is_destination:
+                reached = True
+                break
+        prober.accounting.probes += probes
+        self._engine.stats.probes_synthesized += probes
+        trace = Trace(
+            vp=vp_name or f"vp{vp_router_id}",
+            vp_router_id=vp_router_id,
+            destination=destination,
+            flow_id=flow_id,
+            hops=tuple(hops),
+            reached=reached,
+        )
+        return self._reveal_hidden(trace, truth)
 
     # -- annotation ------------------------------------------------------------
 
@@ -71,6 +256,13 @@ class TntProber:
         by_router: dict[int, list[TruthHop]] = {}
         for t in truth:
             by_router.setdefault(t.router_id, []).append(t)
+        annotate = (
+            TraceHop.with_annotation
+            if self._engine.memoize
+            # pre-change cost model: annotation copied hops through
+            # dataclasses.replace and its per-call field introspection
+            else replace
+        )
         hops = []
         for hop in trace.hops:
             info = self._matching_truth(hop, by_router)
@@ -78,7 +270,8 @@ class TntProber:
                 hops.append(hop)
                 continue
             hops.append(
-                hop.with_annotation(
+                annotate(
+                    hop,
                     truth_asn=info.asn,
                     # A destination reply is not forwarding evidence: the
                     # PE answers on the target's behalf, so the labels it
@@ -103,11 +296,20 @@ class TntProber:
         """
         if hop.truth_router_id is None:
             return None
-        candidates = by_router.get(hop.truth_router_id)
+        return TntProber._match_candidates(
+            by_router.get(hop.truth_router_id), hop.lses
+        )
+
+    @staticmethod
+    def _match_candidates(candidates, lses) -> TruthHop | None:
+        """Pick the truth visit whose received stack matches the quote."""
         if not candidates:
             return None
-        if hop.lses:
-            quoted = tuple(e.label for e in hop.lses)
+        if len(candidates) == 1:
+            # every fall-through below lands on candidates[0] anyway
+            return candidates[0]
+        if lses:
+            quoted = tuple(e.label for e in lses)
             for candidate in candidates:
                 if candidate.received_labels == quoted:
                     return candidate

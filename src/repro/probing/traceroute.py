@@ -11,9 +11,14 @@ something to look at without pretending to model queueing.
 
 from __future__ import annotations
 
+from functools import lru_cache
+from hashlib import sha256
+
 from repro.netsim.addressing import IPv4Address
 from repro.netsim.faults import FaultInjector
 from repro.netsim.forwarding import ForwardingEngine, ProbeReply, ReplyKind
+from repro.netsim.mpls import LabelStackEntry
+from repro.netsim.walkcache import RecordedWalk
 from repro.probing.records import QuotedLse, Trace, TraceHop
 from repro.util.determinism import unit_hash
 from repro.util.retry import RetryAccounting, RetryPolicy
@@ -23,9 +28,30 @@ _HOP_LATENCY_MS = 0.42
 _MAX_CONSECUTIVE_STARS = 4
 
 
-def _quote(reply: ProbeReply) -> tuple[QuotedLse, ...] | None:
-    if reply.quoted_stack is None:
-        return None
+@lru_cache(maxsize=1 << 16)
+def derive_flow_id(vp_router_id: int, destination: IPv4Address) -> int:
+    """The default Paris flow identifier: a stable hash of the tuple."""
+    return int(unit_hash("flow", vp_router_id, destination) * 2**16)
+
+
+@lru_cache(maxsize=1 << 16)
+def _rtt_jitter(seed: int, flow_id: int, ttl: int) -> float:
+    """The deterministic per-probe RTT jitter, in milliseconds.
+
+    Bit-identical to ``unit_hash(seed, "rtt", flow_id, ttl) * 0.3`` but
+    hashes the prebuilt key text directly (unit_hash pays more building
+    its key string than the SHA-256 costs) and memoizes per flow: probe
+    campaigns re-trace the same flows round after round.
+    """
+    digest = sha256(
+        f"{seed}\x1frtt\x1f{flow_id}\x1f{ttl}".encode("utf-8")
+    ).digest()
+    return (int.from_bytes(digest[:8], "big") / 2**64) * 0.3
+
+
+def _quote_scan(
+    stack: tuple[LabelStackEntry, ...],
+) -> tuple[QuotedLse, ...]:
     return tuple(
         QuotedLse(
             label=e.label,
@@ -33,7 +59,33 @@ def _quote(reply: ProbeReply) -> tuple[QuotedLse, ...] | None:
             bottom_of_stack=e.bottom_of_stack,
             ttl=e.ttl,
         )
-        for e in reply.quoted_stack
+        for e in stack
+    )
+
+
+#: memoized conversion -- probes of different flows expiring at the same
+#: tunnel position quote identical stacks
+_quote_entries = lru_cache(maxsize=1 << 14)(_quote_scan)
+
+
+@lru_cache(maxsize=1 << 14)
+def quote_records(
+    quote: tuple[tuple[int, int, bool, bool, int], ...], ttl: int
+) -> tuple[QuotedLse, ...]:
+    """Measurement records for a quote template at one probe TTL.
+
+    Fuses :func:`repro.netsim.walkcache._materialize` with the
+    LSE-to-record conversion: the synthesis path never needs the
+    intermediate :class:`LabelStackEntry` tuple, only the records.
+    """
+    return tuple(
+        QuotedLse(
+            label=label,
+            tc=tc,
+            bottom_of_stack=bottom,
+            ttl=ttl + value if relative else value,
+        )
+        for label, tc, bottom, relative, value in quote
     )
 
 
@@ -46,6 +98,7 @@ class ParisTraceroute:
         max_ttl: int = 40,
         seed: int = 0,
         retry: RetryPolicy | None = None,
+        fast_path: bool = True,
     ) -> None:
         if max_ttl <= 0:
             raise ValueError("max_ttl must be positive")
@@ -53,12 +106,28 @@ class ParisTraceroute:
         self._max_ttl = max_ttl
         self._seed = seed
         self._retry = retry or RetryPolicy.none()
+        self._fast_path = fast_path
         self.accounting = RetryAccounting()
 
     @property
     def retry(self) -> RetryPolicy:
         """The per-probe retry policy."""
         return self._retry
+
+    @property
+    def fast_path(self) -> bool:
+        """True when traces are synthesized from recorded walks."""
+        return self._fast_path
+
+    @property
+    def max_ttl(self) -> int:
+        """The deepest TTL probed per trace."""
+        return self._max_ttl
+
+    @property
+    def seed(self) -> int:
+        """The RTT-jitter seed."""
+        return self._seed
 
     def trace(
         self,
@@ -69,8 +138,30 @@ class ParisTraceroute:
     ) -> Trace:
         """Run one traceroute; the flow id defaults to a stable hash of
         (vp, destination) as Paris traceroute derives it from the tuple."""
+        trace, _ = self.trace_recorded(
+            vp_router_id, destination, vp_name, flow_id
+        )
+        return trace
+
+    def trace_recorded(
+        self,
+        vp_router_id: int,
+        destination: IPv4Address,
+        vp_name: str = "",
+        flow_id: int | None = None,
+        prerecorded: RecordedWalk | None = None,
+    ) -> tuple[Trace, RecordedWalk | None]:
+        """Run one traceroute and also return the recorded walk of its
+        primary flow (None when the fast path is disabled or the primary
+        flow never probed).
+
+        The walk carries the ground truth of the forward path, letting
+        MPLS-aware callers (the TNT prober) skip a second full walk.
+        ``prerecorded`` hands in a walk of the primary flow a caller
+        already recorded, so a fused-path fallback never records twice.
+        """
         if flow_id is None:
-            flow_id = int(unit_hash("flow", vp_router_id, destination) * 2**16)
+            flow_id = derive_flow_id(vp_router_id, destination)
         faults = self._engine.faults
         corrupting = faults is not None and faults.plan.corruption_active
         reroute = (
@@ -78,6 +169,29 @@ class ParisTraceroute:
             if corrupting
             else None
         )
+        walks: dict[int, RecordedWalk] = {}
+        if (
+            prerecorded is not None
+            and self._fast_path
+            and prerecorded.src == vp_router_id
+            and prerecorded.dest == destination
+            and prerecorded.flow_id == flow_id
+        ):
+            walks[flow_id] = prerecorded
+
+        def walk_for(flow: int) -> RecordedWalk | None:
+            # One recording per probed flow; recording is fault-free and
+            # consumes no injector state, so laziness is safe.
+            if not self._fast_path:
+                return None
+            walk = walks.get(flow)
+            if walk is None:
+                walk = self._engine.record_walk(
+                    vp_router_id, destination, flow
+                )
+                walks[flow] = walk
+            return walk
+
         hops: list[TraceHop] = []
         reached = False
         stars = 0
@@ -86,7 +200,8 @@ class ParisTraceroute:
             if reroute is not None and ttl >= reroute[0]:
                 probe_flow = reroute[1]
             reply = self._probe_with_retries(
-                vp_router_id, destination, ttl, probe_flow
+                vp_router_id, destination, ttl, probe_flow,
+                walk_for(probe_flow),
             )
             if reply is None:
                 hops.append(TraceHop(probe_ttl=ttl, address=None))
@@ -111,7 +226,7 @@ class ParisTraceroute:
                 break
         if corrupting:
             hops = self._corrupt_order(hops, faults, flow_id, destination)
-        return Trace(
+        trace = Trace(
             vp=vp_name or f"vp{vp_router_id}",
             vp_router_id=vp_router_id,
             destination=destination,
@@ -119,6 +234,7 @@ class ParisTraceroute:
             hops=tuple(hops),
             reached=reached,
         )
+        return trace, walks.get(flow_id)
 
     def _probe_with_retries(
         self,
@@ -126,6 +242,7 @@ class ParisTraceroute:
         destination: IPv4Address,
         ttl: int,
         flow_id: int,
+        walk: RecordedWalk | None = None,
     ) -> ProbeReply | None:
         """Fire one probe, re-firing per the retry policy while silent.
 
@@ -135,20 +252,33 @@ class ParisTraceroute:
         silent on every attempt, exactly as in the wild.
         """
         self.accounting.probes += 1
-        reply = self._engine.forward_probe(
-            vp_router_id, destination, ttl, flow_id
-        )
+        reply = self._send(vp_router_id, destination, ttl, flow_id, 0, walk)
         attempt = 1
         while reply is None and attempt < self._retry.max_attempts:
             self.accounting.retries += 1
             self.accounting.backoff_ms += self._retry.backoff_ms(attempt)
-            reply = self._engine.forward_probe(
-                vp_router_id, destination, ttl, flow_id, attempt=attempt
+            reply = self._send(
+                vp_router_id, destination, ttl, flow_id, attempt, walk
             )
             attempt += 1
         if reply is None and self._retry.enabled:
             self.accounting.exhausted += 1
         return reply
+
+    def _send(
+        self,
+        vp_router_id: int,
+        destination: IPv4Address,
+        ttl: int,
+        flow_id: int,
+        attempt: int,
+        walk: RecordedWalk | None,
+    ) -> ProbeReply | None:
+        if walk is not None:
+            return self._engine.forward_probe_cached(walk, ttl, attempt)
+        return self._engine.forward_probe(
+            vp_router_id, destination, ttl, flow_id, attempt=attempt
+        )
 
     def _hop_from_reply(
         self,
@@ -158,14 +288,32 @@ class ParisTraceroute:
         is_destination: bool = False,
     ) -> TraceHop:
         round_trip_hops = ttl + reply.truth_forward_hops
-        jitter = unit_hash(self._seed, "rtt", flow_id, ttl) * 0.3
+        if self._engine.memoize:
+            jitter = _rtt_jitter(self._seed, flow_id, ttl)
+        else:
+            # pre-change cost model: every draw pays a fresh SHA-256
+            # (bit-identical to unit_hash)
+            text = f"{self._seed}\x1frtt\x1f{flow_id}\x1f{ttl}"
+            jitter = (
+                int.from_bytes(
+                    sha256(text.encode("utf-8")).digest()[:8], "big"
+                )
+                / 2**64
+            ) * 0.3
         rtt = round_trip_hops * _HOP_LATENCY_MS + jitter
+        if reply.quoted_stack is None:
+            lses = None
+        elif self._engine.memoize:
+            lses = _quote_entries(reply.quoted_stack)
+        else:
+            # pre-change cost model: records rebuilt per reply
+            lses = _quote_scan(reply.quoted_stack)
         return TraceHop(
             probe_ttl=ttl,
             address=reply.source_ip,
             rtt_ms=round(rtt, 3),
             reply_ip_ttl=reply.reply_ip_ttl,
-            lses=_quote(reply),
+            lses=lses,
             destination_reply=is_destination,
             truth_router_id=reply.truth_router_id,
         )

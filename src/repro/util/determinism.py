@@ -10,13 +10,24 @@ from __future__ import annotations
 
 import hashlib
 import random
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1 << 16)
+def _digest64(text: str) -> int:
+    """The first 64 bits of SHA-256(text), memoized.
+
+    Fault draws and flow derivations re-hash the same small key set
+    millions of times per campaign; caching the digest preserves
+    bit-identical outputs while skipping the SHA-256 on repeats.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def int_hash(*parts: object) -> int:
     """A stable 64-bit hash of the stringified parts."""
-    text = "\x1f".join(str(p) for p in parts)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
+    return _digest64("\x1f".join(map(str, parts)))
 
 
 def unit_hash(*parts: object) -> float:
