@@ -24,6 +24,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.analysis.validation import validate_against_truth
 from repro.campaign.runner import AsCampaignResult, CampaignReport, CampaignRunner
 from repro.core.flags import Flag, STRONG_FLAGS
+from repro.netsim.dynamics import ChurnPlan
 from repro.netsim.faults import FaultCounters, FaultPlan
 from repro.util.retry import RetryPolicy
 from repro.util.tables import format_table
@@ -67,6 +68,8 @@ class DegradationLevel:
     probe_loss: float
     #: headline corruption intensity (0.0 on loss-axis sweeps)
     corruption: float = 0.0
+    #: headline churn intensity (0.0 off the churn axis)
+    churn: float = 0.0
     per_flag: dict[Flag, FlagDegradation] = field(default_factory=dict)
     confirmed_detected: int = 0
     confirmed_total: int = 0
@@ -99,15 +102,19 @@ class DegradationStudy:
     levels: list[DegradationLevel] = field(default_factory=list)
     as_ids: tuple[int, ...] = DEFAULT_SLICE
     seed: int = 1
-    #: what the sweep varies: "loss" (probe loss) or "corruption"
+    #: what the sweep varies: "loss" (probe loss), "corruption", or
+    #: "churn" (topology dynamics intensity)
     axis: str = "loss"
 
     def level(self, intensity: float) -> DegradationLevel:
         """Look up one swept intensity (on the study's axis)."""
         for lvl in self.levels:
-            value = (
-                lvl.corruption if self.axis == "corruption" else lvl.probe_loss
-            )
+            if self.axis == "corruption":
+                value = lvl.corruption
+            elif self.axis == "churn":
+                value = lvl.churn
+            else:
+                value = lvl.probe_loss
             if value == intensity:
                 return lvl
         raise KeyError(f"no level with {self.axis}={intensity}")
@@ -159,6 +166,7 @@ def _score_level(
     report: CampaignReport,
     baseline_keys: dict[Flag, set[tuple]],
     corruption: float = 0.0,
+    churn: float = 0.0,
 ) -> DegradationLevel:
     level_keys = _segment_keys(report)
     totals = _flag_validation_totals(report)
@@ -166,6 +174,7 @@ def _score_level(
     level = DegradationLevel(
         probe_loss=probe_loss,
         corruption=corruption,
+        churn=churn,
         confirmed_detected=detected,
         confirmed_total=total,
         failed_ases=len(report.failures),
@@ -199,6 +208,7 @@ def degradation_study(
     retry: RetryPolicy | None = None,
     corruption_levels: Sequence[float] | None = None,
     stale_replay_rate: float = 0.0,
+    churn_levels: Sequence[float] | None = None,
 ) -> DegradationStudy:
     """Sweep fault intensities and score the degradation per flag.
 
@@ -206,19 +216,26 @@ def degradation_study(
     set, it varies the corruption mix of :meth:`FaultPlan.corruption`
     instead (``loss_levels`` is ignored); ``stale_replay_rate`` rides
     along at a fixed rate to expose the semantic attack sanitization
-    cannot remove.  The fault-free baseline is always computed (reusing
-    the 0.0 level when it is part of the sweep) and anchors every
-    recall figure.
+    cannot remove.  With ``churn_levels`` set, the sweep varies the
+    topology-dynamics intensity of :meth:`ChurnPlan.intensity` instead
+    -- link flaps with reconvergence transients, LSP churn, SR
+    migration waves -- over a fault-free measurement plane (it takes
+    precedence over the other axes).  The churn-free baseline is always
+    computed (reusing the 0.0 level when it is part of the sweep) and
+    anchors every recall figure.
     """
     as_ids = tuple(as_ids)
     retry = retry or RetryPolicy.none()
 
-    def run(plan: FaultPlan) -> CampaignReport:
+    def run(
+        plan: FaultPlan, churn: ChurnPlan | None = None
+    ) -> CampaignReport:
         runner = CampaignRunner(
             seed=seed,
             vps_per_as=vps_per_as,
             targets_per_as=targets_per_as,
             fault_plan=plan,
+            churn_plan=churn,
             retry=retry,
         )
         return runner.run_portfolio(as_ids=list(as_ids))
@@ -241,9 +258,25 @@ def degradation_study(
     baseline_report = run(FaultPlan.none())
     baseline_keys = _segment_keys(baseline_report)
 
-    axis = "corruption" if corruption_levels is not None else "loss"
+    if churn_levels is not None:
+        axis = "churn"
+    elif corruption_levels is not None:
+        axis = "corruption"
+    else:
+        axis = "loss"
     study = DegradationStudy(as_ids=as_ids, seed=seed, axis=axis)
-    if corruption_levels is not None:
+    if churn_levels is not None:
+        for rate in churn_levels:
+            churn = ChurnPlan.intensity(rate, seed=seed)
+            report = (
+                baseline_report
+                if not churn.active
+                else run(FaultPlan.none(), churn)
+            )
+            study.levels.append(
+                _score_level(0.0, report, baseline_keys, churn=rate)
+            )
+    elif corruption_levels is not None:
         for rate in corruption_levels:
             plan = plan_for_corruption(rate)
             report = baseline_report if not plan.active else run(plan)
@@ -261,11 +294,18 @@ def degradation_study(
 def render_degradation_table(study: DegradationStudy) -> str:
     """The degradation curves as a text table (one row per fault level)."""
     flags = [f for f in Flag]
-    corruption_axis = study.axis == "corruption"
+    if study.axis == "corruption":
+        header, subject = "Corruption", "corruption"
+        intensity_of = lambda lvl: lvl.corruption  # noqa: E731
+    elif study.axis == "churn":
+        header, subject = "Churn", "churn intensity"
+        intensity_of = lambda lvl: lvl.churn  # noqa: E731
+    else:
+        header, subject = "Loss", "probe loss"
+        intensity_of = lambda lvl: lvl.probe_loss  # noqa: E731
     rows = []
     for level in study.levels:
-        intensity = level.corruption if corruption_axis else level.probe_loss
-        row: list[object] = [f"{intensity:.0%}"]
+        row: list[object] = [f"{intensity_of(level):.0%}"]
         for flag in flags:
             deg = level.per_flag[flag]
             row.append(f"{deg.recall:.2f}/{deg.precision:.2f}")
@@ -276,9 +316,8 @@ def render_degradation_table(study: DegradationStudy) -> str:
         row.append(level.retries)
         row.append(level.quarantined)
         rows.append(tuple(row))
-    subject = "corruption" if corruption_axis else "probe loss"
     return format_table(
-        ["Corruption" if corruption_axis else "Loss"]
+        [header]
         + [f"{f.name} R/P" for f in flags]
         + ["CVR FPs", "Confirmed", "Retries", "Quarantined"],
         rows,

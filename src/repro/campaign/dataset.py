@@ -171,7 +171,7 @@ def _hop_from_json(record: dict) -> TraceHop:
 
 
 def _trace_to_json(trace: Trace) -> dict:
-    return {
+    record = {
         "kind": "trace",
         "vp": trace.vp,
         "vp_rid": trace.vp_router_id,
@@ -180,11 +180,17 @@ def _trace_to_json(trace: Trace) -> dict:
         "reached": trace.reached,
         "hops": [_hop_to_json(h) for h in trace.hops],
     }
+    if trace.epoch_span is not None:
+        # only churned campaigns carry the key: static datasets (and
+        # their checkpoints) stay byte-identical to the pre-churn format
+        record["epochs"] = list(trace.epoch_span)
+    return record
 
 
 def _trace_from_json(record: dict) -> Trace:
     if record.get("kind") != "trace":
         raise ValueError(f"not a trace record: {record.get('kind')!r}")
+    epochs = record.get("epochs")
     return Trace(
         vp=record["vp"],
         vp_router_id=record["vp_rid"],
@@ -192,4 +198,5 @@ def _trace_from_json(record: dict) -> Trace:
         flow_id=record["flow"],
         hops=tuple(_hop_from_json(h) for h in record["hops"]),
         reached=record["reached"],
+        epoch_span=(epochs[0], epochs[1]) if epochs is not None else None,
     )

@@ -12,7 +12,11 @@ For each AS of interest the runner mirrors the paper's Sec. 5 workflow:
 
 The runner survives an imperfect measurement plane: a seeded
 :class:`~repro.netsim.faults.FaultPlan` (default off) injects probe
-loss, ICMP rate limiting, blackouts and SNMP timeouts; a bounded
+loss, ICMP rate limiting, blackouts and SNMP timeouts; a seeded
+:class:`~repro.netsim.dynamics.ChurnPlan` (default off) mutates the
+network *under* the probes -- link flaps with IGP reconvergence
+transients, RSVP-TE LSP churn, SR migration waves -- confined to the
+probe stage and quiesced before analysis; a bounded
 :class:`~repro.util.retry.RetryPolicy` re-fires unanswered probes; and
 :meth:`CampaignRunner.run_portfolio` isolates per-AS errors, reports
 partial results through a :class:`CampaignReport`, and can checkpoint
@@ -54,6 +58,7 @@ from repro.fingerprint.combined import CombinedFingerprinter
 from repro.fingerprint.records import Fingerprint, FingerprintMethod
 from repro.fingerprint.snmp import SnmpOracle
 from repro.netsim.addressing import IPv4Address
+from repro.netsim.dynamics import ChurnPlan, NetworkDynamics
 from repro.netsim.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.obs.session import TelemetrySession
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, merge_counters
@@ -396,6 +401,11 @@ def result_counters(result: AsCampaignResult) -> dict[str, int]:
         "faults_injected": result.fault_counters.total_faults(),
         "fingerprints": len(result.fingerprints),
     }
+    # Per-class fault tallies (only observed classes get a key, so
+    # fault-free campaigns keep the exact counter set they had).
+    for name, count in result.fault_counters.as_dict().items():
+        if count:
+            counters[f"fault_{name}"] = count
     flag_counts = analysis.flag_counts()
     counters["flags_total"] = sum(flag_counts.values())
     for flag, count in flag_counts.items():
@@ -441,6 +451,7 @@ class CampaignRunner:
         alias_success_rate: float = 0.9,
         max_ttl: int = 40,
         fault_plan: FaultPlan | None = None,
+        churn_plan: ChurnPlan | None = None,
         retry: RetryPolicy | None = None,
     ) -> None:
         if vps_per_as < 1:
@@ -465,6 +476,7 @@ class CampaignRunner:
         self.alias_success_rate = alias_success_rate
         self.max_ttl = max_ttl
         self.fault_plan = fault_plan or FaultPlan.none()
+        self.churn_plan = churn_plan or ChurnPlan.none()
         self.retry = retry or RetryPolicy.none()
         self._pipeline = ArestPipeline(ArestDetector())
         #: stage the most recent run_as reached (error attribution)
@@ -516,9 +528,23 @@ class CampaignRunner:
             self._active_injector = injector
             if injector is not None:
                 net.engine.faults = injector
+            dynamics = self._dynamics_for(as_id, net)
+            if dynamics is not None:
+                net.engine.dynamics = dynamics
             self._set_stage("probe")
             with tel.span("probe"):
                 dataset, accounting = self._probe(net, vps)
+            if dynamics is not None:
+                # Churn is confined to trace collection: restore the
+                # nominal topology before fingerprint/analysis, so a
+                # fresh run analyzes exactly the network a checkpoint
+                # rehydration rebuilds (fresh == resumed, byte for
+                # byte).  Counters ride the observational gauge channel
+                # only -- results and checkpoints never see them.
+                dynamics.quiesce()
+                net.engine.dynamics = None
+                for name, value in dynamics.counters.as_dict().items():
+                    tel.gauge(f"churn_{name}", value)
             self._set_stage("fingerprint")
             with tel.span("fingerprint"):
                 fingerprints = self._fingerprint(
@@ -990,6 +1016,7 @@ class CampaignRunner:
             alias_success_rate=self.alias_success_rate,
             max_ttl=self.max_ttl,
             fault_plan=self.fault_plan,
+            churn_plan=self.churn_plan,
             retry=self.retry,
         )
 
@@ -1029,6 +1056,30 @@ class CampaignRunner:
         if not self.fault_plan.active:
             return None
         return FaultInjector(self.fault_plan, "as", as_id)
+
+    def _dynamics_for(
+        self, as_id: int, net: MeasurementNetwork
+    ) -> NetworkDynamics | None:
+        """A per-AS churn scheduler, or None for the no-churn plan.
+
+        Like :meth:`_injector_for`, an inactive plan attaches nothing,
+        keeping the engine's fused fast path eligible and the campaign
+        byte-identical to the static-network behaviour.  The ``("as",
+        as_id)`` scope makes each AS's schedule an independent pure
+        function of the plan seed -- the jobs/resume invariance story.
+        """
+        if not self.churn_plan.active:
+            return None
+        return NetworkDynamics(
+            self.churn_plan,
+            net.network,
+            net.engine,
+            net.controller,
+            net.deployment.sr_domain,
+            net.spec.asn,
+            "as",
+            as_id,
+        )
 
     def _probe(
         self, net: MeasurementNetwork, vps: list[VantagePoint]
@@ -1235,4 +1286,12 @@ class CampaignRunner:
             "max_ttl": self.max_ttl,
             "fault_plan": self.fault_plan.as_dict(),
             "retry": self.retry.as_dict(),
+            # Only an *active* plan shapes results; keeping the key out
+            # otherwise preserves checkpoint byte-compatibility with
+            # churn-free campaigns recorded before churn existed.
+            **(
+                {"churn_plan": self.churn_plan.as_dict()}
+                if self.churn_plan.active
+                else {}
+            ),
         }

@@ -155,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability an SNMPv3 fingerprint lookup times out",
     )
     portfolio.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help=(
+            "topology churn intensity during probing: link flaps with "
+            "reconvergence transients at RATE, LSP churn at RATE/2, SR "
+            "migration waves at RATE/4 (default: static network)"
+        ),
+    )
+    portfolio.add_argument(
         "--retries",
         type=int,
         default=1,
@@ -199,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "sweep trace-corruption intensities instead of probe loss "
             "(comma-separated rates for FaultPlan.corruption)"
+        ),
+    )
+    degradation.add_argument(
+        "--churn",
+        default=None,
+        metavar="C1,C2,...",
+        help=(
+            "sweep topology-churn intensities instead of probe loss "
+            "(comma-separated rates for ChurnPlan.intensity)"
         ),
     )
     degradation.add_argument(
@@ -313,6 +333,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_flag_proportions
     from repro.analysis.validation import headline_detection
     from repro.campaign import CampaignRunner
+    from repro.netsim.dynamics import ChurnPlan
     from repro.netsim.faults import FaultPlan
     from repro.util.retry import RetryPolicy
 
@@ -322,11 +343,13 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         snmp_timeout_rate=args.snmp_timeout,
         seed=args.seed,
     )
+    churn = ChurnPlan.intensity(args.churn, seed=args.seed)
     runner = CampaignRunner(
         seed=args.seed,
         vps_per_as=args.vps_per_as,
         targets_per_as=args.targets_per_as,
         fault_plan=plan if plan.active else None,
+        churn_plan=churn if churn.active else None,
         retry=RetryPolicy(max_attempts=args.retries),
     )
     report = runner.run_portfolio(
@@ -404,6 +427,11 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
         corruption_levels = tuple(
             float(level) for level in args.corruption.split(",") if level
         )
+    churn_levels = None
+    if args.churn is not None:
+        churn_levels = tuple(
+            float(level) for level in args.churn.split(",") if level
+        )
     study = degradation_study(
         loss_levels=levels,
         seed=args.seed,
@@ -412,6 +440,7 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.retries),
         corruption_levels=corruption_levels,
         stale_replay_rate=args.stale_replay,
+        churn_levels=churn_levels,
     )
     print(render_degradation_table(study))
     return 0

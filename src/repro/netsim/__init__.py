@@ -21,10 +21,14 @@ measurement campaign exercised in the wild:
   RFC 8661 mapping-server interworking path and RFC 6790 entropy labels).
 - :mod:`repro.netsim.forwarding` -- the data plane: push/swap/pop, TTL
   propagation, RFC 4950 ICMP quoting.
+- :mod:`repro.netsim.dynamics` -- seeded churn on a virtual probe clock:
+  link flaps with reconvergence transients, LSP churn, SR migration
+  waves.
 - :mod:`repro.netsim.checks` -- configuration linting.
 """
 
 from repro.netsim.addressing import IPv4Address, IPv4Prefix, PrefixAllocator
+from repro.netsim.dynamics import ChurnCounters, ChurnPlan, NetworkDynamics
 from repro.netsim.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.netsim.forwarding import ForwardingEngine
 from repro.netsim.igp import ShortestPaths
@@ -41,6 +45,9 @@ __all__ = [
     "IPv4Address",
     "IPv4Prefix",
     "PrefixAllocator",
+    "ChurnCounters",
+    "ChurnPlan",
+    "NetworkDynamics",
     "FaultCounters",
     "FaultInjector",
     "FaultPlan",

@@ -174,6 +174,10 @@ class ForwardingEngine:
         self._igp = igp
         self._tunnels = tunnels
         self._faults = faults
+        #: attached network-dynamics scheduler (None = static topology)
+        self._dynamics = None
+        #: monotonic topology epoch; bumped by every cache invalidation
+        self._epoch = 0
         #: fast-path and cache counters (observational only)
         self.stats = WalkStats()
         #: (node, target, flow) -> resolved ECMP next hop
@@ -185,13 +189,17 @@ class ForwardingEngine:
     def invalidate_caches(self) -> None:
         """Drop memoized routing state (call after topology changes).
 
-        Also invalidates the underlying IGP caches; recorded walks held
-        by callers are NOT tracked here and must be discarded by their
-        owners.
+        Also invalidates the underlying IGP caches and advances the
+        topology :attr:`epoch`.  Recorded walks held by callers are NOT
+        tracked here: they keep the epoch they were stamped with, and
+        :meth:`forward_probe_cached` refuses to synthesize from a
+        recording whose epoch trails the engine's.
         """
         self._next_hop_cache.clear()
         self._reply_skeletons.clear()
         self._igp.invalidate()
+        self._epoch += 1
+        self.stats.epoch_transitions += 1
 
     @property
     def memoize(self) -> bool:
@@ -240,6 +248,20 @@ class ForwardingEngine:
     def faults(self, injector: FaultInjector | None) -> None:
         self._faults = injector
 
+    @property
+    def epoch(self) -> int:
+        """The current topology epoch (monotonic, starts at 0)."""
+        return self._epoch
+
+    @property
+    def dynamics(self):
+        """The attached churn scheduler (None = static topology)."""
+        return self._dynamics
+
+    @dynamics.setter
+    def dynamics(self, scheduler) -> None:
+        self._dynamics = scheduler
+
     # -- public API -------------------------------------------------------------
 
     def forward_probe(
@@ -259,6 +281,8 @@ class ForwardingEngine:
         """
         if ttl <= 0:
             raise ValueError(f"probe TTL must be positive, got {ttl}")
+        if self._dynamics is not None:
+            self._dynamics.on_probe()
         if self._faults is not None:
             self._faults.on_probe()
             if self._faults.probe_lost(flow_id, dest, ttl, attempt):
@@ -266,6 +290,10 @@ class ForwardingEngine:
         try:
             return self._walk(src, dest, ttl, flow_id, truth=None)
         except PacketDropped:
+            return None
+        except NoRouteError:
+            # A destination transiently unroutable mid-reconvergence:
+            # the probe dies in the blackhole.
             return None
 
     def truth_walk(
@@ -276,7 +304,7 @@ class ForwardingEngine:
         truth: list[TruthHop] = []
         try:
             self._walk(src, dest, 255, flow_id, truth=truth)
-        except PacketDropped:
+        except (PacketDropped, NoRouteError):
             pass
         return truth
 
@@ -317,6 +345,7 @@ class ForwardingEngine:
             # synthesize rather than guess.
             recorder.inexact = True
         walk = recorder.finalize(reply, dropped, truth)
+        walk.epoch = self._epoch
         if walk.ok:
             self.stats.walks_recorded += 1
         else:
@@ -333,49 +362,71 @@ class ForwardingEngine:
         blackout checks along the visited prefix, ICMP policing at the
         responder -- replay in the reference call order; only the path
         walk itself is skipped.  Falls back to the reference walker when
-        the recording is inexact or the TTL exceeds the recording base.
+        the recording is inexact, the TTL exceeds the recording base,
+        the recording's topology epoch is stale, or an attached churn
+        scheduler is mid-reconvergence.
         """
         if ttl <= 0:
             raise ValueError(f"probe TTL must be positive, got {ttl}")
+        dynamics = self._dynamics
+        if dynamics is not None:
+            dynamics.on_probe()
         faults = self._faults
         if faults is not None:
             faults.on_probe()
             if faults.probe_lost(walk.flow_id, walk.dest, ttl, attempt):
                 return None
-        if not walk.ok or ttl > RECORD_TTL:
-            self.stats.probes_walked += 1
-            try:
-                return self._walk(
-                    walk.src, walk.dest, ttl, walk.flow_id, truth=None
+        if walk.epoch != self._epoch:
+            # The recording predates a topology mutation: never serve a
+            # pre-change reply.  A live reference walk over the current
+            # topology answers instead.
+            self.stats.stale_walk_fallbacks += 1
+        elif dynamics is not None and dynamics.in_transient():
+            # Mid-reconvergence the data plane is not the converged one
+            # the recording captured (transient blackholes, micro-loops):
+            # only the reference walker models those, so step aside.
+            pass
+        elif walk.ok and ttl <= RECORD_TTL:
+            event = walk.expiry_by_ttl.get(ttl)
+            if faults is not None:
+                # Replay the blackout checks the reference walk would
+                # make: one per visited router up to (and including) the
+                # expiry node, stopping at the first hit exactly as the
+                # walk does.
+                upto = (
+                    event.visit_index
+                    if event is not None
+                    else len(walk.visits)
                 )
-            except PacketDropped:
+                for node in walk.visits[:upto]:
+                    if faults.blacked_out(node):
+                        return None
+            self.stats.probes_synthesized += 1
+            if event is None:
+                # The probe outlives every expiry checkpoint: it reaches
+                # the walk's terminal fate (delivery, or a silent drop).
+                return walk.terminal_reply
+            if event.silent or not event.rate_passed:
                 return None
-        event = walk.expiry_by_ttl.get(ttl)
-        if faults is not None:
-            # Replay the blackout checks the reference walk would make:
-            # one per visited router up to (and including) the expiry
-            # node, stopping at the first hit exactly as the walk does.
-            upto = event.visit_index if event is not None else len(walk.visits)
-            for node in walk.visits[:upto]:
-                if faults.blacked_out(node):
-                    return None
-        self.stats.probes_synthesized += 1
-        if event is None:
-            # The probe outlives every expiry checkpoint: it reaches the
-            # walk's terminal fate (delivery, or a silent drop).
-            return walk.terminal_reply
-        if event.silent or not event.rate_passed:
+            if faults is not None and not faults.allow_icmp(event.node):
+                return None
+            return ProbeReply(
+                kind=ReplyKind.TIME_EXCEEDED,
+                source_ip=event.source_ip,
+                quoted_stack=event.materialize_quote(ttl),
+                reply_ip_ttl=event.reply_ip_ttl,
+                truth_router_id=event.node,
+                truth_forward_hops=event.return_hops,
+            )
+        self.stats.probes_walked += 1
+        try:
+            return self._walk(
+                walk.src, walk.dest, ttl, walk.flow_id, truth=None
+            )
+        except PacketDropped:
             return None
-        if faults is not None and not faults.allow_icmp(event.node):
+        except NoRouteError:
             return None
-        return ProbeReply(
-            kind=ReplyKind.TIME_EXCEEDED,
-            source_ip=event.source_ip,
-            quoted_stack=event.materialize_quote(ttl),
-            reply_ip_ttl=event.reply_ip_ttl,
-            truth_router_id=event.node,
-            truth_forward_hops=event.return_hops,
-        )
 
     def ping(self, src: int, target: IPv4Address, flow_id: int = 0) -> ProbeReply | None:
         """ICMP echo to an interface address (TTL fingerprint, 2nd half)."""
@@ -385,6 +436,10 @@ class ForwardingEngine:
         router = self._network.router(owner)
         if not router.responds_to_ping:
             return None
+        if self._dynamics is not None:
+            self._dynamics.on_probe()
+            if self._dynamics.blackholed(owner):
+                return None
         if self._faults is not None:
             self._faults.on_probe()
             if self._faults.probe_lost(flow_id, target, 0, 0, kind="ping"):
@@ -435,6 +490,15 @@ class ForwardingEngine:
                 continue
             if (
                 packet.measured
+                and self._dynamics is not None
+                and self._dynamics.blackholed(node)
+            ):
+                # Mid-reconvergence the router has no usable FIB entry
+                # for the prefix yet: the probe falls into the transient
+                # blackhole.
+                raise PacketDropped(DropReason.BLACKOUT)
+            if (
+                packet.measured
                 and self._faults is not None
                 and self._faults.blacked_out(node)
             ):
@@ -450,6 +514,16 @@ class ForwardingEngine:
                 return step
             if step is None:
                 return None  # silent expiry / delivered silently
+            if (
+                packet.measured
+                and prev is not None
+                and self._dynamics is not None
+                and self._dynamics.microloops(node)
+            ):
+                # Classic post-repair micro-loop: the router still
+                # points back the way the packet came, so it bounces
+                # between the pair until its TTL expires inside the loop.
+                step = prev
             prev, node = node, step
         raise PacketDropped(DropReason.WALK_LIMIT)
 

@@ -177,6 +177,57 @@ class SegmentRoutingDomain:
         self._index_to_router[sid_index] = rid
         return sid_index
 
+    def promote_mapping_entry(
+        self,
+        router: Router | int,
+        srgb: LabelRange | None = None,
+        srlb: LabelRange | None = None,
+    ) -> SrNodeConfig:
+        """Migrate a mapping-served LDP router to native SR enrolment.
+
+        One step of an SR migration wave: the LDP island shrinks by one
+        router and the RFC 8661 mapping-server boundary moves.  The
+        router keeps the prefix-SID index the mapping server advertised
+        on its behalf, so label arithmetic across the domain is
+        unchanged -- exactly how operators stage migrations without
+        renumbering.
+        """
+        rid = router.router_id if isinstance(router, Router) else router
+        if rid not in self._mapping_server:
+            raise SrConfigError(
+                f"router #{rid} has no mapping-server entry to promote"
+            )
+        index = self._mapping_server.pop(rid)
+        del self._index_to_router[index]
+        next_index = self._next_index
+        try:
+            config = self.enroll(rid, srgb=srgb, srlb=srlb, sid_index=index)
+        except SrConfigError:
+            self._mapping_server[rid] = index
+            self._index_to_router[index] = rid
+            raise
+        # The index was reused, not newly allocated: keep the cursor.
+        self._next_index = next_index
+        return config
+
+    def demote_to_mapping_entry(self, router: Router | int) -> int:
+        """Reverse of :meth:`promote_mapping_entry`.
+
+        Retires the router's native SR configuration and restores its
+        mapping-server entry under the same index (the churn scheduler
+        uses this to quiesce a network back to its nominal state).
+        """
+        rid = router.router_id if isinstance(router, Router) else router
+        config = self._configs.pop(rid, None)
+        if config is None:
+            raise SrConfigError(f"router #{rid} not SR-enrolled")
+        del self._index_to_router[config.sid_index]
+        self._mapping_server[rid] = config.sid_index
+        self._index_to_router[config.sid_index] = rid
+        self._adjacency.pop(rid, None)
+        self._network.router(rid).sr_enabled = False
+        return config.sid_index
+
     # -- queries ---------------------------------------------------------------
 
     def is_enrolled(self, router_id: int) -> bool:

@@ -127,6 +127,11 @@ class Network:
         self._ip_owner: dict[IPv4Address, int] = {}
         #: prefixes announced into BGP by a router (targets live here)
         self._announced: list[tuple[IPv4Prefix, int]] = []
+        #: administratively/operationally failed links, as normalized
+        #: ``(min_id, max_id)`` endpoint pairs; the links keep their
+        #: numbering and interface addresses so a repair restores the
+        #: exact pre-failure state
+        self._down_links: set[tuple[int, int]] = set()
         self._next_id = 0
 
     # -- construction -------------------------------------------------------
@@ -196,6 +201,37 @@ class Network:
         self._announced.append((prefix, rid))
         return prefix
 
+    # -- dynamics -----------------------------------------------------------
+
+    def _link_key(self, a: int, b: int) -> tuple[int, int]:
+        if self._adjacency.get(a, {}).get(b) is None:
+            raise KeyError(f"no link between #{a} and #{b}")
+        return (a, b) if a < b else (b, a)
+
+    def set_link_down(self, a: int, b: int) -> None:
+        """Fail a link without destroying it.
+
+        The link vanishes from :meth:`neighbors` / :meth:`link_between`
+        (so SPF routes around it after the caller invalidates the IGP),
+        but keeps its prefix, interface addresses, and position in the
+        link list -- :meth:`set_link_up` restores the exact pre-failure
+        network.  Idempotent.
+        """
+        self._down_links.add(self._link_key(a, b))
+
+    def set_link_up(self, a: int, b: int) -> None:
+        """Repair a previously failed link.  Idempotent."""
+        self._down_links.discard(self._link_key(a, b))
+
+    def link_is_down(self, a: int, b: int) -> bool:
+        """True when the link between ``a`` and ``b`` is failed."""
+        key = (a, b) if a < b else (b, a)
+        return key in self._down_links
+
+    def down_links(self) -> list[tuple[int, int]]:
+        """Normalized endpoint pairs of every failed link, sorted."""
+        return sorted(self._down_links)
+
     # -- lookup -------------------------------------------------------------
 
     def router(self, router_id: int) -> Router:
@@ -215,12 +251,21 @@ class Network:
         return tuple(self._links)
 
     def link_between(self, a: int, b: int) -> Link | None:
-        """The link joining two routers, or None."""
-        return self._adjacency.get(a, {}).get(b)
+        """The link joining two routers, or None (failed links hidden)."""
+        link = self._adjacency.get(a, {}).get(b)
+        if link is not None and self._down_links and self.link_is_down(a, b):
+            return None
+        return link
 
     def neighbors(self, router_id: int) -> list[int]:
-        """Sorted neighbour ids of one router."""
-        return sorted(self._adjacency[router_id])
+        """Sorted neighbour ids of one router (failed links hidden)."""
+        if not self._down_links:
+            return sorted(self._adjacency[router_id])
+        return sorted(
+            n
+            for n in self._adjacency[router_id]
+            if not self.link_is_down(router_id, n)
+        )
 
     def owner_of(self, address: IPv4Address) -> int | None:
         """Router owning an interface or loopback address, if any."""
@@ -266,5 +311,7 @@ class Network:
         for router in self._routers.values():
             graph.add_node(router.router_id, asn=router.asn, name=router.name)
         for link in self._links:
+            if self._down_links and self.link_is_down(link.a, link.b):
+                continue
             graph.add_edge(link.a, link.b, weight=link.cost)
         return graph

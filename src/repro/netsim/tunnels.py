@@ -221,6 +221,30 @@ class TunnelController:
         self._policies[policy.asn] = policy
         self._cache.clear()
 
+    def invalidate(self) -> None:
+        """Drop derived program state (call after topology changes).
+
+        Clears the program cache and the IGP-dependent egress cache;
+        signaled RSVP-TE LSPs are kept (an IGP event does not tear down
+        established LSPs -- use :meth:`churn_rsvp` for that).
+        """
+        self._cache.clear()
+        self._egress_cache.clear()
+
+    def churn_rsvp(self) -> int:
+        """Tear down every signaled RSVP-TE LSP; returns the count.
+
+        Subsequent demand re-signals fresh LSPs with new labels over
+        whatever paths the (possibly changed) IGP then prefers -- the
+        LSP setup/teardown churn a live network shows during
+        maintenance.  Deterministic: re-signaling order follows demand
+        order, which is itself deterministic per seed.
+        """
+        torn_down = len(self._rsvp_lsps)
+        self._rsvp_lsps.clear()
+        self.invalidate()
+        return torn_down
+
     def policy(self, asn: int) -> TunnelPolicy:
         """The AS's tunnel policy (a default is created lazily)."""
         existing = self._policies.get(asn)

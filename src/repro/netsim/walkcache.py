@@ -181,6 +181,10 @@ class WalkStats:
     next_hop_hits: int = 0
     #: flow-next-hop resolutions computed and cached
     next_hop_misses: int = 0
+    #: topology epochs the engine has moved through (cache invalidations)
+    epoch_transitions: int = 0
+    #: synthesis requests refused because the recording's epoch was stale
+    stale_walk_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """JSON-friendly view (benchmarks, telemetry gauges)."""
@@ -192,6 +196,8 @@ class WalkStats:
             "nodes_processed": self.nodes_processed,
             "next_hop_hits": self.next_hop_hits,
             "next_hop_misses": self.next_hop_misses,
+            "epoch_transitions": self.epoch_transitions,
+            "stale_walk_fallbacks": self.stale_walk_fallbacks,
         }
 
 
@@ -208,6 +214,10 @@ class RecordedWalk:
     dest: IPv4Address
     flow_id: int
     ok: bool = False
+    #: engine topology epoch the recording was taken under; a recording
+    #: whose epoch trails the engine's is *stale* and must never be used
+    #: to synthesize a reply (the engine falls back to a live walk)
+    epoch: int = 0
     #: probe TTL -> expiry checkpoint; keys are exactly 1..len(events)
     expiry_by_ttl: dict[int, WalkEvent] = field(default_factory=dict)
     #: routers visited (blackout checkpoints), in walk order

@@ -11,6 +11,17 @@ Metric families:
 - ``arest_stage_seconds_total{scope,stage}`` -- wall-clock seconds per
   scope (AS id or ``portfolio``) and pipeline stage;
 - ``arest_events_total{scope,name}`` -- every typed counter;
+- ``arest_traces_quarantined`` -- the sanitizer's campaign-wide
+  quarantine total (the headline data-quality signal, promoted out of
+  the generic counter family so it can be alerted on by name);
+- ``arest_fault_events_total{class}`` -- injected measurement-plane
+  faults by class (probe loss, rate limiting, blackouts, ...);
+- ``arest_epoch_transitions_total{scope}`` /
+  ``arest_stale_walk_fallbacks_total{scope}`` -- the churn-safety
+  surface: topology epochs crossed and cached probes refused for
+  staleness (both 0 on a static network);
+- ``arest_gauge{scope,name}`` -- every other observational gauge
+  (walk-cache behaviour, churn-event tallies);
 - ``arest_run_duration_seconds`` -- total campaign wall clock;
 - ``arest_run_info{...} 1`` -- provenance labels (version, seed, jobs,
   exit status), the conventional info-metric idiom.
@@ -84,5 +95,67 @@ def render_prometheus(summary: TelemetrySummary) -> str:
                 lines.append(
                     f'arest_events_total{{scope="{_escape(scope)}",'
                     f'name="{_escape(name)}"}} {value}'
+                )
+        lines += [
+            "# HELP arest_traces_quarantined Traces the sanitizer "
+            "withheld from analysis.",
+            "# TYPE arest_traces_quarantined gauge",
+            "arest_traces_quarantined "
+            f"{summary.totals.get('traces_quarantined', 0)}",
+        ]
+        fault_totals = {
+            name[len("fault_"):]: value
+            for name, value in summary.totals.items()
+            if name.startswith("fault_")
+        }
+        if fault_totals:
+            lines += [
+                "# HELP arest_fault_events_total Injected "
+                "measurement-plane faults by class.",
+                "# TYPE arest_fault_events_total counter",
+            ]
+            for name, value in sorted(fault_totals.items()):
+                lines.append(
+                    f'arest_fault_events_total{{class="{_escape(name)}"}} '
+                    f"{value}"
+                )
+    if summary.gauges:
+        for gauge_name, metric, help_text in (
+            (
+                "walkcache_epoch_transitions",
+                "arest_epoch_transitions_total",
+                "Topology epochs the forwarding engine crossed.",
+            ),
+            (
+                "walkcache_stale_walk_fallbacks",
+                "arest_stale_walk_fallbacks_total",
+                "Cached probes refused for staleness and re-walked live.",
+            ),
+        ):
+            scoped = {
+                scope: per[gauge_name]
+                for scope, per in summary.gauges.items()
+                if gauge_name in per
+            }
+            if scoped:
+                lines += [
+                    f"# HELP {metric} {help_text}",
+                    f"# TYPE {metric} counter",
+                ]
+                for scope in sorted(scoped, key=str):
+                    lines.append(
+                        f'{metric}{{scope="{_escape(scope)}"}} '
+                        f"{int(scoped[scope])}"
+                    )
+        lines += [
+            "# HELP arest_gauge Last-written observational gauges "
+            "per scope.",
+            "# TYPE arest_gauge gauge",
+        ]
+        for scope in sorted(summary.gauges, key=str):
+            for name, value in sorted(summary.gauges[scope].items()):
+                lines.append(
+                    f'arest_gauge{{scope="{_escape(scope)}",'
+                    f'name="{_escape(name)}"}} {value:g}'
                 )
     return "\n".join(lines) + "\n"

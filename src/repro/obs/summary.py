@@ -3,9 +3,10 @@
 :func:`summarize_telemetry` reads the artifacts a
 :class:`~repro.obs.session.TelemetrySession` wrote (``manifest.json``
 plus ``telemetry.jsonl``) into a :class:`TelemetrySummary`:
-per-scope/per-stage wall-clock totals, per-scope counter tallies, and
-campaign-wide counter totals.  Renderers turn a summary into the
-operator surfaces:
+per-scope/per-stage wall-clock totals, per-scope counter tallies,
+campaign-wide counter totals, and per-scope last-write-wins gauges
+(cache behaviour, churn-event tallies).  Renderers turn a summary into
+the operator surfaces:
 
 - :func:`render_telemetry_report` -- the ``arest telemetry <dir>``
   text view (run provenance, a per-AS stage-timing table, a per-AS
@@ -56,6 +57,9 @@ class TelemetrySummary:
     counters: dict[object, dict[str, int]] = field(default_factory=dict)
     #: counter totals across all scopes
     totals: dict[str, int] = field(default_factory=dict)
+    #: scope -> gauge name -> last written value (gauges are
+    #: last-write-wins, never summed -- resumed scopes re-report)
+    gauges: dict[object, dict[str, float]] = field(default_factory=dict)
     #: scopes whose final batch carried a ``flush`` marker
     flushed_scopes: set = field(default_factory=set)
     #: corrupt lines the loader dropped
@@ -100,6 +104,10 @@ def summarize_telemetry(directory: str | Path) -> TelemetrySummary:
             per_scope = summary.counters.setdefault(scope, {})
             per_scope[name] = per_scope.get(name, 0) + value
             merge_counters(summary.totals, {name: value})
+        elif kind == "gauge":
+            name = str(record.get("name", "unknown"))
+            per_scope_gauges = summary.gauges.setdefault(scope, {})
+            per_scope_gauges[name] = float(record.get("value", 0.0))
         elif kind == "flush":
             summary.flushed_scopes.add(scope)
     return summary

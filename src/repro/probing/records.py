@@ -117,6 +117,18 @@ class Trace:
     flow_id: int
     hops: tuple[TraceHop, ...]
     reached: bool
+    #: (lowest, highest) topology epoch the probes of this trace were
+    #: forwarded under; None on a static network (the default -- the
+    #: field only materializes when a churn scheduler is attached, so
+    #: churn-free datasets serialize byte-identically to before)
+    epoch_span: tuple[int, int] | None = None
+
+    @property
+    def crosses_epochs(self) -> bool:
+        """True when the topology mutated while this trace was probed."""
+        return self.epoch_span is not None and (
+            self.epoch_span[0] != self.epoch_span[1]
+        )
 
     def __iter__(self) -> Iterator[TraceHop]:
         return iter(self.hops)
@@ -145,6 +157,7 @@ class Trace:
             flow_id=self.flow_id,
             hops=hops,
             reached=self.reached,
+            epoch_span=self.epoch_span,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

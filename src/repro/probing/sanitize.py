@@ -16,7 +16,14 @@ ground truth:
 - **probe-TTL order** -- recorded hops are non-decreasing in probe TTL
   (TNT-revealed hops legitimately share their anchor's TTL);
 - **duplicates** -- the same probe TTL answered twice: byte-identical
-  records are deduplicated, *conflicting* records are unresolvable.
+  records are deduplicated, *conflicting* records are unresolvable;
+- **epoch changes** -- on churned campaigns (``repro.netsim.dynamics``)
+  traces whose hops span more than one topology epoch are quarantined
+  (``cross-epoch``; plus ``vanished-responder`` when a responder went
+  dark mid-trace): each hop is individually well-formed, but the
+  sequence stitches two control-plane states together, and a label
+  window spanning the seam can fabricate evidence no single network
+  state exhibited.
 
 Under :attr:`SanitizePolicy.LENIENT` (the default) every repairable
 anomaly is fixed in place and recorded as a :class:`TraceAnomaly`;
@@ -87,6 +94,14 @@ class AnomalyKind(enum.Enum):
     TRAILING_HOPS = "trailing-hops"
     REACHED_MISMATCH = "reached-mismatch"
     REPAIR_BUDGET_EXCEEDED = "repair-budget-exceeded"
+    #: the topology mutated while the trace was being probed (the hops
+    #: were observed under more than one forwarding epoch)
+    CROSS_EPOCH = "cross-epoch"
+    #: a cross-epoch trace where a responder went dark mid-trace: some
+    #: hop answered, then everything after it timed out and the
+    #: destination was never reached -- the classic signature of a path
+    #: element withdrawn between probes
+    VANISHED_RESPONDER = "vanished-responder"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -225,6 +240,37 @@ class TraceSanitizer:
             )
             changed = True
 
+        if trace.crosses_epochs and trace.epoch_span is not None:
+            # environmental, not structural: the topology changed under
+            # the trace.  Each hop is individually well-formed, but the
+            # *sequence* stitches two control-plane states together --
+            # a consecutive-label window spanning the boundary can pair
+            # an SR run with a pre-change RSVP/LDP hop and fabricate
+            # evidence no single network state ever exhibited.  Not
+            # repairable (the seam is unknowable without truth), so the
+            # trace is quarantined.
+            lo, hi = trace.epoch_span
+            self._note(
+                anomalies,
+                trace,
+                AnomalyKind.CROSS_EPOCH,
+                None,
+                f"hops observed under topology epochs {lo}..{hi}",
+                repaired=False,
+            )
+            vanished_ttl = self._vanished_responder(hops, reached)
+            if vanished_ttl is not None:
+                self._note(
+                    anomalies,
+                    trace,
+                    AnomalyKind.VANISHED_RESPONDER,
+                    vanished_ttl,
+                    "responder went dark mid-trace across an epoch "
+                    "change (trailing stars, destination unreached)",
+                    repaired=False,
+                )
+            return SanitizeResult(trace=None, anomalies=anomalies)
+
         if not anomalies:
             return SanitizeResult(trace=trace)
 
@@ -252,6 +298,7 @@ class TraceSanitizer:
                 flow_id=sanitized.flow_id,
                 hops=sanitized.hops,
                 reached=reached,
+                epoch_span=sanitized.epoch_span,
             )
         return SanitizeResult(trace=sanitized, anomalies=anomalies)
 
@@ -396,6 +443,26 @@ class TraceSanitizer:
             if not hop.tnt_revealed:
                 last_real = hop
         return out, False
+
+    @staticmethod
+    def _vanished_responder(
+        hops: list[TraceHop], reached: bool
+    ) -> int | None:
+        """Probe TTL of the first trailing star after a responder.
+
+        Only meaningful on cross-epoch traces: a run of unanswered
+        probes at the tail of an unreached trace, directly after a hop
+        that *did* answer, marks where a path element vanished between
+        probes.  Returns None when the pattern is absent.
+        """
+        if reached or not hops or hops[-1].responded:
+            return None
+        idx = len(hops) - 1
+        while idx >= 0 and not hops[idx].responded:
+            idx -= 1
+        if idx < 0:
+            return None
+        return hops[idx + 1].probe_ttl
 
     def _truncate_after_destination(
         self,

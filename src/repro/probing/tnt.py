@@ -77,6 +77,7 @@ class TntProber:
         if (
             prober.fast_path
             and self._engine.faults is None
+            and self._engine.dynamics is None
             and not self._retry.enabled
         ):
             flow_id = derive_flow_id(vp_router_id, destination)
@@ -94,9 +95,15 @@ class TntProber:
         trace, walk = prober.trace_recorded(
             vp_router_id, destination, vp_name, prerecorded=walk
         )
-        if walk is not None and walk.ok:
+        if (
+            walk is not None
+            and walk.ok
+            and walk.epoch == self._engine.epoch
+        ):
             # The recording already walked the full path with an
             # effectively infinite TTL; its truth equals truth_walk's.
+            # A stale recording (the topology churned mid-trace) is
+            # never trusted -- truth is re-walked live instead.
             truth = walk.truth
         else:
             truth = self._engine.truth_walk(
@@ -374,11 +381,13 @@ class TntProber:
     def _reveal_succeeds(self, flow_id: int, key: tuple[int, ...]) -> bool:
         """One revelation attempt per retry budget slot.
 
-        Attempt 0 reuses the legacy draw key so fault-free, retry-free
-        campaigns reproduce the seed bit-for-bit; further attempts (the
-        retry policy re-firing TNT's extra probes) redraw independently.
-        Revelation probes are subject to injected probe loss like any
-        other probe.
+        Attempt 0 reuses the legacy draw key so fault-free campaigns
+        reproduce the seed bit-for-bit -- with or without a retry
+        policy.  Retries exist to recover *lost* revelation probes
+        (injected loss), never to re-roll the technique's own verdict: a
+        clean failure (DPR/BRPR simply cannot reveal this tunnel) is
+        final, so only a loss draw advances to the next attempt, which
+        then redraws independently.
         """
         faults = self._engine.faults
         for attempt in range(max(1, self._retry.max_attempts)):
@@ -388,13 +397,11 @@ class TntProber:
                 draw = unit_hash(
                     self._seed, "reveal", flow_id, key, attempt
                 )
-            if draw >= self._reveal_rate:
-                continue
             if faults is not None and faults.reveal_lost(
                 flow_id, key, attempt
             ):
                 continue
-            return True
+            return draw < self._reveal_rate
         return False
 
     @staticmethod

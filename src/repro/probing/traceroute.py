@@ -181,17 +181,28 @@ class ParisTraceroute:
 
         def walk_for(flow: int) -> RecordedWalk | None:
             # One recording per probed flow; recording is fault-free and
-            # consumes no injector state, so laziness is safe.
+            # consumes no injector state, so laziness is safe.  A
+            # recording stamped with an older topology epoch is
+            # re-recorded: the engine would refuse to synthesize from it
+            # anyway, and re-recording restores O(1) synthesis for the
+            # rest of the trace.
             if not self._fast_path:
                 return None
             walk = walks.get(flow)
-            if walk is None:
+            if walk is None or walk.epoch != self._engine.epoch:
                 walk = self._engine.record_walk(
                     vp_router_id, destination, flow
                 )
                 walks[flow] = walk
             return walk
 
+        churning = self._engine.dynamics is not None
+        # Epochs are stamped relative to the trace's start so the span
+        # reflects only mutations observed mid-trace -- engine-internal
+        # history (setup-time cache resets) must not leak into bytes.
+        epoch_base = self._engine.epoch if churning else 0
+        epoch_lo: int | None = None
+        epoch_hi: int | None = None
         hops: list[TraceHop] = []
         reached = False
         stars = 0
@@ -203,6 +214,15 @@ class ParisTraceroute:
                 vp_router_id, destination, ttl, probe_flow,
                 walk_for(probe_flow),
             )
+            if churning:
+                # Stamp the epoch each probe was actually forwarded
+                # under (read after the send: the probe's own clock tick
+                # may have fired the mutation it observed).
+                observed = self._engine.epoch - epoch_base
+                if epoch_lo is None:
+                    epoch_lo = epoch_hi = observed
+                else:
+                    epoch_hi = observed
             if reply is None:
                 hops.append(TraceHop(probe_ttl=ttl, address=None))
                 stars += 1
@@ -233,6 +253,9 @@ class ParisTraceroute:
             flow_id=flow_id,
             hops=tuple(hops),
             reached=reached,
+            epoch_span=(
+                (epoch_lo, epoch_hi) if epoch_lo is not None else None
+            ),
         )
         return trace, walks.get(flow_id)
 

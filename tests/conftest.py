@@ -151,7 +151,11 @@ def make_hop(
     )
 
 
-def make_trace(hops: list[TraceHop], reached: bool = True) -> Trace:
+def make_trace(
+    hops: list[TraceHop],
+    reached: bool = True,
+    epoch_span: tuple[int, int] | None = None,
+) -> Trace:
     """Wrap synthetic hops into a trace."""
     return Trace(
         vp="test-vp",
@@ -160,6 +164,7 @@ def make_trace(hops: list[TraceHop], reached: bool = True) -> Trace:
         flow_id=42,
         hops=tuple(hops),
         reached=reached,
+        epoch_span=epoch_span,
     )
 
 

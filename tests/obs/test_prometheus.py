@@ -1,0 +1,134 @@
+"""Format tests for the Prometheus textfile exposition.
+
+The exposition is an operator contract: dashboards and alert rules key
+on exact family names and label sets, so every family the renderer
+promises -- including the churn-safety surface added with the dynamics
+engine -- is pinned here line by line.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs.prometheus import render_prometheus
+from repro.obs.summary import TelemetrySummary, summarize_telemetry
+
+
+def _summary(tmp_path) -> TelemetrySummary:
+    summary = TelemetrySummary(directory=tmp_path)
+    summary.stage_seconds = {46: {"probe": 1.25}}
+    summary.counters = {
+        46: {
+            "traces_collected": 40,
+            "traces_quarantined": 3,
+            "fault_probe_loss": 7,
+            "fault_rate_limited": 2,
+        }
+    }
+    summary.totals = {
+        "traces_collected": 40,
+        "traces_quarantined": 3,
+        "fault_probe_loss": 7,
+        "fault_rate_limited": 2,
+    }
+    summary.gauges = {
+        46: {
+            "walkcache_epoch_transitions": 5.0,
+            "walkcache_stale_walk_fallbacks": 2.0,
+            "churn_links_failed": 4.0,
+        }
+    }
+    return summary
+
+
+class TestRenderPrometheus:
+    def test_quarantine_total_is_promoted(self, tmp_path):
+        text = render_prometheus(_summary(tmp_path))
+        assert "# TYPE arest_traces_quarantined gauge" in text
+        assert "arest_traces_quarantined 3" in text.splitlines()
+
+    def test_quarantine_zero_is_still_exposed(self, tmp_path):
+        # zero is the healthy reading, not an absent one: alert rules
+        # need the series to exist to distinguish "clean" from "no data"
+        summary = _summary(tmp_path)
+        summary.totals.pop("traces_quarantined")
+        text = render_prometheus(summary)
+        assert "arest_traces_quarantined 0" in text.splitlines()
+
+    def test_fault_classes_become_a_family(self, tmp_path):
+        text = render_prometheus(_summary(tmp_path))
+        assert "# TYPE arest_fault_events_total counter" in text
+        lines = text.splitlines()
+        assert 'arest_fault_events_total{class="probe_loss"} 7' in lines
+        assert 'arest_fault_events_total{class="rate_limited"} 2' in lines
+
+    def test_epoch_and_stale_counters_are_scoped(self, tmp_path):
+        text = render_prometheus(_summary(tmp_path))
+        lines = text.splitlines()
+        assert "# TYPE arest_epoch_transitions_total counter" in lines
+        assert 'arest_epoch_transitions_total{scope="46"} 5' in lines
+        assert "# TYPE arest_stale_walk_fallbacks_total counter" in lines
+        assert 'arest_stale_walk_fallbacks_total{scope="46"} 2' in lines
+
+    def test_generic_gauge_family_carries_churn_tallies(self, tmp_path):
+        lines = render_prometheus(_summary(tmp_path)).splitlines()
+        assert "# TYPE arest_gauge gauge" in lines
+        assert 'arest_gauge{scope="46",name="churn_links_failed"} 4' in lines
+
+    def test_no_fault_family_without_fault_counters(self, tmp_path):
+        summary = _summary(tmp_path)
+        summary.totals = {"traces_collected": 40}
+        summary.counters = {46: {"traces_collected": 40}}
+        text = render_prometheus(summary)
+        assert "arest_fault_events_total" not in text
+
+    def test_static_campaign_omits_churn_families_but_not_gauges(
+        self, tmp_path
+    ):
+        summary = _summary(tmp_path)
+        summary.gauges = {46: {"walkcache_hits": 12.0}}
+        text = render_prometheus(summary)
+        assert "arest_epoch_transitions_total" not in text
+        assert "arest_stale_walk_fallbacks_total" not in text
+        assert (
+            'arest_gauge{scope="46",name="walkcache_hits"} 12'
+            in text.splitlines()
+        )
+
+    def test_label_values_are_escaped(self, tmp_path):
+        summary = TelemetrySummary(directory=tmp_path)
+        summary.counters = {'we"ird': {"n": 1}}
+        summary.totals = {"n": 1}
+        text = render_prometheus(summary)
+        assert 'scope="we\\"ird"' in text
+
+    def test_render_ends_with_newline(self, tmp_path):
+        assert render_prometheus(_summary(tmp_path)).endswith("\n")
+
+
+class TestEndToEnd:
+    def test_jsonl_gauges_flow_through_to_exposition(self, tmp_path):
+        """gauge records written by the sink surface as the scoped
+        churn-safety families after a summarize/render round trip."""
+        records = [
+            {"kind": "counter", "scope": 46, "name": "traces_collected",
+             "value": 10},
+            {"kind": "counter", "scope": 46, "name": "fault_probe_loss",
+             "value": 4},
+            {"kind": "gauge", "scope": 46,
+             "name": "walkcache_epoch_transitions", "value": 3},
+            # a re-reported gauge is last-write-wins, never summed
+            {"kind": "gauge", "scope": 46,
+             "name": "walkcache_epoch_transitions", "value": 6},
+            {"kind": "gauge", "scope": 46,
+             "name": "walkcache_stale_walk_fallbacks", "value": 1},
+            {"kind": "flush", "scope": 46},
+        ]
+        (tmp_path / "telemetry.jsonl").write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        summary = summarize_telemetry(tmp_path)
+        assert summary.gauges[46]["walkcache_epoch_transitions"] == 6.0
+        lines = render_prometheus(summary).splitlines()
+        assert 'arest_epoch_transitions_total{scope="46"} 6' in lines
+        assert 'arest_stale_walk_fallbacks_total{scope="46"} 1' in lines
+        assert 'arest_fault_events_total{class="probe_loss"} 4' in lines

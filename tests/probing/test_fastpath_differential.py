@@ -15,12 +15,23 @@ retries active), and the automatic fallback to the reference walker
 
 from hypothesis import given, settings, strategies as st
 
+from repro.netsim.dynamics import ChurnPlan, NetworkDynamics
 from repro.netsim.faults import FaultInjector, FaultPlan
 from repro.probing.tnt import TntProber
 from repro.util.retry import RetryPolicy
 
-from tests.conftest import scaled_examples
+from tests.conftest import TARGET_ASN, scaled_examples
 from tests.test_properties import build_chain, chain_configs
+
+churn_plans = st.builds(
+    ChurnPlan,
+    link_failure_rate=st.sampled_from([0.2, 0.6, 1.0]),
+    lsp_churn_rate=st.sampled_from([0.0, 0.3]),
+    sr_migration_rate=st.sampled_from([0.0, 0.3]),
+    churn_window=st.sampled_from([4, 16]),
+    reconvergence_probes=st.sampled_from([0, 6]),
+    seed=st.integers(min_value=0, max_value=50),
+)
 
 #: moderate rates: high enough to fire on short chains, low enough that
 #: probes still get through and traces keep interesting structure
@@ -101,3 +112,51 @@ def test_retry_enabled_fault_free_is_byte_identical(config):
     (plain_fast, _), (plain_ref, _) = _trace_pair(config)
     assert fast_trace == plain_fast
     assert ref_trace == plain_ref
+
+
+def _churn_trace_pair(config, plan):
+    """Trace the same churning chain with and without the fast path.
+
+    Each leg gets a fresh chain plus its own :class:`NetworkDynamics`
+    built from the same plan, so both see the identical seeded mutation
+    schedule on the identical virtual probe clock.  A bypass link turns
+    the chain into a ring so link failures survive the bridge-safety
+    check and actually fire.
+    """
+    traces = {}
+    for fast in (False, True):
+        chain = build_chain(config)
+        if len(chain.routers) >= 3:
+            chain.network.add_link(
+                chain.routers[0], chain.routers[-1], cost=90
+            )
+            chain.controller.invalidate()
+            chain.engine.invalidate_caches()
+        chain.engine.memoize = fast
+        chain.engine.dynamics = NetworkDynamics(
+            plan,
+            chain.network,
+            chain.engine,
+            chain.controller,
+            chain.domains.get(TARGET_ASN),
+            TARGET_ASN,
+            "diff",
+        )
+        prober = TntProber(
+            chain.engine, seed=config["seed"], retry=None, fast_path=fast
+        )
+        traces[fast] = prober.trace(
+            chain.vp.router_id, chain.target, vp_name="vp"
+        )
+    return traces[True], traces[False]
+
+
+@settings(max_examples=scaled_examples(40), deadline=None)
+@given(config=chain_configs, plan=churn_plans)
+def test_fast_path_is_byte_identical_under_churn(config, plan):
+    """Mid-trace topology mutation: the cached-walk prober must fall
+    back (stale epochs, transients) so that its Trace -- epoch span,
+    blackholed hops, rerouted tails and all -- matches the reference
+    walker byte for byte."""
+    fast_trace, ref_trace = _churn_trace_pair(config, plan)
+    assert fast_trace == ref_trace

@@ -191,6 +191,95 @@ class TestBudgetAndPolicy:
         assert result.trace is trace
 
 
+class TestEpochAnomalies:
+    def test_single_epoch_trace_is_clean(self):
+        # a churned campaign stamps every trace; same epoch throughout
+        # means the network held still and the trace is untouched
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, "10.0.0.2", destination_reply=True),
+            ],
+            epoch_span=(1, 1),
+        )
+        result = TraceSanitizer().sanitize(trace)
+        assert result.trace is trace
+        assert result.anomalies == []
+
+    def test_cross_epoch_trace_quarantines(self):
+        # hops stitched from two control-plane states: a label window
+        # spanning the seam can fabricate evidence, so the trace is
+        # withheld from detection entirely
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, "10.0.0.2"),
+                make_hop(3, "10.0.0.3", destination_reply=True),
+            ],
+            epoch_span=(0, 2),
+        )
+        result = TraceSanitizer().sanitize(trace)
+        assert result.quarantined
+        assert result.trace is None
+        assert AnomalyKind.CROSS_EPOCH in _kinds(result)
+        assert AnomalyKind.VANISHED_RESPONDER not in _kinds(result)
+
+    def test_vanished_responder_marked(self):
+        # a responder answered, then everything after it timed out and
+        # the destination was never reached -- the withdrawn-path
+        # signature rides along with the cross-epoch quarantine
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, "10.0.0.2"),
+                make_hop(3, None),
+                make_hop(4, None),
+            ],
+            reached=False,
+            epoch_span=(0, 1),
+        )
+        result = TraceSanitizer().sanitize(trace)
+        assert result.quarantined
+        kinds = _kinds(result)
+        assert AnomalyKind.CROSS_EPOCH in kinds
+        assert AnomalyKind.VANISHED_RESPONDER in kinds
+        vanished = next(
+            a
+            for a in result.anomalies
+            if a.kind is AnomalyKind.VANISHED_RESPONDER
+        )
+        # anchored at the first hop that went dark (TTL 3)
+        assert vanished.probe_ttl == 3
+
+    def test_reached_cross_epoch_has_no_vanished_responder(self):
+        trace = make_trace(
+            [
+                make_hop(1, "10.0.0.1"),
+                make_hop(2, "10.0.0.2", destination_reply=True),
+            ],
+            epoch_span=(0, 1),
+        )
+        result = TraceSanitizer().sanitize(trace)
+        assert result.quarantined
+        assert AnomalyKind.VANISHED_RESPONDER not in _kinds(result)
+
+    def test_static_campaign_traces_are_unaffected(self):
+        # no dynamics attached -> no epoch span -> no epoch checks
+        trace = _clean_trace()
+        assert trace.epoch_span is None
+        result = TraceSanitizer().sanitize(trace)
+        assert result.trace is trace
+
+    def test_strict_raises_on_cross_epoch(self):
+        trace = make_trace(
+            [make_hop(1, "10.0.0.1")], reached=False, epoch_span=(0, 1)
+        )
+        sanitizer = TraceSanitizer(policy=SanitizePolicy.STRICT)
+        with pytest.raises(TraceSanitizationError) as excinfo:
+            sanitizer.sanitize(trace)
+        assert excinfo.value.anomaly.kind is AnomalyKind.CROSS_EPOCH
+
+
 class TestAnomalyRecords:
     def test_roundtrip(self):
         trace = make_trace([make_hop(1, "10.0.0.1")], reached=True)
