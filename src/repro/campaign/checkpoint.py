@@ -34,7 +34,11 @@ from repro.fingerprint.records import Fingerprint, FingerprintMethod
 from repro.netsim.addressing import IPv4Address
 from repro.netsim.faults import FaultCounters
 from repro.netsim.vendors import Vendor
-from repro.util.atomicio import atomic_writer, durable_append
+from repro.util.journal import (
+    append_json_line,
+    rewrite_json_lines,
+    salvage_decode,
+)
 from repro.util.retry import RetryAccounting
 
 _KIND = "arest-checkpoint"
@@ -311,35 +315,24 @@ class CampaignCheckpoint:
             self._flush()  # upgrade to JSONL on the spot
             return dict(self._entries)
         self._records = {}
-        salvaged = damaged = 0
-        for lineno, line in enumerate(lines[1:], start=2):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                as_id = int(record["as_id"])
-                kind = next(
-                    k for k in _RECORD_KINDS if k in record
-                )
-                obj = _RECORD_KINDS[kind][1](record[kind])
-            except (
-                json.JSONDecodeError,
-                KeyError,
-                StopIteration,
-                TypeError,
-                ValueError,
-            ):
-                # First damaged line: everything after it is suspect
-                # too -- salvage the intact prefix and drop the rest.
-                damaged = len(lines) - lineno + 1
-                logger.warning(
-                    "checkpoint %s: line %d is damaged; salvaged %d "
-                    "banked AS(es), discarding %d trailing line(s)",
-                    self._path, lineno, salvaged, damaged,
-                )
-                break
+
+        def decode(record: dict) -> tuple[int, str, object]:
+            as_id = int(record["as_id"])
+            kind = next(k for k in _RECORD_KINDS if k in record)
+            return as_id, kind, _RECORD_KINDS[kind][1](record[kind])
+
+        # First damaged line: everything after it is suspect too --
+        # salvage the intact prefix and drop the rest.
+        decoded, damaged = salvage_decode(
+            lines[1:],
+            decode,
+            path=self._path,
+            label="checkpoint",
+            noun="banked AS(es)",
+            logger=logger,
+        )
+        for as_id, kind, obj in decoded:
             self._records[as_id] = (kind, obj)
-            salvaged += 1
         if damaged:
             self._flush()  # compact away the damaged tail
         else:
@@ -370,8 +363,7 @@ class CampaignCheckpoint:
         self._records[as_id] = (kind, obj)
         if self._synced and not replacing:
             encode = _RECORD_KINDS[kind][0]
-            line = json.dumps({"as_id": as_id, kind: encode(obj)})
-            durable_append(self._path, line + "\n")
+            append_json_line(self._path, {"as_id": as_id, kind: encode(obj)})
         else:
             self._flush()
 
@@ -399,10 +391,12 @@ class CampaignCheckpoint:
 
     def _flush(self) -> None:
         """Atomically rewrite header + one line per banked AS."""
-        header = {"kind": _KIND, "version": _VERSION, "config": self._config}
-        with atomic_writer(self._path) as fh:
-            fh.write(json.dumps(header) + "\n")
-            for as_id, (kind, obj) in self._records.items():
-                encode = _RECORD_KINDS[kind][0]
-                fh.write(json.dumps({"as_id": as_id, kind: encode(obj)}) + "\n")
+        rewrite_json_lines(
+            self._path,
+            {"kind": _KIND, "version": _VERSION, "config": self._config},
+            (
+                {"as_id": as_id, _kind: _RECORD_KINDS[_kind][0](obj)}
+                for as_id, (_kind, obj) in self._records.items()
+            ),
+        )
         self._synced = True

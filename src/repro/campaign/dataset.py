@@ -106,6 +106,23 @@ class TraceDataset:
         return dataset
 
 
+def trace_to_json(trace: Trace) -> dict:
+    """Public wire codec: one trace as a JSON-able dict.
+
+    This is the exact per-line schema :meth:`TraceDataset.dump_jsonl`
+    writes, re-exported for wire surfaces (the streaming service's
+    ``POST /trace`` body) so datasets on disk and traces on the wire
+    can never drift apart.
+    """
+    return _trace_to_json(trace)
+
+
+def trace_from_json(record: dict) -> Trace:
+    """Inverse of :func:`trace_to_json` (raises ``ValueError``/``KeyError``
+    on records that are not well-formed trace objects)."""
+    return _trace_from_json(record)
+
+
 def _parse_dataset_line(line: str, path: Path, lineno: int) -> dict:
     """Parse one JSONL line, contextualizing any decode error."""
     try:

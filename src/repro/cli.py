@@ -5,6 +5,7 @@ Subcommands mirror the paper's workflow::
     arest run-as 46                 # probe + analyze one portfolio AS
     arest portfolio                 # the full 41-AS campaign summary
     arest detect traces.jsonl       # offline AReST over a stored dataset
+    arest serve --state-dir state   # always-on streaming detection service
     arest validate 46               # Table-3 style ground-truth scoring
     arest survey                    # regenerate Fig. 5 / Table 2
     arest portfolio-table           # print Table 5
@@ -244,6 +245,87 @@ def build_parser() -> argparse.ArgumentParser:
         "detect", help="run AReST offline over a JSONL trace dataset"
     )
     detect.add_argument("dataset", help="path to a JSONL trace dataset")
+    detect.add_argument(
+        "--segments-json",
+        action="store_true",
+        help=(
+            "print the canonical segments document instead of the "
+            "summary (byte-identical to the streaming service's "
+            "GET /segments over the same traces)"
+        ),
+    )
+    detect.add_argument(
+        "--asn",
+        type=int,
+        default=None,
+        help=(
+            "with --segments-json: restrict hop attribution to this AS "
+            "(default: analyze every hop, like a service without --asn)"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on streaming detection service",
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help=(
+            "crash-safe state directory (ingest journal + snapshot); "
+            "restarting on the same DIR resumes without losing any "
+            "acknowledged trace"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help=(
+            "TCP port (0 = ephemeral; the bound address is printed as "
+            "a machine-parseable JSON line on the first line of stdout)"
+        ),
+    )
+    serve.add_argument(
+        "--asn",
+        type=int,
+        default=None,
+        help="restrict hop attribution to this AS",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help="bounded ingest queue size (the service's memory bound)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="detection worker tasks",
+    )
+    serve.add_argument(
+        "--detect-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "per-trace analysis deadline; a trace past it is "
+            "quarantined as poison (0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="compact the journal into a snapshot every N traces",
+    )
+    _add_telemetry_argument(serve)
 
     validate = sub.add_parser(
         "validate", help="ground-truth validation for one AS (Table 3)"
@@ -451,6 +533,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.core.detector import ArestDetector
 
     dataset = TraceDataset.load_jsonl(args.dataset)
+    if args.segments_json:
+        from repro.service.state import batch_aggregate
+
+        aggregate = batch_aggregate(list(dataset), asn=args.asn)
+        sys.stdout.buffer.write(aggregate.segments_json(args.asn))
+        sys.stdout.buffer.flush()
+        return 0
     detector = ArestDetector()
     counts: Counter = Counter()
     seen = set()
@@ -468,6 +557,59 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if not counts:
         print("  (no SR-MPLS evidence)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.service.server import (
+        EXIT_BIND_FAILURE,
+        ServiceConfig,
+        exit_code_for,
+        run_service,
+    )
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        asn=args.asn,
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+        detect_timeout=(
+            args.detect_timeout if args.detect_timeout > 0 else None
+        ),
+        snapshot_every=args.snapshot_every,
+        telemetry_dir=args.telemetry_dir,
+    )
+
+    def ready(host: str, port: int) -> None:
+        # machine-parseable bound address: always the FIRST stdout line,
+        # so `arest serve --port 0` callers can discover the ephemeral
+        # port with a single readline
+        print(
+            _json.dumps(
+                {
+                    "kind": "arest-serve",
+                    "event": "listening",
+                    "host": host,
+                    "port": port,
+                    "url": f"http://{host}:{port}",
+                }
+            ),
+            flush=True,
+        )
+
+    try:
+        status = asyncio.run(run_service(config, ready=ready))
+    except OSError as exc:
+        print(
+            f"arest serve: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_BIND_FAILURE
+    return exit_code_for(status)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -613,6 +755,7 @@ _COMMANDS = {
     "portfolio": _cmd_portfolio,
     "degradation": _cmd_degradation,
     "detect": _cmd_detect,
+    "serve": _cmd_serve,
     "validate": _cmd_validate,
     "survey": _cmd_survey,
     "report": _cmd_report,

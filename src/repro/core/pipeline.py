@@ -146,11 +146,139 @@ class AsAnalysis:
         return inter / total
 
 
+class AsAccumulator:
+    """Incremental AReST analysis of one AS, one trace at a time.
+
+    The batch entry point (:meth:`ArestPipeline.analyze_as`) is a thin
+    loop over this class; long-lived consumers -- the streaming
+    detection service in :mod:`repro.service` -- construct one via
+    :meth:`ArestPipeline.accumulator` and :meth:`feed` traces as they
+    arrive, reading :attr:`analysis` at any point mid-stream.
+
+    Feeding order never changes the aggregate facts (counters, distinct
+    segment sets): each trace's contribution depends only on the trace
+    itself, so any permutation of the same trace set accumulates to the
+    same totals (the service's streaming ≡ batch contract builds on
+    this).  Only the observational *lists* (``anomalies``,
+    ``segments``) record arrival order.
+
+    ``asn=None`` widens the analysis to every hop of every trace (no
+    ownership restriction), which is how the service analyzes datasets
+    that were already scoped at collection time.
+    """
+
+    def __init__(
+        self,
+        detector: ArestDetector,
+        asn: int | None,
+        fingerprints: Mapping[IPv4Address, Fingerprint] | FingerprintLookup,
+        asn_of: AsnLookup | None = None,
+        segment_sink: list[tuple[Trace, list[DetectedSegment]]] | None = None,
+        sanitizer: TraceSanitizer | None = None,
+        telemetry=None,
+    ) -> None:
+        self._detector = detector
+        self._asn = asn
+        self._fingerprints = fingerprints
+        self._asn_of = asn_of if asn_of is not None else _truth_asn
+        self._segment_sink = segment_sink
+        self._sanitizer = sanitizer if sanitizer is not None else TraceSanitizer()
+        self._track = telemetry is not None and telemetry.enabled
+        self._telemetry = telemetry
+        self._clock = telemetry.clock if self._track else None
+        self._sanitize_seconds = 0.0
+        self._detect_seconds = 0.0
+        self.analysis = AsAnalysis(asn=asn if asn is not None else 0)
+        for flag in Flag:
+            self.analysis.distinct_segments[flag] = set()
+
+    def _in_as(self, hop: TraceHop) -> bool:
+        """Predicate: does this hop belong to the AS of interest?"""
+        return self._asn is None or self._asn_of(hop) == self._asn
+
+    def feed(self, trace: Trace) -> list[DetectedSegment] | None:
+        """Sanitize and analyze one trace; returns its segments.
+
+        Returns ``None`` when the trace was quarantined or touched no
+        in-AS hop; either way every counter (including the
+        ``traces_analyzed + traces_quarantined == traces_total``
+        reconciliation invariant) is already up to date when this
+        returns, so the analysis is continuously consistent mid-stream.
+        """
+        analysis = self.analysis
+        analysis.traces_total += 1
+        if self._track:
+            tick = self._clock()
+        sanitized = self._sanitizer.sanitize(trace)
+        if self._track:
+            self._sanitize_seconds += self._clock() - tick
+        analysis.anomalies.extend(sanitized.anomalies)
+        if sanitized.trace is None:
+            analysis.traces_quarantined += 1
+            return None
+        trace = sanitized.trace
+        # AS membership is resolved once per hop; the resulting index
+        # set feeds the detector mask and both accumulators.
+        in_as_set = {
+            i for i, hop in enumerate(trace.hops) if self._in_as(hop)
+        }
+        if not in_as_set:
+            return None
+        analysis.traces_in_as += 1
+        if self._track:
+            tick = self._clock()
+        segments = self._detector.detect(
+            trace, self._fingerprints, hop_mask=in_as_set
+        )
+        if self._track:
+            self._detect_seconds += self._clock() - tick
+        if self._segment_sink is not None:
+            self._segment_sink.append((trace, segments))
+        _accumulate_segments(analysis, trace, segments)
+        _accumulate_areas(analysis, trace, segments, in_as_set)
+        _accumulate_tunnels(analysis, trace, in_as_set)
+        return segments
+
+    def finish(self) -> AsAnalysis:
+        """Flush accumulated telemetry and return the analysis.
+
+        Idempotent with respect to the analysis object; only the
+        telemetry stage durations are emitted here (accumulated in
+        locals so the hot loop stays within the <2% instrumentation
+        budget, mirroring the batch path's behaviour).
+        """
+        if self._track:
+            self._telemetry.add_seconds("sanitize", self._sanitize_seconds)
+            self._telemetry.add_seconds("detect", self._detect_seconds)
+            self._track = False
+        return self.analysis
+
+
 class ArestPipeline:
     """Runs AReST over trace batches, one AS of interest at a time."""
 
     def __init__(self, detector: ArestDetector | None = None) -> None:
         self._detector = detector or ArestDetector()
+
+    def accumulator(
+        self,
+        asn: int | None,
+        fingerprints: Mapping[IPv4Address, Fingerprint] | FingerprintLookup,
+        asn_of: AsnLookup | None = None,
+        segment_sink: list[tuple[Trace, list[DetectedSegment]]] | None = None,
+        sanitizer: TraceSanitizer | None = None,
+        telemetry=None,
+    ) -> AsAccumulator:
+        """An incremental accumulator for streaming consumers."""
+        return AsAccumulator(
+            self._detector,
+            asn,
+            fingerprints,
+            asn_of=asn_of,
+            segment_sink=segment_sink,
+            sanitizer=sanitizer,
+            telemetry=telemetry,
+        )
 
     def analyze_as(
         self,
@@ -177,155 +305,109 @@ class ArestPipeline:
 
         ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`, duck
         typed to avoid the dependency) receives ``sanitize`` and
-        ``detect`` stage durations.  The timing is accumulated in
-        locals -- two clock reads per trace, only when enabled -- so
-        the hot loop stays within the <2% instrumentation budget and
-        the disabled path does no extra work at all.
+        ``detect`` stage durations.
         """
-        if asn_of is None:
-            asn_of = _truth_asn
-        if sanitizer is None:
-            sanitizer = TraceSanitizer()
-        track = telemetry is not None and telemetry.enabled
-        clock = telemetry.clock if track else None
-        sanitize_seconds = 0.0
-        detect_seconds = 0.0
-        analysis = AsAnalysis(asn=asn)
-        for flag in Flag:
-            analysis.distinct_segments[flag] = set()
-
-        def in_as(hop: TraceHop) -> bool:
-            """Predicate: does this hop belong to the AS of interest?"""
-            return asn_of(hop) == asn
-
+        accumulator = self.accumulator(
+            asn,
+            fingerprints,
+            asn_of=asn_of,
+            segment_sink=segment_sink,
+            sanitizer=sanitizer,
+            telemetry=telemetry,
+        )
         for trace in traces:
-            analysis.traces_total += 1
-            if track:
-                tick = clock()
-            sanitized = sanitizer.sanitize(trace)
-            if track:
-                sanitize_seconds += clock() - tick
-            analysis.anomalies.extend(sanitized.anomalies)
-            if sanitized.trace is None:
-                analysis.traces_quarantined += 1
-                continue
-            trace = sanitized.trace
-            # AS membership is resolved once per hop; the resulting index
-            # set feeds the detector mask and both accumulators.
-            in_as_set = {
-                i for i, hop in enumerate(trace.hops) if in_as(hop)
-            }
-            if not in_as_set:
-                continue
-            analysis.traces_in_as += 1
-            if track:
-                tick = clock()
-            segments = self._detector.detect(
-                trace, fingerprints, hop_mask=in_as_set
-            )
-            if track:
-                detect_seconds += clock() - tick
-            if segment_sink is not None:
-                segment_sink.append((trace, segments))
-            self._accumulate_segments(analysis, trace, segments)
-            self._accumulate_areas(analysis, trace, segments, in_as_set)
-            self._accumulate_tunnels(analysis, trace, in_as_set)
-        if track:
-            telemetry.add_seconds("sanitize", sanitize_seconds)
-            telemetry.add_seconds("detect", detect_seconds)
-        return analysis
+            accumulator.feed(trace)
+        return accumulator.finish()
 
-    # -- accumulation ------------------------------------------------------------
+# -- accumulation ----------------------------------------------------------
 
-    def _accumulate_segments(
-        self,
-        analysis: AsAnalysis,
-        trace: Trace,
-        segments: list[DetectedSegment],
+
+def _accumulate_segments(
+    analysis: AsAnalysis,
+    trace: Trace,
+    segments: list[DetectedSegment],
+) -> None:
+    for segment in segments:
+        analysis.segments.append(segment)
+        analysis.distinct_segments[segment.flag].add(segment.key())
+        if segment.flag in (Flag.CVR, Flag.CO):
+            analysis.consecutive_runs += 1
+            if segment.suffix_based:
+                analysis.suffix_matched_runs += 1
+        depth_counter = (
+            analysis.stack_depths_strong
+            if segment.flag in STRONG_FLAGS
+            else analysis.stack_depths_other
+        )
+        for depth in segment.stack_depths:
+            depth_counter[depth] += 1
+
+def _accumulate_areas(
+    analysis: AsAnalysis,
+    trace: Trace,
+    segments: list[DetectedSegment],
+    indices_in_as: set[int],
     ) -> None:
-        for segment in segments:
-            analysis.segments.append(segment)
-            analysis.distinct_segments[segment.flag].add(segment.key())
-            if segment.flag in (Flag.CVR, Flag.CO):
-                analysis.consecutive_runs += 1
-                if segment.suffix_based:
-                    analysis.suffix_matched_runs += 1
-            depth_counter = (
-                analysis.stack_depths_strong
-                if segment.flag in STRONG_FLAGS
-                else analysis.stack_depths_other
-            )
-            for depth in segment.stack_depths:
-                depth_counter[depth] += 1
+    areas = classify_hops(trace, segments, strong_only=True)
+    flagged = {
+        i for segment in segments for i in segment.hop_indices
+    }
+    hit_sr = hit_mpls = hit_ip = False
+    for i in indices_in_as:
+        hop = trace.hops[i]
+        area = areas[i]
+        if hop.address is not None:
+            if area is HopArea.SR:
+                analysis.sr_addresses.add(hop.address)
+            elif area is HopArea.MPLS:
+                analysis.mpls_addresses.add(hop.address)
+                # flagged (LSO) hops were already counted by the
+                # segment accumulator; count only unflagged classic
+                # MPLS hops here (Fig. 9b's other half)
+                if (
+                    hop.has_lses
+                    and not hop.tnt_revealed
+                    and i not in flagged
+                ):
+                    analysis.stack_depths_other[hop.stack_depth] += 1
+            else:
+                analysis.ip_addresses.add(hop.address)
+        hit_sr = hit_sr or area is HopArea.SR
+        hit_mpls = hit_mpls or area is HopArea.MPLS
+        hit_ip = hit_ip or area is HopArea.IP
+    analysis.traces_hitting_sr += int(hit_sr)
+    analysis.traces_hitting_mpls += int(hit_mpls)
+    analysis.traces_hitting_ip += int(hit_ip)
+    # Interworking: decompose the in-AS area sequence into tunnels,
+    # after the Sec. 6.3 refinements (LSO-with-strong-evidence and
+    # TE-stack smoothing).
+    refined = refine_areas_for_interworking(trace, segments, areas)
+    in_as_areas = [
+        refined[i]
+        if i in indices_in_as and not trace.hops[i].tnt_revealed
+        else HopArea.IP
+        for i in range(len(trace.hops))
+    ]
+    compositions = analyze_tunnel_composition(in_as_areas)
+    for composition in compositions:
+        analysis.interworking_modes[composition.mode] += 1
+        analysis.sr_cloud_sizes.extend(composition.sr_cloud_sizes())
+        analysis.ldp_cloud_sizes.extend(composition.ldp_cloud_sizes())
 
-    def _accumulate_areas(
-        self,
-        analysis: AsAnalysis,
-        trace: Trace,
-        segments: list[DetectedSegment],
-        indices_in_as: set[int],
+def _accumulate_tunnels(
+    analysis: AsAnalysis,
+    trace: Trace,
+    indices_in_as: set[int],
     ) -> None:
-        areas = classify_hops(trace, segments, strong_only=True)
-        flagged = {
-            i for segment in segments for i in segment.hop_indices
-        }
-        hit_sr = hit_mpls = hit_ip = False
-        for i in indices_in_as:
-            hop = trace.hops[i]
-            area = areas[i]
-            if hop.address is not None:
-                if area is HopArea.SR:
-                    analysis.sr_addresses.add(hop.address)
-                elif area is HopArea.MPLS:
-                    analysis.mpls_addresses.add(hop.address)
-                    # flagged (LSO) hops were already counted by the
-                    # segment accumulator; count only unflagged classic
-                    # MPLS hops here (Fig. 9b's other half)
-                    if (
-                        hop.has_lses
-                        and not hop.tnt_revealed
-                        and i not in flagged
-                    ):
-                        analysis.stack_depths_other[hop.stack_depth] += 1
-                else:
-                    analysis.ip_addresses.add(hop.address)
-            hit_sr = hit_sr or area is HopArea.SR
-            hit_mpls = hit_mpls or area is HopArea.MPLS
-            hit_ip = hit_ip or area is HopArea.IP
-        analysis.traces_hitting_sr += int(hit_sr)
-        analysis.traces_hitting_mpls += int(hit_mpls)
-        analysis.traces_hitting_ip += int(hit_ip)
-        # Interworking: decompose the in-AS area sequence into tunnels,
-        # after the Sec. 6.3 refinements (LSO-with-strong-evidence and
-        # TE-stack smoothing).
-        refined = refine_areas_for_interworking(trace, segments, areas)
-        in_as_areas = [
-            refined[i]
-            if i in indices_in_as and not trace.hops[i].tnt_revealed
-            else HopArea.IP
-            for i in range(len(trace.hops))
-        ]
-        compositions = analyze_tunnel_composition(in_as_areas)
-        for composition in compositions:
-            analysis.interworking_modes[composition.mode] += 1
-            analysis.sr_cloud_sizes.extend(composition.sr_cloud_sizes())
-            analysis.ldp_cloud_sizes.extend(composition.ldp_cloud_sizes())
-
-    def _accumulate_tunnels(
-        self,
-        analysis: AsAnalysis,
-        trace: Trace,
-        indices_in_as: set[int],
-    ) -> None:
-        saw_explicit = False
-        for tunnel in classify_tunnels(trace):
-            if not any(i in indices_in_as for i in tunnel.hop_indices):
-                continue
-            analysis.tunnel_types[tunnel.tunnel_type] += 1
-            saw_explicit = saw_explicit or (
-                tunnel.tunnel_type is TunnelType.EXPLICIT
-            )
-        analysis.traces_with_explicit += int(saw_explicit)
+    saw_explicit = False
+    for tunnel in classify_tunnels(trace):
+        if not any(i in indices_in_as for i in tunnel.hop_indices):
+            continue
+        analysis.tunnel_types[tunnel.tunnel_type] += 1
+        saw_explicit = saw_explicit or (
+            tunnel.tunnel_type is TunnelType.EXPLICIT
+        )
+    analysis.traces_with_explicit += int(saw_explicit)
 
 
 def _truth_asn(hop: TraceHop) -> int | None:

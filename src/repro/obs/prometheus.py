@@ -33,13 +33,72 @@ from repro.obs.summary import TelemetrySummary
 
 
 def _escape(value: object) -> str:
-    """Escape a label value per the exposition format."""
+    """Escape a label value per the exposition format.
+
+    The text format gives label values exactly three escapes --
+    backslash, double-quote and newline -- and backslash must be
+    rewritten first or it would re-escape the escapes themselves.
+    """
     return (
         str(value)
         .replace("\\", r"\\")
         .replace('"', r"\"")
         .replace("\n", r"\n")
     )
+
+
+#: public alias: every exposition surface must escape through this
+escape_label_value = _escape
+
+
+def render_ingest_metrics(
+    *,
+    accepted_total: int,
+    rejected: "dict[str, int]",
+    queue_depth: int,
+    queue_capacity: int,
+    traces_quarantined: int,
+    draining: bool = False,
+) -> str:
+    """Render the streaming service's live ingest families.
+
+    ``GET /metrics`` serves this (optionally after the batch families
+    rendered from the telemetry directory).  Reason labels pass through
+    :func:`escape_label_value` like every other label value.
+    """
+    lines = [
+        "# HELP arest_ingest_accepted_total Traces durably accepted "
+        "(202) by the ingest endpoint.",
+        "# TYPE arest_ingest_accepted_total counter",
+        f"arest_ingest_accepted_total {accepted_total}",
+        "# HELP arest_ingest_rejected_total Traces refused by the "
+        "ingest endpoint, by reason.",
+        "# TYPE arest_ingest_rejected_total counter",
+    ]
+    for reason in sorted(rejected):
+        lines.append(
+            f'arest_ingest_rejected_total{{reason="{_escape(reason)}"}} '
+            f"{rejected[reason]}"
+        )
+    lines += [
+        "# HELP arest_queue_depth Traces currently waiting in the "
+        "bounded ingest queue.",
+        "# TYPE arest_queue_depth gauge",
+        f"arest_queue_depth {queue_depth}",
+        "# HELP arest_queue_capacity Configured bound of the ingest "
+        "queue.",
+        "# TYPE arest_queue_capacity gauge",
+        f"arest_queue_capacity {queue_capacity}",
+        "# HELP arest_service_draining 1 while the service refuses new "
+        "traces pending shutdown.",
+        "# TYPE arest_service_draining gauge",
+        f"arest_service_draining {int(draining)}",
+        "# HELP arest_traces_quarantined Traces withheld from analysis "
+        "(sanitizer quarantine + poison containment).",
+        "# TYPE arest_traces_quarantined gauge",
+        f"arest_traces_quarantined {traces_quarantined}",
+    ]
+    return "\n".join(lines) + "\n"
 
 
 def render_prometheus(summary: TelemetrySummary) -> str:

@@ -36,6 +36,14 @@ A well-formed trace sanitizes to the *same object* with no anomalies,
 so the default-on sanitizer leaves clean campaigns byte-identical
 (property-tested in ``tests/test_sanitize_properties.py``).
 
+One anomaly kind is recorded *about* a trace rather than found in it:
+:attr:`AnomalyKind.POISON_TRACE` marks a trace whose detection stage
+failed outright (exception or per-request timeout).  The streaming
+service (:mod:`repro.service`) quarantines such traces through this
+same structured-anomaly path, so a poison input is counted and
+reported exactly like a structurally-corrupt one instead of killing
+the worker that was analyzing it.
+
 What sanitization deliberately does **not** attempt: removing
 stale-label replay.  In uniform-mode SR tunnels adjacent hops genuinely
 quote identical ``[label, ttl=1]`` stacks -- that *is* the CVR/CO
@@ -102,6 +110,11 @@ class AnomalyKind(enum.Enum):
     #: destination was never reached -- the classic signature of a path
     #: element withdrawn between probes
     VANISHED_RESPONDER = "vanished-responder"
+    #: the trace made the detection stage itself fail (an exception or
+    #: a per-request timeout in the streaming service): the trace is
+    #: quarantined through the normal anomaly path instead of killing
+    #: the worker that was analyzing it
+    POISON_TRACE = "poison-trace"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -1,0 +1,161 @@
+"""Detection workers: queue consumers with poison containment.
+
+Each worker task loops ``queue.get() → analyze → fold into state``.
+The analysis step is a *pure* per-trace projection
+(:func:`repro.service.state.analyze_trace`): it touches no shared
+state, so the two failure modes a hostile input can cause are both
+contained without corrupting the aggregate:
+
+- **exception** -- the worker catches it, folds in a poison delta
+  (collected + quarantined + a ``poison-trace`` anomaly, keeping the
+  reconciliation invariant intact) and moves on;
+- **timeout** -- the analysis runs on a worker-owned thread pool and is
+  awaited with a deadline.  On expiry the future is abandoned (its
+  eventual result, if any, is never read) and the pool is replaced so
+  the hung thread cannot serialize later traces behind it; the trace is
+  quarantined as poison.
+
+Either way the worker itself survives -- the acceptance criterion is
+that no input can kill a worker -- and every dequeued trace is
+accounted for exactly once (``task_done`` runs in a ``finally``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from repro.service.ingest import IngestQueue
+from repro.service.state import SegmentAggregate, ServiceState, analyze_trace
+
+logger = logging.getLogger(__name__)
+
+
+class WorkerPool:
+    """Owns the detection worker tasks of one service instance."""
+
+    def __init__(
+        self,
+        queue: IngestQueue,
+        state: ServiceState,
+        *,
+        workers: int = 1,
+        detect_timeout: float | None = 5.0,
+        telemetry=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue = queue
+        self.state = state
+        self.workers = workers
+        self.detect_timeout = detect_timeout
+        self.telemetry = telemetry
+        #: traces quarantined because their analysis failed or hung
+        self.poisoned = 0
+        #: traces that ran past the per-request deadline
+        self.timeouts = 0
+        self._tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker tasks on the running loop."""
+        self._stopping = False
+        if self.detect_timeout is not None:
+            self._executor = self._new_executor()
+        self._tasks = [
+            asyncio.create_task(self._run(i), name=f"arest-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel every worker and wait for them to unwind.
+
+        The flag backs the cancellation up: on 3.11, ``wait_for`` can
+        swallow a cancellation that races the inner future's completion
+        (the analysis result wins, the CancelledError is lost), and a
+        worker whose cancel was eaten would otherwise re-block on an
+        empty queue forever.  The loop re-checks the flag between
+        traces, so a swallowed cancel still ends the worker.
+        """
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def _new_executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="arest-detect"
+        )
+
+    # -- the loop ------------------------------------------------------------
+
+    async def _run(self, index: int) -> None:
+        while not self._stopping:
+            seq, trace = await self.queue.get()
+            try:
+                delta = await self._analyze(seq, trace)
+                self.state.ingest(seq, delta)
+                if self.state.compaction_due:
+                    self._compact()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # folding a well-formed delta cannot fail; anything
+                # here is a bug worth a log line, never a dead worker
+                logger.exception("worker %d: unexpected error", index)
+            finally:
+                self.queue.task_done()
+
+    async def _analyze(self, seq: int, trace) -> SegmentAggregate:
+        """One trace's pure projection, bounded and contained."""
+        if self._executor is None:
+            try:
+                return analyze_trace(
+                    trace, asn=self.state.asn, pipeline=self.state.pipeline
+                )
+            except Exception as exc:
+                return self._poison(seq, f"{type(exc).__name__}: {exc}")
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            partial(
+                analyze_trace,
+                trace,
+                asn=self.state.asn,
+                pipeline=self.state.pipeline,
+            ),
+        )
+        try:
+            return await asyncio.wait_for(future, self.detect_timeout)
+        except asyncio.TimeoutError:
+            # the hung thread is abandoned; replace the pool so later
+            # traces never queue behind it
+            self.timeouts += 1
+            self._executor.shutdown(wait=False)
+            self._executor = self._new_executor()
+            return self._poison(seq, "per-request deadline exceeded")
+        except Exception as exc:
+            return self._poison(seq, f"{type(exc).__name__}: {exc}")
+
+    def _poison(self, seq: int, detail: str) -> SegmentAggregate:
+        self.poisoned += 1
+        logger.warning("trace seq=%d quarantined as poison: %s", seq, detail)
+        if self.telemetry is not None:
+            self.telemetry.count("ingest_poisoned")
+        return SegmentAggregate.poison()
+
+    def _compact(self) -> None:
+        if self.telemetry is not None:
+            with self.telemetry.span("flush"):
+                self.state.compact()
+        else:
+            self.state.compact()

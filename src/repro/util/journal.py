@@ -1,0 +1,103 @@
+"""Shared JSONL journal primitives: durable appends, salvaging reads.
+
+Three artifacts in the codebase share one on-disk idiom -- a header
+line describing the writer's configuration followed by one JSON record
+per line, appended durably as work completes:
+
+- the campaign checkpoint (:mod:`repro.campaign.checkpoint`),
+- the telemetry event stream (:mod:`repro.obs.sink`),
+- the service ingest journal (:mod:`repro.service.state`).
+
+This module holds the pieces they have in common, so the crash-safety
+story is written (and tested) once:
+
+- :func:`append_json_line` -- serialize one record and append it with
+  :func:`~repro.util.atomicio.durable_append`: once it returns the
+  line is on stable storage, and a crash mid-call at worst truncates
+  the final line;
+- :func:`rewrite_json_lines` -- atomically replace the whole file
+  (header + records) via :func:`~repro.util.atomicio.atomic_writer`;
+- :func:`salvage_decode` -- the torn-tail salvage loop: decode intact
+  lines until the first damaged one, log what was dropped, and report
+  how much of the tail is suspect.  A crash mid-append (or a partial
+  copy) damages at most the final line, and everything before it is
+  recovered.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Callable, Iterable, TypeVar
+
+from repro.util.atomicio import atomic_writer, durable_append
+
+T = TypeVar("T")
+
+_module_logger = logging.getLogger(__name__)
+
+
+def append_json_line(path: str | Path, record: dict) -> None:
+    """Durably append ``record`` as one JSON line."""
+    durable_append(path, json.dumps(record) + "\n")
+
+
+def rewrite_json_lines(
+    path: str | Path, header: dict, records: Iterable[dict]
+) -> None:
+    """Atomically rewrite ``path`` as header + one record per line."""
+    with atomic_writer(path) as fh:
+        fh.write(json.dumps(header) + "\n")
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def salvage_decode(
+    lines: list[str],
+    decode: Callable[[dict], T],
+    *,
+    path: str | Path,
+    label: str,
+    noun: str = "record(s)",
+    first_lineno: int = 2,
+    logger: logging.Logger | None = None,
+) -> tuple[list[T], int]:
+    """Decode JSONL body lines, salvaging the intact prefix of a torn file.
+
+    ``lines`` are the body lines (header excluded); ``first_lineno`` is
+    the 1-based file line number of the first of them (for log
+    messages).  Each line is JSON-parsed and passed to ``decode``; the
+    first line that fails either step marks the start of the damage --
+    everything from it onward is dropped and counted, mirroring the
+    trust model of an append-only file (bytes after a torn write are
+    suspect).  Blank lines are skipped.
+
+    Returns ``(decoded records, damaged line count)``.  ``damaged == 0``
+    means the file was clean.
+    """
+    log = logger if logger is not None else _module_logger
+    decoded: list[T] = []
+    damaged = 0
+    total = len(lines)
+    for offset, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            obj = decode(record)
+        except Exception:
+            damaged = total - offset
+            log.warning(
+                "%s %s: line %d is damaged; salvaged %d %s, "
+                "discarding %d trailing line(s)",
+                label,
+                path,
+                first_lineno + offset,
+                len(decoded),
+                noun,
+                damaged,
+            )
+            break
+        decoded.append(obj)
+    return decoded, damaged

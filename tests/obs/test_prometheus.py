@@ -9,7 +9,11 @@ engine -- is pinned here line by line.
 import json
 from pathlib import Path
 
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import (
+    escape_label_value,
+    render_ingest_metrics,
+    render_prometheus,
+)
 from repro.obs.summary import TelemetrySummary, summarize_telemetry
 
 
@@ -103,6 +107,94 @@ class TestRenderPrometheus:
 
     def test_render_ends_with_newline(self, tmp_path):
         assert render_prometheus(_summary(tmp_path)).endswith("\n")
+
+
+class TestLabelValueEscaping:
+    """The three exposition-format escapes, pinned one by one.
+
+    ``escape_label_value`` is the single escape point for every label
+    value the package emits; an unescaped backslash, quote or newline
+    would corrupt the whole scrape, not just one sample.
+    """
+
+    def test_backslash(self):
+        assert escape_label_value(r"a\b") == r"a\\b"
+
+    def test_double_quote(self):
+        assert escape_label_value('say "hi"') == r"say \"hi\""
+
+    def test_newline(self):
+        assert escape_label_value("two\nlines") == r"two\nlines"
+
+    def test_backslash_escapes_first(self):
+        # were the order reversed, the backslash introduced by the
+        # quote escape would itself get doubled
+        assert escape_label_value('\\"') == r"\\\""
+
+    def test_all_three_together(self):
+        assert (
+            escape_label_value('a\\b"c\nd') == r"a\\b\"c\nd"
+        )
+
+    def test_non_strings_are_stringified(self):
+        assert escape_label_value(46) == "46"
+
+
+class TestRenderIngestMetrics:
+    def _render(self, **overrides) -> str:
+        kwargs = dict(
+            accepted_total=10,
+            rejected={"bad-json": 2, "queue-full": 5},
+            queue_depth=3,
+            queue_capacity=64,
+            traces_quarantined=1,
+        )
+        kwargs.update(overrides)
+        return render_ingest_metrics(**kwargs)
+
+    def test_all_families_present(self):
+        lines = self._render().splitlines()
+        assert "arest_ingest_accepted_total 10" in lines
+        assert (
+            'arest_ingest_rejected_total{reason="bad-json"} 2' in lines
+        )
+        assert (
+            'arest_ingest_rejected_total{reason="queue-full"} 5' in lines
+        )
+        assert "arest_queue_depth 3" in lines
+        assert "arest_queue_capacity 64" in lines
+        assert "arest_service_draining 0" in lines
+        assert "arest_traces_quarantined 1" in lines
+
+    def test_every_family_is_typed(self):
+        text = self._render()
+        for family in (
+            "arest_ingest_accepted_total",
+            "arest_ingest_rejected_total",
+            "arest_queue_depth",
+            "arest_queue_capacity",
+            "arest_service_draining",
+            "arest_traces_quarantined",
+        ):
+            assert f"# TYPE {family} " in text
+
+    def test_draining_flag(self):
+        assert "arest_service_draining 1" in self._render(
+            draining=True
+        ).splitlines()
+
+    def test_reason_labels_are_escaped(self):
+        text = self._render(rejected={'odd"reason\n\\': 1})
+        assert (
+            'arest_ingest_rejected_total{reason="odd\\"reason\\n\\\\"} 1'
+            in text.splitlines()
+        )
+
+    def test_reasons_render_sorted(self):
+        text = self._render()
+        assert text.index('reason="bad-json"') < text.index(
+            'reason="queue-full"'
+        )
 
 
 class TestEndToEnd:

@@ -1,0 +1,224 @@
+"""Process-level robustness: kill -9, exit codes, two-strike drain.
+
+These tests run ``arest serve`` as a real subprocess and do to it what
+operators (and kernels) do: SIGKILL mid-ingest, SIGTERM for a graceful
+drain, a second signal to abort one, and a port squatter to force a
+bind failure.  The contracts under test:
+
+- no acknowledged (202) trace is ever lost or double-counted across a
+  ``kill -9`` + restart (the state dir carries everything);
+- exit 0 + manifest ``ok`` for a clean drain, exit 130 + manifest
+  ``interrupted`` for a two-strike abort, exit 2 for a bind failure;
+- ``--port 0`` prints a machine-parseable bound address as the first
+  stdout line.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.state import batch_aggregate
+from repro.service.wire import trace_to_json
+from tests.service.conftest import corpus
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _serve(*extra: str) -> tuple[subprocess.Popen, str, int]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+    line = proc.stdout.readline()
+    try:
+        address = json.loads(line)
+    except json.JSONDecodeError:  # pragma: no cover - diagnostics
+        proc.kill()
+        raise AssertionError(
+            f"first stdout line is not JSON: {line!r}\n"
+            f"{proc.stderr.read()}"
+        )
+    assert address["kind"] == "arest-serve"
+    assert address["event"] == "listening"
+    return proc, address["host"], address["port"]
+
+
+def _post(host: str, port: int, traces) -> dict:
+    body = "\n".join(json.dumps(trace_to_json(t)) for t in traces)
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request("POST", "/trace", body=body)
+    response = conn.getresponse()
+    payload = json.loads(response.read())
+    conn.close()
+    assert response.status == 202, payload
+    return payload
+
+
+def _get(host: str, port: int, path: str) -> bytes:
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request("GET", path)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    assert response.status == 200
+    return data
+
+
+def _wait_depth_zero(host: str, port: int, deadline: float = 30.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        doc = json.loads(_get(host, port, "/healthz"))
+        if doc["queue_depth"] == 0:
+            return
+        time.sleep(0.05)
+    raise AssertionError("queue never drained")
+
+
+class TestKillNine:
+    def test_no_acknowledged_trace_lost_or_double_counted(self, tmp_path):
+        traces = corpus(12)
+        state_dir = str(tmp_path / "state")
+        proc, host, port = _serve(
+            "--state-dir", state_dir, "--snapshot-every", "4"
+        )
+        try:
+            for i in range(0, len(traces), 3):
+                _post(host, port, traces[i : i + 3])
+        finally:
+            # SIGKILL right after the last 202: workers may be mid-fold,
+            # a compaction may be mid-flight -- the journal has it all
+            proc.kill()
+            proc.wait(timeout=10)
+
+        proc, host, port = _serve(
+            "--state-dir", state_dir, "--snapshot-every", "4"
+        )
+        try:
+            _wait_depth_zero(host, port)
+            served = _get(host, port, "/segments")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        # byte-identical to a run that never crashed
+        assert served == batch_aggregate(traces).segments_json()
+
+    def test_repeated_crashes_converge(self, tmp_path):
+        traces = corpus(8)
+        state_dir = str(tmp_path / "state")
+        for round_no in range(2):
+            half = traces[round_no * 4 : round_no * 4 + 4]
+            proc, host, port = _serve(
+                "--state-dir", state_dir, "--snapshot-every", "3"
+            )
+            try:
+                _post(host, port, half)
+            finally:
+                proc.kill()
+                proc.wait(timeout=10)
+        proc, host, port = _serve(
+            "--state-dir", state_dir, "--snapshot-every", "3"
+        )
+        try:
+            _wait_depth_zero(host, port)
+            served = _get(host, port, "/segments")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        assert served == batch_aggregate(traces).segments_json()
+
+
+class TestExitCodes:
+    def test_sigterm_drains_to_exit_zero_and_manifest_ok(self, tmp_path):
+        telemetry = tmp_path / "telemetry"
+        proc, host, port = _serve(
+            "--state-dir",
+            str(tmp_path / "state"),
+            "--telemetry-dir",
+            str(telemetry),
+        )
+        _post(host, port, corpus(4))
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        manifest = json.loads((telemetry / "manifest.json").read_text())
+        assert manifest["exit_status"] == "ok"
+
+    def test_second_strike_aborts_with_130_and_manifest_interrupted(
+        self, tmp_path
+    ):
+        telemetry = tmp_path / "telemetry"
+        proc, host, port = _serve(
+            "--state-dir",
+            str(tmp_path / "state"),
+            "--telemetry-dir",
+            str(telemetry),
+            "--queue-capacity",
+            "32768",
+        )
+        # queue ~20k traces (at ~0.1 ms each, seconds of drain work) so
+        # the abort strike decisively beats the drain; the strikes are
+        # spaced out because two pending SIGINTs coalesce into one
+        body_lines = [
+            json.dumps(trace_to_json(t)) for t in corpus(30)
+        ] * 67  # ~2k lines per request
+        body = "\n".join(body_lines)
+        for _ in range(10):
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request("POST", "/trace", body=body)
+            response = conn.getresponse()
+            assert response.status == 202, response.read()
+            response.read()
+            conn.close()
+        proc.send_signal(signal.SIGINT)
+        time.sleep(0.3)
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=60) == 130
+        manifest = json.loads((telemetry / "manifest.json").read_text())
+        assert manifest["exit_status"] == "interrupted"
+
+    def test_bind_failure_exits_2_before_any_stdout(self, tmp_path):
+        import socket
+
+        squatter = socket.socket()
+        squatter.bind(("127.0.0.1", 0))
+        squatter.listen(1)
+        port = squatter.getsockname()[1]
+        try:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                    "--port",
+                    str(port),
+                ],
+                capture_output=True,
+                text=True,
+                timeout=30,
+                env=_env(),
+            )
+        finally:
+            squatter.close()
+        assert proc.returncode == 2
+        assert proc.stdout == ""
+        assert "cannot bind" in proc.stderr

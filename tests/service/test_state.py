@@ -1,0 +1,187 @@
+"""Crash-safe state store: journal, snapshot, recovery, invariant."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.state import (
+    INGEST_FILENAME,
+    SNAPSHOT_FILENAME,
+    SegmentAggregate,
+    ServiceState,
+    StateMismatchError,
+    analyze_trace,
+    batch_aggregate,
+)
+from tests.service.conftest import corpus
+
+
+def _feed_all(state: ServiceState, traces) -> None:
+    seqs = state.accept(list(traces))
+    for seq, trace in zip(seqs, traces):
+        state.ingest(seq, analyze_trace(trace, asn=state.asn))
+
+
+class TestJournalRoundTrip:
+    def test_recovery_rebuilds_the_exact_aggregate(self, tmp_path):
+        traces = corpus(5)
+        state = ServiceState(tmp_path)
+        assert state.recover().replayed == 0
+        _feed_all(state, traces)
+
+        fresh = ServiceState(tmp_path)
+        info = fresh.recover()
+        assert info.replayed == 5
+        assert fresh.aggregate.segments_json() == (
+            batch_aggregate(traces).segments_json()
+        )
+
+    def test_accept_is_durable_before_return(self, tmp_path):
+        # the journal line is on disk when accept() returns -- that is
+        # the whole 202 contract
+        state = ServiceState(tmp_path)
+        state.accept(corpus(1))
+        lines = (tmp_path / INGEST_FILENAME).read_text().splitlines()
+        assert len(lines) == 2  # header + one trace
+        assert json.loads(lines[1])["seq"] == 1
+
+
+class TestTornTail:
+    def test_torn_final_line_is_salvaged(self, tmp_path):
+        traces = corpus(4)
+        state = ServiceState(tmp_path)
+        state.accept(traces)
+        journal = tmp_path / INGEST_FILENAME
+        text = journal.read_text()
+        # tear the last line mid-record, as a kill -9 mid-append would
+        journal.write_text(text[: len(text) - 25])
+
+        fresh = ServiceState(tmp_path)
+        info = fresh.recover()
+        assert info.replayed == 3
+        assert info.damaged_lines == 1
+        assert fresh.aggregate.segments_json() == (
+            batch_aggregate(traces[:3]).segments_json()
+        )
+        # the tail was compacted away: next recovery is clean
+        again = ServiceState(tmp_path)
+        assert again.recover().damaged_lines == 0
+
+    def test_sequence_numbering_resumes_after_salvage(self, tmp_path):
+        traces = corpus(3)
+        state = ServiceState(tmp_path)
+        state.accept(traces)
+        journal = tmp_path / INGEST_FILENAME
+        journal.write_text(journal.read_text()[:-20])
+
+        fresh = ServiceState(tmp_path)
+        fresh.recover()
+        # the torn seq 3 was never acknowledged; reusing it is fine
+        assert fresh.accept(corpus(1)) == [3]
+
+
+class TestSnapshotCompaction:
+    def test_compaction_truncates_the_journal(self, tmp_path):
+        traces = corpus(6)
+        state = ServiceState(tmp_path, snapshot_every=4)
+        _feed_all(state, traces)
+        assert state.compaction_due
+        state.compact()
+        assert (tmp_path / SNAPSHOT_FILENAME).exists()
+        lines = (tmp_path / INGEST_FILENAME).read_text().splitlines()
+        assert len(lines) == 1  # header only: everything is covered
+
+        fresh = ServiceState(tmp_path, snapshot_every=4)
+        info = fresh.recover()
+        assert info.snapshot_seq == 6
+        assert info.replayed == 0
+        assert fresh.aggregate.segments_json() == (
+            batch_aggregate(traces).segments_json()
+        )
+
+    def test_crash_between_snapshot_and_truncate_double_counts_nothing(
+        self, tmp_path
+    ):
+        traces = corpus(5)
+        state = ServiceState(tmp_path)
+        _feed_all(state, traces)
+        journal_before = (tmp_path / INGEST_FILENAME).read_bytes()
+        state.compact()
+        # simulate the crash window: snapshot landed, truncate did not
+        (tmp_path / INGEST_FILENAME).write_bytes(journal_before)
+
+        fresh = ServiceState(tmp_path)
+        info = fresh.recover()
+        assert info.replayed == 0  # every line is covered by seq
+        assert fresh.aggregate.segments_json() == (
+            batch_aggregate(traces).segments_json()
+        )
+
+    def test_compaction_waits_for_the_watermark(self, tmp_path):
+        traces = corpus(3)
+        state = ServiceState(tmp_path, snapshot_every=1)
+        seqs = state.accept(traces)
+        # fold seq 2 ahead of seq 1: compaction must refuse
+        state.ingest(seqs[1], analyze_trace(traces[1]))
+        assert not state.compaction_due
+        with pytest.raises(RuntimeError):
+            state.compact()
+        state.ingest(seqs[0], analyze_trace(traces[0]))
+        state.ingest(seqs[2], analyze_trace(traces[2]))
+        assert state.fed_watermark == 3
+        assert state.compaction_due
+
+    def test_garbled_snapshot_falls_back_to_the_journal(self, tmp_path):
+        traces = corpus(3)
+        state = ServiceState(tmp_path)
+        _feed_all(state, traces)
+        (tmp_path / SNAPSHOT_FILENAME).write_text("{torn")
+
+        fresh = ServiceState(tmp_path)
+        info = fresh.recover()
+        assert info.replayed == 3
+        assert fresh.aggregate.segments_json() == (
+            batch_aggregate(traces).segments_json()
+        )
+
+
+class TestConfigGuards:
+    def test_differently_configured_state_dir_is_refused(self, tmp_path):
+        state = ServiceState(tmp_path, asn=65001)
+        state.accept(corpus(1))
+        with pytest.raises(StateMismatchError):
+            ServiceState(tmp_path, asn=65002).recover()
+
+    def test_foreign_file_is_not_a_journal(self, tmp_path):
+        (tmp_path / INGEST_FILENAME).write_text("not a journal\n")
+        with pytest.raises(StateMismatchError):
+            ServiceState(tmp_path).recover()
+
+
+class TestAggregateInvariant:
+    def test_poison_delta_keeps_the_reconciliation_invariant(self):
+        total = batch_aggregate(corpus(4))
+        before = total.traces_collected
+        total.merge(SegmentAggregate.poison())
+        assert total.traces_collected == before + 1
+        assert (
+            total.traces_analyzed + total.traces_quarantined
+            == total.traces_collected
+        )
+        assert total.anomaly_counts["poison-trace"] == 1
+
+    def test_invariant_violations_are_loud(self):
+        bad = SegmentAggregate(traces_collected=1, traces_quarantined=2)
+        with pytest.raises(AssertionError):
+            bad.check_invariant()
+
+    def test_state_dict_round_trip(self):
+        total = batch_aggregate(corpus(6))
+        total.merge(SegmentAggregate.poison())
+        clone = SegmentAggregate.from_state_dict(
+            json.loads(json.dumps(total.as_state_dict()))
+        )
+        assert clone.segments_json(65001) == total.segments_json(65001)
+        assert clone.report_dict() == total.report_dict()
