@@ -6,6 +6,11 @@
 - :mod:`repro.campaign.runner` -- per-AS campaign execution: topology
   build, TNT probing from every VP, fingerprinting, AReST analysis and
   ground-truth extraction.
+- :mod:`repro.campaign.shards` / :mod:`repro.campaign.shardexec` /
+  :mod:`repro.campaign.scale` -- paper-scale execution: deterministic
+  ``(as_id, vp_bucket)`` shards, a work-stealing lease executor with
+  crash recovery, and the two-phase (probe, analyze) campaign driver
+  with spill-file streaming and shard-scoped checkpointing.
 """
 
 from repro.campaign.vantage_points import VantagePoint, default_vantage_points
@@ -33,6 +38,15 @@ from repro.campaign.runner import (
     CampaignReport,
     CampaignRunner,
 )
+from repro.campaign.checkpoint import ShardCheckpoint
+from repro.campaign.scale import ScaleCampaign, ScaleReport
+from repro.campaign.shardexec import LeaseExecutor, WorkerControl
+from repro.campaign.shards import (
+    ShardProbeRecord,
+    ShardSpec,
+    VpProbe,
+    shard_plan,
+)
 
 __all__ = [
     "VantagePoint",
@@ -55,4 +69,13 @@ __all__ = [
     "SupervisedExecutor",
     "TaskOutcome",
     "TaskStatus",
+    "LeaseExecutor",
+    "WorkerControl",
+    "ScaleCampaign",
+    "ScaleReport",
+    "ShardCheckpoint",
+    "ShardProbeRecord",
+    "ShardSpec",
+    "VpProbe",
+    "shard_plan",
 ]

@@ -77,12 +77,35 @@ class TraceDataset:
                 fh.write(json.dumps(_trace_to_json(trace)) + "\n")
 
     @classmethod
-    def load_jsonl(cls, path: str | Path) -> "TraceDataset":
-        """Read a dataset previously written by :meth:`dump_jsonl`.
+    def read_header(cls, path: str | Path) -> "TraceDataset":
+        """Read only the header line: an *empty* dataset shell.
 
-        A malformed line raises a :class:`ValueError` naming the file
-        and the 1-based line number, so quarantine and salvage logs
-        point straight at the damage.
+        Constant-cost access to ``target_asn`` and ``metadata`` --
+        what `arest detect`-style consumers need before deciding how to
+        stream the body.
+        """
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"empty dataset file: {path}")
+        header = _parse_dataset_line(header_line, path, lineno=1)
+        if header.get("kind") != "header":
+            raise ValueError(f"missing dataset header in {path}")
+        return cls(
+            target_asn=int(header["target_asn"]),
+            metadata=dict(header.get("metadata", {})),
+        )
+
+    @classmethod
+    def iter_jsonl(cls, path: str | Path) -> Iterator[Trace]:
+        """Stream traces from a :meth:`dump_jsonl` file, one at a time.
+
+        Constant memory: each line is decoded, yielded and dropped, so
+        paper-scale datasets never need to fit in RAM.  The header is
+        validated (use :meth:`read_header` to read it); a malformed
+        body line raises :class:`ValueError` naming the file and the
+        1-based line number, exactly like the eager loader.
         """
         path = Path(path)
         with path.open("r", encoding="utf-8") as fh:
@@ -92,17 +115,24 @@ class TraceDataset:
             header = _parse_dataset_line(header_line, path, lineno=1)
             if header.get("kind") != "header":
                 raise ValueError(f"missing dataset header in {path}")
-            dataset = cls(
-                target_asn=int(header["target_asn"]),
-                metadata=dict(header.get("metadata", {})),
-            )
             for lineno, line in enumerate(fh, start=2):
                 if line.strip():
-                    dataset.add(
-                        _trace_from_json(
-                            _parse_dataset_line(line, path, lineno)
-                        )
+                    yield _trace_from_json(
+                        _parse_dataset_line(line, path, lineno)
                     )
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "TraceDataset":
+        """Read a whole dataset eagerly (thin wrapper over streaming).
+
+        A malformed line raises a :class:`ValueError` naming the file
+        and the 1-based line number, so quarantine and salvage logs
+        point straight at the damage.  Prefer :meth:`iter_jsonl` when
+        the dataset may not fit in memory.
+        """
+        dataset = cls.read_header(path)
+        for trace in cls.iter_jsonl(path):
+            dataset.add(trace)
         return dataset
 
 

@@ -1,0 +1,529 @@
+"""Work-stealing shard execution with lease-based crash recovery.
+
+:class:`~repro.campaign.executor.SupervisedExecutor` spawns one fresh
+process per task -- the right call for 41 heavyweight per-AS tasks, and
+exactly the wrong one for tens of thousands of small shards, where
+process spawn would dominate wall clock.  This module keeps a fixed
+pool of **persistent workers** that *pull* work: a worker that finishes
+early immediately claims the next pending shard, so fast workers steal
+the queue out from under slow ones and the pool drains at the speed of
+its healthiest members (self-scheduling pull is work stealing with one
+shared deque).
+
+Persistence raises the stakes on failure -- a wedged worker now blocks
+a whole stream of shards, not one task -- so every claim carries a
+**lease**:
+
+- granting a shard to a worker starts a lease of ``lease_timeout``
+  seconds; every message from the worker (stage heartbeats, results)
+  renews it;
+- a worker whose lease expires is presumed lost: it is SIGKILLed, a
+  replacement is spawned, and the shard returns to the queue;
+- likewise a worker that dies outright (OOM kill, segfault,
+  ``kill -9``) -- detected by its corpse -- has its in-flight shard
+  re-queued;
+- re-dispatch is bounded (``max_redispatch``); a shard that keeps
+  killing workers is quarantined instead of poisoning the pool
+  forever.
+
+Workers can also ask to be **recycled** (the RSS watchdog's graceful
+degradation): the request is honoured *between* shards -- the worker
+finishes its current shard, delivers the result, and exits cleanly;
+the supervisor spawns a fresh process for the next claim.  Memory
+pressure therefore throttles admission without ever interrupting a
+write.
+
+Determinism: like the supervised engine, this executor imposes no
+ordering -- outcomes are keyed, and callers that assemble results in
+plan order get byte-identical output for any ``jobs`` value, because
+each shard is itself a pure function of the campaign config.
+``jobs=1`` runs every shard in-process with no subprocess, no pickling
+and no leases: exactly a plain loop.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Sequence
+
+from repro.campaign.executor import (
+    ExecutionResult,
+    Quarantine,
+    SupervisedExecutor,
+    TaskOutcome,
+    TaskStatus,
+)
+
+logger = logging.getLogger(__name__)
+
+#: shard callable: ``fn(payload, ctl)`` with ``ctl.heartbeat(note)`` for
+#: liveness/lease renewal and ``ctl.request_recycle()`` for a graceful
+#: between-shards process replacement
+ShardFn = Callable[[Any, "WorkerControl"], Any]
+
+
+class WorkerControl:
+    """The worker-side handle a shard function talks to."""
+
+    __slots__ = ("_send", "recycle_requested", "stages")
+
+    def __init__(self, send: Callable[[Any], None] | None = None) -> None:
+        self._send = send
+        self.recycle_requested = False
+        #: stages reported so far (in-process mode's heartbeat record)
+        self.stages: list[str] = []
+
+    def heartbeat(self, note: str) -> None:
+        """Report the current stage; renews the supervisor's lease."""
+        self.stages.append(note)
+        if self._send is not None:
+            self._send(("hb", note))
+
+    def request_recycle(self) -> None:
+        """Ask for a fresh process after the current shard completes."""
+        self.recycle_requested = True
+
+
+def _worker_entry(fn: ShardFn, conn: Connection) -> None:
+    """Persistent worker loop: pull a shard, run it, report, repeat.
+
+    SIGINT is ignored (the supervisor handles Ctrl-C and drains).  A
+    raising shard function is reported then the process exits -- a
+    fresh interpreter replaces it, so one shard's wreckage cannot leak
+    into the next shard's run.  A recycle request exits cleanly after
+    the result is delivered.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # supervisor went away
+            os._exit(0)
+        if message[0] == "stop":
+            conn.close()
+            os._exit(0)
+        payload = message[1]
+        ctl = WorkerControl(conn.send)
+        try:
+            value = fn(payload, ctl)
+        except BaseException as exc:  # noqa: BLE001 -- report, then die
+            try:
+                conn.send(("exc", f"{type(exc).__name__}: {exc}"))
+                conn.close()
+            finally:
+                os._exit(1)
+        conn.send(("res", value, ctl.recycle_requested))
+        if ctl.recycle_requested:
+            conn.close()
+            os._exit(0)
+
+
+@dataclass(slots=True)
+class _Assignment:
+    """One leased shard in flight on one worker."""
+
+    key: Any
+    payload: Any
+    attempts: int
+    started: float
+    #: last message of any kind (the lease renewal clock)
+    last_beat: float
+    last_stage: str | None = None
+    stage_started: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: terminal message received from the worker, if any
+    message: tuple | None = None
+
+
+@dataclass(slots=True)
+class _Worker:
+    """Supervisor-side state of one persistent worker process."""
+
+    process: Any
+    conn: Connection
+    assignment: _Assignment | None = None
+
+
+def _close_stage(assignment: _Assignment, now: float) -> None:
+    """Fold the open heartbeat stage into the observed tally."""
+    if assignment.last_stage is not None:
+        assignment.stage_seconds[assignment.last_stage] = (
+            assignment.stage_seconds.get(assignment.last_stage, 0.0)
+            + now
+            - assignment.stage_started
+        )
+    assignment.stage_started = now
+
+
+class LeaseExecutor:
+    """Run keyed shards on a pool of persistent, leased workers.
+
+    Parameters
+    ----------
+    fn:
+        The shard function, ``fn(payload, ctl) -> value``.  With
+        ``jobs > 1`` it must be picklable and runs in long-lived
+        subprocesses, one shard at a time per process.
+    jobs:
+        Worker pool size.  ``1`` selects the in-process path: plain
+        sequential loop, no leases, no subprocesses.
+    lease_timeout:
+        Seconds of worker silence after which its claim is presumed
+        lost and re-dispatched (``None`` disables lease expiry;
+        worker *death* is still detected and recovered).
+    watch_interval:
+        Supervisor poll cadence in seconds.
+    max_redispatch:
+        Re-dispatch budget per shard before quarantine (default 1).
+    """
+
+    def __init__(
+        self,
+        fn: ShardFn,
+        jobs: int = 1,
+        lease_timeout: float | None = None,
+        watch_interval: float = 0.05,
+        max_redispatch: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if watch_interval <= 0:
+            raise ValueError("watch_interval must be positive")
+        if max_redispatch < 0:
+            raise ValueError("max_redispatch must be >= 0")
+        self.fn = fn
+        self.jobs = jobs
+        self.lease_timeout = lease_timeout
+        self.watch_interval = watch_interval
+        self.max_redispatch = max_redispatch
+        #: observational execution tallies (telemetry only -- results
+        #: never read them)
+        self.stats: dict[str, int] = {
+            "leases_granted": 0,
+            "leases_renewed": 0,
+            "leases_expired": 0,
+            "workers_spawned": 0,
+            "workers_crashed": 0,
+            "workers_recycled": 0,
+            "shards_redispatched": 0,
+            "shards_quarantined": 0,
+        }
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[tuple[Any, Any]],
+        on_complete: Callable[[TaskOutcome], None] | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> ExecutionResult:
+        """Drain ``tasks`` (``(key, payload)`` pairs) through the pool.
+
+        ``on_complete`` fires once per shard in completion order with
+        its final outcome.  ``stop`` is polled between grants; once
+        true no new shard is leased, in-flight shards drain (leases
+        still enforced) and the result is marked interrupted.
+        """
+        keys = [key for key, _ in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError("task keys must be unique")
+        if self.jobs == 1:
+            return self._run_inprocess(tasks, on_complete, stop)
+        return self._run_pool(tasks, on_complete, stop)
+
+    # -- in-process path (jobs=1) ----------------------------------------------
+
+    def _run_inprocess(
+        self,
+        tasks: Sequence[tuple[Any, Any]],
+        on_complete: Callable[[TaskOutcome], None] | None,
+        stop: Callable[[], bool] | None,
+    ) -> ExecutionResult:
+        result = ExecutionResult()
+        for key, payload in tasks:
+            if stop is not None and stop():
+                result.interrupted = True
+                break
+            ctl = WorkerControl()
+            try:
+                value = self.fn(payload, ctl)
+            except KeyboardInterrupt:
+                result.interrupted = True
+                break
+            except Exception as exc:  # noqa: BLE001 -- per-shard isolation
+                outcome = TaskOutcome(
+                    key=key,
+                    status=TaskStatus.ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    last_stage=ctl.stages[-1] if ctl.stages else None,
+                )
+            else:
+                outcome = TaskOutcome(
+                    key=key,
+                    status=TaskStatus.OK,
+                    value=value,
+                    last_stage=ctl.stages[-1] if ctl.stages else None,
+                )
+            result.outcomes[key] = outcome
+            if on_complete is not None:
+                on_complete(outcome)
+        return result
+
+    # -- pooled path (jobs>1) --------------------------------------------------
+
+    def _spawn(self, ctx) -> _Worker:
+        """Start one persistent worker with its duplex channel."""
+        supervisor_conn, worker_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_entry, args=(self.fn, worker_conn), daemon=True
+        )
+        process.start()
+        worker_conn.close()
+        self.stats["workers_spawned"] += 1
+        return _Worker(process=process, conn=supervisor_conn)
+
+    def _run_pool(
+        self,
+        tasks: Sequence[tuple[Any, Any]],
+        on_complete: Callable[[TaskOutcome], None] | None,
+        stop: Callable[[], bool] | None,
+    ) -> ExecutionResult:
+        ctx = SupervisedExecutor._mp_context()
+        result = ExecutionResult()
+        pending: list[tuple[Any, Any, int]] = [
+            (key, payload, 1) for key, payload in tasks
+        ]
+        pool: list[_Worker | None] = [None] * self.jobs
+        stopping = False
+
+        def finish(outcome: TaskOutcome) -> None:
+            result.outcomes[outcome.key] = outcome
+            if on_complete is not None:
+                on_complete(outcome)
+
+        def fail_or_requeue(
+            assignment: _Assignment, reason: str, detail: str, now: float
+        ) -> None:
+            """A lease expiry or worker death: steal back the shard."""
+            _close_stage(assignment, now)
+            if stopping:
+                return  # interrupted run: resume will re-attempt
+            if assignment.attempts <= self.max_redispatch:
+                self.stats["shards_redispatched"] += 1
+                logger.warning(
+                    "shard %r %s after %.1fs (attempt %d); re-queueing",
+                    assignment.key,
+                    reason,
+                    now - assignment.started,
+                    assignment.attempts,
+                )
+                pending.append(
+                    (assignment.key, assignment.payload, assignment.attempts + 1)
+                )
+                return
+            self.stats["shards_quarantined"] += 1
+            status = (
+                TaskStatus.CRASH if reason == "crashed" else TaskStatus.TIMEOUT
+            )
+            outcome = TaskOutcome(
+                key=assignment.key,
+                status=status,
+                error=detail,
+                attempts=assignment.attempts,
+                last_stage=assignment.last_stage,
+                stage_seconds=dict(assignment.stage_seconds),
+            )
+            result.quarantined[assignment.key] = Quarantine(
+                key=assignment.key,
+                reason="crash" if status is TaskStatus.CRASH else "lease-expired",
+                attempts=assignment.attempts,
+                detail=detail,
+            )
+            logger.warning(
+                "shard %r quarantined after %d attempt(s): %s",
+                assignment.key,
+                assignment.attempts,
+                detail,
+            )
+            finish(outcome)
+
+        try:
+            while pending or any(
+                w is not None and w.assignment is not None for w in pool
+            ):
+                if not stopping and stop is not None and stop():
+                    stopping = True
+                    result.interrupted = True
+                    pending.clear()
+                # Grant: every idle slot pulls the next pending shard.
+                for slot in range(self.jobs):
+                    if not pending:
+                        break
+                    worker = pool[slot]
+                    if worker is not None and worker.assignment is not None:
+                        continue
+                    if worker is None:
+                        worker = pool[slot] = self._spawn(ctx)
+                    key, payload, attempts = pending.pop(0)
+                    now = time.monotonic()
+                    worker.assignment = _Assignment(
+                        key=key,
+                        payload=payload,
+                        attempts=attempts,
+                        started=now,
+                        last_beat=now,
+                        stage_started=now,
+                    )
+                    self.stats["leases_granted"] += 1
+                    try:
+                        worker.conn.send(("task", payload))
+                    except (OSError, BrokenPipeError):
+                        pass  # corpse detected below, shard re-queued
+                self._pump(pool)
+                now = time.monotonic()
+                for slot in range(self.jobs):
+                    worker = pool[slot]
+                    if worker is None or worker.assignment is None:
+                        continue
+                    assignment = worker.assignment
+                    if assignment.message is not None:
+                        kind = assignment.message[0]
+                        if kind == "res":
+                            _, value, recycle = assignment.message
+                            finish(
+                                TaskOutcome(
+                                    key=assignment.key,
+                                    status=TaskStatus.OK,
+                                    value=value,
+                                    attempts=assignment.attempts,
+                                    last_stage=assignment.last_stage,
+                                )
+                            )
+                            worker.assignment = None
+                            if recycle:
+                                self.stats["workers_recycled"] += 1
+                                self._retire(worker)
+                                pool[slot] = None
+                        else:  # "exc": deterministic failure, no requeue
+                            _close_stage(assignment, now)
+                            finish(
+                                TaskOutcome(
+                                    key=assignment.key,
+                                    status=TaskStatus.ERROR,
+                                    error=str(assignment.message[1]),
+                                    attempts=assignment.attempts,
+                                    last_stage=assignment.last_stage,
+                                    stage_seconds=dict(
+                                        assignment.stage_seconds
+                                    ),
+                                )
+                            )
+                            self._retire(worker)  # worker exited itself
+                            pool[slot] = None
+                        continue
+                    if not worker.process.is_alive():
+                        # Died mid-shard: drain any final message first
+                        # so a delivered result is never read as a crash.
+                        self._drain(worker, now)
+                        if worker.assignment.message is not None:
+                            continue  # settled next iteration
+                        self.stats["workers_crashed"] += 1
+                        detail = (
+                            f"worker died without a result (exit code "
+                            f"{worker.process.exitcode}) in stage "
+                            f"{assignment.last_stage or 'unknown'}"
+                        )
+                        self._retire(worker)
+                        pool[slot] = None
+                        fail_or_requeue(assignment, "crashed", detail, now)
+                        continue
+                    if (
+                        self.lease_timeout is not None
+                        and now - assignment.last_beat > self.lease_timeout
+                    ):
+                        self.stats["leases_expired"] += 1
+                        detail = (
+                            f"lease expired after "
+                            f"{now - assignment.last_beat:.1f}s of silence "
+                            f"in stage {assignment.last_stage or 'unknown'}"
+                        )
+                        self._kill(worker)
+                        pool[slot] = None
+                        fail_or_requeue(
+                            assignment, "lost its lease", detail, now
+                        )
+        finally:
+            for worker in pool:
+                if worker is None:
+                    continue
+                if worker.assignment is not None:
+                    self._kill(worker)
+                else:
+                    self._retire(worker)
+        return result
+
+    def _pump(self, pool: list[_Worker | None]) -> None:
+        """Block briefly on busy workers' pipes and drain what's ready."""
+        busy = {
+            w.conn: w
+            for w in pool
+            if w is not None and w.assignment is not None
+        }
+        if not busy:
+            return
+        ready = connection_wait(list(busy), timeout=self.watch_interval)
+        now = time.monotonic()
+        for conn in ready:
+            self._drain(busy[conn], now)
+
+    def _drain(self, worker: _Worker, now: float) -> None:
+        """Read everything currently in one worker's pipe."""
+        assignment = worker.assignment
+        if assignment is None:
+            return
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                return  # corpse handling settles it
+            assignment.last_beat = now  # every message renews the lease
+            if message[0] == "hb":
+                self.stats["leases_renewed"] += 1
+                _close_stage(assignment, now)
+                assignment.last_stage = str(message[1])
+            else:  # "res" / "exc"
+                assignment.message = message
+
+    @staticmethod
+    def _retire(worker: _Worker) -> None:
+        """Shut one idle (or self-exited) worker down cleanly."""
+        if worker.process.is_alive():
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():  # pragma: no cover - stuck on exit
+            worker.process.kill()
+            worker.process.join()
+        worker.conn.close()
+
+    @staticmethod
+    def _kill(worker: _Worker) -> None:
+        """SIGKILL a worker presumed lost; containment, not courtesy."""
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join()
+        worker.conn.close()

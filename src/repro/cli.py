@@ -6,6 +6,7 @@ Subcommands mirror the paper's workflow::
     arest portfolio                 # the full 41-AS campaign summary
     arest detect traces.jsonl       # offline AReST over a stored dataset
     arest serve --state-dir state   # always-on streaming detection service
+    arest scale-campaign --out run  # paper-scale sharded campaign
     arest validate 46               # Table-3 style ground-truth scoring
     arest survey                    # regenerate Fig. 5 / Table 2
     arest portfolio-table           # print Table 5
@@ -239,6 +240,142 @@ def build_parser() -> argparse.ArgumentParser:
     degradation.add_argument(
         "--retries", type=int, default=1, metavar="N",
         help="attempts per probe during the sweep",
+    )
+
+    scale = sub.add_parser(
+        "scale-campaign",
+        help=(
+            "paper-scale sharded campaign: work-stealing workers, "
+            "lease-based crash recovery, resumable checkpoint"
+        ),
+    )
+    scale.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help=(
+            "durable run directory: checkpoint.jsonl, spills/, "
+            "report.json, metrics.prom; rerun with --resume to "
+            "complete an interrupted campaign"
+        ),
+    )
+    scale.add_argument(
+        "--ases",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "run against a lazily-generated N-AS synthetic portfolio "
+            "(default: the Table 5 portfolio)"
+        ),
+    )
+    scale.add_argument(
+        "--profile",
+        choices=("small", "paper"),
+        default="small",
+        help=(
+            "synthetic AS size profile: 'small' keeps every AS cheap, "
+            "'paper' spreads across all Table 5 size tiers"
+        ),
+    )
+    scale.add_argument("--seed", type=int, default=1)
+    scale.add_argument("--vps", type=int, default=4, dest="vps_per_as")
+    scale.add_argument(
+        "--targets", type=int, default=36, dest="targets_per_as"
+    )
+    scale.add_argument(
+        "--per-prefix",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="targets drawn per advertised prefix",
+    )
+    scale.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-probe loss probability injected into the campaign",
+    )
+    scale.add_argument(
+        "--snmp-timeout",
+        type=float,
+        default=0.0,
+        help="probability an SNMPv3 fingerprint lookup times out",
+    )
+    scale.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per probe (1 = no retries)",
+    )
+    scale.add_argument(
+        "--as",
+        action="append",
+        type=int,
+        dest="as_ids",
+        metavar="ID",
+        help="run only this AS id (repeatable; default: all analyzed)",
+    )
+    scale.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes pulling shards (1 = in-process; results "
+            "are byte-identical for any N)"
+        ),
+    )
+    scale.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        dest="vps_per_shard",
+        metavar="VPS",
+        help=(
+            "vantage points per shard (default: one shard per AS; "
+            "results are byte-identical for any value)"
+        ),
+    )
+    scale.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "heartbeat lease per shard: a silent worker past it is "
+            "presumed lost and its shard is re-dispatched"
+        ),
+    )
+    scale.add_argument(
+        "--max-redispatch",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "re-dispatches per shard after crash/lease loss before "
+            "the shard is quarantined"
+        ),
+    )
+    scale.add_argument(
+        "--max-rss",
+        type=_positive_int,
+        default=None,
+        metavar="MB",
+        help=(
+            "per-worker resident-set budget: soft pressure sheds the "
+            "topology cache, hard pressure recycles the worker "
+            "(default: ungoverned)"
+        ),
+    )
+    scale.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore banked shards/analyses from DIR's checkpoint and "
+            "run only what's missing"
+        ),
     )
 
     detect = sub.add_parser(
@@ -532,30 +669,133 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.campaign import TraceDataset
     from repro.core.detector import ArestDetector
 
-    dataset = TraceDataset.load_jsonl(args.dataset)
+    # Streaming end to end: the header read is constant-cost and the
+    # body is folded one trace at a time, so paper-scale spill files
+    # analyze in bounded memory.
+    header = TraceDataset.read_header(args.dataset)
     if args.segments_json:
         from repro.service.state import batch_aggregate
 
-        aggregate = batch_aggregate(list(dataset), asn=args.asn)
+        aggregate = batch_aggregate(
+            TraceDataset.iter_jsonl(args.dataset), asn=args.asn
+        )
         sys.stdout.buffer.write(aggregate.segments_json(args.asn))
         sys.stdout.buffer.flush()
         return 0
     detector = ArestDetector()
     counts: Counter = Counter()
     seen = set()
-    for trace in dataset:
+    total = 0
+    for trace in TraceDataset.iter_jsonl(args.dataset):
+        total += 1
         for segment in detector.detect(trace, {}):
             if segment.key() not in seen:
                 seen.add(segment.key())
                 counts[segment.flag] += 1
     print(
-        f"{len(dataset)} traces toward AS{dataset.target_asn}, "
+        f"{total} traces toward AS{header.target_asn}, "
         f"{len(seen)} distinct segments"
     )
     for flag, count in counts.most_common():
         print(f"  {flag.name:<4} {count}")
     if not counts:
         print("  (no SR-MPLS evidence)")
+    return 0
+
+
+def _cmd_scale_campaign(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.campaign import ScaleCampaign, default_vantage_points
+    from repro.netsim.faults import FaultPlan
+    from repro.obs.prometheus import render_scale_metrics
+    from repro.topogen.synthetic import (
+        SyntheticPortfolio,
+        synthetic_vantage_points,
+    )
+    from repro.util.atomicio import atomic_write_text
+    from repro.util.retry import RetryPolicy
+
+    portfolio = None
+    if args.ases is not None:
+        portfolio = SyntheticPortfolio(
+            args.ases, seed=args.seed, profile=args.profile
+        )
+    fleet = None
+    if args.vps_per_as > len(default_vantage_points()):
+        # paper-scale VP counts extend the Table 4 fleet with
+        # deterministic clones instead of silently clamping
+        fleet = synthetic_vantage_points(args.vps_per_as)
+    plan = FaultPlan(
+        probe_loss=args.loss,
+        snmp_timeout_rate=args.snmp_timeout,
+        seed=args.seed,
+    )
+    campaign = ScaleCampaign(
+        portfolio=portfolio,
+        vantage_points=fleet,
+        seed=args.seed,
+        vps_per_as=args.vps_per_as,
+        targets_per_as=args.targets_per_as,
+        per_prefix=args.per_prefix,
+        fault_plan=plan if plan.active else None,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
+    report = campaign.run(
+        args.out,
+        as_ids=args.as_ids,
+        jobs=args.jobs,
+        vps_per_shard=args.vps_per_shard,
+        resume=args.resume,
+        lease_timeout=args.lease_timeout,
+        max_rss_bytes=(
+            args.max_rss * 1024 * 1024 if args.max_rss else None
+        ),
+        max_redispatch=args.max_redispatch,
+    )
+    out = Path(args.out)
+    # report.json is the determinism contract's artifact: identical
+    # bytes for any --jobs/--shards value, fresh or resumed
+    atomic_write_text(
+        out / "report.json",
+        _json.dumps(report.as_dict(), indent=2) + "\n",
+    )
+    metrics = render_scale_metrics(campaign.stats)
+    if metrics:
+        atomic_write_text(out / "metrics.prom", metrics)
+    stats = campaign.stats
+    print(report.summary())
+    print(
+        f"shards: {stats.get('shards_probed', 0)} probed, "
+        f"{stats.get('shards_resumed', 0)} resumed, "
+        f"{stats.get('shards_redispatched', 0)} re-dispatched, "
+        f"{stats.get('shards_quarantined', 0)} quarantined; "
+        f"workers: {stats.get('workers_spawned', 0)} spawned, "
+        f"{stats.get('workers_crashed', 0)} crashed, "
+        f"{stats.get('workers_recycled', 0)} recycled"
+    )
+    print(
+        f"peak RSS {stats.get('rss_peak_bytes', 0) / 2**20:.0f} MiB, "
+        f"wall {stats.get('wall_seconds', 0.0):.1f}s; "
+        f"artifacts in {out}"
+    )
+    for as_id, failure in report.failures.items():
+        print(
+            f"FAILED AS#{as_id} during {failure.get('stage', '?')}: "
+            f"{failure.get('error', '')}"
+        )
+    for key, detail in report.quarantined.items():
+        print(
+            f"QUARANTINED shard {key} ({detail.get('reason', '?')}, "
+            f"{detail.get('attempts', '?')} attempts): "
+            f"{detail.get('detail', '')}"
+        )
+    if report.interrupted:
+        print(f"interrupted: resume with --resume --out {out}")
+        return 130
+    if not report.completed and (report.failures or report.quarantined):
+        return 1
     return 0
 
 
@@ -755,6 +995,7 @@ _COMMANDS = {
     "portfolio": _cmd_portfolio,
     "degradation": _cmd_degradation,
     "detect": _cmd_detect,
+    "scale-campaign": _cmd_scale_campaign,
     "serve": _cmd_serve,
     "validate": _cmd_validate,
     "survey": _cmd_survey,

@@ -22,9 +22,9 @@ Event taxonomy
   a repair leaves them transiently **micro-looping** (they still point
   the old way, so packets bounce between the pair until TTL death
   inside the loop).
-- **LSP churn** -- every signaled RSVP-TE LSP is torn down; subsequent
-  demand re-signals fresh LSPs (new labels, possibly new ERO paths):
-  the setup/teardown churn of live maintenance windows.
+- **LSP churn** -- every signaled RSVP-TE LSP is torn down and fresh
+  LSPs are re-signaled at the next convergence (new labels, possibly
+  new ERO paths): the setup/teardown churn of live maintenance windows.
 - **SR migration wave** -- one mapping-served LDP router is promoted to
   native SR enrolment, keeping its prefix-SID index: the LDP island
   shrinks and the RFC 8661 mapping-server boundary moves between
@@ -198,6 +198,13 @@ class NetworkDynamics:
         self._down: set[int] = set()
         #: router ids promoted by migration waves, in order
         self._promoted: list[int] = []
+        # Canonical baseline: exhaust every demand-driven label cursor
+        # before the first probe, so pre-churn allocation state is a
+        # function of the network alone (a no-op on already-converged
+        # networks).  Without this, two probers with different walk
+        # strategies reach the first mutation with different residual
+        # cursors and diverge when the post-churn state is rebuilt.
+        self._controller.converge()
 
     # -- engine-facing hooks ---------------------------------------------------
 
@@ -322,9 +329,21 @@ class NetworkDynamics:
         Order matters: the tunnel controller's programs embed IGP paths,
         so it is flushed first; the engine invalidation then advances
         the topology epoch that marks outstanding recordings stale.
+
+        After both flushes the controller is re-converged: torn-down
+        LSPs re-signal and invalidated programs rebuild in canonical
+        order *now*, against the freshly recomputed IGP, not in
+        whatever order the next probes happen to demand them.  Label
+        values therefore stay a pure function of (network, mutation
+        history) -- the property the fast-path differential and resume
+        byte-identity tests pin.  Converging before the engine flush
+        would be wrong twice over: programs would embed pre-mutation
+        IGP paths, and *which* stale SPF entries converge sees depends
+        on the engine's memoization mode.
         """
         self._controller.invalidate()
         self._engine.invalidate_caches()
+        self._controller.converge()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -335,9 +354,9 @@ class NetworkDynamics:
         promotion, then invalidates caches one final time.  After this
         the topology is byte-identical to the freshly built network --
         the state checkpoint rehydration rebuilds -- so fingerprinting
-        and analysis see the same world fresh or resumed.  Torn-down
-        LSPs stay down (re-signaled on demand); analysis never consults
-        controller state.
+        and analysis see the same world fresh or resumed.  Re-signaled
+        LSPs from the closing convergence carry churn-fresh labels;
+        analysis never consults controller state.
         """
         for idx in sorted(self._down):
             link = self._candidates[idx]

@@ -245,6 +245,51 @@ class TunnelController:
         self.invalidate()
         return torn_down
 
+    def converge(self) -> None:
+        """Eagerly allocate every demand-driven label in canonical order.
+
+        Label state in this simulator is allocated on first use -- LDP
+        bindings, RSVP-TE LSPs, SR-TE adjacency SIDs, binding SIDs --
+        from per-router cursors.  Left lazy, the *values* depend on the
+        order the data plane first asks for them: whichever vantage
+        point traces through a router first fixes the labels every
+        later probe sees.  That is harmless for a single sequential
+        campaign but breaks the sharded executor's per-VP purity
+        contract, where a VP's traces must be byte-identical whichever
+        bucket, worker, or attempt they run in.
+
+        Convergence walks routers in sorted id order and builds every
+        (LSR, FEC) binding and every (ingress, final) tunnel program up
+        front, so all cursors advance in an order no probe schedule can
+        influence and probing only ever reads.  This is also the
+        truthful model: a real control plane converges before traffic
+        flows.  Topology churn invalidates programs back to lazy
+        demand, so :class:`~repro.netsim.dynamics.NetworkDynamics`
+        re-converges after every mutation -- post-churn label values
+        must likewise not depend on which walk rebuilds them first.
+        (Sharded campaigns still refuse churn plans: the churn *clock*
+        ticks per probe and is inherently schedule-dependent.)
+        """
+        routers = sorted(
+            router.router_id for router in self._network.routers()
+        )
+        # Per-hop LDP bindings: forwarding asks binding(nh, fec) for
+        # every LSR along an LSP, not just the program's first hop, so
+        # the full (LSR x loopback-FEC) matrix must exist.
+        for egress in routers:
+            if self._network.router(egress).loopback is None:
+                continue
+            fec = self.egress_fec(egress)
+            for lsr in routers:
+                if lsr != egress and self._network.router(lsr).ldp_enabled:
+                    self._ldp.binding(lsr, fec)
+        # Tunnel programs: RSVP LSPs, adjacency SIDs, binding SIDs and
+        # service SIDs are all allocated inside program construction.
+        for ingress in routers:
+            for final in routers:
+                if final != ingress:
+                    self.program_for(ingress, final)
+
     def policy(self, asn: int) -> TunnelPolicy:
         """The AS's tunnel policy (a default is created lazily)."""
         existing = self._policies.get(asn)

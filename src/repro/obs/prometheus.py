@@ -25,6 +25,12 @@ Metric families:
 - ``arest_run_duration_seconds`` -- total campaign wall clock;
 - ``arest_run_info{...} 1`` -- provenance labels (version, seed, jobs,
   exit status), the conventional info-metric idiom.
+
+Paper-scale runs add the shard-execution families rendered by
+:func:`render_scale_metrics`: shard plan/steal/re-dispatch tallies
+(``arest_shards_*``), lease lifecycle (``arest_leases_*``), worker
+lifecycle (``arest_workers_*``), and the memory-governance surface
+(``arest_rss_peak_bytes``).
 """
 
 from __future__ import annotations
@@ -99,6 +105,122 @@ def render_ingest_metrics(
         f"arest_traces_quarantined {traces_quarantined}",
     ]
     return "\n".join(lines) + "\n"
+
+
+#: scale-execution stat -> (metric name, type, help text); stats whose
+#: key is absent from a run simply don't render (e.g. rss budget off)
+_SCALE_FAMILIES = (
+    (
+        "shards_total",
+        "arest_shards_total",
+        "gauge",
+        "Shards in the campaign's deterministic plan.",
+    ),
+    (
+        "shards_probed",
+        "arest_shards_probed_total",
+        "counter",
+        "Shards probed by this run (not restored from checkpoint).",
+    ),
+    (
+        "shards_resumed",
+        "arest_shards_resumed_total",
+        "counter",
+        "Shards restored from the checkpoint instead of re-probed.",
+    ),
+    (
+        "shards_redispatched",
+        "arest_shards_redispatched_total",
+        "counter",
+        "Shards re-queued after a worker crash or lease expiry.",
+    ),
+    (
+        "shards_quarantined",
+        "arest_shards_quarantined_total",
+        "counter",
+        "Shards circuit-broken past their re-dispatch budget.",
+    ),
+    (
+        "leases_granted",
+        "arest_leases_granted_total",
+        "counter",
+        "Shard leases granted to workers.",
+    ),
+    (
+        "leases_renewed",
+        "arest_leases_renewed_total",
+        "counter",
+        "Lease renewals (worker heartbeats received).",
+    ),
+    (
+        "leases_expired",
+        "arest_leases_expired_total",
+        "counter",
+        "Leases expired on silent workers (presumed lost, re-queued).",
+    ),
+    (
+        "workers_spawned",
+        "arest_workers_spawned_total",
+        "counter",
+        "Worker processes started (initial pool + replacements).",
+    ),
+    (
+        "workers_crashed",
+        "arest_workers_crashed_total",
+        "counter",
+        "Worker processes that died without delivering a result.",
+    ),
+    (
+        "workers_recycled",
+        "arest_workers_recycled_total",
+        "counter",
+        "Workers gracefully replaced on RSS-watchdog request.",
+    ),
+    (
+        "ases_analyzed",
+        "arest_ases_analyzed_total",
+        "counter",
+        "ASes whose analysis summary was banked.",
+    ),
+    (
+        "traces_total",
+        "arest_scale_traces_total",
+        "counter",
+        "Traces collected across all completed ASes.",
+    ),
+    (
+        "rss_peak_bytes",
+        "arest_rss_peak_bytes",
+        "gauge",
+        "Supervisor peak resident set size in bytes.",
+    ),
+    (
+        "wall_seconds",
+        "arest_scale_wall_seconds",
+        "gauge",
+        "Paper-scale campaign wall clock in seconds.",
+    ),
+)
+
+
+def render_scale_metrics(stats: dict) -> str:
+    """Render a paper-scale run's shard/lease/RSS execution families.
+
+    ``stats`` is :attr:`repro.campaign.scale.ScaleCampaign.stats` --
+    observational tallies only; nothing here feeds back into results.
+    """
+    lines: list[str] = []
+    for key, metric, kind, help_text in _SCALE_FAMILIES:
+        if key not in stats:
+            continue
+        value = stats[key]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines += [
+            f"# HELP {metric} {help_text}",
+            f"# TYPE {metric} {kind}",
+            f"{metric} {rendered}",
+        ]
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def render_prometheus(summary: TelemetrySummary) -> str:

@@ -37,6 +37,9 @@ from typing import Any
 REASON_QUEUE_FULL = "queue-full"
 REASON_SUBMITTER_QUOTA = "submitter-quota"
 REASON_DRAINING = "draining"
+#: the journal volume is out of space: nothing was acknowledged, the
+#: journal is intact (torn tail at worst), clients should retry later
+REASON_DISK_FULL = "disk-full"
 
 
 @dataclass(frozen=True, slots=True)

@@ -41,10 +41,15 @@ from pathlib import Path
 
 from repro.obs.prometheus import escape_label_value, render_ingest_metrics
 from repro.obs.telemetry import Telemetry
-from repro.service.ingest import REASON_DRAINING, IngestQueue
+from repro.service.ingest import (
+    REASON_DISK_FULL,
+    REASON_DRAINING,
+    IngestQueue,
+)
 from repro.service.state import RecoveryInfo, ServiceState
 from repro.service.wire import canonical_json, decode_body
 from repro.service.workers import WorkerPool
+from repro.util.atomicio import DiskFullError
 
 logger = logging.getLogger(__name__)
 
@@ -417,7 +422,29 @@ class ArestService:
             return
         # journal durably (write+flush+fsync) BEFORE enqueue + 202: the
         # acknowledgement is the crash-safety promise
-        seqs = self.state.accept(decoded.traces)
+        try:
+            seqs = self.state.accept(decoded.traces)
+        except DiskFullError as exc:
+            # ENOSPC/EDQUOT is environmental, not terminal: the batch
+            # was NOT acknowledged (nothing enqueued), the journal is
+            # intact, and the client should retry once space frees up.
+            self.queue.count_rejected(
+                REASON_DISK_FULL, len(decoded.traces)
+            )
+            self._respond(
+                writer,
+                503,
+                {
+                    "error": "journal volume out of space",
+                    "reason": REASON_DISK_FULL,
+                    "detail": str(exc),
+                    "retry_after": self.queue.retry_after,
+                },
+                extra_headers=(
+                    ("Retry-After", _format_retry(self.queue.retry_after)),
+                ),
+            )
+            return
         self.queue.enqueue(
             list(zip(seqs, decoded.traces)), submitter
         )

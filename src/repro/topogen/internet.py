@@ -140,6 +140,10 @@ def build_measurement_network(
     )
     controller = TunnelController(network, igp, ldp, domains)
     controller.set_policy(deployment.policy)
+    # Converge all demand-driven label state (LDP bindings, RSVP LSPs,
+    # adjacency/binding SIDs) in canonical order: label values must be
+    # a function of the network, never of which VP probes first.
+    controller.converge()
     engine = ForwardingEngine(network, igp, controller)
     assert_valid(network, controller)
     return MeasurementNetwork(

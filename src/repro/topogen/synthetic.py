@@ -1,0 +1,189 @@
+"""Piecewise synthetic portfolios: thousands-of-AS internets on demand.
+
+The Table 5 portfolio materializes all 60 specs up front -- fine for the
+paper's scale, hopeless for paper-scale *campaigns* where the shard
+executor wants a 1,000+-AS internet without holding every scenario in
+memory at once.  A :class:`SyntheticPortfolio` closes that gap: every
+spec is a pure function of ``(seed, as_id)``, generated (and discarded)
+on demand, so two workers that each need only their own shard's AS
+never pay for -- or disagree about -- the rest of the internet.
+
+Generation reuses the Table 5 machinery (role-based scenario defaults,
+size tiers from the discovered-address count) so synthetic ASes exercise
+the same deployment diversity as the transcribed portfolio: SR-complete
+migrations, legacy LDP islands, hidden deployments, RSVP-TE legacies.
+Determinism is the whole point -- ``spec(as_id)`` returns byte-identical
+scenarios in every process, which is what lets shard workers rebuild
+their AS independently and still merge into one canonical campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.campaign.vantage_points import VantagePoint, default_vantage_points
+from repro.topogen.as_types import AsRole, Confirmation
+from repro.topogen.portfolio import AsSpec, Portfolio, _base_scenario
+from repro.util.determinism import unit_hash
+
+#: synthetic ASNs start far above every reserved simulator range
+_SYNTHETIC_ASN_BASE = 100_000
+
+#: bounded spec memo (specs regenerate cheaply; memory must not grow
+#: with portfolio size -- the whole point of piecewise generation)
+_SPEC_CACHE_MAX = 128
+
+#: cumulative role distribution over the synthetic internet, loosely
+#: matching the Table 5 mix (stubs, content, transit, tier-1)
+_ROLE_LADDER = (
+    (0.20, AsRole.STUB),
+    (0.45, AsRole.CONTENT),
+    (0.85, AsRole.TRANSIT),
+    (1.00, AsRole.TIER1),
+)
+
+#: size profiles: (min, max) discovered-address draw, which feeds the
+#: Table 5 size tiers.  "small" keeps every AS in the cheapest analyzed
+#: tier (benchmark-friendly); "paper" spreads across all tiers.
+_PROFILES = {
+    "small": (100, 900),
+    "paper": (100, 250_000),
+}
+
+
+def _draw_confirmation(seed: int, as_id: int) -> Confirmation:
+    draw = unit_hash("synth-confirm", seed, as_id)
+    if draw < 0.40:
+        return Confirmation.CISCO
+    if draw < 0.55:
+        return Confirmation.SURVEY
+    return Confirmation.NONE
+
+
+def _draw_role(seed: int, as_id: int) -> AsRole:
+    draw = unit_hash("synth-role", seed, as_id)
+    for ceiling, role in _ROLE_LADDER:
+        if draw < ceiling:
+            return role
+    return AsRole.TIER1  # pragma: no cover - ladder ends at 1.0
+
+
+class SyntheticPortfolio(Portfolio):
+    """A lazily-generated ``n_ases``-AS portfolio.
+
+    Duck-compatible with :class:`~repro.topogen.portfolio.Portfolio`
+    (``spec``/``analyzed``/iteration), but **nothing is materialized**
+    until asked for: iteration generates specs one at a time and
+    ``spec(as_id)`` computes just that AS (with a small LRU so the
+    campaign's repeated lookups stay cheap).  Every AS is analyzed by
+    construction -- the synthetic internet has no below-threshold rows
+    to exclude.
+    """
+
+    def __init__(
+        self, n_ases: int, seed: int = 0, profile: str = "small"
+    ) -> None:
+        if n_ases < 1:
+            raise ValueError("n_ases must be >= 1")
+        if profile not in _PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r}; expected one of "
+                f"{sorted(_PROFILES)}"
+            )
+        # deliberately NOT calling super().__init__: the base class
+        # would force materializing every spec up front
+        self.n_ases = n_ases
+        self.seed = seed
+        self.profile = profile
+        # plain dict, not lru_cache: the portfolio must stay picklable
+        # (it ships to shard workers inside the spawn config)
+        self._spec_cache: dict[int, AsSpec] = {}
+
+    def __len__(self) -> int:
+        return self.n_ases
+
+    def __iter__(self) -> Iterator[AsSpec]:
+        for as_id in range(1, self.n_ases + 1):
+            yield self.spec(as_id)
+
+    def spec(self, as_id: int) -> AsSpec:
+        """Generate (or recall) one AS, a pure function of (seed, id)."""
+        if not 1 <= as_id <= self.n_ases:
+            raise KeyError(
+                f"no AS#{as_id} in {self.n_ases}-AS synthetic portfolio"
+            )
+        spec = self._spec_cache.get(as_id)
+        if spec is None:
+            if len(self._spec_cache) >= _SPEC_CACHE_MAX:
+                self._spec_cache.pop(next(iter(self._spec_cache)))
+            spec = self._build_spec(as_id)
+            self._spec_cache[as_id] = spec
+        return spec
+
+    def _build_spec(self, as_id: int) -> AsSpec:
+        lo, hi = _PROFILES[self.profile]
+        ips = lo + int(unit_hash("synth-ips", self.seed, as_id) * (hi - lo))
+        role = _draw_role(self.seed, as_id)
+        confirmation = _draw_confirmation(self.seed, as_id)
+        scenario = _base_scenario(as_id, role, confirmation, ips)
+        return AsSpec(
+            as_id=as_id,
+            asn=_SYNTHETIC_ASN_BASE + as_id,
+            name=f"synth-{as_id}",
+            role=role,
+            traces_sent=0,
+            ips_discovered=ips,
+            confirmation=confirmation,
+            scenario=scenario,
+        )
+
+    # -- Portfolio views, without materialization where possible -----------
+
+    def analyzed(self) -> list[AsSpec]:
+        return list(self)
+
+    def excluded(self) -> list[AsSpec]:
+        return []
+
+    def confirmed(self) -> list[AsSpec]:
+        return [s for s in self if s.confirmation.confirmed]
+
+    def by_role(self, role: AsRole) -> list[AsSpec]:
+        return [s for s in self if s.role is role]
+
+    def as_dict(self) -> dict:
+        """Config-signature view: what shapes every generated spec."""
+        return {
+            "kind": "synthetic",
+            "n_ases": self.n_ases,
+            "seed": self.seed,
+            "profile": self.profile,
+        }
+
+
+def synthetic_vantage_points(count: int) -> tuple[VantagePoint, ...]:
+    """A VP fleet of arbitrary size: Table 4 first, clones after.
+
+    The paper's 50 VMs come first verbatim; fleets beyond 50 extend
+    with deterministic clones (same providers, numbered sites) so
+    paper-scale campaigns can probe from as many vantage points as the
+    scenario demands.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    base = default_vantage_points()
+    if count <= len(base):
+        return base[:count]
+    fleet = list(base)
+    for i in range(len(base), count):
+        template = base[i % len(base)]
+        fleet.append(
+            VantagePoint(
+                vp_id=f"vp{i + 1:03d}",
+                provider=template.provider,
+                provider_asn=template.provider_asn,
+                city=f"{template.city} #{i // len(base) + 1}",
+                country=template.country,
+            )
+        )
+    return tuple(fleet)

@@ -18,14 +18,55 @@ Append-mode artifacts (the JSONL checkpoint) cannot be renamed into
 place line by line; :func:`durable_append` instead flushes and fsyncs
 after the write, bounding a crash's damage to a truncated final line --
 which the checkpoint loader already salvages.
+
+Write failures are not all equal: running out of disk
+(``ENOSPC``/``EDQUOT``) is an *environmental* condition the caller can
+report and degrade on -- refuse new admissions, quarantine the shard,
+keep the previous artifact -- whereas a permission error or a bad path
+is a bug.  Both helpers therefore classify the former into
+:class:`DiskFullError` (still an ``OSError``, so untouched handlers keep
+working) so every durability surface can branch on one exception type
+instead of pattern-matching errno at each call site.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
+
+#: errnos that mean "the disk (or quota) is full", not "the write is wrong"
+_DISK_FULL_ERRNOS = frozenset(
+    {errno.ENOSPC} | ({errno.EDQUOT} if hasattr(errno, "EDQUOT") else set())
+)
+
+
+class DiskFullError(OSError):
+    """A durable write failed because the filesystem ran out of space.
+
+    Raised (with the original errno preserved) wherever
+    :func:`atomic_writer` or :func:`durable_append` hit ``ENOSPC`` or
+    ``EDQUOT``.  The guarantee still holds: the previous artifact is
+    intact -- atomic writes never renamed the torn temporary into
+    place, and a torn durable append is bounded to the final line,
+    which the JSONL salvage loop drops on the next load.
+    """
+
+    def __init__(self, path: Path, cause: OSError) -> None:
+        super().__init__(
+            cause.errno,
+            f"disk full while writing {path}: {cause.strerror}",
+        )
+        self.path = path
+
+
+def is_disk_full(exc: BaseException) -> bool:
+    """True when ``exc`` is an out-of-space/quota write failure."""
+    return (
+        isinstance(exc, OSError) and exc.errno in _DISK_FULL_ERRNOS
+    )
 
 
 def fsync_directory(path: Path) -> None:
@@ -65,9 +106,11 @@ def atomic_writer(
         os.fsync(fh.fileno())
         fh.close()
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException as exc:
         fh.close()
         tmp.unlink(missing_ok=True)
+        if is_disk_full(exc):
+            raise DiskFullError(path, exc) from exc
         raise
     fsync_directory(path.parent)
 
@@ -86,8 +129,18 @@ def durable_append(path: str | Path, text: str, encoding: str = "utf-8") -> None
     Not atomic -- a crash mid-call can leave a partial tail -- but once
     this returns the bytes are on stable storage, and the damage window
     is bounded to the single in-flight append.
+
+    An out-of-space failure surfaces as :class:`DiskFullError`; the
+    partial tail it may leave behind is exactly the torn-final-line case
+    the JSONL salvage loop already recovers from.
     """
-    with Path(path).open("a", encoding=encoding) as fh:
-        fh.write(text)
-        fh.flush()
-        os.fsync(fh.fileno())
+    path = Path(path)
+    try:
+        with path.open("a", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError as exc:
+        if is_disk_full(exc):
+            raise DiskFullError(path, exc) from exc
+        raise

@@ -1,0 +1,137 @@
+"""Resident-set-size sampling and the campaign memory watchdog.
+
+Paper-scale campaigns must not die to the OOM killer: a 1M-trace run
+streams its traces to disk precisely so the working set stays bounded,
+and the executor holds each worker to that promise.  Two small pieces:
+
+- :func:`current_rss_bytes` / :func:`peak_rss_bytes` -- portable
+  (Linux-first) resident-set sampling.  Current RSS reads
+  ``/proc/self/status`` where available and degrades to the
+  ``getrusage`` high-water mark elsewhere; peak RSS is always the
+  ``ru_maxrss`` high-water mark.
+- :class:`RssWatchdog` -- a threshold checked at *shard boundaries*
+  (never mid-write, so shedding can never corrupt state).  Crossing the
+  soft level asks the process to shed caches; crossing the hard level
+  asks the supervisor to recycle the worker after the in-flight shard
+  completes -- admission throttling, not SIGKILL, so every durable
+  artifact stays whole.
+
+Everything here is observational: sampling memory never changes any
+result byte.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+from dataclasses import dataclass
+from pathlib import Path
+
+_PROC_STATUS = Path("/proc/self/status")
+
+#: fraction of the hard budget at which cache shedding starts
+SOFT_FRACTION = 0.8
+
+
+def _ru_maxrss_bytes() -> int:
+    """The getrusage high-water mark, normalized to bytes.
+
+    Linux reports kilobytes; macOS reports bytes.  Values above 1 TiB
+    cannot be kilobytes of RSS on any machine this runs on, so the
+    heuristic normalizes without platform sniffing.
+    """
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return raw if raw > 1 << 40 else raw * 1024
+
+
+def peak_rss_bytes() -> int:
+    """Highest resident set this process ever reached, in bytes."""
+    return _ru_maxrss_bytes()
+
+
+def current_rss_bytes() -> int:
+    """The resident set right now, in bytes (best effort).
+
+    Falls back to the high-water mark on platforms without
+    ``/proc/self/status``; the watchdog then degrades to peak-based
+    (more conservative) decisions rather than failing.
+    """
+    try:
+        with _PROC_STATUS.open("r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return _ru_maxrss_bytes()
+
+
+@dataclass(slots=True)
+class RssVerdict:
+    """One watchdog check at a shard boundary."""
+
+    rss_bytes: int
+    #: caches were shed (soft level crossed) during this check
+    shed: bool = False
+    #: the process should be recycled before taking more work
+    recycle: bool = False
+
+
+class RssWatchdog:
+    """Budget enforcement for one worker process.
+
+    ``max_rss_bytes`` is the hard budget; ``None`` disables the
+    watchdog entirely (every check returns a quiet verdict).  The
+    response ladder is deliberately graceful:
+
+    1. below the soft level (:data:`SOFT_FRACTION` of the budget):
+       nothing happens;
+    2. above the soft level: shed -- run the registered cache-dropping
+       callbacks and force a full garbage collection, then re-sample;
+    3. still above the hard budget after shedding: report ``recycle``
+       so the supervisor replaces the process *between* shards.  Work
+       in flight always completes and every durable write stays atomic
+       -- memory pressure throttles admission, never correctness.
+    """
+
+    def __init__(self, max_rss_bytes: int | None) -> None:
+        if max_rss_bytes is not None and max_rss_bytes <= 0:
+            raise ValueError("max_rss_bytes must be positive")
+        self.max_rss_bytes = max_rss_bytes
+        self._shedders: list = []
+        #: tallies for telemetry (observational only)
+        self.checks = 0
+        self.sheds = 0
+        self.recycles_requested = 0
+
+    def add_shedder(self, callback) -> None:
+        """Register a cache-dropping callback run when shedding."""
+        self._shedders.append(callback)
+
+    def check(self) -> RssVerdict:
+        """Sample RSS and apply the response ladder (shard boundary)."""
+        if self.max_rss_bytes is None:
+            return RssVerdict(rss_bytes=0)
+        self.checks += 1
+        rss = current_rss_bytes()
+        verdict = RssVerdict(rss_bytes=rss)
+        if rss < SOFT_FRACTION * self.max_rss_bytes:
+            return verdict
+        self.shed()
+        verdict.shed = True
+        verdict.rss_bytes = current_rss_bytes()
+        if verdict.rss_bytes >= self.max_rss_bytes:
+            verdict.recycle = True
+            self.recycles_requested += 1
+        return verdict
+
+    def shed(self) -> None:
+        """Drop every registered cache and force a full collection.
+
+        Shedders stay registered (caches refill between checks), so
+        they must be idempotent -- ``cache.clear``-style callbacks.
+        """
+        self.sheds += 1
+        for callback in self._shedders:
+            callback()
+        gc.collect()

@@ -1,0 +1,232 @@
+"""Unit tests for the paper-scale campaign driver.
+
+Fast, in-process (``jobs=1``) coverage of the orchestration logic:
+resume skipping, quarantine surfacing, disk-full degradation, churn
+refusal, canonical checkpoint completion, and the stats surface.  The
+jobs/shards byte-identity contract lives in
+``test_scale_properties.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.campaign.scale as scale
+from repro.campaign import ScaleCampaign
+from repro.campaign.checkpoint import ShardCheckpoint
+from repro.netsim.dynamics import ChurnPlan
+from repro.topogen.synthetic import SyntheticPortfolio
+
+
+def _campaign(n_ases: int = 2, seed: int = 1) -> ScaleCampaign:
+    return ScaleCampaign(
+        portfolio=SyntheticPortfolio(n_ases, seed=seed),
+        seed=seed,
+        vps_per_as=2,
+        targets_per_as=4,
+    )
+
+
+class TestConstruction:
+    def test_churn_plans_are_refused(self):
+        with pytest.raises(ValueError, match="churn"):
+            ScaleCampaign(
+                portfolio=SyntheticPortfolio(2, seed=1),
+                churn_plan=ChurnPlan.intensity(0.2, seed=1),
+            )
+
+    def test_inactive_churn_plan_is_fine(self):
+        ScaleCampaign(
+            portfolio=SyntheticPortfolio(2, seed=1),
+            churn_plan=ChurnPlan.none(),
+        )
+
+
+class TestRun:
+    def test_clean_run_banks_everything(self, tmp_path):
+        report = _campaign().run(tmp_path)
+        assert set(report.completed) == {1, 2}
+        assert not report.interrupted
+        assert report.failures == {} and report.quarantined == {}
+        assert report.traces_total() > 0
+        spills = sorted(p.name for p in (tmp_path / "spills").iterdir())
+        assert spills == [
+            "as000001-b000.jsonl",
+            "as000002-b000.jsonl",
+        ]
+        store = ShardCheckpoint(
+            tmp_path / "checkpoint.jsonl", _campaign()._scale_config()
+        )
+        store.load()
+        assert store.complete
+
+    def test_resume_after_completion_reruns_nothing(self, tmp_path):
+        first = _campaign().run(tmp_path)
+        checkpoint = (tmp_path / "checkpoint.jsonl").read_bytes()
+        campaign = _campaign()
+        again = campaign.run(tmp_path, resume=True)
+        assert json.dumps(again.as_dict()) == json.dumps(first.as_dict())
+        assert (tmp_path / "checkpoint.jsonl").read_bytes() == checkpoint
+        assert campaign.stats.get("shards_probed", 0) == 0
+
+    def test_extending_a_completed_run_probes_only_the_new_ases(
+        self, tmp_path
+    ):
+        # complete a 1-AS campaign, then resume asking for both
+        campaign = _campaign()
+        campaign.run(tmp_path / "grown", as_ids=[1])
+        resumed = _campaign()
+        report = resumed.run(tmp_path / "grown", resume=True)
+        assert set(report.completed) == {1, 2}
+        assert resumed.stats["shards_probed"] == 1  # only AS 2
+        # the grown checkpoint canonicalizes to the same bytes as a
+        # fresh run over both ASes
+        _campaign().run(tmp_path / "fresh")
+        assert (tmp_path / "grown" / "checkpoint.jsonl").read_bytes() == (
+            tmp_path / "fresh" / "checkpoint.jsonl"
+        ).read_bytes()
+
+    def test_vps_per_shard_layout_is_respected(self, tmp_path):
+        campaign = _campaign()
+        report = campaign.run(tmp_path, vps_per_shard=1)
+        assert set(report.completed) == {1, 2}
+        assert campaign.stats["shards_total"] == 4  # 2 ASes x 2 VPs
+        spills = sorted(p.name for p in (tmp_path / "spills").iterdir())
+        assert len(spills) == 4
+
+    def test_worker_caches_never_leak_across_campaigns(self, tmp_path):
+        # A process that served one campaign (workers are persistent,
+        # jobs=1 runs in-process) must rebuild every shard context for
+        # the next one: contexts embed the portfolio/seed, and as_ids
+        # collide across campaigns.  Regression: the runner cache was
+        # invalidated per run token but the context cache survived,
+        # so campaign B probed campaign A's topologies.
+        scale._RUNNER_CACHE.clear()
+        scale._CONTEXT_CACHE.clear()
+        _campaign(seed=9).run(tmp_path / "other")  # fills the caches
+        after = _campaign().run(tmp_path / "after")
+        scale._RUNNER_CACHE.clear()
+        scale._CONTEXT_CACHE.clear()
+        clean = _campaign().run(tmp_path / "clean")
+        assert json.dumps(after.as_dict(), sort_keys=True) == json.dumps(
+            clean.as_dict(), sort_keys=True
+        )
+        assert (tmp_path / "after" / "checkpoint.jsonl").read_bytes() == (
+            tmp_path / "clean" / "checkpoint.jsonl"
+        ).read_bytes()
+
+    def test_stats_surface(self, tmp_path):
+        campaign = _campaign()
+        campaign.run(tmp_path)
+        stats = campaign.stats
+        assert stats["ases_analyzed"] == 2
+        assert stats["shards_probed"] == 2
+        assert stats["traces_total"] > 0
+        assert stats["rss_peak_bytes"] > 0
+        assert stats["wall_seconds"] >= 0
+        assert stats["shards_quarantined"] == 0
+
+    def test_jobs_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            _campaign().run(tmp_path, jobs=0)
+
+
+class TestDegradation:
+    def test_disk_full_shard_is_quarantined_cleanly(
+        self, tmp_path, monkeypatch
+    ):
+        real = scale._probe_shard_worker
+
+        def worker(payload, ctl):
+            shard = payload[3]
+            if shard.as_id == 2:
+                return {
+                    "status": "disk-full",
+                    "error": "No space left on device",
+                }
+            return real(payload, ctl)
+
+        monkeypatch.setattr(scale, "_probe_shard_worker", worker)
+        report = _campaign().run(tmp_path)
+        assert set(report.completed) == {1}
+        assert report.quarantined["2:0"]["reason"] == "disk-full"
+        assert not report.interrupted  # degraded, not interrupted
+        monkeypatch.undo()
+        # the circuit breaker stays open across resume: the shard is
+        # not re-dispatched, the quarantine is surfaced again
+        resumed = _campaign()
+        again = resumed.run(tmp_path, resume=True)
+        assert again.quarantined["2:0"]["reason"] == "disk-full"
+        assert resumed.stats.get("shards_probed", 0) == 0
+
+    def test_deterministic_probe_error_fails_the_as(
+        self, tmp_path, monkeypatch
+    ):
+        real = scale._probe_shard_worker
+
+        def worker(payload, ctl):
+            shard = payload[3]
+            if shard.as_id == 1:
+                raise RuntimeError("synthetic probe bug")
+            return real(payload, ctl)
+
+        monkeypatch.setattr(scale, "_probe_shard_worker", worker)
+        report = _campaign().run(tmp_path)
+        assert set(report.completed) == {2}
+        assert report.failures[1]["stage"] == "probe"
+        assert "synthetic probe bug" in report.failures[1]["error"]
+        assert not report.interrupted
+
+    def test_interrupted_probe_phase_resumes_to_identical_bytes(
+        self, tmp_path, monkeypatch
+    ):
+        reference_dir = tmp_path / "reference"
+        reference = _campaign(n_ases=3).run(reference_dir)
+
+        real = scale._probe_shard_worker
+        calls = []
+
+        def flaky(payload, ctl):
+            if len(calls) >= 1:  # first shard lands, then Ctrl-C
+                raise KeyboardInterrupt
+            calls.append(payload[3].key)
+            return real(payload, ctl)
+
+        out = tmp_path / "run"
+        monkeypatch.setattr(scale, "_probe_shard_worker", flaky)
+        partial = _campaign(n_ases=3).run(out)
+        assert partial.interrupted
+        assert partial.completed == {}
+        monkeypatch.undo()
+
+        resumed = _campaign(n_ases=3).run(out, resume=True)
+        assert json.dumps(resumed.as_dict()) == json.dumps(
+            reference.as_dict()
+        )
+        assert (out / "checkpoint.jsonl").read_bytes() == (
+            reference_dir / "checkpoint.jsonl"
+        ).read_bytes()
+
+
+class TestReport:
+    def test_summary_lines(self, tmp_path):
+        report = _campaign().run(tmp_path)
+        text = report.summary()
+        assert "2 AS(es) analyzed" in text
+        assert "INTERRUPTED" not in text
+
+    def test_as_dict_shape(self, tmp_path):
+        doc = _campaign().run(tmp_path).as_dict()
+        assert set(doc) == {
+            "completed",
+            "failures",
+            "quarantined",
+            "interrupted",
+            "traces_total",
+            "fault_counters",
+            "retry_accounting",
+            "anomaly_counts",
+        }
+        entry = doc["completed"]["1"]
+        assert {"flags", "traces_total", "routers"} <= set(entry)

@@ -1,0 +1,154 @@
+"""The shard-scoped checkpoint (format v4): banking, salvage, canon."""
+
+import json
+
+import pytest
+
+from repro.campaign.checkpoint import CheckpointMismatchError, ShardCheckpoint
+from repro.campaign.shards import ShardProbeRecord, VpProbe
+from repro.netsim.faults import FaultCounters
+from repro.util.retry import RetryAccounting
+
+_CONFIG = {"seed": 1, "vps_per_as": 2}
+
+
+def _vp(i: int, traces: int = 4) -> VpProbe:
+    return VpProbe(
+        vp_index=i,
+        vp_id=f"vp{i:03d}",
+        traces=traces,
+        sha256=f"digest-{i}",
+        retry_accounting=RetryAccounting(),
+        fault_counters=FaultCounters(),
+    )
+
+
+def _probe_record(as_id: int, bucket: int, vp_indices) -> ShardProbeRecord:
+    return ShardProbeRecord(
+        as_id=as_id,
+        bucket=bucket,
+        spill=f"as{as_id:06d}-b{bucket:03d}.jsonl",
+        vps=[_vp(i) for i in vp_indices],
+    )
+
+
+class TestBankingAndResume:
+    def test_roundtrip_of_every_record_kind(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        store = ShardCheckpoint(path, _CONFIG, vps_per_shard=1)
+        store.record_probe(_probe_record(1, 0, [0]))
+        store.record_analysis(1, {"traces_total": 4})
+        store.record_failure(2, {"stage": "analysis", "error": "boom"})
+        store.record_quarantine((3, 0), {"reason": "crash", "attempts": 2})
+
+        resumed = ShardCheckpoint(path, _CONFIG)
+        resumed.load()
+        assert set(resumed.probed) == {(1, 0)}
+        assert resumed.probed[(1, 0)].spill == "as000001-b000.jsonl"
+        assert resumed.analyses == {1: {"traces_total": 4}}
+        assert resumed.failures == {
+            2: {"stage": "analysis", "error": "boom"}
+        }
+        assert resumed.quarantines == {
+            (3, 0): {"reason": "crash", "attempts": 2}
+        }
+        # resume adopts the banked shard layout
+        assert resumed.vps_per_shard == 1
+        assert not resumed.complete
+
+    def test_missing_file_is_a_fresh_start(self, tmp_path):
+        store = ShardCheckpoint(tmp_path / "nope.jsonl", _CONFIG)
+        store.load()
+        assert store.probed == {} and store.analyses == {}
+
+    def test_config_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        ShardCheckpoint(path, _CONFIG).record_analysis(1, {})
+        other = ShardCheckpoint(path, {"seed": 99})
+        with pytest.raises(CheckpointMismatchError):
+            other.load()
+
+    def test_relayout_on_resume_is_legal(self, tmp_path):
+        """--shards may change mid-campaign; the banked layout wins."""
+        path = tmp_path / "checkpoint.jsonl"
+        ShardCheckpoint(path, _CONFIG, vps_per_shard=2).record_analysis(
+            1, {}
+        )
+        resumed = ShardCheckpoint(path, _CONFIG, vps_per_shard=7)
+        resumed.load()
+        assert resumed.vps_per_shard == 2
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="not an AReST"):
+            ShardCheckpoint(path, _CONFIG).load()
+
+
+class TestSalvage:
+    def test_torn_tail_salvaged_and_compacted(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        store = ShardCheckpoint(path, _CONFIG)
+        store.record_probe(_probe_record(1, 0, [0]))
+        store.record_analysis(1, {"traces_total": 4})
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"as_id": 2, "analysis": {"tr')  # crash mid-append
+
+        resumed = ShardCheckpoint(path, _CONFIG)
+        resumed.load()
+        assert set(resumed.probed) == {(1, 0)}
+        assert set(resumed.analyses) == {1}
+        # the file was compacted: a second load sees no damage
+        again = ShardCheckpoint(path, _CONFIG)
+        again.load()
+        assert set(again.analyses) == {1}
+        assert all(
+            json.loads(line) for line in path.read_text().splitlines()
+        )
+
+
+class TestCanonicalForm:
+    def _completed_store(self, path, layout: int) -> ShardCheckpoint:
+        """Bank the same campaign under a given shard layout."""
+        store = ShardCheckpoint(path, _CONFIG, vps_per_shard=layout)
+        if layout == 2:
+            store.record_probe(_probe_record(1, 0, [0, 1]))
+            store.record_probe(_probe_record(2, 0, [0, 1]))
+        else:
+            # different banking order on purpose: completion order is
+            # execution-dependent and must not leak into the bytes
+            store.record_probe(_probe_record(2, 1, [1]))
+            store.record_probe(_probe_record(1, 0, [0]))
+            store.record_probe(_probe_record(2, 0, [0]))
+            store.record_probe(_probe_record(1, 1, [1]))
+        store.record_analysis(2, {"traces_total": 8})
+        store.record_analysis(1, {"traces_total": 8})
+        return store
+
+    def test_canonical_bytes_are_partition_independent(self, tmp_path):
+        coarse = tmp_path / "coarse.jsonl"
+        fine = tmp_path / "fine.jsonl"
+        self._completed_store(coarse, layout=2).compact_canonical([1, 2])
+        self._completed_store(fine, layout=1).compact_canonical([1, 2])
+        assert coarse.read_bytes() == fine.read_bytes()
+
+    def test_canonical_form_drops_partition_details(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        self._completed_store(path, layout=1).compact_canonical([1, 2])
+        text = path.read_text()
+        header = json.loads(text.splitlines()[0])
+        assert header["complete"] is True
+        assert "layout" not in header
+        assert "spill" not in text  # spill names are partition detail
+        assert '"shard"' not in text  # bucket numbers likewise
+
+    def test_complete_checkpoint_reloads_as_complete(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        self._completed_store(path, layout=2).compact_canonical([1, 2])
+        resumed = ShardCheckpoint(path, _CONFIG)
+        resumed.load()
+        assert resumed.complete
+        assert set(resumed.analyses) == {1, 2}
+        assert set(resumed.vp_probes) == {
+            (1, 0), (1, 1), (2, 0), (2, 1)
+        }

@@ -1,0 +1,140 @@
+"""Shard planning, per-VP probe records, and spill-file invariance."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.shards import (
+    ShardProbeRecord,
+    ShardSpec,
+    VpProbe,
+    build_shard_context,
+    merged_dataset,
+    probe_shard,
+    shard_plan,
+)
+from repro.netsim.faults import FaultCounters
+from repro.util.retry import RetryAccounting
+
+
+class TestShardPlan:
+    def test_contiguous_buckets_in_plan_order(self):
+        plan = shard_plan([7, 3], vps_per_as=5, vps_per_shard=2)
+        assert [(s.as_id, s.bucket, s.vp_indices) for s in plan] == [
+            (7, 0, (0, 1)),
+            (7, 1, (2, 3)),
+            (7, 2, (4,)),
+            (3, 0, (0, 1)),
+            (3, 1, (2, 3)),
+            (3, 2, (4,)),
+        ]
+
+    def test_oversized_shard_clamps_to_one_bucket(self):
+        plan = shard_plan([1], vps_per_as=3, vps_per_shard=50)
+        assert [(s.bucket, s.vp_indices) for s in plan] == [(0, (0, 1, 2))]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_plan([1], vps_per_as=0, vps_per_shard=1)
+        with pytest.raises(ValueError):
+            shard_plan([1], vps_per_as=1, vps_per_shard=0)
+
+    def test_spec_identity_and_spill_name(self):
+        spec = ShardSpec(as_id=46, bucket=2, vp_indices=(4, 5))
+        assert spec.key == (46, 2)
+        assert spec.spill_name == "as000046-b002.jsonl"
+
+
+class TestRecordCodecs:
+    def _vp(self, i: int) -> VpProbe:
+        return VpProbe(
+            vp_index=i,
+            vp_id=f"vp{i:03d}",
+            traces=4,
+            sha256=f"digest-{i}",
+            retry_accounting=RetryAccounting(),
+            fault_counters=FaultCounters(),
+        )
+
+    def test_vp_probe_roundtrip(self):
+        vp = self._vp(3)
+        clone = VpProbe.from_dict(json.loads(json.dumps(vp.as_dict())))
+        assert clone.as_dict() == vp.as_dict()
+
+    def test_shard_probe_record_roundtrip(self):
+        record = ShardProbeRecord(
+            as_id=9,
+            bucket=1,
+            spill="as000009-b001.jsonl",
+            vps=[self._vp(2), self._vp(3)],
+        )
+        clone = ShardProbeRecord.from_dict(
+            9, 1, json.loads(json.dumps(record.as_dict()))
+        )
+        assert clone.key == (9, 1)
+        assert clone.as_dict() == record.as_dict()
+
+
+class TestProbeShard:
+    """Sharded probing is partition-invariant and digest-faithful."""
+
+    def _runner(self) -> CampaignRunner:
+        return CampaignRunner(seed=1, vps_per_as=2, targets_per_as=4)
+
+    def _spill_body(self, path: Path) -> list[str]:
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"
+        return lines[1:]
+
+    def test_spill_matches_reported_digests(self, tmp_path):
+        import hashlib
+
+        runner = self._runner()
+        context = build_shard_context(runner, 46)
+        shard = shard_plan([46], 2, 2)[0]
+        spill = tmp_path / shard.spill_name
+        record = probe_shard(runner, context, shard, spill)
+        body = self._spill_body(spill)
+        assert sum(vp.traces for vp in record.vps) == len(body)
+        offset = 0
+        for vp in record.vps:
+            digest = hashlib.sha256()
+            for line in body[offset:offset + vp.traces]:
+                digest.update((line + "\n").encode("utf-8"))
+            assert digest.hexdigest() == vp.sha256
+            offset += vp.traces
+
+    def test_bucketing_is_invisible_in_the_bytes(self, tmp_path):
+        runner = self._runner()
+        context = build_shard_context(runner, 46)
+        whole = tmp_path / "whole.jsonl"
+        probe_shard(runner, context, shard_plan([46], 2, 2)[0], whole)
+        split_bodies: list[str] = []
+        for shard in shard_plan([46], 2, 1):
+            spill = tmp_path / shard.spill_name
+            probe_shard(runner, context, shard, spill)
+            split_bodies.extend(self._spill_body(spill))
+        assert split_bodies == self._spill_body(whole)
+
+    def test_merged_dataset_streams_in_bucket_order(self, tmp_path):
+        runner = self._runner()
+        context = build_shard_context(runner, 46)
+        paths = []
+        for shard in shard_plan([46], 2, 1):
+            spill = tmp_path / shard.spill_name
+            probe_shard(runner, context, shard, spill)
+            paths.append(spill)
+        merged = merged_dataset(
+            context.net.target_asn, {"as_id": "46"}, paths
+        )
+        whole = tmp_path / "whole.jsonl"
+        probe_shard(runner, context, shard_plan([46], 2, 2)[0], whole)
+        reference = merged_dataset(
+            context.net.target_asn, {"as_id": "46"}, [whole]
+        )
+        assert [t.flow_id for t in merged] == [
+            t.flow_id for t in reference
+        ]
+        assert len(merged) == len(reference)

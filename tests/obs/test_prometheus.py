@@ -13,6 +13,7 @@ from repro.obs.prometheus import (
     escape_label_value,
     render_ingest_metrics,
     render_prometheus,
+    render_scale_metrics,
 )
 from repro.obs.summary import TelemetrySummary, summarize_telemetry
 
@@ -224,3 +225,60 @@ class TestEndToEnd:
         assert 'arest_epoch_transitions_total{scope="46"} 6' in lines
         assert 'arest_stale_walk_fallbacks_total{scope="46"} 1' in lines
         assert 'arest_fault_events_total{class="probe_loss"} 4' in lines
+
+
+class TestRenderScaleMetrics:
+    _STATS = {
+        "shards_total": 6,
+        "shards_probed": 4,
+        "shards_resumed": 2,
+        "shards_redispatched": 1,
+        "shards_quarantined": 0,
+        "leases_granted": 5,
+        "leases_renewed": 17,
+        "leases_expired": 1,
+        "workers_spawned": 3,
+        "workers_crashed": 1,
+        "workers_recycled": 1,
+        "ases_analyzed": 3,
+        "traces_total": 432,
+        "rss_peak_bytes": 104857600,
+        "wall_seconds": 12.5,
+    }
+
+    def test_full_stats_render_every_family(self):
+        lines = render_scale_metrics(self._STATS).splitlines()
+        assert "arest_shards_total 6" in lines
+        assert "arest_shards_probed_total 4" in lines
+        assert "arest_shards_resumed_total 2" in lines
+        assert "arest_shards_redispatched_total 1" in lines
+        assert "arest_shards_quarantined_total 0" in lines
+        assert "arest_leases_granted_total 5" in lines
+        assert "arest_leases_renewed_total 17" in lines
+        assert "arest_leases_expired_total 1" in lines
+        assert "arest_workers_spawned_total 3" in lines
+        assert "arest_workers_crashed_total 1" in lines
+        assert "arest_workers_recycled_total 1" in lines
+        assert "arest_ases_analyzed_total 3" in lines
+        assert "arest_scale_traces_total 432" in lines
+        assert "arest_rss_peak_bytes 104857600" in lines
+        assert "arest_scale_wall_seconds 12.5" in lines
+
+    def test_every_rendered_family_is_helped_and_typed(self):
+        text = render_scale_metrics(self._STATS)
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            family = line.split(" ", 1)[0]
+            assert f"# HELP {family} " in text
+            assert f"# TYPE {family} " in text
+
+    def test_absent_stats_are_omitted_not_zeroed(self):
+        text = render_scale_metrics({"shards_total": 2, "traces_total": 9})
+        assert "arest_shards_total 2" in text.splitlines()
+        assert "arest_scale_traces_total 9" in text.splitlines()
+        assert "rss_peak" not in text
+        assert "lease" not in text
+
+    def test_empty_stats_render_nothing(self):
+        assert render_scale_metrics({}) == ""

@@ -445,3 +445,53 @@ class TestTelemetrySession:
         with_telemetry = asyncio.run(run(tmp_path / "telem"))
         without = asyncio.run(run(None))
         assert with_telemetry == without
+
+
+class TestDiskFull:
+    """A full journal volume refuses (503 + reason), never acknowledges."""
+
+    def test_full_journal_volume_refuses_with_503(
+        self, tmp_path, monkeypatch
+    ):
+        import errno
+
+        from repro.service.state import ServiceState
+        from repro.util.atomicio import DiskFullError
+
+        traces = corpus(2)
+
+        async def run():
+            async with _Service(tmp_path) as svc:
+                status, _, _ = await svc.request(
+                    "POST", "/trace", _lines(traces)
+                )
+                assert status == 202
+
+                def full(self, batch):
+                    raise DiskFullError(
+                        tmp_path / "state" / "ingest.jsonl",
+                        OSError(errno.ENOSPC, "No space left on device"),
+                    )
+
+                monkeypatch.setattr(ServiceState, "accept", full)
+                status, headers, body = await svc.request(
+                    "POST", "/trace", _lines(traces)
+                )
+                assert status == 503
+                doc = json.loads(body)
+                assert doc["reason"] == "disk-full"
+                assert "no space left" in doc["detail"].lower()
+                assert "retry-after" in headers
+                monkeypatch.undo()
+                # space freed up: the retried batch is accepted whole
+                status, _, _ = await svc.request(
+                    "POST", "/trace", _lines(traces)
+                )
+                assert status == 202
+                _, _, metrics = await svc.request("GET", "/metrics")
+                assert (
+                    'arest_ingest_rejected_total{reason="disk-full"} 2'
+                    in metrics.decode()
+                )
+
+        asyncio.run(run())

@@ -7,6 +7,7 @@ injection test hammers exactly that: a child process rewrites a JSON
 file in a tight loop while the parent SIGKILLs it at random points.
 """
 
+import errno
 import json
 import os
 import signal
@@ -17,7 +18,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.util.atomicio import atomic_write_text, atomic_writer, durable_append
+from repro.util.atomicio import (
+    DiskFullError,
+    atomic_write_text,
+    atomic_writer,
+    durable_append,
+    is_disk_full,
+)
 
 
 class TestAtomicWriter:
@@ -107,3 +114,98 @@ class TestKillNineInjection:
             assert leftover.name == "artifact.json" or leftover.name.endswith(
                 ".tmp"
             )
+
+
+def _enospc(*_args, **_kwargs):
+    raise OSError(errno.ENOSPC, "No space left on device")
+
+
+class TestDiskFullClassification:
+    """ENOSPC/EDQUOT surface as DiskFullError; other OSErrors do not."""
+
+    def test_is_disk_full_predicate(self):
+        assert is_disk_full(OSError(errno.ENOSPC, "full"))
+        if hasattr(errno, "EDQUOT"):
+            assert is_disk_full(OSError(errno.EDQUOT, "quota"))
+        assert not is_disk_full(OSError(errno.EACCES, "denied"))
+        assert not is_disk_full(RuntimeError("full"))
+
+    def test_atomic_writer_classifies_enospc(self, tmp_path, monkeypatch):
+        path = tmp_path / "artifact.json"
+        path.write_text("old")
+        monkeypatch.setattr("repro.util.atomicio.os.fsync", _enospc)
+        with pytest.raises(DiskFullError) as info:
+            atomic_write_text(path, "new")
+        assert info.value.errno == errno.ENOSPC
+        assert info.value.path == path
+        # the previous artifact survives and no temporary is left over
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_atomic_writer_classifies_enospc_raised_mid_body(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("old")
+        with pytest.raises(DiskFullError):
+            with atomic_writer(path) as fh:
+                fh.write("half a new fi")
+                raise OSError(errno.ENOSPC, "No space left on device")
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_atomic_writer_leaves_other_oserrors_alone(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("old")
+        with pytest.raises(OSError) as info:
+            with atomic_writer(path) as fh:
+                fh.write("x")
+                raise OSError(errno.EACCES, "denied")
+        assert not isinstance(info.value, DiskFullError)
+        assert path.read_text() == "old"
+
+    def test_durable_append_classifies_enospc(self, tmp_path, monkeypatch):
+        path = tmp_path / "log.jsonl"
+        durable_append(path, "one\n")
+        monkeypatch.setattr("repro.util.atomicio.os.fsync", _enospc)
+        with pytest.raises(DiskFullError) as info:
+            durable_append(path, "two\n")
+        assert info.value.errno == errno.ENOSPC
+        assert info.value.path == path
+        # the previously fsynced line is still there
+        assert path.read_text().startswith("one\n")
+
+
+class TestDiskFullCheckpoint:
+    """ENOSPC mid-checkpoint keeps the banked prefix resumable."""
+
+    def _store(self, path):
+        from repro.campaign.checkpoint import ShardCheckpoint
+
+        store = ShardCheckpoint(path, {"seed": 1})
+        store.load()
+        return store
+
+    def test_checkpoint_append_enospc_is_survivable(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "checkpoint.jsonl"
+        store = self._store(path)
+        store.record_analysis(1, {"traces_total": 3})
+        size_before = path.stat().st_size
+
+        def torn_fsync(fd):
+            # a real ENOSPC append lands part of the line: emulate the
+            # torn tail, then fail the durability barrier
+            os.ftruncate(fd, size_before + 7)
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.util.atomicio.os.fsync", torn_fsync)
+        with pytest.raises(DiskFullError):
+            store.record_analysis(2, {"traces_total": 4})
+        monkeypatch.undo()
+        # resume: the salvage loop drops the torn tail, keeps AS#1
+        resumed = self._store(path)
+        assert resumed.analyses == {1: {"traces_total": 3}}
+        # and once space frees up, banking continues normally
+        resumed.record_analysis(2, {"traces_total": 4})
+        again = self._store(path)
+        assert set(again.analyses) == {1, 2}

@@ -1,0 +1,63 @@
+"""The memory watchdog: sampling, shedding ladder, recycle requests."""
+
+import pytest
+
+from repro.util.rss import (
+    RssWatchdog,
+    current_rss_bytes,
+    peak_rss_bytes,
+)
+
+
+class TestSampling:
+    def test_samples_are_plausible(self):
+        current = current_rss_bytes()
+        peak = peak_rss_bytes()
+        # a running CPython interpreter occupies at least a few MiB
+        # and far less than a TiB
+        assert 1 << 20 < current < 1 << 40
+        assert 1 << 20 < peak < 1 << 40
+
+
+class TestWatchdog:
+    def test_disabled_watchdog_is_silent(self):
+        watchdog = RssWatchdog(None)
+        verdict = watchdog.check()
+        assert not verdict.shed and not verdict.recycle
+        assert watchdog.checks == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RssWatchdog(0)
+        with pytest.raises(ValueError):
+            RssWatchdog(-1)
+
+    def test_generous_budget_never_sheds(self):
+        watchdog = RssWatchdog(1 << 40)  # 1 TiB: never reached
+        shed_calls = []
+        watchdog.add_shedder(lambda: shed_calls.append(True))
+        verdict = watchdog.check()
+        assert not verdict.shed and not verdict.recycle
+        assert shed_calls == []
+        assert watchdog.checks == 1
+
+    def test_tiny_budget_sheds_then_requests_recycle(self):
+        watchdog = RssWatchdog(1 << 20)  # 1 MiB: always exceeded
+        shed_calls = []
+        watchdog.add_shedder(lambda: shed_calls.append(True))
+        verdict = watchdog.check()
+        assert verdict.shed
+        assert verdict.recycle  # shedding cannot get under 1 MiB
+        assert verdict.rss_bytes > 1 << 20
+        assert shed_calls == [True]
+        assert watchdog.recycles_requested == 1
+
+    def test_shedders_stay_registered_across_checks(self):
+        """Caches refill between shards; shedding must repeat."""
+        watchdog = RssWatchdog(1 << 20)
+        shed_calls = []
+        watchdog.add_shedder(lambda: shed_calls.append(True))
+        watchdog.check()
+        watchdog.check()
+        assert shed_calls == [True, True]
+        assert watchdog.sheds == 2

@@ -1,0 +1,106 @@
+"""Synthetic portfolios: lazy, deterministic, picklable, bounded."""
+
+import pickle
+
+import pytest
+
+from repro.campaign.vantage_points import default_vantage_points
+from repro.topogen.as_types import AsRole
+from repro.topogen.synthetic import (
+    _SPEC_CACHE_MAX,
+    SyntheticPortfolio,
+    synthetic_vantage_points,
+)
+
+
+class TestSyntheticPortfolio:
+    def test_len_and_iteration(self):
+        portfolio = SyntheticPortfolio(5, seed=1)
+        assert len(portfolio) == 5
+        specs = list(portfolio)
+        assert [s.as_id for s in specs] == [1, 2, 3, 4, 5]
+        assert all(s.analyzed for s in specs)
+
+    def test_specs_are_pure_functions_of_seed_and_id(self):
+        one = SyntheticPortfolio(100, seed=7)
+        two = SyntheticPortfolio(100, seed=7)
+        for as_id in (1, 42, 100):
+            a, b = one.spec(as_id), two.spec(as_id)
+            assert (a.asn, a.name, a.role, a.confirmation) == (
+                b.asn, b.name, b.role, b.confirmation
+            )
+            assert a.scenario == b.scenario
+
+    def test_different_seed_changes_the_internet(self):
+        one = SyntheticPortfolio(50, seed=1)
+        two = SyntheticPortfolio(50, seed=2)
+        assert any(
+            one.spec(i).ips_discovered != two.spec(i).ips_discovered
+            for i in range(1, 51)
+        )
+
+    def test_out_of_range_and_bad_construction(self):
+        portfolio = SyntheticPortfolio(3, seed=1)
+        with pytest.raises(KeyError):
+            portfolio.spec(0)
+        with pytest.raises(KeyError):
+            portfolio.spec(4)
+        with pytest.raises(ValueError):
+            SyntheticPortfolio(0)
+        with pytest.raises(ValueError):
+            SyntheticPortfolio(3, profile="enormous")
+
+    def test_spec_cache_stays_bounded(self):
+        portfolio = SyntheticPortfolio(_SPEC_CACHE_MAX * 3, seed=1)
+        for as_id in range(1, _SPEC_CACHE_MAX * 3 + 1):
+            portfolio.spec(as_id)
+        assert len(portfolio._spec_cache) <= _SPEC_CACHE_MAX
+
+    def test_picklable_for_worker_spawn_configs(self):
+        portfolio = SyntheticPortfolio(10, seed=3)
+        portfolio.spec(4)  # warm the cache: must not break pickling
+        clone = pickle.loads(pickle.dumps(portfolio))
+        assert clone.spec(4).scenario == portfolio.spec(4).scenario
+        assert clone.as_dict() == portfolio.as_dict()
+
+    def test_role_mix_covers_the_ladder(self):
+        portfolio = SyntheticPortfolio(200, seed=1)
+        roles = {spec.role for spec in portfolio}
+        assert roles == set(AsRole)
+        for role in AsRole:
+            assert portfolio.by_role(role)
+
+    def test_views_are_consistent(self):
+        portfolio = SyntheticPortfolio(30, seed=5)
+        assert len(portfolio.analyzed()) == 30
+        assert portfolio.excluded() == []
+        confirmed = portfolio.confirmed()
+        assert all(s.confirmation.confirmed for s in confirmed)
+        assert 0 < len(confirmed) < 30
+
+    def test_as_dict_is_the_config_signature(self):
+        assert SyntheticPortfolio(7, seed=2, profile="paper").as_dict() == {
+            "kind": "synthetic",
+            "n_ases": 7,
+            "seed": 2,
+            "profile": "paper",
+        }
+
+
+class TestSyntheticVantagePoints:
+    def test_small_fleets_are_the_table_4_prefix(self):
+        base = default_vantage_points()
+        assert synthetic_vantage_points(3) == base[:3]
+        assert synthetic_vantage_points(len(base)) == base
+
+    def test_large_fleets_extend_with_deterministic_clones(self):
+        base = default_vantage_points()
+        fleet = synthetic_vantage_points(len(base) + 10)
+        assert fleet[: len(base)] == base
+        assert len(fleet) == len(base) + 10
+        assert len({vp.vp_id for vp in fleet}) == len(fleet)
+        assert fleet == synthetic_vantage_points(len(base) + 10)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_vantage_points(0)
