@@ -33,6 +33,8 @@ byte-identical for any ``jobs`` value.
 from __future__ import annotations
 
 import logging
+import os
+import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -62,6 +64,7 @@ from repro.netsim.dynamics import ChurnPlan, NetworkDynamics
 from repro.netsim.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.obs.session import TelemetrySession
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, merge_counters
+from repro.obs.trace import TraceContext
 from repro.probing.records import Trace, truth_transport_is_sr
 from repro.probing.tnt import TntProber
 from repro.topogen.alias import AliasResolver, AliasSet
@@ -427,10 +430,11 @@ def _campaign_worker(payload: tuple, heartbeat) -> dict:
     heartbeats.  Telemetry recorded in-worker is buffered and shipped
     back inside the outcome dict (see :meth:`_run_as_guarded`).
     """
-    runner_cls, kwargs, as_id, telemetry_on = payload
+    runner_cls, kwargs, as_id, telemetry_on, traceparent = payload
     runner = runner_cls(**kwargs)
     runner._stage_hook = heartbeat
     runner._telemetry_on = telemetry_on
+    runner._traceparent = traceparent
     return runner._run_as_guarded(as_id)
 
 
@@ -489,6 +493,9 @@ class CampaignRunner:
         #: when True, guarded runs record into a fresh per-AS recorder
         #: and ship its export through the outcome channel
         self._telemetry_on = False
+        #: campaign trace context in wire form (W3C traceparent); set
+        #: by the task envelope so worker spans join the one trace
+        self._traceparent: str | None = None
         #: live fault injector / prober of the in-flight run_as, so a
         #: mid-stage failure can still report its partial tallies
         self._active_injector: FaultInjector | None = None
@@ -571,7 +578,7 @@ class CampaignRunner:
             jobs=1,
             as_ids=[as_id],
         )
-        tel = Telemetry()
+        tel = Telemetry(trace=session.trace)
         self.telemetry = tel
         try:
             result = self.run_as(as_id)
@@ -779,13 +786,23 @@ class CampaignRunner:
         completed: dict[int, TaskOutcome] = {}
         bank_index = 0
 
+        def bank_one(as_id: int, outcome: TaskOutcome) -> None:
+            # Bank latency feeds the fixed-bucket "bank" histogram --
+            # observational only, so the timing never orders results.
+            if session is None:
+                self._bank_outcome(store, as_id, outcome)
+                return
+            start = time.monotonic()
+            self._bank_outcome(store, as_id, outcome)
+            session.observe("bank", time.monotonic() - start)
+
         def bank_ready() -> None:
             nonlocal bank_index
             while bank_index < len(to_run):
                 outcome = completed.get(to_run[bank_index])
                 if outcome is None:
                     break
-                self._bank_outcome(store, to_run[bank_index], outcome)
+                bank_one(to_run[bank_index], outcome)
                 bank_index += 1
 
         def on_complete(outcome: TaskOutcome) -> None:
@@ -796,16 +813,19 @@ class CampaignRunner:
                 bank_ready()
 
         telemetry_on = session is not None
+        traceparent = session.traceparent() if session is not None else None
         if jobs == 1:
 
             def task(as_id: int, heartbeat) -> dict:
                 self._stage_hook = heartbeat
                 self._telemetry_on = telemetry_on
+                self._traceparent = traceparent
                 try:
                     return self._run_as_guarded(as_id)
                 finally:
                     self._stage_hook = None
                     self._telemetry_on = False
+                    self._traceparent = None
 
             engine = SupervisedExecutor(task, jobs=1)
             payloads = [(as_id, as_id) for as_id in to_run]
@@ -818,7 +838,10 @@ class CampaignRunner:
             )
             spawn = self._spawn_config()
             payloads = [
-                (as_id, (type(self), spawn, as_id, telemetry_on))
+                (
+                    as_id,
+                    (type(self), spawn, as_id, telemetry_on, traceparent),
+                )
                 for as_id in to_run
             ]
         with GracefulShutdown() as shutdown:
@@ -831,7 +854,7 @@ class CampaignRunner:
             for as_id in to_run[bank_index:]:
                 outcome = completed.get(as_id)
                 if outcome is not None:
-                    self._bank_outcome(store, as_id, outcome)
+                    bank_one(as_id, outcome)
         return result.outcomes, result.interrupted
 
     def _record_outcome_telemetry(
@@ -853,7 +876,18 @@ class CampaignRunner:
                 session.record_export(as_id, shipped)
             return
         spans = [
-            {"stage": stage, "path": f"as/{stage}", "seconds": seconds}
+            {
+                "stage": stage,
+                "path": f"as/{stage}",
+                "seconds": seconds,
+                # post-mortems join the campaign trace (no start: the
+                # supervisor only knows durations between heartbeats,
+                # not the worker's clock, so they render in the stage
+                # tables rather than the Gantt view)
+                "trace_id": session.trace.trace_id,
+                "span_id": os.urandom(8).hex(),
+                "parent_span_id": session.trace.span_id,
+            }
             for stage, seconds in sorted(
                 (outcome.stage_seconds or {}).items()
             )
@@ -864,6 +898,18 @@ class CampaignRunner:
             else "as_quarantined"
         )
         session.record_scope(as_id, spans=spans, counters={counter: 1})
+
+    def _task_recorder(self) -> Telemetry:
+        """A fresh per-task recorder, joined to the campaign trace.
+
+        When the task envelope carried a traceparent, the recorder's
+        spans inherit the campaign trace id and parent under the
+        supervisor's root span; otherwise the recorder emits the
+        legacy untraced records.
+        """
+        if self._traceparent is not None:
+            return Telemetry(trace=TraceContext.parse(self._traceparent))
+        return Telemetry()
 
     def _run_as_guarded(self, as_id: int) -> dict:
         """:meth:`run_as` wrapped for the engine: never raises.
@@ -880,7 +926,7 @@ class CampaignRunner:
         which is what keeps totals identical across serial, parallel
         and resumed runs.
         """
-        tel = Telemetry() if self._telemetry_on else None
+        tel = self._task_recorder() if self._telemetry_on else None
         if tel is not None:
             self.telemetry = tel
         try:
@@ -1107,16 +1153,32 @@ class CampaignRunner:
             metadata["vps_requested"] = str(self.vps_requested)
             metadata["vps_effective"] = str(self.vps_per_as)
         dataset = TraceDataset(target_asn=net.target_asn, metadata=metadata)
+        tel = self.telemetry
+        track = tel.enabled
+        clock = tel.clock
         for vp in vps:
             vp_router = net.vantage_points[vp.vp_id]
             # Each VP probes the same targets, shuffled per VP (Sec. 5).
             rng = DeterministicRng("shuffle", self.seed, vp.vp_id)
             shuffled = list(targets.addresses)
             rng.shuffle(shuffled)
-            for destination in shuffled:
-                dataset.add(
-                    prober.trace(vp_router, destination, vp_name=vp.vp_id)
-                )
+            if track:
+                # per-trace probe latency into the fixed-bucket
+                # histogram; two clock reads + a bisect per trace
+                for destination in shuffled:
+                    tick = clock()
+                    trace = prober.trace(
+                        vp_router, destination, vp_name=vp.vp_id
+                    )
+                    tel.observe("probe", clock() - tick)
+                    dataset.add(trace)
+            else:
+                for destination in shuffled:
+                    dataset.add(
+                        prober.trace(
+                            vp_router, destination, vp_name=vp.vp_id
+                        )
+                    )
         # Fast-path cache gauges: observational only (the telemetry
         # contract), but they make cache regressions visible per AS.
         for name, value in net.engine.stats.as_dict().items():
@@ -1222,7 +1284,7 @@ class CampaignRunner:
         """
         if session is None:
             return self._rehydrate_as(as_id, entry)
-        tel = Telemetry()
+        tel = Telemetry(trace=session.trace)
         previous = self.telemetry
         self.telemetry = tel
         try:

@@ -47,7 +47,11 @@ from pathlib import Path
 
 from repro.campaign.checkpoint import ShardCheckpoint
 from repro.campaign.executor import GracefulShutdown, TaskOutcome, TaskStatus
-from repro.campaign.runner import AsCampaignResult, CampaignRunner
+from repro.campaign.runner import (
+    AsCampaignResult,
+    CampaignRunner,
+    result_counters,
+)
 from repro.campaign.shardexec import LeaseExecutor, WorkerControl
 from repro.campaign.shards import (
     ShardProbeRecord,
@@ -58,6 +62,9 @@ from repro.campaign.shards import (
     shard_plan,
 )
 from repro.netsim.faults import FaultCounters, FaultInjector
+from repro.obs.session import PORTFOLIO_SCOPE, TelemetrySession
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, merge_counters
+from repro.obs.trace import TraceContext
 from repro.topogen.internet import build_measurement_network
 from repro.util.atomicio import DiskFullError
 from repro.util.retry import RetryAccounting
@@ -247,18 +254,47 @@ def _probe_shard_worker(payload: tuple, ctl: WorkerControl) -> dict:
     back as a structured ``disk-full`` record the supervisor turns into
     a clean per-shard quarantine (the previous spill, if any, is
     intact -- the atomic writer never renamed the torn temporary).
+
+    When the task envelope carries a traceparent, the shard runs under
+    a traced recorder whose export rides back on the ``ok`` message --
+    spills and checkpoint records stay byte-identical either way.
     """
-    runner_cls, kwargs, token, shard, spill_path, max_rss = payload
+    runner_cls, kwargs, token, shard, spill_path, max_rss, traceparent = (
+        payload
+    )
     ctl.heartbeat(f"shard-{shard.as_id}-{shard.bucket}")
     runner = _worker_runner(runner_cls, kwargs, token)
     context = _worker_context(runner, shard.as_id)
+    tel = (
+        Telemetry(trace=TraceContext.parse(traceparent))
+        if traceparent is not None
+        else None
+    )
     try:
-        record = probe_shard(
-            runner, context, shard, Path(spill_path), heartbeat=ctl.heartbeat
-        )
+        if tel is not None:
+            with tel.span("shard", as_id=shard.as_id, bucket=shard.bucket):
+                record = probe_shard(
+                    runner,
+                    context,
+                    shard,
+                    Path(spill_path),
+                    heartbeat=ctl.heartbeat,
+                    telemetry=tel,
+                )
+        else:
+            record = probe_shard(
+                runner,
+                context,
+                shard,
+                Path(spill_path),
+                heartbeat=ctl.heartbeat,
+            )
     except DiskFullError as exc:
         return {"status": "disk-full", "error": str(exc)}
     message = {"status": "ok", "record": record}
+    if tel is not None:
+        tel.count("traces_collected", sum(vp.traces for vp in record.vps))
+        message["telemetry"] = tel.export()
     message.update(_boundary_check(ctl, max_rss))
     return message
 
@@ -282,39 +318,64 @@ def _analyze_as_worker(payload: tuple, ctl: WorkerControl) -> dict:
         retry_dict,
         fault_dict,
         max_rss,
+        traceparent,
     ) = payload
     ctl.heartbeat(f"analyze-{as_id}")
     runner = _worker_runner(runner_cls, kwargs, token)
-    spec = runner.portfolio.spec(as_id)
-    vps = runner._select_vps(as_id)
-    ctl.heartbeat("topology")
-    net = build_measurement_network(
-        spec, [vp.vp_id for vp in vps], seed=runner.seed
+    # The pipeline reads runner.telemetry: routing the traced recorder
+    # through it gives the analysis its sanitize/detect spans and
+    # per-trace latency histograms for free.  Untraced runs keep the
+    # no-op recorder (every span below is then free).
+    tel = (
+        Telemetry(trace=TraceContext.parse(traceparent))
+        if traceparent is not None
+        else NULL_TELEMETRY
     )
-    ctl.heartbeat("merge")
-    metadata = {
-        "as_id": str(as_id),
-        "seed": str(runner.seed),
-        "vps": ",".join(vp.vp_id for vp in vps),
-    }
-    dataset = merged_dataset(
-        net.target_asn, metadata, [Path(p) for p in spill_paths]
-    )
-    injector = (
-        FaultInjector(runner.fault_plan, "fingerprint", as_id)
-        if runner.fault_plan.active
-        else None
-    )
-    ctl.heartbeat("fingerprint")
-    fingerprints = runner._fingerprint(net, dataset, faults=injector)
-    ctl.heartbeat("analysis")
-    result = runner._analyze(spec, net, dataset, fingerprints)
+    previous_telemetry = runner.telemetry
+    runner.telemetry = tel
+    try:
+        with tel.span("as", as_id=as_id):
+            spec = runner.portfolio.spec(as_id)
+            vps = runner._select_vps(as_id)
+            ctl.heartbeat("topology")
+            with tel.span("topology"):
+                net = build_measurement_network(
+                    spec, [vp.vp_id for vp in vps], seed=runner.seed
+                )
+            ctl.heartbeat("merge")
+            metadata = {
+                "as_id": str(as_id),
+                "seed": str(runner.seed),
+                "vps": ",".join(vp.vp_id for vp in vps),
+            }
+            with tel.span("merge"):
+                dataset = merged_dataset(
+                    net.target_asn, metadata, [Path(p) for p in spill_paths]
+                )
+            injector = (
+                FaultInjector(runner.fault_plan, "fingerprint", as_id)
+                if runner.fault_plan.active
+                else None
+            )
+            ctl.heartbeat("fingerprint")
+            with tel.span("fingerprint"):
+                fingerprints = runner._fingerprint(
+                    net, dataset, faults=injector
+                )
+            ctl.heartbeat("analysis")
+            with tel.span("analyze"):
+                result = runner._analyze(spec, net, dataset, fingerprints)
+    finally:
+        runner.telemetry = previous_telemetry
     faults = FaultCounters.from_dict(fault_dict)
     if injector is not None:
         faults.merge(injector.counters)
     result.fault_counters = faults
     result.retry_accounting = RetryAccounting.from_dict(retry_dict)
     message = {"status": "ok", "summary": result_summary(result)}
+    if tel.enabled:
+        merge_counters(tel.counters, result_counters(result))
+        message["telemetry"] = tel.export()
     message.update(_boundary_check(ctl, max_rss))
     return message
 
@@ -371,6 +432,7 @@ class ScaleCampaign(CampaignRunner):
         lease_timeout: float | None = 60.0,
         max_rss_bytes: int | None = None,
         max_redispatch: int = 1,
+        telemetry_dir: str | Path | None = None,
     ) -> ScaleReport:
         """Run (or resume) the campaign into ``out_dir``.
 
@@ -380,6 +442,14 @@ class ScaleCampaign(CampaignRunner):
         shard per AS); a resumed run adopts the banked layout, so
         re-sharding mid-campaign is safe.  ``jobs`` sizes the worker
         pool -- any value yields byte-identical results.
+
+        ``telemetry_dir`` turns on distributed tracing: a
+        :class:`~repro.obs.session.TelemetrySession` mints one
+        campaign-wide trace context whose traceparent rides every task
+        envelope, and each worker's traced export is banked as the
+        shard (``shard:<as>:<bucket>``) or AS completes.  Purely
+        observational: report JSON and checkpoint bytes are identical
+        with it on or off.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -389,6 +459,43 @@ class ScaleCampaign(CampaignRunner):
         started = time.monotonic()
         if as_ids is None:
             as_ids = [s.as_id for s in self.portfolio.analyzed()]
+        session = (
+            TelemetrySession(
+                telemetry_dir,
+                config=self._scale_config(),
+                seed=self.seed,
+                command="scale-campaign",
+                jobs=jobs,
+                as_ids=list(as_ids),
+            )
+            if telemetry_dir is not None
+            else None
+        )
+        try:
+            return self._run_supervised(
+                out_dir, spill_dir, started, as_ids, jobs, vps_per_shard,
+                resume, lease_timeout, max_rss_bytes, max_redispatch,
+                session,
+            )
+        except BaseException:
+            if session is not None:
+                session.finalize("error")
+            raise
+
+    def _run_supervised(
+        self,
+        out_dir: Path,
+        spill_dir: Path,
+        started: float,
+        as_ids: list[int],
+        jobs: int,
+        vps_per_shard: int | None,
+        resume: bool,
+        lease_timeout: float | None,
+        max_rss_bytes: int | None,
+        max_redispatch: int,
+        session: TelemetrySession | None,
+    ) -> ScaleReport:
         store = ShardCheckpoint(
             out_dir / "checkpoint.jsonl",
             self._scale_config(),
@@ -423,12 +530,12 @@ class ScaleCampaign(CampaignRunner):
             self.stats["shards_total"] = len(plan)
             interrupted = self._probe_phase(
                 store, plan, spill_dir, token, jobs,
-                lease_timeout, max_rss_bytes, max_redispatch,
+                lease_timeout, max_rss_bytes, max_redispatch, session,
             )
             if not interrupted:
                 interrupted = self._analyze_phase(
                     store, plan, as_ids, spill_dir, token, jobs,
-                    lease_timeout, max_rss_bytes, max_redispatch,
+                    lease_timeout, max_rss_bytes, max_redispatch, session,
                 )
 
         report = self._assemble(store, as_ids)
@@ -441,6 +548,15 @@ class ScaleCampaign(CampaignRunner):
         self.stats["shards_quarantined"] = len(report.quarantined)
         self.stats["wall_seconds"] = round(time.monotonic() - started, 3)
         self.stats["rss_peak_bytes"] = peak_rss_bytes()
+        if session is not None:
+            session.record_scope(
+                PORTFOLIO_SCOPE,
+                gauges={
+                    name: float(value)
+                    for name, value in sorted(self.stats.items())
+                },
+            )
+            session.finalize("interrupted" if report.interrupted else "ok")
         return report
 
     # -- probe phase ----------------------------------------------------------
@@ -455,6 +571,7 @@ class ScaleCampaign(CampaignRunner):
         lease_timeout: float | None,
         max_rss_bytes: int | None,
         max_redispatch: int,
+        session: TelemetrySession | None = None,
     ) -> bool:
         """Drain the shard plan; returns True when interrupted."""
         probed = store.probed
@@ -485,7 +602,17 @@ class ScaleCampaign(CampaignRunner):
                         # Spill was renamed into place before the worker
                         # answered; banking second closes the crash window
                         # on the safe side (re-run, never lose).
-                        store.record_probe(message["record"])
+                        if session is not None:
+                            tick = time.monotonic()
+                            store.record_probe(message["record"])
+                            session.observe("bank", time.monotonic() - tick)
+                            export = message.get("telemetry")
+                            if export:
+                                session.record_export(
+                                    f"shard:{key[0]}:{key[1]}", export
+                                )
+                        else:
+                            store.record_probe(message["record"])
                     else:  # structured disk-full degradation
                         store.record_quarantine(
                             key,
@@ -531,6 +658,7 @@ class ScaleCampaign(CampaignRunner):
             max_redispatch=max_redispatch,
         )
         spawn = self._spawn_config()
+        traceparent = session.traceparent() if session is not None else None
         tasks = [
             (
                 shard.key,
@@ -541,6 +669,7 @@ class ScaleCampaign(CampaignRunner):
                     shard,
                     str(spill_dir / shard.spill_name),
                     max_rss_bytes,
+                    traceparent,
                 ),
             )
             for shard in to_probe
@@ -563,6 +692,7 @@ class ScaleCampaign(CampaignRunner):
         lease_timeout: float | None,
         max_rss_bytes: int | None,
         max_redispatch: int,
+        session: TelemetrySession | None = None,
     ) -> bool:
         """Analyze every fully-probed AS; returns True when interrupted."""
         probed = store.probed
@@ -602,6 +732,7 @@ class ScaleCampaign(CampaignRunner):
                         retry.as_dict(),
                         faults.as_dict(),
                         max_rss_bytes,
+                        session.traceparent() if session is not None else None,
                     ),
                 )
             )
@@ -612,7 +743,17 @@ class ScaleCampaign(CampaignRunner):
             as_id = outcome.key
             try:
                 if outcome.status is TaskStatus.OK:
-                    store.record_analysis(as_id, outcome.value["summary"])
+                    if session is not None:
+                        tick = time.monotonic()
+                        store.record_analysis(
+                            as_id, outcome.value["summary"]
+                        )
+                        session.observe("bank", time.monotonic() - tick)
+                        export = outcome.value.get("telemetry")
+                        if export:
+                            session.record_export(as_id, export)
+                    else:
+                        store.record_analysis(as_id, outcome.value["summary"])
                 else:
                     # Deterministic analysis failures *and* workers that
                     # die past the budget are banked per AS: the data is

@@ -223,6 +223,7 @@ def probe_shard(
     shard: ShardSpec,
     spill_path: str | Path,
     heartbeat=None,
+    telemetry=None,
 ) -> ShardProbeRecord:
     """Probe one shard, streaming traces to its spill file.
 
@@ -236,8 +237,22 @@ def probe_shard(
     shard is only banked by the supervisor *after* this returns -- so
     resume either finds both (skip) or neither (re-run, byte-identical)
     and can never lose or duplicate a trace.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.Telemetry` recorder,
+    usually trace-context-carrying) gets one ``probe`` span per VP and
+    a per-trace latency observation; the traces themselves are pure
+    functions of the config, so the spill bytes are identical with or
+    without it.
     """
     spill_path = Path(spill_path)
+    track = telemetry is not None and telemetry.enabled
+    if track:
+        clock = telemetry.clock
+        # Per-probe seconds pile up in a plain list (pre-bound append)
+        # and are batch-binned after the loop -- see AsAccumulator for
+        # the same <2% instrumentation-budget trick.
+        probe_samples: list[float] = []
+        bin_probe = probe_samples.append
     vp_probes: list[VpProbe] = []
     try:
         with atomic_writer(spill_path) as fh:
@@ -284,14 +299,27 @@ def probe_shard(
                 rng.shuffle(shuffled)
                 digest = hashlib.sha256()
                 count = 0
-                for destination in shuffled:
-                    trace = prober.trace(
-                        vp_router, destination, vp_name=vp.vp_id
-                    )
-                    line = json.dumps(_trace_to_json(trace)) + "\n"
-                    fh.write(line)
-                    digest.update(line.encode("utf-8"))
-                    count += 1
+                if track:
+                    with telemetry.span("probe", vp=vp.vp_id):
+                        for destination in shuffled:
+                            tick = clock()
+                            trace = prober.trace(
+                                vp_router, destination, vp_name=vp.vp_id
+                            )
+                            bin_probe(clock() - tick)
+                            line = json.dumps(_trace_to_json(trace)) + "\n"
+                            fh.write(line)
+                            digest.update(line.encode("utf-8"))
+                            count += 1
+                else:
+                    for destination in shuffled:
+                        trace = prober.trace(
+                            vp_router, destination, vp_name=vp.vp_id
+                        )
+                        line = json.dumps(_trace_to_json(trace)) + "\n"
+                        fh.write(line)
+                        digest.update(line.encode("utf-8"))
+                        count += 1
                 vp_probes.append(
                     VpProbe(
                         vp_index=vp_index,
@@ -312,6 +340,8 @@ def probe_shard(
                 )
     finally:
         context.net.engine.faults = None
+        if track and probe_samples:
+            telemetry.histogram("probe").observe_many(probe_samples)
     return ShardProbeRecord(
         as_id=shard.as_id,
         bucket=shard.bucket,

@@ -377,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
             "run only what's missing"
         ),
     )
+    _add_telemetry_argument(scale)
 
     detect = sub.add_parser(
         "detect", help="run AReST offline over a JSONL trace dataset"
@@ -499,6 +500,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         action="store_true",
         help="print the Prometheus exposition text instead of tables",
+    )
+    telemetry.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable summary instead of tables",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help=(
+            "reconstruct a traced run's cross-process timeline: "
+            "per-shard Gantt view, critical path, straggler report"
+        ),
+    )
+    timeline.add_argument(
+        "directory",
+        help="telemetry directory of a traced run (--telemetry-dir)",
+    )
+    timeline.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the machine-readable timeline report (critical "
+            "path, stragglers, coverage share) instead of the text view"
+        ),
+    )
+    timeline.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help=(
+            "additionally write Chrome/Perfetto trace-event JSON to "
+            "FILE (load via chrome://tracing or ui.perfetto.dev)"
+        ),
     )
 
     sub.add_parser("portfolio-table", help="print Table 5")
@@ -753,6 +787,7 @@ def _cmd_scale_campaign(args: argparse.Namespace) -> int:
             args.max_rss * 1024 * 1024 if args.max_rss else None
         ),
         max_redispatch=args.max_redispatch,
+        telemetry_dir=args.telemetry_dir,
     )
     out = Path(args.out)
     # report.json is the determinism contract's artifact: identical
@@ -925,10 +960,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.obs import (
         render_prometheus,
         render_telemetry_report,
         summarize_telemetry,
+        summary_as_dict,
     )
 
     summary = summarize_telemetry(args.directory)
@@ -937,8 +975,45 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         return 1
     if args.prometheus:
         print(render_prometheus(summary), end="")
+    elif args.json:
+        print(
+            _json.dumps(summary_as_dict(summary), indent=2, sort_keys=True)
+        )
     else:
         print(render_telemetry_report(summary))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import (
+        load_timeline,
+        render_timeline,
+        timeline_report_dict,
+    )
+    from repro.obs.trace import write_trace_json
+
+    timeline = load_timeline(args.directory)
+    if not timeline.spans:
+        print(
+            f"no traced spans found in {args.directory} (was the run "
+            f"started with --telemetry-dir on a tracing-aware command?)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.trace_json:
+        write_trace_json(timeline, args.trace_json)
+    if args.json:
+        print(
+            _json.dumps(
+                timeline_report_dict(timeline), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(render_timeline(timeline))
+        if args.trace_json:
+            print(f"trace events written to {args.trace_json}")
     return 0
 
 
@@ -1001,6 +1076,7 @@ _COMMANDS = {
     "survey": _cmd_survey,
     "report": _cmd_report,
     "telemetry": _cmd_telemetry,
+    "timeline": _cmd_timeline,
     "portfolio-table": _cmd_portfolio_table,
     "testbed": _cmd_testbed,
 }

@@ -14,6 +14,9 @@ Layout:
 - :mod:`repro.obs.session` -- campaign-scoped orchestration;
 - :mod:`repro.obs.summary` -- aggregation + text/markdown rendering;
 - :mod:`repro.obs.prometheus` -- scrapeable textfile export;
+- :mod:`repro.obs.trace` -- distributed tracing: context propagation,
+  clock anchoring, timeline/critical-path reconstruction, fixed-bucket
+  latency histograms;
 - :mod:`repro.obs.logsetup` -- CLI logging configuration.
 """
 
@@ -23,7 +26,10 @@ from repro.obs.manifest import (
     begin_manifest,
     load_manifest,
 )
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import (
+    render_latency_histograms,
+    render_prometheus,
+)
 from repro.obs.session import (
     PORTFOLIO_SCOPE,
     PROMETHEUS_FILENAME,
@@ -35,6 +41,7 @@ from repro.obs.summary import (
     performance_section,
     render_telemetry_report,
     summarize_telemetry,
+    summary_as_dict,
 )
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
@@ -42,11 +49,27 @@ from repro.obs.telemetry import (
     Telemetry,
     merge_counters,
 )
+from repro.obs.trace import (
+    LATENCY_BUCKETS,
+    ClockAnchor,
+    LatencyHistogram,
+    Timeline,
+    TraceContext,
+    critical_path,
+    load_timeline,
+    render_timeline,
+    stragglers,
+    timeline_report_dict,
+    trace_event_json,
+)
 
 __all__ = [
     "EVENTS_FILENAME",
+    "LATENCY_BUCKETS",
     "MANIFEST_FILENAME",
     "NULL_TELEMETRY",
+    "ClockAnchor",
+    "LatencyHistogram",
     "NullTelemetry",
     "PORTFOLIO_SCOPE",
     "PROMETHEUS_FILENAME",
@@ -55,12 +78,22 @@ __all__ = [
     "TelemetrySession",
     "TelemetrySummary",
     "TelemetryWriter",
+    "Timeline",
+    "TraceContext",
     "begin_manifest",
+    "critical_path",
     "load_events",
     "load_manifest",
+    "load_timeline",
     "merge_counters",
     "performance_section",
+    "render_latency_histograms",
     "render_prometheus",
     "render_telemetry_report",
+    "render_timeline",
+    "stragglers",
     "summarize_telemetry",
+    "summary_as_dict",
+    "timeline_report_dict",
+    "trace_event_json",
 ]

@@ -35,7 +35,11 @@ from repro.version import __version__
 MANIFEST_FILENAME = "manifest.json"
 
 _KIND = "arest-manifest"
-_VERSION = 1
+# v2: adds the optional trace_id (the campaign-wide distributed-trace
+# id) and clock_anchor (the supervisor's wall/monotonic correspondence,
+# the cross-process skew reference).  Additive only; v1 readers keep
+# working because load_manifest never gates on the version.
+_VERSION = 2
 
 
 def _environment() -> dict:
@@ -65,6 +69,10 @@ class RunManifest:
     started_unix: float = 0.0
     finished_unix: float | None = None
     exit_status: str = "running"
+    #: campaign-wide distributed-trace id (None when tracing is off)
+    trace_id: str | None = None
+    #: supervisor clock anchor: {"unix": ..., "clock": ...}
+    clock_anchor: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON view, exactly what lands in ``manifest.json``."""
@@ -77,6 +85,12 @@ class RunManifest:
             "jobs": self.jobs,
             "as_ids": list(self.as_ids),
             "environment": dict(self.environment),
+            "trace_id": self.trace_id,
+            "clock_anchor": (
+                None
+                if self.clock_anchor is None
+                else dict(self.clock_anchor)
+            ),
             "started_unix": self.started_unix,
             "finished_unix": self.finished_unix,
             "duration_seconds": (
@@ -109,6 +123,8 @@ def begin_manifest(
     jobs: int = 1,
     as_ids: list[int] | None = None,
     clock=time.time,
+    trace_id: str | None = None,
+    clock_anchor: dict | None = None,
 ) -> RunManifest:
     """Create and durably write a ``running`` manifest in ``directory``."""
     manifest = RunManifest(
@@ -119,6 +135,8 @@ def begin_manifest(
         jobs=jobs,
         as_ids=list(as_ids or ()),
         started_unix=clock(),
+        trace_id=trace_id,
+        clock_anchor=clock_anchor,
     )
     manifest.write()
     return manifest

@@ -36,6 +36,7 @@ lifecycle (``arest_workers_*``), and the memory-governance surface
 from __future__ import annotations
 
 from repro.obs.summary import TelemetrySummary
+from repro.obs.trace import LATENCY_BUCKETS
 
 
 def _escape(value: object) -> str:
@@ -104,6 +105,53 @@ def render_ingest_metrics(
         "# TYPE arest_traces_quarantined gauge",
         f"arest_traces_quarantined {traces_quarantined}",
     ]
+    return "\n".join(lines) + "\n"
+
+
+def render_latency_histograms(histograms: "dict[str, dict]") -> str:
+    """Render per-stage latency histograms as one Prometheus family.
+
+    ``histograms`` maps stage -> ``{"buckets": [...], "sum", "count"}``
+    with per-bucket (non-cumulative) counts over the fixed
+    :data:`~repro.obs.trace.LATENCY_BUCKETS` edges; the exposition
+    format wants cumulative ``le`` buckets, so the cumulation happens
+    here.  Both the textfile export and the live service ``/metrics``
+    render through this one function, so the two surfaces can never
+    drift.
+    """
+    if not histograms:
+        return ""
+    lines = [
+        "# HELP arest_stage_latency_seconds Per-event latency by "
+        "pipeline stage (fixed deterministic buckets).",
+        "# TYPE arest_stage_latency_seconds histogram",
+    ]
+    for stage in sorted(histograms):
+        hist = histograms[stage]
+        buckets = list(hist.get("buckets", ()))
+        if len(buckets) != len(LATENCY_BUCKETS) + 1:
+            continue  # foreign layout: refuse to render garbage
+        label = _escape(stage)
+        cumulative = 0
+        for edge, count in zip(LATENCY_BUCKETS, buckets):
+            cumulative += count
+            lines.append(
+                f'arest_stage_latency_seconds_bucket{{stage="{label}",'
+                f'le="{edge:g}"}} {cumulative}'
+            )
+        cumulative += buckets[-1]
+        lines.append(
+            f'arest_stage_latency_seconds_bucket{{stage="{label}",'
+            f'le="+Inf"}} {cumulative}'
+        )
+        lines.append(
+            f'arest_stage_latency_seconds_sum{{stage="{label}"}} '
+            f"{float(hist.get('sum', 0.0)):.6f}"
+        )
+        lines.append(
+            f'arest_stage_latency_seconds_count{{stage="{label}"}} '
+            f"{int(hist.get('count', 0))}"
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -339,4 +387,8 @@ def render_prometheus(summary: TelemetrySummary) -> str:
                     f'arest_gauge{{scope="{_escape(scope)}",'
                     f'name="{_escape(name)}"}} {value:g}'
                 )
+    if summary.histograms:
+        lines.append(
+            render_latency_histograms(summary.histograms).rstrip("\n")
+        )
     return "\n".join(lines) + "\n"

@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.obs.manifest import RunManifest, begin_manifest
 from repro.obs.sink import EVENTS_FILENAME, TelemetryWriter
 from repro.obs.telemetry import merge_counters
+from repro.obs.trace import ClockAnchor, LatencyHistogram, TraceContext
 
 #: canonical Prometheus textfile name inside a telemetry directory
 PROMETHEUS_FILENAME = "metrics.prom"
@@ -51,9 +52,15 @@ class TelemetrySession:
         jobs: int = 1,
         as_ids: list[int] | None = None,
         clock=time.monotonic,
+        trace: TraceContext | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: campaign-wide trace context; the session's span_id is the
+        #: root span every worker recorder parents under
+        self.trace = trace or TraceContext.new()
+        #: the supervisor's own wall/monotonic correspondence
+        self.anchor = ClockAnchor.capture(clock)
         self.manifest: RunManifest = begin_manifest(
             self.directory,
             config=config,
@@ -61,14 +68,21 @@ class TelemetrySession:
             command=command,
             jobs=jobs,
             as_ids=as_ids,
+            trace_id=self.trace.trace_id,
+            clock_anchor=self.anchor.as_dict(),
         )
         self.writer = TelemetryWriter(self.directory / EVENTS_FILENAME)
         #: counter totals across every scope recorded so far
         self.totals: dict[str, int] = {}
         self._portfolio_counters: dict[str, int] = {}
+        self._portfolio_histograms: dict[str, LatencyHistogram] = {}
         self._clock = clock
-        self._started = clock()
+        self._started = self.anchor.clock
         self._finalized = False
+
+    def traceparent(self) -> str:
+        """The wire context task envelopes carry to worker processes."""
+        return self.trace.traceparent()
 
     # -- recording -------------------------------------------------------------
 
@@ -78,21 +92,36 @@ class TelemetrySession:
         spans: list[dict] | None = None,
         counters: dict[str, int] | None = None,
         gauges: dict[str, float] | None = None,
+        anchor: dict | None = None,
+        histograms: dict[str, dict] | None = None,
     ) -> None:
         """Durably append one scope's telemetry batch."""
         self.writer.append_batch(
-            scope, spans=spans, counters=counters, gauges=gauges
+            scope,
+            spans=spans,
+            counters=counters,
+            gauges=gauges,
+            anchor=anchor,
+            histograms=histograms,
         )
         if counters:
             merge_counters(self.totals, counters)
 
     def record_export(self, scope: int | str, export: dict) -> None:
-        """Record one :meth:`repro.obs.telemetry.Telemetry.export` blob."""
+        """Record one :meth:`repro.obs.telemetry.Telemetry.export` blob.
+
+        Traced exports carry the worker's clock anchor and histogram
+        bins; both pass straight through to the stream (the anchor is
+        the cross-process skew fix -- each batch normalizes through the
+        clock of the process that recorded it).
+        """
         self.record_scope(
             scope,
             spans=export.get("spans"),
             counters=export.get("counters"),
             gauges=export.get("gauges"),
+            anchor=export.get("anchor"),
+            histograms=export.get("histograms"),
         )
 
     def count(self, name: str, n: int = 1) -> None:
@@ -101,6 +130,13 @@ class TelemetrySession:
             self._portfolio_counters[name] = (
                 self._portfolio_counters.get(name, 0) + n
             )
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Bin one supervisor-side latency (e.g. a checkpoint bank)."""
+        hist = self._portfolio_histograms.get(stage)
+        if hist is None:
+            hist = self._portfolio_histograms[stage] = LatencyHistogram()
+        hist.observe(seconds)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -117,9 +153,23 @@ class TelemetrySession:
         self.record_scope(
             PORTFOLIO_SCOPE,
             spans=[
-                {"stage": "portfolio", "path": "portfolio", "seconds": wall}
+                {
+                    "stage": "portfolio",
+                    "path": "portfolio",
+                    "seconds": wall,
+                    "start": self._started,
+                    "trace_id": self.trace.trace_id,
+                    "span_id": self.trace.span_id,
+                    "parent_span_id": None,
+                }
             ],
             counters=dict(self._portfolio_counters),
+            anchor=self.anchor.as_dict(),
+            histograms={
+                stage: hist.as_dict()
+                for stage, hist in self._portfolio_histograms.items()
+            }
+            or None,
         )
         self.manifest.finalize(exit_status)
         # Render the Prometheus textfile from the on-disk stream so the

@@ -15,9 +15,16 @@ story (:mod:`repro.util.atomicio`):
    damage and reports what it dropped, and the ``flush`` markers let
    readers distinguish complete AS batches from a torn tail.
 
-Records are plain dicts with a ``kind`` field (``span``, ``counter``,
-``flush``); every record carries the ``scope`` it was recorded under
-(an AS id, or ``"portfolio"`` for campaign-level records).  The sink is
+Records are plain dicts with a ``kind`` field; every record carries the
+``scope`` it was recorded under (an AS id, or ``"portfolio"`` for
+campaign-level records).  Stream format v1 had ``span``, ``counter``,
+``gauge`` and ``flush`` kinds; v2 adds ``anchor`` (one process's
+wall/monotonic clock correspondence, written *first* in each batch so
+readers can normalize the batch's span starts) and ``hist`` (one
+stage's fixed-bucket latency histogram), and traced span records gain
+``trace_id``/``span_id``/``parent_span_id``/``start`` fields.  Both
+additions are tolerated by v1 readers, which ignore unknown kinds and
+unknown span fields.  The sink is
 observational: nothing here feeds back into results, so completion
 order -- which varies across parallel runs -- is allowed to leak into
 the file.  Only the *counter totals* are contractual (order-independent
@@ -50,14 +57,20 @@ class TelemetryWriter:
         spans: list[dict] | None = None,
         counters: dict[str, int] | None = None,
         gauges: dict[str, float] | None = None,
+        anchor: dict | None = None,
+        histograms: dict[str, dict] | None = None,
     ) -> int:
         """Durably append one scope's telemetry; returns records written.
 
         The batch is one ``write(2)`` followed by an fsync, closed by a
         ``flush`` marker: a reader that sees the marker knows the whole
-        batch is intact.
+        batch is intact.  The anchor (when the scope's recorder was
+        traced) leads the batch, so a streaming reader always holds the
+        right clock correspondence before it meets the spans it covers.
         """
         records: list[dict] = []
+        if anchor is not None:
+            records.append({"kind": "anchor", "scope": scope, **anchor})
         for span in spans or ():
             records.append({"kind": "span", "scope": scope, **span})
         for name in sorted(counters or ()):
@@ -76,6 +89,15 @@ class TelemetryWriter:
                     "scope": scope,
                     "name": name,
                     "value": gauges[name],
+                }
+            )
+        for stage in sorted(histograms or ()):
+            records.append(
+                {
+                    "kind": "hist",
+                    "scope": scope,
+                    "stage": stage,
+                    **histograms[stage],
                 }
             )
         records.append({"kind": "flush", "scope": scope})

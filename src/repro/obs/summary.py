@@ -28,6 +28,7 @@ from pathlib import Path
 from repro.obs.manifest import load_manifest
 from repro.obs.sink import EVENTS_FILENAME, load_events
 from repro.obs.telemetry import merge_counters
+from repro.obs.trace import merge_histogram_dicts
 from repro.util.tables import format_table
 
 #: canonical stage ordering for tables (extras appended alphabetically)
@@ -60,6 +61,9 @@ class TelemetrySummary:
     #: scope -> gauge name -> last written value (gauges are
     #: last-write-wins, never summed -- resumed scopes re-report)
     gauges: dict[object, dict[str, float]] = field(default_factory=dict)
+    #: stage -> merged fixed-bucket latency histogram (identical bucket
+    #: edges everywhere, so cross-scope merging is vector addition)
+    histograms: dict[str, dict] = field(default_factory=dict)
     #: scopes whose final batch carried a ``flush`` marker
     flushed_scopes: set = field(default_factory=set)
     #: corrupt lines the loader dropped
@@ -108,9 +112,53 @@ def summarize_telemetry(directory: str | Path) -> TelemetrySummary:
             name = str(record.get("name", "unknown"))
             per_scope_gauges = summary.gauges.setdefault(scope, {})
             per_scope_gauges[name] = float(record.get("value", 0.0))
+        elif kind == "hist":
+            stage = str(record.get("stage", "unknown"))
+            merge_histogram_dicts(summary.histograms, {stage: record})
         elif kind == "flush":
             summary.flushed_scopes.add(scope)
     return summary
+
+
+def summary_as_dict(summary: TelemetrySummary) -> dict:
+    """Machine-readable view of a summary (``arest telemetry --json``).
+
+    Scope keys become strings (JSON objects cannot key on ints); the
+    content otherwise mirrors the text tables one to one, so CI and the
+    timeline tooling share a single parser instead of scraping tables.
+    """
+    return {
+        "directory": str(summary.directory),
+        "manifest": summary.manifest,
+        "stages": summary.stages(),
+        "stage_seconds": {
+            str(scope): dict(sorted(per_stage.items()))
+            for scope, per_stage in sorted(
+                summary.stage_seconds.items(), key=lambda item: str(item[0])
+            )
+        },
+        "counters": {
+            str(scope): dict(sorted(per_scope.items()))
+            for scope, per_scope in sorted(
+                summary.counters.items(), key=lambda item: str(item[0])
+            )
+        },
+        "totals": dict(sorted(summary.totals.items())),
+        "gauges": {
+            str(scope): dict(sorted(per_scope.items()))
+            for scope, per_scope in sorted(
+                summary.gauges.items(), key=lambda item: str(item[0])
+            )
+        },
+        "histograms": {
+            stage: dict(summary.histograms[stage])
+            for stage in sorted(summary.histograms)
+        },
+        "flushed_scopes": sorted(
+            str(scope) for scope in summary.flushed_scopes
+        ),
+        "dropped_lines": summary.dropped_lines,
+    }
 
 
 #: the per-AS counter columns the compact table shows (full tallies

@@ -39,8 +39,13 @@ import signal
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.obs.prometheus import escape_label_value, render_ingest_metrics
+from repro.obs.prometheus import (
+    escape_label_value,
+    render_ingest_metrics,
+    render_latency_histograms,
+)
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace import TraceContext
 from repro.service.ingest import (
     REASON_DISK_FULL,
     REASON_DRAINING,
@@ -137,8 +142,12 @@ class ArestService:
             retry_after=config.retry_after,
         )
         #: always-on in-memory recorder (feeds /metrics; results are
-        #: byte-identical whether or not a telemetry dir persists it)
-        self.recorder = Telemetry()
+        #: byte-identical whether or not a telemetry dir persists it).
+        #: Trace-context-carrying from birth: the service is one
+        #: long-lived trace, and the session (when a telemetry dir is
+        #: configured) adopts this same context so worker spans parent
+        #: under the run's root span.
+        self.recorder = Telemetry(trace=TraceContext.new())
         self.pool = WorkerPool(
             self.queue,
             self.state,
@@ -186,6 +195,7 @@ class ArestService:
                 seed=0,
                 command="serve",
                 jobs=self.config.workers,
+                trace=self.recorder.trace,
             )
         self.pool.start()
         sockname = self._server.sockets[0].getsockname()
@@ -278,6 +288,8 @@ class ArestService:
             spans=export["spans"],
             counters=counters,
             gauges=gauges,
+            anchor=export.get("anchor"),
+            histograms=export.get("histograms"),
         )
         self.session.finalize(status)
 
@@ -423,7 +435,9 @@ class ArestService:
         # journal durably (write+flush+fsync) BEFORE enqueue + 202: the
         # acknowledgement is the crash-safety promise
         try:
+            tick = self.recorder.clock()
             seqs = self.state.accept(decoded.traces)
+            self.recorder.observe("bank", self.recorder.clock() - tick)
         except DiskFullError as exc:
             # ENOSPC/EDQUOT is environmental, not terminal: the batch
             # was NOT acknowledged (nothing enqueued), the journal is
@@ -510,6 +524,13 @@ class ArestService:
                     f'stage="{escape_label_value(stage)}"}} {seconds:.6f}'
                 )
             text += "\n".join(lines) + "\n"
+        if self.recorder.histograms:
+            text += render_latency_histograms(
+                {
+                    stage: hist.as_dict()
+                    for stage, hist in self.recorder.histograms.items()
+                }
+            )
         return text
 
     # -- response plumbing ---------------------------------------------------

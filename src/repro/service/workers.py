@@ -116,7 +116,23 @@ class WorkerPool:
                 self.queue.task_done()
 
     async def _analyze(self, seq: int, trace) -> SegmentAggregate:
-        """One trace's pure projection, bounded and contained."""
+        """One trace's pure projection, bounded and contained.
+
+        Every path through the analysis -- clean, poisoned, timed out
+        -- lands one ``detect`` latency observation, so the histogram's
+        count equals the traces dequeued and its tail shows the
+        deadline ceiling.
+        """
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return await self._analyze_inner(seq, trace)
+        tick = tel.clock()
+        try:
+            return await self._analyze_inner(seq, trace)
+        finally:
+            tel.observe("detect", tel.clock() - tick)
+
+    async def _analyze_inner(self, seq: int, trace) -> SegmentAggregate:
         if self._executor is None:
             try:
                 return analyze_trace(

@@ -19,10 +19,18 @@ import signal
 import pytest
 
 from repro.analysis.markdown_report import render_markdown_report
-from repro.campaign import CampaignRunner
+from repro.campaign import CampaignRunner, ScaleCampaign
 from repro.campaign.checkpoint import QuarantineStub
 from repro.campaign.runner import result_counters
-from repro.obs import load_manifest, summarize_telemetry
+from repro.obs import (
+    critical_path,
+    load_manifest,
+    load_timeline,
+    summarize_telemetry,
+    timeline_report_dict,
+    trace_event_json,
+)
+from repro.topogen.synthetic import SyntheticPortfolio
 
 AS_IDS = [27, 46]
 KNOBS = dict(seed=1, vps_per_as=1, targets_per_as=4)
@@ -199,6 +207,160 @@ class TestQuarantinePostMortem:
         assert restored.stage_seconds == pytest.approx(
             quarantine.stage_seconds, abs=5e-4
         )
+
+
+def _assert_unified_trace(telemetry_dir, expect_scopes=()):
+    """The tentpole invariant: one trace, nested, anchored, coherent."""
+    timeline = load_timeline(telemetry_dir)
+    manifest = load_manifest(telemetry_dir)
+    assert manifest["trace_id"]
+    assert timeline.trace_ids == {manifest["trace_id"]}
+    root = timeline.root()
+    assert root is not None and root.stage == "portfolio"
+    by_id = {span.span_id: span for span in timeline.spans}
+    for parent_id, kids in timeline.children.items():
+        parent = by_id[parent_id]
+        for child in kids:
+            assert parent.start <= child.start <= child.end <= parent.end
+    scopes = {span.scope for span in timeline.spans}
+    for scope in expect_scopes:
+        assert scope in scopes
+    segments = critical_path(timeline)
+    covered = sum(s.exclusive_seconds for s in segments)
+    assert covered == pytest.approx(root.seconds)
+    return timeline
+
+
+class TestTracePropagation:
+    def test_serial_run_produces_one_unified_trace(self, tmp_path):
+        _, _, telemetry_dir = _run(tmp_path, "run", telemetry=True)
+        timeline = _assert_unified_trace(
+            telemetry_dir, expect_scopes=[*AS_IDS, "portfolio"]
+        )
+        # the AS worker spans hang directly off the campaign root
+        root = timeline.root()
+        as_spans = [
+            s for s in timeline.children[root.span_id] if s.stage == "as"
+        ]
+        assert {s.scope for s in as_spans} == set(AS_IDS)
+
+    @_fork_required
+    def test_worker_process_spans_join_the_campaign_trace(self, tmp_path):
+        _, _, telemetry_dir = _run(
+            tmp_path, "run", jobs=2, telemetry=True
+        )
+        _assert_unified_trace(
+            telemetry_dir, expect_scopes=[*AS_IDS, "portfolio"]
+        )
+
+    def test_resumed_run_records_its_own_unified_trace(self, tmp_path):
+        _, ckpt, fresh_dir = _run(tmp_path, "fresh", telemetry=True)
+        resumed_dir = tmp_path / "resumed-telemetry"
+        CampaignRunner(**KNOBS).run_portfolio(
+            as_ids=AS_IDS,
+            checkpoint=ckpt,
+            resume=True,
+            telemetry_dir=resumed_dir,
+        )
+        fresh = _assert_unified_trace(fresh_dir)
+        resumed = _assert_unified_trace(
+            resumed_dir, expect_scopes=[*AS_IDS, "portfolio"]
+        )
+        # two runs are two traces
+        assert fresh.trace_ids != resumed.trace_ids
+
+    @_fork_required
+    def test_killed_worker_leaves_a_coherent_trace(self, tmp_path):
+        telemetry_dir = tmp_path / "telemetry"
+        KillsWorkerAlways(**KNOBS).run_portfolio(
+            as_ids=AS_IDS,
+            checkpoint=tmp_path / "c.ckpt",
+            jobs=2,
+            timeout_per_as=60,
+            telemetry_dir=telemetry_dir,
+        )
+        # the survivor's spans and the post-mortem all carry the one
+        # campaign trace id; reconstruction stays structurally sound
+        timeline = _assert_unified_trace(
+            telemetry_dir, expect_scopes=[46, "portfolio"]
+        )
+        report = timeline_report_dict(timeline)
+        assert report["trace_ids"] == sorted(timeline.trace_ids)
+        json.dumps(trace_event_json(timeline))  # export stays valid
+
+
+def _scale(tmp_path, name, jobs=1, shards=None, telemetry=False,
+           resume=False, n_ases=2):
+    campaign = ScaleCampaign(
+        portfolio=SyntheticPortfolio(n_ases, seed=5),
+        seed=5,
+        vps_per_as=2,
+        targets_per_as=4,
+    )
+    report = campaign.run(
+        tmp_path / name,
+        jobs=jobs,
+        vps_per_shard=shards,
+        resume=resume,
+        telemetry_dir=(tmp_path / f"{name}-telemetry") if telemetry else None,
+    )
+    return report, tmp_path / name, tmp_path / f"{name}-telemetry"
+
+
+class TestScaleCampaignTracing:
+    def test_tracing_never_touches_report_or_checkpoint_bytes(
+        self, tmp_path
+    ):
+        plain, plain_dir, _ = _scale(tmp_path, "plain")
+        traced, traced_dir, _ = _scale(
+            tmp_path, "traced", jobs=2, shards=1, telemetry=True
+        )
+        assert _fingerprint(traced) == _fingerprint(plain)
+        assert (traced_dir / "checkpoint.jsonl").read_bytes() == (
+            plain_dir / "checkpoint.jsonl"
+        ).read_bytes()
+
+    def test_shard_and_analysis_spans_unify_under_one_trace(
+        self, tmp_path
+    ):
+        _, _, telemetry_dir = _scale(
+            tmp_path, "run", jobs=2, shards=1, telemetry=True
+        )
+        timeline = _assert_unified_trace(telemetry_dir)
+        scopes = {str(span.scope) for span in timeline.spans}
+        # probe shards and analysis scopes both joined the trace
+        assert any(scope.startswith("shard:") for scope in scopes)
+        assert {"1", "2"} <= scopes
+        report = timeline_report_dict(timeline)
+        assert report["critical_path_share"] > 0.5
+        summary = summarize_telemetry(telemetry_dir)
+        # per-trace latency histograms for the hot stages made it out
+        for stage in ("probe", "sanitize", "detect", "bank"):
+            assert summary.histograms[stage]["count"] > 0
+
+    def test_resumed_scale_run_stays_byte_identical(self, tmp_path):
+        plain, plain_dir, _ = _scale(tmp_path, "plain")
+        # interrupt by probing only: run against a subset, then resume
+        # the full campaign with tracing on
+        campaign = ScaleCampaign(
+            portfolio=SyntheticPortfolio(2, seed=5),
+            seed=5,
+            vps_per_as=2,
+            targets_per_as=4,
+        )
+        out = tmp_path / "resumed"
+        campaign.run(out, as_ids=[1], telemetry_dir=tmp_path / "t1")
+        report = campaign.run(
+            out,
+            jobs=2,
+            resume=True,
+            telemetry_dir=tmp_path / "t2",
+        )
+        assert _fingerprint(report) == _fingerprint(plain)
+        assert (out / "checkpoint.jsonl").read_bytes() == (
+            plain_dir / "checkpoint.jsonl"
+        ).read_bytes()
+        _assert_unified_trace(tmp_path / "t2")
 
 
 class TestQuarantineStubCompat:

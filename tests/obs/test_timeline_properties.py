@@ -1,0 +1,129 @@
+"""Property tests for timeline reconstruction invariants.
+
+The tracing acceptance criteria are structural: whatever mix of
+processes, clocks, nesting depths and batch interleavings produced the
+event stream, the reconstructed timeline must satisfy
+
+- child-within-parent interval nesting (after skew normalization);
+- no orphan parent references in the trace-event JSON export;
+- a well-formed (round-trippable) trace-event document.
+
+Hypothesis drives randomized "campaigns": a supervisor plus N worker
+recorders, each with its own monotonic clock zero and its own wall
+anchor, each recording a random span tree, with batches interleaved in
+arbitrary completion order -- exactly the degrees of freedom a real
+serial / ``--jobs N`` / killed-and-resumed run exercises (the
+end-to-end variants of those runs live in
+``tests/campaign/test_observability.py``).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    TraceContext,
+    timeline_from_records,
+    trace_event_json,
+)
+
+from tests.conftest import scaled_examples
+from tests.obs.test_telemetry import FakeClock
+
+#: one worker's random recording plan: (clock zero, wall anchor offset,
+#: span tree as a nesting-depth walk)
+worker_plans = st.lists(
+    st.tuples(
+        st.floats(-1e6, 1e6, allow_nan=False),  # monotonic clock zero
+        st.floats(0.0, 3600.0, allow_nan=False),  # wall start offset
+        st.lists(st.integers(0, 2), min_size=1, max_size=8),  # walk
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _record_worker(scope, ctx, clock_zero, walk):
+    """Drive one recorder through a random open/close span walk."""
+    clock = FakeClock(tick=0.125)
+    clock.now = clock_zero
+    tel = Telemetry(clock=clock, trace=ctx)
+    open_spans = []
+    for step in walk:
+        if step and len(open_spans) < 4:
+            cm = tel.span(f"stage{len(open_spans)}")
+            cm.__enter__()
+            open_spans.append(cm)
+        elif open_spans:
+            open_spans.pop().__exit__(None, None, None)
+    while open_spans:
+        open_spans.pop().__exit__(None, None, None)
+    return tel
+
+
+def _batches(plans):
+    """Interleave worker exports into one plausible event stream."""
+    ctx = TraceContext.new()
+    records = [
+        {"kind": "anchor", "scope": "portfolio", "unix": 0.0, "clock": 0.0},
+        {
+            "kind": "span", "scope": "portfolio", "stage": "portfolio",
+            "path": "portfolio", "seconds": 1e9, "start": 0.0,
+            "trace_id": ctx.trace_id, "span_id": ctx.span_id,
+            "parent_span_id": None,
+        },
+    ]
+    for index, (clock_zero, wall_offset, walk) in enumerate(plans):
+        tel = _record_worker(index, ctx, clock_zero, walk)
+        export = tel.export()
+        anchor = dict(export["anchor"])
+        # each process claims its own wall-clock story for its batch
+        anchor["unix"] = wall_offset
+        records.append({"kind": "anchor", "scope": index, **anchor})
+        for span in export["spans"]:
+            records.append({"kind": "span", "scope": index, **span})
+    return ctx, records
+
+
+@given(plans=worker_plans)
+@settings(max_examples=scaled_examples(50), deadline=None)
+def test_children_always_nest_within_parents(plans):
+    _, records = _batches(plans)
+    timeline = timeline_from_records(records)
+    by_id = {span.span_id: span for span in timeline.spans}
+    for parent_id, kids in timeline.children.items():
+        parent = by_id[parent_id]
+        for child in kids:
+            assert parent.start <= child.start <= child.end <= parent.end
+
+
+@given(plans=worker_plans)
+@settings(max_examples=scaled_examples(50), deadline=None)
+def test_trace_event_json_is_well_formed_with_no_orphans(plans):
+    _, records = _batches(plans)
+    doc = trace_event_json(timeline_from_records(records))
+    parsed = json.loads(json.dumps(doc))
+    assert set(parsed) == {"traceEvents", "displayTimeUnit"}
+    span_ids = set()
+    for event in parsed["traceEvents"]:
+        assert event["ph"] in ("X", "M")
+        if event["ph"] == "X":
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            span_ids.add(event["args"]["span_id"])
+    for event in parsed["traceEvents"]:
+        if event["ph"] != "X":
+            continue
+        parent = event["args"].get("parent_span_id")
+        assert parent is None or parent in span_ids
+
+
+@given(plans=worker_plans)
+@settings(max_examples=scaled_examples(50), deadline=None)
+def test_every_span_carries_the_campaign_trace_id(plans):
+    ctx, records = _batches(plans)
+    timeline = timeline_from_records(records)
+    assert timeline.trace_ids == {ctx.trace_id}
+    for span in timeline.spans:
+        assert span.trace_id == ctx.trace_id

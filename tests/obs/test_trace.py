@@ -1,0 +1,320 @@
+"""Distributed tracing unit tests: context, anchors, histograms, timelines."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    LATENCY_BUCKETS,
+    ClockAnchor,
+    LatencyHistogram,
+    TraceContext,
+    critical_path,
+    merge_histogram_dicts,
+    stragglers,
+    timeline_from_records,
+    timeline_report_dict,
+    trace_event_json,
+)
+
+from tests.obs.test_telemetry import FakeClock
+
+
+class TestTraceContext:
+    def test_roundtrips_through_the_wire_form(self):
+        ctx = TraceContext.new()
+        parsed = TraceContext.parse(ctx.traceparent())
+        assert parsed == ctx
+
+    def test_wire_form_is_w3c_shaped(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert ctx.traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            "",
+            "not-a-traceparent",
+            "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # bad version
+            "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+            "00-" + "a" * 32 + "-" + "b" * 15 + "-01",  # short span id
+            "00-" + "g" * 32 + "-" + "b" * 16 + "-01",  # non-hex
+        ],
+    )
+    def test_junk_is_rejected(self, junk):
+        with pytest.raises(ValueError):
+            TraceContext.parse(junk)
+
+    def test_fresh_contexts_are_distinct(self):
+        seen = {TraceContext.new().trace_id for _ in range(8)}
+        assert len(seen) == 8
+
+
+class TestClockAnchor:
+    def test_normalizes_monotonic_readings_to_wall_time(self):
+        anchor = ClockAnchor(unix=1000.0, clock=50.0)
+        assert anchor.to_wall(50.0) == 1000.0
+        assert anchor.to_wall(53.5) == 1003.5
+
+    def test_dict_roundtrip(self):
+        anchor = ClockAnchor(unix=123.25, clock=9.5)
+        assert ClockAnchor.from_dict(anchor.as_dict()) == anchor
+
+
+class TestLatencyHistogram:
+    def test_bucket_semantics_are_inclusive_le(self):
+        hist = LatencyHistogram()
+        # exactly on an edge lands in that edge's bucket (Prometheus le)
+        hist.observe(LATENCY_BUCKETS[0])
+        hist.observe(LATENCY_BUCKETS[0] / 2)
+        hist.observe(LATENCY_BUCKETS[3])
+        hist.observe(99.0)  # overflow
+        assert hist.counts[0] == 2
+        assert hist.counts[3] == 1
+        assert hist.counts[-1] == 1
+        assert hist.count == 4
+
+    def test_merge_is_vector_addition(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.0001)
+        b.observe(0.0001)
+        b.observe(5.0)
+        merged: dict = {}
+        merge_histogram_dicts(merged, {"probe": a.as_dict()})
+        merge_histogram_dicts(merged, {"probe": b.as_dict()})
+        assert merged["probe"]["count"] == 3
+        assert merged["probe"]["buckets"][3] == 2
+        assert merged["probe"]["sum"] == pytest.approx(0.0002 + 5.0)
+
+    def test_observe_many_matches_per_sample_observe(self):
+        samples = [0.0, 1e-6, LATENCY_BUCKETS[0], 0.004, 0.004, 1.5, 99.0]
+        one_by_one, batched = LatencyHistogram(), LatencyHistogram()
+        for value in samples:
+            one_by_one.observe(value)
+        batched.observe_many(samples)
+        assert batched.counts == one_by_one.counts
+        assert batched.count == one_by_one.count
+        assert batched.sum == pytest.approx(one_by_one.sum)
+        batched.observe_many([])  # a flush with nothing banked is free
+        assert batched.count == one_by_one.count
+
+    def test_foreign_bucket_layouts_are_refused(self):
+        merged = {"probe": LatencyHistogram().as_dict()}
+        before = json.dumps(merged, sort_keys=True)
+        merge_histogram_dicts(
+            merged, {"probe": {"buckets": [1, 2, 3], "sum": 1.0, "count": 6}}
+        )
+        assert json.dumps(merged, sort_keys=True) == before
+
+
+class TestTracedRecorder:
+    def test_untraced_span_records_keep_the_v1_shape(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("probe"):
+            pass
+        assert tel.spans == [
+            {"stage": "probe", "path": "probe", "seconds": 1.0}
+        ]
+        assert "anchor" not in tel.export()
+
+    def test_traced_spans_carry_ids_and_parent_under_context(self):
+        ctx = TraceContext.new()
+        tel = Telemetry(clock=FakeClock(), trace=ctx)
+        with tel.span("as"):
+            with tel.span("analyze"):
+                pass
+        inner, outer = tel.spans
+        assert inner["trace_id"] == outer["trace_id"] == ctx.trace_id
+        assert outer["parent_span_id"] == ctx.span_id
+        assert inner["parent_span_id"] == outer["span_id"]
+        assert inner["span_id"] != outer["span_id"]
+        assert "start" in inner and "start" in outer
+
+    def test_traced_export_ships_anchor_and_histograms(self):
+        tel = Telemetry(trace=TraceContext.new())
+        tel.observe("detect", 0.001)
+        export = tel.export()
+        assert set(export["anchor"]) == {"unix", "clock"}
+        assert export["histograms"]["detect"]["count"] == 1
+
+
+def _record_batch(scope, tel):
+    """Shape one recorder's export like the sink would (anchor first)."""
+    export = tel.export()
+    records = [{"kind": "anchor", "scope": scope, **export["anchor"]}]
+    for span in export["spans"]:
+        records.append({"kind": "span", "scope": scope, **span})
+    return records
+
+
+class TestTimelineReconstruction:
+    def _two_worker_stream(self):
+        """A supervisor and two workers with wildly different clocks."""
+        ctx = TraceContext.new()
+        sup_clock = FakeClock(tick=0.0)
+        # supervisor: wall anchor 1000, monotonic 0; run spans 0..10
+        records = [{"kind": "anchor", "scope": "portfolio",
+                    "unix": 1000.0, "clock": 0.0}]
+        root = {
+            "kind": "span", "scope": "portfolio", "stage": "portfolio",
+            "path": "portfolio", "seconds": 10.0, "start": 0.0,
+            "trace_id": ctx.trace_id, "span_id": ctx.span_id,
+            "parent_span_id": None,
+        }
+        # worker A: monotonic zero offset by +500, did 1001..1004
+        tel_a = Telemetry(clock=FakeClock(), trace=ctx)
+        records.append({"kind": "anchor", "scope": 1,
+                        "unix": 1001.0, "clock": 501.0})
+        records.append({
+            "kind": "span", "scope": 1, "stage": "as", "path": "as",
+            "seconds": 3.0, "start": 501.0, "trace_id": ctx.trace_id,
+            "span_id": "a" * 16, "parent_span_id": ctx.span_id,
+        })
+        # worker B: huge negative monotonic offset, did 1005..1009.5
+        records.append({"kind": "anchor", "scope": 2,
+                        "unix": 1005.0, "clock": -90.0})
+        records.append({
+            "kind": "span", "scope": 2, "stage": "as", "path": "as",
+            "seconds": 4.5, "start": -90.0, "trace_id": ctx.trace_id,
+            "span_id": "b" * 16, "parent_span_id": ctx.span_id,
+        })
+        records.append({
+            "kind": "span", "scope": 2, "stage": "analyze",
+            "path": "as/analyze", "seconds": 2.0, "start": -88.0,
+            "trace_id": ctx.trace_id, "span_id": "c" * 16,
+            "parent_span_id": "b" * 16,
+        })
+        records.append(root)
+        return ctx, records
+
+    def test_anchors_order_spans_across_processes(self):
+        ctx, records = self._two_worker_stream()
+        timeline = timeline_from_records(records)
+        by_scope = {s.scope: s for s in timeline.spans if s.stage == "as"}
+        # worker A ran 1001..1004, worker B 1005..1009.5, despite raw
+        # monotonic starts of +501 and -90
+        assert by_scope[1].start == pytest.approx(1001.0)
+        assert by_scope[1].end == pytest.approx(1004.0)
+        assert by_scope[2].start == pytest.approx(1005.0)
+        assert by_scope[2].end == pytest.approx(1009.5)
+        assert by_scope[1].end < by_scope[2].start
+
+    def test_children_nest_within_parents(self):
+        _, records = self._two_worker_stream()
+        timeline = timeline_from_records(records)
+        for parent_id, kids in timeline.children.items():
+            parent = next(
+                s for s in timeline.spans if s.span_id == parent_id
+            )
+            for child in kids:
+                assert child.start >= parent.start
+                assert child.end <= parent.end
+
+    def test_residual_skew_is_clamped_and_counted(self):
+        ctx, records = self._two_worker_stream()
+        # worker B's child pokes 0.25s past its parent's end
+        for record in records:
+            if record.get("span_id") == "c" * 16:
+                record["seconds"] = 6.0  # ends at 1009.75 > parent 1009.5
+        timeline = timeline_from_records(records)
+        child = next(s for s in timeline.spans if s.span_id == "c" * 16)
+        parent = next(s for s in timeline.spans if s.span_id == "b" * 16)
+        assert timeline.skew_clamped == 1
+        assert child.end == parent.end
+
+    def test_critical_path_telescopes_to_root_duration(self):
+        _, records = self._two_worker_stream()
+        timeline = timeline_from_records(records)
+        segments = critical_path(timeline)
+        assert [s.span.stage for s in segments] == [
+            "portfolio", "as", "analyze",
+        ]
+        total = sum(s.exclusive_seconds for s in segments)
+        assert total == pytest.approx(timeline.root().seconds)
+
+    def test_stragglers_report_slowest_scope_and_last_stage(self):
+        _, records = self._two_worker_stream()
+        timeline = timeline_from_records(records)
+        slow = stragglers(timeline)
+        assert slow[0].scope == 2
+        assert slow[0].last_stage == "analyze"
+
+    def test_untraced_records_are_ignored(self):
+        timeline = timeline_from_records(
+            [
+                {"kind": "span", "scope": 1, "stage": "probe",
+                 "path": "probe", "seconds": 1.0},
+                {"kind": "counter", "scope": 1, "name": "x", "value": 2},
+                {"kind": "flush", "scope": 1},
+            ]
+        )
+        assert timeline.spans == []
+        assert timeline.root() is None
+
+    def test_spans_without_an_anchor_are_dropped(self):
+        # a torn stream can lose the anchor record; the span cannot be
+        # placed on a wall clock, so it must not enter the timeline
+        timeline = timeline_from_records(
+            [
+                {"kind": "span", "scope": 1, "stage": "as", "path": "as",
+                 "seconds": 1.0, "start": 5.0, "trace_id": "t",
+                 "span_id": "d" * 16, "parent_span_id": None},
+            ]
+        )
+        assert timeline.spans == []
+
+
+class TestTraceEventJson:
+    def test_document_is_valid_and_parent_refs_resolve(self):
+        ctx = TraceContext.new()
+        tel = Telemetry(clock=FakeClock(), trace=ctx)
+        with tel.span("as", as_id=7):
+            with tel.span("analyze"):
+                pass
+        timeline = timeline_from_records(_record_batch(1, tel))
+        doc = trace_event_json(timeline)
+        text = json.dumps(doc)
+        parsed = json.loads(text)
+        assert parsed["displayTimeUnit"] == "ms"
+        xs = [e for e in parsed["traceEvents"] if e["ph"] == "X"]
+        metas = [e for e in parsed["traceEvents"] if e["ph"] == "M"]
+        assert len(xs) == 2 and len(metas) == 1
+        ids = {e["args"]["span_id"] for e in xs}
+        for event in xs:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            parent = event["args"].get("parent_span_id")
+            assert parent is None or parent in ids
+        # caller attrs ride along
+        assert any(e["args"].get("as_id") == 7 for e in xs)
+
+    def test_empty_timeline_yields_empty_document(self):
+        doc = trace_event_json(timeline_from_records([]))
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+class TestTimelineReportDict:
+    def test_report_is_json_serializable_and_consistent(self):
+        ctx = TraceContext.new()
+        tel = Telemetry(clock=FakeClock(), trace=ctx)
+        with tel.span("as"):
+            with tel.span("analyze"):
+                pass
+        records = [{"kind": "anchor", "scope": "portfolio",
+                    "unix": 50.0, "clock": 0.0}]
+        records.append({
+            "kind": "span", "scope": "portfolio", "stage": "portfolio",
+            "path": "portfolio", "seconds": 9.0, "start": 0.0,
+            "trace_id": ctx.trace_id, "span_id": ctx.span_id,
+            "parent_span_id": None,
+        })
+        records.extend(_record_batch(3, tel))
+        report = timeline_report_dict(timeline_from_records(records))
+        json.dumps(report)  # must be serializable as-is
+        assert report["spans"] == 3
+        assert report["trace_ids"] == [ctx.trace_id]
+        assert report["critical_path_seconds"] == pytest.approx(
+            sum(s["exclusive_seconds"] for s in report["critical_path"])
+        )
+        assert 0.0 <= report["critical_path_share"] <= 1.0 + 1e-9

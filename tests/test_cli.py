@@ -216,3 +216,69 @@ class TestTelemetryCommand:
     def test_missing_directory_fails(self, tmp_path, capsys):
         assert main(["telemetry", str(tmp_path / "nowhere")]) == 1
         assert "no telemetry found" in capsys.readouterr().err
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        telemetry_dir = self._collect(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", str(telemetry_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["manifest"]["exit_status"] == "ok"
+        assert "stages" in report
+        assert "46" in report["counters"]
+
+
+class TestTimelineCommand:
+    def _collect(self, tmp_path):
+        telemetry_dir = tmp_path / "telemetry"
+        assert main(
+            [
+                "run-as",
+                "46",
+                "--targets",
+                "4",
+                "--vps",
+                "1",
+                "--telemetry-dir",
+                str(telemetry_dir),
+            ]
+        ) == 0
+        return telemetry_dir
+
+    def test_text_timeline(self, tmp_path, capsys):
+        telemetry_dir = self._collect(tmp_path)
+        capsys.readouterr()
+        assert main(["timeline", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "Critical path" in out
+
+    def test_json_timeline(self, tmp_path, capsys):
+        import json
+
+        telemetry_dir = self._collect(tmp_path)
+        capsys.readouterr()
+        assert main(["timeline", str(telemetry_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["trace_id"]
+        assert report["spans"] > 0
+        assert 0.0 < report["critical_path_share"] <= 1.0
+
+    def test_trace_json_artifact(self, tmp_path, capsys):
+        import json
+
+        telemetry_dir = self._collect(tmp_path)
+        artifact = tmp_path / "trace-events.json"
+        capsys.readouterr()
+        assert main(
+            ["timeline", str(telemetry_dir), "--trace-json", str(artifact)]
+        ) == 0
+        assert "trace events written" in capsys.readouterr().out
+        doc = json.loads(artifact.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["timeline", str(tmp_path / "nowhere")]) == 1
+        assert "no traced spans" in capsys.readouterr().err
