@@ -12,7 +12,9 @@ import gc
 import json
 import time
 
+from repro.core.columnar import ColumnarDetector, TraceBatch
 from repro.core.detector import ArestDetector
+from repro.core.labels import _suffix_match_default
 from repro.core.vendor_ranges import ranges_for_fingerprint
 from repro.probing.tnt import TntProber
 from repro.util.atomicio import atomic_write_text
@@ -20,6 +22,10 @@ from repro.util.atomicio import atomic_write_text
 from benchmarks.conftest import emit
 
 BENCH_FILENAME = "BENCH_detector.json"
+
+#: CI regression gate: the columnar batch passes must stay at least
+#: this many times faster than the object path measured in-process
+MIN_COLUMNAR_SPEEDUP = 5.0
 
 
 def _trace_corpus(portfolio_results, copies: int = 3):
@@ -120,6 +126,76 @@ def test_bench_detector_throughput(benchmark, portfolio_results):
     ratios = sorted(u / c for c, u in zip(cached_s, uncached_s))
     payload["uncached_ops_per_sec"] = round(len(corpus) / min(uncached_s), 1)
     payload["range_cache_delta_pct"] = round((ratios[1] - 1) * 100, 1)
+
+    # The sequence-match memoization delta, measured with the same
+    # paired-leg protocol: the uncached leg clears the suffix-match
+    # cache once per trace, so the delta is again a conservative floor.
+    # Identical-label pairs (the overwhelmingly common case) bypass the
+    # memo entirely, so expect a small number on homogeneous-SRGB
+    # corpora -- the cache only covers the differing-label arithmetic.
+    def detect_all_seq_uncached() -> int:
+        total = 0
+        for trace, fingerprints in corpus:
+            _suffix_match_default.cache_clear()
+            total += len(detector.detect(trace, fingerprints))
+        return total
+
+    detect_all_seq_uncached()
+    seq_cached_s: list[float] = []
+    seq_uncached_s: list[float] = []
+    for _ in range(3):
+        gc.disable()
+        tick = time.perf_counter()
+        detect_all()
+        seq_cached_s.append(time.perf_counter() - tick)
+        tick = time.perf_counter()
+        detect_all_seq_uncached()
+        seq_uncached_s.append(time.perf_counter() - tick)
+        gc.enable()
+    seq_ratios = sorted(
+        u / c for c, u in zip(seq_cached_s, seq_uncached_s)
+    )
+    payload["seq_match_cache_delta_pct"] = round(
+        (seq_ratios[1] - 1) * 100, 1
+    )
+
+    # -- columnar batch path ----------------------------------------------
+    # Build once, detect many: the archived-campaign re-detection shape
+    # (OPERATIONS.md).  Build throughput is reported separately so the
+    # ops_per_sec numbers compare pure detection work on both paths.
+    tick = time.perf_counter()
+    batch = TraceBatch.from_pairs(corpus)
+    build_s = time.perf_counter() - tick
+    columnar = ColumnarDetector()
+    # the differential contract, enforced on the bench corpus itself:
+    # the speedup below is only meaningful for byte-identical output
+    reference = [
+        detector.detect(trace, fingerprints)
+        for trace, fingerprints in corpus
+    ]
+    assert columnar.detect_batch(batch) == reference
+    batch_s: list[float] = []
+    for _ in range(5):
+        gc.disable()
+        tick = time.perf_counter()
+        detections = columnar.detect_batch(batch)
+        batch_s.append(time.perf_counter() - tick)
+        gc.enable()
+    columnar_ops = len(corpus) / min(batch_s)
+    object_ops = len(corpus) / min(cached_s)
+    payload["columnar_ops_per_sec"] = round(columnar_ops, 1)
+    payload["columnar_build_traces_per_sec"] = round(
+        len(corpus) / build_s, 1
+    )
+    payload["columnar_speedup"] = round(columnar_ops / object_ops, 2)
+    emit(
+        f"columnar: {columnar_ops:,.0f} traces/s over built batch "
+        f"({payload['columnar_speedup']}x object path; build "
+        f"{len(corpus) / build_s:,.0f} traces/s)"
+    )
+    assert sum(len(d) for d in detections) == segments
+    assert payload["columnar_speedup"] >= MIN_COLUMNAR_SPEEDUP
+
     atomic_write_text(
         BENCH_FILENAME, json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

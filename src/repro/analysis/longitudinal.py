@@ -22,6 +22,7 @@ The evolution model is deliberately simple and fully deterministic:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
 
 from repro.campaign.runner import CampaignRunner
 from repro.topogen.portfolio import AsSpec, Portfolio, default_portfolio
@@ -165,3 +166,106 @@ class AdoptionTracker:
             sr_interfaces=sr_ifaces,
             mpls_interfaces=mpls_ifaces,
         )
+
+
+@dataclass(frozen=True, slots=True)
+class ReDetectionSnapshot:
+    """Strong-evidence tally from re-detecting one year's archives."""
+
+    year: int
+    datasets: int
+    traces: int
+    ases_analyzed: int
+    ases_with_sr_evidence: int
+
+    @property
+    def detection_share(self) -> float:
+        """Fraction of archived target ASes with strong SR evidence."""
+        if self.ases_analyzed == 0:
+            return 0.0
+        return self.ases_with_sr_evidence / self.ases_analyzed
+
+
+def re_detect_adoption(
+    archives_by_year: Mapping[int, Iterable],
+    fingerprints: Mapping | None = None,
+    detector=None,
+    chunk: int = 4096,
+) -> list[ReDetectionSnapshot]:
+    """Adoption curve from *archived* JSONL datasets -- no re-probing.
+
+    The longitudinal question the tracker answers by re-running
+    campaigns can also be asked of data already on disk: given each
+    year's ``dump_jsonl`` archives, which target ASes show strong SR
+    evidence?  This streams every archive through the sanitizer into
+    bounded columnar chunks and runs
+    :meth:`~repro.core.columnar.ColumnarDetector.detect_batch` with the
+    archive header's ``target_asn`` ownership mask -- the fast
+    re-detection path (see OPERATIONS.md), so decade-scale archives
+    re-analyze in one sitting.
+
+    ``fingerprints`` is an optional address->fingerprint mapping applied
+    to every archive (a merged fingerprint DB); without it detection
+    still raises the fingerprint-free strong flags (CO), so the curve
+    degrades gracefully rather than collapsing.
+    """
+    from repro.campaign.dataset import TraceDataset
+    from repro.core.columnar import ColumnarDetector
+    from repro.core.flags import STRONG_FLAGS
+    from repro.probing.sanitize import TraceSanitizer
+
+    if detector is None:
+        detector = ColumnarDetector()
+    fingerprints = fingerprints or {}
+    sanitizer = TraceSanitizer()
+    snapshots = []
+    for year in sorted(archives_by_year):
+        datasets = traces = 0
+        ases_analyzed: set[int] = set()
+        ases_with: set[int] = set()
+        for path in archives_by_year[year]:
+            datasets += 1
+            asn = TraceDataset.read_header(path).target_asn
+            ases_analyzed.add(asn)
+
+            def sanitized():
+                for raw in TraceDataset.iter_jsonl(path):
+                    cleaned = sanitizer.sanitize(raw)
+                    if cleaned.trace is not None:
+                        yield cleaned.trace
+
+            pending: list = []
+            for trace in sanitized():
+                traces += 1
+                pending.append(trace)
+                if len(pending) >= chunk:
+                    if asn not in ases_with and _chunk_has_strong(
+                        detector, pending, fingerprints, asn, STRONG_FLAGS
+                    ):
+                        ases_with.add(asn)
+                    pending = []
+            if pending and asn not in ases_with and _chunk_has_strong(
+                detector, pending, fingerprints, asn, STRONG_FLAGS
+            ):
+                ases_with.add(asn)
+        snapshots.append(
+            ReDetectionSnapshot(
+                year=year,
+                datasets=datasets,
+                traces=traces,
+                ases_analyzed=len(ases_analyzed),
+                ases_with_sr_evidence=len(ases_with),
+            )
+        )
+    return snapshots
+
+
+def _chunk_has_strong(detector, traces, fingerprints, asn, strong) -> bool:
+    from repro.core.columnar import TraceBatch
+
+    batch = TraceBatch.from_traces(traces, fingerprints)
+    return any(
+        segment.flag in strong
+        for segments in detector.detect_batch(batch, asn=asn)
+        for segment in segments
+    )

@@ -67,6 +67,7 @@ def render_markdown_report(
     sections += _interworking_section(results)
     sections += _tunnels_section(results)
     sections += _fingerprint_section(results)
+    sections += _vendor_breakdown_section(results)
     sections += _data_quality_section(results)
     sections += _validation_section(results)
     if telemetry is not None:
@@ -266,6 +267,46 @@ def _fingerprint_section(results) -> list[str]:
         f"- method split among identified interfaces: TTL {ttl_share:.0%}, "
         f"SNMPv3 {snmp_share:.0%}",
         f"- SNMPv3 vendor totals: {vendor_bits or 'none'}",
+        "",
+    ]
+
+
+def _vendor_breakdown_section(results) -> list[str]:
+    """Per-vendor segment/flag tallies (Table 1 evidence applied).
+
+    Computed from the columnar batch over the segments the campaign
+    already detected; rendered only when any segment exists, so empty
+    campaigns are unchanged.
+    """
+    from repro.analysis.vendor_breakdown import campaign_vendor_breakdown
+
+    doc = campaign_vendor_breakdown(results)
+    if not doc["vendors"]:
+        return []
+    rows = [
+        [
+            # vendor-class tokens contain "|", which would split the
+            # markdown table cell
+            vendor.replace("|", "\\|"),
+            entry["distinct_segments"],
+            entry["occurrences"],
+            ", ".join(
+                f"{flag} {count}" for flag, count in entry["flags"].items()
+            ),
+        ]
+        for vendor, entry in doc["vendors"].items()
+    ]
+    return [
+        "## Vendor breakdown (Table 1 evidence per segment)",
+        "",
+        _md_table(
+            ["Vendor evidence", "Distinct segments", "Occurrences",
+             "Flags"],
+            rows,
+        ),
+        "",
+        "- `range:` rows are label-range inference only (overlapping "
+        "Table 1 ranges give a vendor class, not an identification)",
         "",
     ]
 

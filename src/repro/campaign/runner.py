@@ -53,7 +53,6 @@ from repro.campaign.executor import (
     TaskStatus,
 )
 from repro.campaign.vantage_points import VantagePoint, default_vantage_points
-from repro.core.detector import ArestDetector
 from repro.core.pipeline import ArestPipeline, AsAnalysis
 from repro.core.segments import DetectedSegment
 from repro.fingerprint.combined import CombinedFingerprinter
@@ -482,7 +481,10 @@ class CampaignRunner:
         self.fault_plan = fault_plan or FaultPlan.none()
         self.churn_plan = churn_plan or ChurnPlan.none()
         self.retry = retry or RetryPolicy.none()
-        self._pipeline = ArestPipeline(ArestDetector())
+        # columnar detection core (byte-identical to ArestDetector by
+        # the differential contract, so checkpoints and report bytes
+        # are unaffected by the switch)
+        self._pipeline = ArestPipeline()
         #: stage the most recent run_as reached (error attribution)
         self._stage = "idle"
         #: optional callback fired on each stage transition (heartbeats)

@@ -401,6 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: analyze every hop, like a service without --asn)"
         ),
     )
+    detect.add_argument(
+        "--vendor-breakdown",
+        action="store_true",
+        help=(
+            "print the per-vendor segment/flag breakdown (JSON) computed "
+            "in one columnar pass over the dataset"
+        ),
+    )
+    detect.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help=(
+            "run the summary on the object-path reference detector "
+            "instead of the columnar batch core (slow; the two are "
+            "byte-identical by the differential contract)"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -701,11 +718,12 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.campaign import TraceDataset
-    from repro.core.detector import ArestDetector
+    from repro.core.columnar import ColumnarDetector, TraceBatch
 
     # Streaming end to end: the header read is constant-cost and the
-    # body is folded one trace at a time, so paper-scale spill files
-    # analyze in bounded memory.
+    # body flows through bounded columnar chunks (or, on the reference
+    # path, one trace at a time), so paper-scale spill files analyze
+    # in bounded memory.
     header = TraceDataset.read_header(args.dataset)
     if args.segments_json:
         from repro.service.state import batch_aggregate
@@ -716,16 +734,42 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         sys.stdout.buffer.write(aggregate.segments_json(args.asn))
         sys.stdout.buffer.flush()
         return 0
-    detector = ArestDetector()
+    if args.vendor_breakdown:
+        import json
+
+        from repro.analysis.vendor_breakdown import (
+            VendorBreakdownAccumulator,
+        )
+
+        detector = ColumnarDetector()
+        accumulator = VendorBreakdownAccumulator()
+        for batch in TraceBatch.iter_jsonl(args.dataset):
+            accumulator.feed_batch(batch, detector.detect_batch(batch))
+        doc = {"target_asn": header.target_asn, **accumulator.as_doc()}
+        print(json.dumps(doc, indent=2, sort_keys=False))
+        return 0
     counts: Counter = Counter()
     seen = set()
     total = 0
-    for trace in TraceDataset.iter_jsonl(args.dataset):
-        total += 1
-        for segment in detector.detect(trace, {}):
-            if segment.key() not in seen:
-                seen.add(segment.key())
-                counts[segment.flag] += 1
+    if args.no_columnar:
+        from repro.core.detector import ArestDetector
+
+        reference = ArestDetector()
+        for trace in TraceDataset.iter_jsonl(args.dataset):
+            total += 1
+            for segment in reference.detect(trace, {}):
+                if segment.key() not in seen:
+                    seen.add(segment.key())
+                    counts[segment.flag] += 1
+    else:
+        detector = ColumnarDetector()
+        for batch in TraceBatch.iter_jsonl(args.dataset):
+            total += len(batch)
+            for segments in detector.detect_batch(batch):
+                for segment in segments:
+                    if segment.key() not in seen:
+                        seen.add(segment.key())
+                        counts[segment.flag] += 1
     print(
         f"{total} traces toward AS{header.target_asn}, "
         f"{len(seen)} distinct segments"

@@ -70,13 +70,17 @@ def effective_labels(hop: TraceHop) -> tuple[int, ...]:
 
 FingerprintLookup = Callable[[IPv4Address], Fingerprint]
 
+#: the shared no-information fingerprint (hoisted: building a fresh one
+#: per unfingerprinted hop showed up in the detector profile)
+_NO_FINGERPRINT = Fingerprint.none()
+
 
 def _lookup_from_mapping(
     fingerprints: Mapping[IPv4Address, Fingerprint]
 ) -> FingerprintLookup:
     def lookup(address: IPv4Address) -> Fingerprint:
         """Resolve one address to its fingerprint (none when absent)."""
-        return fingerprints.get(address, Fingerprint.none())
+        return fingerprints.get(address, _NO_FINGERPRINT)
 
     return lookup
 
@@ -150,7 +154,14 @@ class ArestDetector:
     ) -> list[bool]:
         flags = []
         for i, hop in enumerate(trace.hops):
-            ok = bool(views[i]) and not hop.tnt_revealed
+            # an address-less hop cannot be classified (no fingerprint,
+            # no reportable interface) -- sanitized-but-anonymous labeled
+            # hops must break runs, not crash single classification
+            ok = (
+                bool(views[i])
+                and not hop.tnt_revealed
+                and hop.address is not None
+            )
             if ok:
                 if hop_mask is not None:
                     ok = i in hop_mask
@@ -207,8 +218,7 @@ class ArestDetector:
         run_views = [views[i] for i in run]
         labels = tuple(v[0] for v in run_views)
         vendor_confirmed = any(
-            h.address is not None
-            and label_in_vendor_range(v[0], lookup(h.address))
+            label_in_vendor_range(v[0], lookup(h.address))
             for h, v in zip(hops, run_views)
         )
         flag = Flag.CVR if vendor_confirmed else Flag.CO

@@ -12,6 +12,8 @@ paper: "the flag is also triggered if two labels share a common suffix
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 #: how many trailing decimal digits must agree for a suffix match
 SUFFIX_DIGITS = 3
 
@@ -27,14 +29,29 @@ def suffix_match(a: int, b: int, digits: int = SUFFIX_DIGITS) -> bool:
     return a % modulus == b % modulus
 
 
+@lru_cache(maxsize=65536)
+def _suffix_match_default(a: int, b: int) -> bool:
+    """Memoized :func:`suffix_match` at the default digit count.
+
+    Callers guarantee ``a != b``, so this is the pure modulus compare.
+    A campaign's label vocabulary is tiny next to its hop count, so
+    each distinct differing pair pays the arithmetic once (the
+    benchmark records the delta as ``seq_match_cache_delta_pct``).
+    """
+    modulus = 10**SUFFIX_DIGITS
+    return a % modulus == b % modulus
+
+
 def sequence_match(a: int, b: int) -> bool:
     """Do two top labels on consecutive hops continue one SR segment?
 
     Either identical (same-SRGB deployments, the overwhelmingly common
     case: the paper measured only 0.01% suffix-based matches) or
-    suffix-matched (heterogeneous SRGBs).
+    suffix-matched (heterogeneous SRGBs).  The identical case is a bare
+    int compare -- deliberately outside the memo so the dominant path
+    never pays a cache probe; only the suffix arithmetic is cached.
     """
-    return a == b or suffix_match(a, b)
+    return a == b or _suffix_match_default(a, b)
 
 
 def run_is_suffix_based(labels: tuple[int, ...]) -> bool:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
 from repro.core.classification import HopArea, classify_hops
+from repro.core.columnar import ColumnarDetector
 from repro.core.detector import ArestDetector, FingerprintLookup
 from repro.core.flags import Flag, STRONG_FLAGS
 from repro.core.interworking import (
@@ -186,7 +187,7 @@ class AsAccumulator:
 
     def __init__(
         self,
-        detector: ArestDetector,
+        detector: ArestDetector | ColumnarDetector,
         asn: int | None,
         fingerprints: Mapping[IPv4Address, Fingerprint] | FingerprintLookup,
         asn_of: AsnLookup | None = None,
@@ -284,10 +285,27 @@ class AsAccumulator:
 
 
 class ArestPipeline:
-    """Runs AReST over trace batches, one AS of interest at a time."""
+    """Runs AReST over trace batches, one AS of interest at a time.
 
-    def __init__(self, detector: ArestDetector | None = None) -> None:
-        self._detector = detector or ArestDetector()
+    Detection defaults to the columnar core
+    (:class:`~repro.core.columnar.ColumnarDetector`): each trace is a
+    one-row column batch, so the pipeline's object API -- and every
+    caller built on it, including the streaming service -- rides the
+    same array passes the whole-campaign batch path uses.  Pass
+    ``columnar=False`` (or an explicit :class:`ArestDetector`) for the
+    object-path reference; the two are byte-identical by the
+    differential contract, so the switch only moves the cost model.
+    """
+
+    def __init__(
+        self,
+        detector: ArestDetector | ColumnarDetector | None = None,
+        *,
+        columnar: bool = True,
+    ) -> None:
+        if detector is None:
+            detector = ColumnarDetector() if columnar else ArestDetector()
+        self._detector = detector
 
     def accumulator(
         self,

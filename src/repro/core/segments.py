@@ -54,6 +54,35 @@ class DetectedSegment:
         ):
             raise ValueError("segment hops must be contiguous")
 
+    @classmethod
+    def trusted(
+        cls,
+        flag: Flag,
+        hop_indices: tuple[int, ...],
+        addresses: tuple[IPv4Address, ...],
+        top_labels: tuple[int, ...],
+        stack_depths: tuple[int, ...],
+        suffix_based: bool = False,
+    ) -> "DetectedSegment":
+        """Construct without re-validating the ``__post_init__`` invariants.
+
+        For batch builders whose construction guarantees them (the
+        columnar detector derives every tuple from one contiguous hop
+        range, so the length/contiguity/arity checks hold by
+        construction); the differential suite enforces equality with
+        validated object-path segments.  Everyone else should use the
+        normal constructor.
+        """
+        segment = object.__new__(cls)
+        set_ = object.__setattr__
+        set_(segment, "flag", flag)
+        set_(segment, "hop_indices", hop_indices)
+        set_(segment, "addresses", addresses)
+        set_(segment, "top_labels", top_labels)
+        set_(segment, "stack_depths", stack_depths)
+        set_(segment, "suffix_based", suffix_based)
+        return segment
+
     @property
     def length(self) -> int:
         """Hops in this segment."""

@@ -6,6 +6,7 @@ from repro.analysis.longitudinal import (
     REFERENCE_YEAR,
     AdoptionTracker,
     adoption_year,
+    re_detect_adoption,
     scenario_in_year,
 )
 from repro.topogen.portfolio import default_portfolio
@@ -97,3 +98,76 @@ class TestTracker:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             AdoptionTracker(first_year=2025, last_year=2020)
+
+
+class TestReDetection:
+    """Fast re-detection over archived JSONL datasets."""
+
+    def archive(self, tmp_path, name, asn, labeled):
+        from repro.campaign.dataset import TraceDataset
+
+        from tests.conftest import make_hop, make_trace
+
+        traces = []
+        for k in range(6):
+            if labeled:
+                hops = [
+                    make_hop(1, f"10.3.{k}.1", labels=(16001,)),
+                    make_hop(2, f"10.3.{k}.2", labels=(16001,)),
+                ]
+            else:
+                hops = [
+                    make_hop(1, f"10.3.{k}.1"),
+                    make_hop(2, f"10.3.{k}.2"),
+                ]
+            hops = [h.with_annotation(truth_asn=asn) for h in hops]
+            traces.append(make_trace(hops))
+        path = tmp_path / name
+        TraceDataset(target_asn=asn, traces=traces).dump_jsonl(path)
+        return path
+
+    def test_curve_from_archives(self, tmp_path):
+        archives = {
+            2020: [
+                self.archive(tmp_path, "a2020.jsonl", 65001, labeled=False)
+            ],
+            2024: [
+                self.archive(tmp_path, "a2024.jsonl", 65001, labeled=True),
+                self.archive(tmp_path, "b2024.jsonl", 65002, labeled=False),
+            ],
+        }
+        snapshots = re_detect_adoption(archives, chunk=4)
+        assert [s.year for s in snapshots] == [2020, 2024]
+        first, second = snapshots
+        assert first.datasets == 1
+        assert first.traces == 6
+        assert first.ases_with_sr_evidence == 0
+        assert first.detection_share == 0.0
+        assert second.datasets == 2
+        assert second.traces == 12
+        assert second.ases_analyzed == 2
+        # the 16001 x 16001 run raises CO (strong) for AS65001 only
+        assert second.ases_with_sr_evidence == 1
+        assert second.detection_share == 0.5
+
+    def test_mask_respects_target_asn(self, tmp_path):
+        # labels live on hops owned by a DIFFERENT AS than the archive
+        # target: the ownership mask must suppress the evidence
+        from repro.campaign.dataset import TraceDataset
+
+        from tests.conftest import make_hop, make_trace
+
+        hops = [
+            make_hop(1, "10.4.0.1", labels=(16001,)).with_annotation(
+                truth_asn=64999
+            ),
+            make_hop(2, "10.4.0.2", labels=(16001,)).with_annotation(
+                truth_asn=64999
+            ),
+        ]
+        path = tmp_path / "foreign.jsonl"
+        TraceDataset(target_asn=65001, traces=[make_trace(hops)]).dump_jsonl(
+            path
+        )
+        snapshots = re_detect_adoption({2024: [path]})
+        assert snapshots[0].ases_with_sr_evidence == 0

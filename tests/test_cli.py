@@ -69,6 +69,39 @@ class TestDetect:
         assert "distinct segments" in out
         assert "CO" in out
 
+    def test_no_columnar_reference_path_identical(self, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        main(
+            ["run-as", "28", "--targets", "8", "--vps", "2",
+             "--dump", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["detect", str(path)]) == 0
+        columnar_out = capsys.readouterr().out
+        assert main(["detect", str(path), "--no-columnar"]) == 0
+        assert capsys.readouterr().out == columnar_out
+
+    def test_vendor_breakdown_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "traces.jsonl"
+        main(
+            ["run-as", "28", "--targets", "8", "--vps", "2",
+             "--dump", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["detect", str(path), "--vendor-breakdown"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {
+            "target_asn", "traces", "segment_occurrences",
+            "distinct_segments", "vendors",
+        }
+        assert doc["traces"] == 16
+        total = sum(
+            entry["distinct_segments"] for entry in doc["vendors"].values()
+        )
+        assert total == doc["distinct_segments"]
+
 
 class TestValidate:
     def test_table3(self, capsys):
